@@ -1,0 +1,29 @@
+"""Figure 4 — latency/throughput on uniform random and tornado."""
+
+from conftest import run_once
+
+from repro.analysis.experiments import format_fig4, run_fig4
+from repro.network.config import SimulationConfig
+
+_RATES = (0.01, 0.03, 0.05, 0.07, 0.09, 0.11, 0.13)
+
+
+def test_fig4_latency_curves(benchmark):
+    result = run_once(
+        benchmark,
+        run_fig4,
+        rates=_RATES,
+        cycles=4000,
+        warmup=1000,
+        config=SimulationConfig(frame_cycles=10_000, seed=1),
+    )
+    print()
+    print(format_fig4(result))
+    low_uniform = {n: p[0].mean_latency for n, p in result.uniform.items()}
+    high_tornado = {n: p[-1].mean_latency for n, p in result.tornado.items()}
+    # Paper shape: MECS/DPS fastest at low load; x1 saturates first;
+    # x4 cannot hold tornado as well as MECS/DPS.
+    assert low_uniform["dps"] < low_uniform["mesh_x1"]
+    assert low_uniform["mecs"] < low_uniform["mesh_x1"]
+    assert high_tornado["mesh_x1"] > high_tornado["mecs"]
+    assert high_tornado["mesh_x4"] > high_tornado["mecs"]

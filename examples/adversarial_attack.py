@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Denial-of-service resilience: hotspot attacks with and without QoS.
+
+The cloud threat model of the paper's introduction: a malicious tenant
+floods a shared memory controller, trying to starve its neighbours.
+This example shows
+
+1. the *starvation* a vanilla (no-QoS) network suffers — sources close
+   to the hotspot capture almost all bandwidth;
+2. PVC restoring near-perfect fairness on the same topology;
+3. the crafted Workload 1 that defeats PVC's preemption throttles, and
+   how little damage it does (small slowdown, bounded unfairness).
+
+Run:  python examples/adversarial_attack.py
+"""
+
+import statistics
+
+from repro import (
+    ColumnSimulator,
+    FlowSpec,
+    NoQosPolicy,
+    PerFlowQueuedPolicy,
+    PvcPolicy,
+    SimulationConfig,
+    get_topology,
+    workload1,
+)
+from repro.traffic.patterns import hotspot
+
+
+def hotspot_flows(rate=0.5):
+    return [FlowSpec(node=n, rate=rate, pattern=hotspot(0)) for n in range(8)]
+
+
+def run(policy, flows, topology="mesh_x1", cycles=12_000, warmup=3_000):
+    config = SimulationConfig(frame_cycles=50_000, seed=9)
+    simulator = ColumnSimulator(
+        get_topology(topology).build(config), flows, policy, config
+    )
+    return simulator.run_window(warmup, cycles - warmup)
+
+
+def share_report(title, stats):
+    flits = stats.window_flits_per_flow
+    mean = statistics.mean(flits)
+    print(f"\n{title}")
+    for node, value in enumerate(flits):
+        bar = "#" * max(1, round(30 * value / (2 * mean)))
+        print(f"  node {node}: {value:6d} flits  {bar}")
+    print(f"  min/max = {min(flits) / mean:.2f}x / {max(flits) / mean:.2f}x of mean")
+
+
+def main() -> None:
+    # 1. No QoS: distance decides your bandwidth.
+    share_report(
+        "no QoS (mesh x1) — distant sources starve:",
+        run(NoQosPolicy(), hotspot_flows()),
+    )
+
+    # 2. PVC: equal shares regardless of distance.
+    share_report(
+        "PVC (mesh x1) — equal shares:",
+        run(PvcPolicy(), hotspot_flows()),
+    )
+
+    # 3. The crafted Workload 1 attack against PVC itself.
+    config = SimulationConfig(frame_cycles=10_000, seed=9)
+    attack = workload1(packet_limit=400)
+    pvc_sim = ColumnSimulator(
+        get_topology("mesh_x1").build(config), attack, PvcPolicy(), config
+    )
+    pvc_done = pvc_sim.run_until_drained(max_cycles=400_000)
+    ideal_sim = ColumnSimulator(
+        get_topology("mesh_x1").build(config), attack, PerFlowQueuedPolicy(), config
+    )
+    ideal_done = ideal_sim.run_until_drained(max_cycles=400_000)
+
+    print("\nWorkload 1 (anti-PVC preemption attack, mesh x1):")
+    print(f"  preemption events:       {pvc_sim.stats.preemption_events}")
+    print(f"  replayed hop fraction:   {pvc_sim.stats.wasted_hop_fraction:.2%}")
+    slowdown = pvc_done / ideal_done - 1.0
+    print(f"  completion vs per-flow-queued ideal: {slowdown:+.2%}")
+    print(
+        "\neven a workload crafted to maximise preemptions costs only a"
+        " few percent versus an idealised per-flow-queued network —"
+        " the paper's Figure 6 conclusion."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Convex domains as shared caches, and tracing the QoS column.
+
+Two shorter tours of the library's supporting machinery:
+
+1. **Domain cache analysis** — Section 2.2 claims the convex-domain
+   organisation "combines the benefits of increased capacity of a
+   shared cache with physical isolation".  We quantify that for a VM
+   whose working set overflows a node's private slice, and show the
+   crossover where sharing stops paying.
+2. **Event tracing** — attach a TraceRecorder to a simulation of the
+   adversarial Workload 1 and replay one preempted packet's life story
+   (create -> inject -> hop wins -> preempt -> NACK -> re-inject ->
+   deliver).
+
+Run:  python examples/cache_domains_and_tracing.py
+"""
+
+from repro import SimulationConfig, TopologyAwareSystem
+from repro.core.cache import domain_cache_analysis, shared_wins
+from repro.network.trace import TraceKind, TraceRecorder
+from repro.network.engine import ColumnSimulator
+from repro.qos.pvc import PvcPolicy
+from repro.topologies import get_topology
+from repro.traffic import workload1
+from repro.util.tables import format_table
+
+
+def cache_story() -> None:
+    system = TopologyAwareSystem()
+    vm = system.admit_vm("analytics", n_threads=32)
+
+    rows = []
+    for working_set_kb in (64, 512, 2048, 8192):
+        private, shared = domain_cache_analysis(
+            system.chip, vm.domain, working_set_kb=working_set_kb
+        )
+        rows.append(
+            [
+                working_set_kb,
+                f"{private.miss_ratio:.2f}",
+                f"{shared.miss_ratio:.2f}",
+                f"{shared.mean_access_hops:.2f}",
+                "shared" if shared_wins(private, shared) else "private",
+            ]
+        )
+    print(
+        format_table(
+            ["working set (KB)", "private miss", "shared miss",
+             "shared hops", "winner"],
+            rows,
+            title=f"Cache organisation for VM 'analytics' ({vm.domain.size} nodes)",
+        )
+    )
+    print(
+        "small working sets stay private; once a node's slice overflows,"
+        " the domain-shared cache wins — with isolation by construction.\n"
+    )
+
+
+def trace_story() -> None:
+    config = SimulationConfig(
+        frame_cycles=10_000, seed=3, preemption_patience_cycles=8
+    )
+    simulator = ColumnSimulator(
+        get_topology("mesh_x2").build(config), workload1(), PvcPolicy(), config
+    )
+    recorder = TraceRecorder(capacity=500_000)
+    recorder.attach(simulator)
+    simulator.run(12_000)
+
+    preempts = recorder.events_of_kind(TraceKind.PREEMPT)
+    print(f"Workload 1 on mesh_x2: {len(preempts)} preemption events recorded")
+    if preempts:
+        victim_pid = preempts[0].pid
+        print(f"\nlife story of packet {victim_pid} (first victim):")
+        for event in recorder.events_of_packet(victim_pid):
+            print(f"  {event}")
+    print("\nlast few events on the wire:")
+    print(recorder.format_tail(6))
+
+
+def main() -> None:
+    cache_story()
+    trace_story()
+
+
+if __name__ == "__main__":
+    main()

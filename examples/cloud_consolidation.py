@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Cloud consolidation: three VMs share one chip with full isolation.
+
+The scenario from the paper's introduction: a consolidated server runs
+a customer-facing web tier, a database, and a batch analytics job on
+one 256-tile CMP.  The hypervisor
+
+* allocates each VM a *convex* domain (so cache traffic never leaves it),
+* co-schedules only same-VM threads on each node,
+* programs per-VM service weights into the shared column's QoS routers,
+
+and the example then verifies physical isolation, shows why naive
+inter-VM routing would violate it, and simulates the QoS column to show
+memory bandwidth following the programmed weights.
+
+Run:  python examples/cloud_consolidation.py
+"""
+
+from collections import defaultdict
+
+from repro import SimulationConfig, TopologyAwareSystem
+from repro.core.isolation import naive_xy_violations
+from repro.core.system import grid_ascii
+
+
+def main() -> None:
+    system = TopologyAwareSystem()
+
+    # Admit three tenants with different service-level weights.
+    system.admit_vm("web", n_threads=24, weight=2.0)
+    system.admit_vm("db", n_threads=16, weight=3.0)
+    system.admit_vm("analytics", n_threads=32, weight=1.0)
+
+    print(system.describe())
+    print("\nchip layout ('#' = QoS-protected shared column):")
+    print(grid_ascii(system))
+
+    # The hypervisor's isolation obligations, verified exhaustively.
+    violations = system.audit_isolation()
+    print(f"\nisolation audit violations: {len(violations)}")
+    assert not violations, "topology-aware routing must isolate tenants"
+    assert system.hypervisor.co_scheduling_ok()
+
+    # Counter-demonstration: route inter-VM traffic with plain XY
+    # dimension-order routing instead of transiting the shared column.
+    naive = naive_xy_violations(system.chip, system.hypervisor.allocator.domains)
+    print(f"naive XY inter-VM routing would interfere at {len(naive)} hops")
+    assert naive, "the Section 2.2 hazard should be observable"
+
+    # Simulate the shared column: each VM's memory traffic enters at
+    # its domain's rows and is scheduled by PVC with the programmed
+    # weights.
+    # Offer 95% load per entry row so the memory controllers' ejection
+    # ports are genuinely contended — only then do the programmed
+    # weights decide bandwidth.
+    config = SimulationConfig(frame_cycles=10_000, seed=7)
+    simulator, binding = system.shared_region_simulator(
+        "dps", config=config, rate_per_flow=0.95
+    )
+    stats = simulator.run(20_000, warmup=4_000)
+
+    per_vm = defaultdict(int)
+    for index, owner in enumerate(binding.owners):
+        per_vm[owner] += stats.window_flits_per_flow[index]
+    flow_counts = defaultdict(int)
+    for owner in binding.owners:
+        flow_counts[owner] += 1
+
+    print("\nshared-column memory bandwidth by tenant (PVC, DPS column):")
+    for name in sorted(per_vm):
+        vm = system.hypervisor.vms[name]
+        per_flow = per_vm[name] / flow_counts[name]
+        print(
+            f"  {name:10s} weight={vm.weight:.1f}  delivered={per_vm[name]:6d} flits"
+            f"  (per entry-row: {per_flow:7.1f})"
+        )
+    print(
+        "\nhigher-weight tenants sustain proportionally higher per-flow"
+        " bandwidth under contention."
+    )
+
+
+if __name__ == "__main__":
+    main()

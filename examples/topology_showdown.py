@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Topology showdown: performance, area, and energy in one report.
+
+Reproduces the paper's comparison story across all five shared-region
+topologies: latency under benign (uniform random) and adversarial
+(tornado) traffic at increasing load, next to each router's area and
+3-hop energy from the analytical models.
+
+Run:  python examples/topology_showdown.py
+"""
+
+from repro import SimulationConfig, latency_throughput_sweep
+from repro.analysis.experiments import run_fig3, run_fig7
+from repro.topologies import TOPOLOGY_NAMES
+from repro.traffic import full_column_workload
+from repro.traffic.patterns import tornado, uniform_random
+from repro.util.tables import format_table
+
+RATES = [0.02, 0.06, 0.10]
+
+
+def sweep(pattern):
+    config = SimulationConfig(frame_cycles=10_000, seed=11)
+    rows = []
+    for name in TOPOLOGY_NAMES:
+        points = latency_throughput_sweep(
+            name,
+            lambda rate: full_column_workload(rate, pattern=pattern),
+            RATES,
+            cycles=4000,
+            warmup=1000,
+            config=config,
+        )
+        rows.append([name] + [point.mean_latency for point in points])
+    return rows
+
+
+def main() -> None:
+    headers = ["topology"] + [f"lat@{rate:.0%}" for rate in RATES]
+    print(format_table(headers, sweep(uniform_random),
+                       title="Uniform random (cycles)", float_format=".1f"))
+    print()
+    print(format_table(headers, sweep(tornado),
+                       title="Tornado (cycles)", float_format=".1f"))
+
+    areas = run_fig3()
+    energies = {row.topology: row for row in run_fig7()}
+    rows = []
+    for name in TOPOLOGY_NAMES:
+        rows.append(
+            [
+                name,
+                areas[name].total_mm2,
+                energies[name].three_hops.total_pj,
+                energies[name].intermediate.total_pj,
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["topology", "router mm^2", "3-hop pJ/flit", "mid-hop pJ/flit"],
+            rows,
+            title="Cost models (32 nm, 0.9 V)",
+            float_format=".3f",
+        )
+    )
+    print(
+        "\nreading: DPS pairs mesh-class router cost with MECS-class"
+        " multi-hop efficiency — the paper's headline result."
+    )
+
+
+if __name__ == "__main__":
+    main()

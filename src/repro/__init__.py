@@ -1,0 +1,113 @@
+"""repro — reproduction of "Topology-aware Quality-of-Service Support in
+Highly Integrated Chip Multiprocessors" (Grot, Keckler, Mutlu, 2010).
+
+Public API tour
+---------------
+
+Cycle-level shared-region simulation::
+
+    from repro import ColumnSimulator, SimulationConfig, PvcPolicy
+    from repro import get_topology, uniform_workload
+
+    topology = get_topology("dps")
+    config = SimulationConfig(frame_cycles=10_000)
+    sim = ColumnSimulator(topology.build(config), uniform_workload(0.05),
+                          PvcPolicy(), config)
+    stats = sim.run(10_000, warmup=2_000)
+    print(stats.mean_latency)
+
+Chip-level architecture::
+
+    from repro import TopologyAwareSystem
+
+    system = TopologyAwareSystem()
+    system.admit_vm("web", n_threads=24, weight=2.0)
+    system.admit_vm("db", n_threads=16, weight=3.0)
+    assert system.audit_isolation() == []
+
+Experiments (one per paper table/figure) live in
+:mod:`repro.analysis.experiments`.
+"""
+
+from repro.analysis.fairness import fairness_report, max_min_allocation
+from repro.analysis.sweep import latency_throughput_sweep
+from repro.core.chip import Chip, ChipConfig
+from repro.core.domain import Domain, is_convex, xy_path
+from repro.core.hypervisor import Hypervisor, VirtualMachine
+from repro.core.memctrl import MemoryController
+from repro.core.system import TopologyAwareSystem
+from repro.errors import (
+    AllocationError,
+    ConfigurationError,
+    ConvexityError,
+    IsolationError,
+    ModelError,
+    ReproError,
+    SimulationError,
+    TopologyError,
+    TrafficError,
+)
+from repro.models.area import RouterAreaModel
+from repro.models.energy import RouterEnergyModel
+from repro.models.technology import TechnologyParameters
+from repro.network.config import SimulationConfig
+from repro.network.engine import ColumnSimulator
+from repro.network.packet import FlowSpec, Packet
+from repro.qos.base import NoQosPolicy, QosPolicy
+from repro.qos.perflow import PerFlowQueuedPolicy
+from repro.qos.pvc import PvcPolicy
+from repro.topologies.registry import TOPOLOGY_NAMES, get_topology
+from repro.traffic.workloads import (
+    full_column_workload,
+    hotspot_all_injectors,
+    tornado_workload,
+    uniform_workload,
+    workload1,
+    workload2,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AllocationError",
+    "Chip",
+    "ChipConfig",
+    "ColumnSimulator",
+    "ConfigurationError",
+    "ConvexityError",
+    "Domain",
+    "FlowSpec",
+    "Hypervisor",
+    "IsolationError",
+    "MemoryController",
+    "ModelError",
+    "NoQosPolicy",
+    "Packet",
+    "PerFlowQueuedPolicy",
+    "PvcPolicy",
+    "QosPolicy",
+    "ReproError",
+    "RouterAreaModel",
+    "RouterEnergyModel",
+    "SimulationConfig",
+    "SimulationError",
+    "TOPOLOGY_NAMES",
+    "TechnologyParameters",
+    "TopologyAwareSystem",
+    "TopologyError",
+    "TrafficError",
+    "VirtualMachine",
+    "fairness_report",
+    "full_column_workload",
+    "get_topology",
+    "hotspot_all_injectors",
+    "is_convex",
+    "latency_throughput_sweep",
+    "max_min_allocation",
+    "tornado_workload",
+    "uniform_workload",
+    "workload1",
+    "workload2",
+    "xy_path",
+    "__version__",
+]

@@ -1,0 +1,29 @@
+"""Analysis utilities and the per-figure experiment harness.
+
+``repro.analysis.experiments`` contains one module per paper result
+(Figure 3, Figure 4a/4b, Table 2, Figure 5a/5b, Figure 6a/6b, Figure 7,
+and the Section 5.2 saturation-preemption statistics); each returns
+structured results and can render the same rows the paper reports.
+"""
+
+from repro.analysis.chip_study import format_chip_study, run_chip_study
+from repro.analysis.fairness import (
+    FairnessReport,
+    fairness_report,
+    max_min_allocation,
+)
+from repro.analysis.report import ReportOptions, generate_report, write_report
+from repro.analysis.sweep import LatencyPoint, latency_throughput_sweep
+
+__all__ = [
+    "FairnessReport",
+    "LatencyPoint",
+    "ReportOptions",
+    "fairness_report",
+    "format_chip_study",
+    "generate_report",
+    "latency_throughput_sweep",
+    "max_min_allocation",
+    "run_chip_study",
+    "write_report",
+]

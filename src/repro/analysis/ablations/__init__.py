@@ -1,0 +1,59 @@
+"""Ablation studies over the design choices the paper leans on.
+
+Each module isolates one mechanism and measures what the evaluation
+would look like without (or with different sizing of) it:
+
+=====================  ====================================================
+module                 question
+=====================  ====================================================
+``quota``              how much does the reserved per-frame quota damp
+                       adversarial preemption?
+``reserved_vc``        what does the rate-compliant reserved VC buy?
+``patience``           preemption-trigger sensitivity (inversion
+                       detection window)
+``frame``              frame length: guarantee granularity vs preemption
+                       exposure
+``window``             source retransmission window vs throughput
+``replica_policy``     per-packet round-robin (the paper's thrash) vs
+                       static per-flow replica pinning
+``topology_extension`` the flattened-butterfly alternative the paper
+                       names but does not evaluate
+=====================  ====================================================
+"""
+
+from repro.analysis.ablations.frame import format_frame_ablation, run_frame_ablation
+from repro.analysis.ablations.patience import (
+    format_patience_ablation,
+    run_patience_ablation,
+)
+from repro.analysis.ablations.quota import format_quota_ablation, run_quota_ablation
+from repro.analysis.ablations.replica_policy import (
+    format_replica_ablation,
+    run_replica_ablation,
+)
+from repro.analysis.ablations.reserved_vc import (
+    format_reserved_vc_ablation,
+    run_reserved_vc_ablation,
+)
+from repro.analysis.ablations.topology_extension import (
+    format_fbfly_study,
+    run_fbfly_study,
+)
+from repro.analysis.ablations.window import format_window_ablation, run_window_ablation
+
+__all__ = [
+    "format_fbfly_study",
+    "format_frame_ablation",
+    "format_patience_ablation",
+    "format_quota_ablation",
+    "format_replica_ablation",
+    "format_reserved_vc_ablation",
+    "format_window_ablation",
+    "run_fbfly_study",
+    "run_frame_ablation",
+    "run_patience_ablation",
+    "run_quota_ablation",
+    "run_replica_ablation",
+    "run_reserved_vc_ablation",
+    "run_window_ablation",
+]

@@ -1,0 +1,91 @@
+"""Ablation: replica selection in replicated meshes.
+
+Figure 5 blames the replicated meshes' preemption thrash on "flows
+traveling on parallel networks converging at the destination node".
+That convergence is a consequence of per-packet round-robin replica
+selection.  Pinning each flow to one replica (a static hash) removes
+the destination re-convergence — this ablation quantifies how much of
+the thrash that policy change eliminates, at what load-balancing cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.network.config import SimulationConfig
+from repro.network.engine import ColumnSimulator
+from repro.qos.pvc import PvcPolicy
+from repro.topologies.mesh import REPLICA_PACKET_RR, REPLICA_PER_FLOW, MeshTopology
+from repro.traffic.patterns import uniform_random
+from repro.traffic.workloads import full_column_workload, workload2
+from repro.util.tables import format_table
+
+
+@dataclass(frozen=True)
+class ReplicaPoint:
+    """One (replication, policy) cell."""
+
+    replication: int
+    policy: str
+    w2_preempted_fraction: float
+    w2_wasted_hop_fraction: float
+    uniform_latency: float
+
+
+def run_replica_ablation(
+    *,
+    replications: tuple[int, ...] = (2, 4),
+    cycles: int = 15_000,
+    config: SimulationConfig | None = None,
+) -> list[ReplicaPoint]:
+    """Workload 2 thrash and uniform-random latency per policy."""
+    base = config or SimulationConfig(frame_cycles=10_000, seed=1)
+    points = []
+    for replication in replications:
+        for policy_name in (REPLICA_PACKET_RR, REPLICA_PER_FLOW):
+            topology = MeshTopology(replication, replica_policy=policy_name)
+            adv = ColumnSimulator(
+                topology.build(base), workload2(), PvcPolicy(), base
+            )
+            adv_stats = adv.run(cycles)
+
+            topology = MeshTopology(replication, replica_policy=policy_name)
+            load = ColumnSimulator(
+                topology.build(base),
+                full_column_workload(0.07, pattern=uniform_random),
+                PvcPolicy(),
+                base,
+            )
+            load_stats = load.run(4000, warmup=1000)
+            points.append(
+                ReplicaPoint(
+                    replication=replication,
+                    policy=policy_name,
+                    w2_preempted_fraction=adv_stats.preempted_packet_fraction,
+                    w2_wasted_hop_fraction=adv_stats.wasted_hop_fraction,
+                    uniform_latency=load_stats.mean_latency,
+                )
+            )
+    return points
+
+
+def format_replica_ablation(points: list[ReplicaPoint] | None = None) -> str:
+    """Render the replica-policy ablation."""
+    points = points or run_replica_ablation()
+    rows = [
+        [
+            f"mesh_x{point.replication}",
+            point.policy,
+            point.w2_preempted_fraction * 100.0,
+            point.w2_wasted_hop_fraction * 100.0,
+            point.uniform_latency,
+        ]
+        for point in points
+    ]
+    return format_table(
+        ["topology", "replica policy", "W2 packets (%)", "W2 hops (%)",
+         "uniform lat (cyc)"],
+        rows,
+        title="Ablation: replica selection vs destination-convergence thrash",
+        float_format=".1f",
+    )

@@ -1,0 +1,98 @@
+"""Extension study: the flattened butterfly the paper names but skips.
+
+Compares fbfly against MECS and DPS on the paper's axes — latency under
+both synthetic patterns, router area, and 3-hop energy — answering the
+question Section 2.2 leaves open: does full connectivity buy anything
+over MECS's shared point-to-multipoint channels inside the shared
+column?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.area import RouterAreaModel
+from repro.models.energy import RouterEnergyModel
+from repro.network.config import SimulationConfig
+from repro.network.engine import ColumnSimulator
+from repro.qos.pvc import PvcPolicy
+from repro.topologies.registry import get_topology
+from repro.traffic.patterns import tornado, uniform_random
+from repro.traffic.workloads import full_column_workload
+from repro.util.tables import format_table
+
+STUDY_TOPOLOGIES: tuple[str, ...] = ("mecs", "dps", "fbfly")
+
+
+@dataclass(frozen=True)
+class FbflyRow:
+    """One topology's combined metrics."""
+
+    topology: str
+    uniform_latency: float
+    tornado_latency: float
+    saturated_tornado_latency: float
+    router_area_mm2: float
+    three_hop_energy_pj: float
+
+
+def run_fbfly_study(
+    *,
+    low_rate: float = 0.03,
+    high_rate: float = 0.12,
+    cycles: int = 4000,
+    config: SimulationConfig | None = None,
+) -> list[FbflyRow]:
+    """Latency (low/high load) plus analytical area/energy."""
+    base = config or SimulationConfig(frame_cycles=10_000, seed=1)
+    area_model = RouterAreaModel()
+    energy_model = RouterEnergyModel()
+    rows = []
+    for name in STUDY_TOPOLOGIES:
+        def _latency(rate, pattern):
+            simulator = ColumnSimulator(
+                get_topology(name).build(base),
+                full_column_workload(rate, pattern=pattern),
+                PvcPolicy(),
+                base,
+            )
+            return simulator.run(cycles, warmup=cycles // 4).mean_latency
+
+        geometry = get_topology(name).geometry()
+        single_hop = name in ("mecs", "fbfly")
+        rows.append(
+            FbflyRow(
+                topology=name,
+                uniform_latency=_latency(low_rate, uniform_random),
+                tornado_latency=_latency(low_rate, tornado),
+                saturated_tornado_latency=_latency(high_rate, tornado),
+                router_area_mm2=area_model.breakdown(geometry).total_mm2,
+                three_hop_energy_pj=energy_model.route_energy(
+                    geometry, 3, single_hop_reach=single_hop
+                ).total_pj,
+            )
+        )
+    return rows
+
+
+def format_fbfly_study(rows: list[FbflyRow] | None = None) -> str:
+    """Render the flattened-butterfly extension study."""
+    rows = rows or run_fbfly_study()
+    body = [
+        [
+            row.topology,
+            row.uniform_latency,
+            row.tornado_latency,
+            row.saturated_tornado_latency,
+            row.router_area_mm2,
+            row.three_hop_energy_pj,
+        ]
+        for row in rows
+    ]
+    return format_table(
+        ["topology", "uniform lat", "tornado lat", "tornado lat @12%",
+         "area (mm^2)", "3-hop pJ"],
+        body,
+        title="Extension: flattened butterfly vs MECS vs DPS",
+        float_format=".2f",
+    )

@@ -1,0 +1,39 @@
+"""One module per paper result.
+
+=====================  =============================================
+module                 paper result
+=====================  =============================================
+``fig3_area``          Figure 3 — router area overhead
+``fig4_latency``       Figure 4 — latency/throughput, random+tornado
+``saturation``         Section 5.2 — preemption rates in saturation
+``table2_fairness``    Table 2 — hotspot throughput fairness
+``fig5_preemption``    Figure 5 — adversarial preemption rates
+``fig6_slowdown``      Figure 6 — slowdown + deviation from max-min
+``fig7_energy``        Figure 7 — router energy per flit by hop type
+=====================  =============================================
+"""
+
+from repro.analysis.experiments.fig3_area import format_fig3, run_fig3
+from repro.analysis.experiments.fig4_latency import format_fig4, run_fig4
+from repro.analysis.experiments.fig5_preemption import format_fig5, run_fig5
+from repro.analysis.experiments.fig6_slowdown import format_fig6, run_fig6
+from repro.analysis.experiments.fig7_energy import format_fig7, run_fig7
+from repro.analysis.experiments.saturation import format_saturation, run_saturation
+from repro.analysis.experiments.table2_fairness import format_table2, run_table2
+
+__all__ = [
+    "format_fig3",
+    "format_fig4",
+    "format_fig5",
+    "format_fig6",
+    "format_fig7",
+    "format_saturation",
+    "format_table2",
+    "run_fig3",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_saturation",
+    "run_table2",
+]

@@ -1,0 +1,49 @@
+"""Figure 3 — router area overhead of the shared-region topologies.
+
+Stacks input buffers, crossbar, and PVC flow state per router, plus the
+row-input buffer capacity common to all topologies (the figure's dotted
+line).  Purely analytical: no simulation required.
+"""
+
+from __future__ import annotations
+
+from repro.models.area import AreaBreakdown, RouterAreaModel
+from repro.models.technology import DEFAULT_TECHNOLOGY, TechnologyParameters
+from repro.topologies.registry import TOPOLOGY_NAMES, get_topology
+from repro.util.tables import format_table
+
+
+def run_fig3(
+    technology: TechnologyParameters = DEFAULT_TECHNOLOGY,
+    topology_names: tuple[str, ...] = TOPOLOGY_NAMES,
+) -> dict[str, AreaBreakdown]:
+    """Area breakdown per topology, in Figure 3's order."""
+    model = RouterAreaModel(technology)
+    return {
+        name: model.breakdown(get_topology(name).geometry())
+        for name in topology_names
+    }
+
+
+def format_fig3(results: dict[str, AreaBreakdown] | None = None) -> str:
+    """Render Figure 3 as an ASCII table (mm^2 per router)."""
+    results = results or run_fig3()
+    rows = []
+    for name, breakdown in results.items():
+        rows.append(
+            [
+                name,
+                breakdown.buffers_mm2,
+                breakdown.crossbar_mm2,
+                breakdown.flow_state_mm2,
+                breakdown.total_mm2,
+            ]
+        )
+    table = format_table(
+        ["topology", "buffers", "crossbar", "flow state", "total"],
+        rows,
+        title="Figure 3: router area overhead (mm^2)",
+        float_format=".4f",
+    )
+    dotted = next(iter(results.values())).row_buffers_mm2
+    return f"{table}\nrow-input buffer capacity (common): {dotted:.4f} mm^2"

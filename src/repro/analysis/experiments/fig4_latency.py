@@ -1,0 +1,81 @@
+"""Figure 4 — latency and throughput on synthetic traffic.
+
+Two panels: uniform random (benign) and tornado (adversarial for meshes
+— every source concentrates on the node half-way across the dimension).
+Every injector at every router is loaded (64 flows), swept over
+per-injector injection rates; the curve reports average packet latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.sweep import LatencyPoint, latency_throughput_sweep
+from repro.network.config import SimulationConfig
+from repro.topologies.registry import TOPOLOGY_NAMES
+from repro.traffic.patterns import tornado, uniform_random
+from repro.traffic.workloads import full_column_workload
+from repro.util.tables import format_table
+
+#: Default swept injection rates (flits/cycle per injector).
+DEFAULT_RATES: tuple[float, ...] = (0.01, 0.03, 0.05, 0.07, 0.09, 0.11, 0.13)
+
+
+@dataclass(frozen=True)
+class Fig4Result:
+    """Curves for both panels, keyed by topology name."""
+
+    uniform: dict[str, list[LatencyPoint]]
+    tornado: dict[str, list[LatencyPoint]]
+    rates: tuple[float, ...]
+
+
+def run_fig4(
+    *,
+    rates: tuple[float, ...] = DEFAULT_RATES,
+    cycles: int = 5000,
+    warmup: int = 1500,
+    topology_names: tuple[str, ...] = TOPOLOGY_NAMES,
+    config: SimulationConfig | None = None,
+) -> Fig4Result:
+    """Run both Figure 4 panels for every topology."""
+    config = config or SimulationConfig(frame_cycles=10_000)
+    uniform_curves = {}
+    tornado_curves = {}
+    for name in topology_names:
+        uniform_curves[name] = latency_throughput_sweep(
+            name,
+            lambda rate: full_column_workload(rate, pattern=uniform_random),
+            list(rates),
+            cycles=cycles,
+            warmup=warmup,
+            config=config,
+        )
+        tornado_curves[name] = latency_throughput_sweep(
+            name,
+            lambda rate: full_column_workload(rate, pattern=tornado),
+            list(rates),
+            cycles=cycles,
+            warmup=warmup,
+            config=config,
+        )
+    return Fig4Result(uniform=uniform_curves, tornado=tornado_curves, rates=rates)
+
+
+def _panel(curves: dict[str, list[LatencyPoint]], rates, title: str) -> str:
+    headers = ["topology"] + [f"{rate:.0%}" for rate in rates]
+    rows = []
+    for name, points in curves.items():
+        rows.append([name] + [point.mean_latency for point in points])
+    return format_table(headers, rows, title=title, float_format=".1f")
+
+
+def format_fig4(result: Fig4Result | None = None) -> str:
+    """Render both panels (average packet latency in cycles)."""
+    result = result or run_fig4()
+    return "\n\n".join(
+        [
+            _panel(result.uniform, result.rates, "Figure 4(a): uniform random"),
+            _panel(result.tornado, result.rates, "Figure 4(b): tornado"),
+        ]
+    )

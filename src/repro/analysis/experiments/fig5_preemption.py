@@ -1,0 +1,90 @@
+"""Figure 5 — preemption behaviour under the adversarial workloads.
+
+Both workloads are hotspot-based with only a subset of sources active,
+so the reserved quota exhausts early in each frame and subsequent
+arrivals at low-consumption sources trigger preemption chains.  Two
+metrics per topology (each preemption of a packet counts separately):
+
+* fraction of packets that experience a preemption event;
+* fraction of hop traversals wasted and replayed — hops are counted in
+  mesh-equivalent tile units, so a preempted MECS packet that crossed
+  four tiles wastes four hops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.network.config import SimulationConfig
+from repro.network.engine import ColumnSimulator
+from repro.qos.pvc import PvcPolicy
+from repro.topologies.registry import TOPOLOGY_NAMES, get_topology
+from repro.traffic.workloads import workload1, workload2
+from repro.util.tables import format_table
+
+
+@dataclass(frozen=True)
+class Fig5Row:
+    """One topology's preemption metrics for one workload."""
+
+    topology: str
+    workload: str
+    preempted_packet_fraction: float
+    wasted_hop_fraction: float
+    preemption_events: int
+    delivered_packets: int
+
+
+def run_fig5(
+    *,
+    cycles: int = 25_000,
+    topology_names: tuple[str, ...] = TOPOLOGY_NAMES,
+    config: SimulationConfig | None = None,
+) -> list[Fig5Row]:
+    """Run Workload 1 and Workload 2 on every topology.
+
+    The default frame is scaled to 10K cycles (from the paper's 50K) so
+    multiple quota-exhaustion episodes fit in a short run; the reserved
+    quota scales with the frame, preserving the adversarial dynamics.
+    """
+    config = config or SimulationConfig(frame_cycles=10_000)
+    rows = []
+    for workload_name, factory in (("workload1", workload1), ("workload2", workload2)):
+        for name in topology_names:
+            topology = get_topology(name)
+            simulator = ColumnSimulator(
+                topology.build(config), factory(), PvcPolicy(), config
+            )
+            stats = simulator.run(cycles)
+            rows.append(
+                Fig5Row(
+                    topology=name,
+                    workload=workload_name,
+                    preempted_packet_fraction=stats.preempted_packet_fraction,
+                    wasted_hop_fraction=stats.wasted_hop_fraction,
+                    preemption_events=stats.preemption_events,
+                    delivered_packets=stats.delivered_packets,
+                )
+            )
+    return rows
+
+
+def format_fig5(rows: list[Fig5Row] | None = None) -> str:
+    """Render Figure 5(a)/(b) as a table."""
+    rows = rows or run_fig5()
+    body = [
+        [
+            row.workload,
+            row.topology,
+            row.preempted_packet_fraction * 100.0,
+            row.wasted_hop_fraction * 100.0,
+            row.preemption_events,
+        ]
+        for row in rows
+    ]
+    return format_table(
+        ["workload", "topology", "packets (%)", "hops (%)", "events"],
+        body,
+        title="Figure 5: preemption rate under adversarial workloads",
+        float_format=".1f",
+    )

@@ -1,0 +1,138 @@
+"""Figure 6 — preemption slowdown and deviation from max-min fairness.
+
+Two measurements per topology and adversarial workload:
+
+* **Slowdown** — completion time of a finite packet budget under PVC,
+  relative to preemption-free execution of the same workload on the
+  same topology with per-flow queuing (the paper's reference).  The
+  paper finds less than 5% across the board.
+* **Deviation** — per-source throughput against the expectation from
+  max-min fairness over the sources' offered rates and the 1-flit/cycle
+  hotspot ejection capacity.  The thick bar in the paper is the average
+  across sources (essentially zero); the error bars are the per-source
+  extremes (a few percent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.fairness import deviation_from_expected, max_min_allocation
+from repro.network.config import SimulationConfig
+from repro.network.engine import ColumnSimulator
+from repro.qos.perflow import PerFlowQueuedPolicy
+from repro.qos.pvc import PvcPolicy
+from repro.topologies.registry import TOPOLOGY_NAMES, get_topology
+from repro.traffic.workloads import workload1, workload2
+from repro.util.tables import format_table
+
+_WORKLOADS = {"workload1": workload1, "workload2": workload2}
+
+
+@dataclass(frozen=True)
+class Fig6Row:
+    """One topology's slowdown + fairness-deviation result."""
+
+    topology: str
+    workload: str
+    slowdown: float
+    avg_deviation: float
+    min_deviation: float
+    max_deviation: float
+    pvc_completion: int
+    baseline_completion: int
+
+
+def _finite_workload(factory, *, duration: int):
+    """Give each flow a packet budget proportional to its rate."""
+    flows = factory()
+    sized = []
+    for flow in flows:
+        budget = max(1, round(flow.rate * duration / flow.mean_packet_size))
+        sized.append(
+            type(flow)(
+                node=flow.node,
+                port=flow.port,
+                rate=flow.rate,
+                weight=flow.weight,
+                pattern=flow.pattern,
+                size_mix=flow.size_mix,
+                packet_limit=budget,
+            )
+        )
+    return sized
+
+
+def run_fig6(
+    *,
+    duration: int = 12_000,
+    window: int = 15_000,
+    warmup: int = 3000,
+    topology_names: tuple[str, ...] = TOPOLOGY_NAMES,
+    config: SimulationConfig | None = None,
+) -> list[Fig6Row]:
+    """Run slowdown and deviation measurements for both workloads."""
+    config = config or SimulationConfig(frame_cycles=10_000)
+    rows = []
+    for workload_name, factory in _WORKLOADS.items():
+        for name in topology_names:
+            # Slowdown: finite budget, PVC vs per-flow-queued baseline.
+            flows = _finite_workload(factory, duration=duration)
+            pvc_sim = ColumnSimulator(
+                get_topology(name).build(config), flows, PvcPolicy(), config
+            )
+            pvc_done = pvc_sim.run_until_drained(max_cycles=40 * duration)
+            base_sim = ColumnSimulator(
+                get_topology(name).build(config), flows, PerFlowQueuedPolicy(), config
+            )
+            base_done = base_sim.run_until_drained(max_cycles=40 * duration)
+            slowdown = pvc_done / base_done - 1.0 if base_done else 0.0
+
+            # Deviation: continuous run, windowed per-source throughput
+            # against the max-min allocation of the ejection capacity.
+            cont_flows = factory()
+            cont_sim = ColumnSimulator(
+                get_topology(name).build(config), cont_flows, PvcPolicy(), config
+            )
+            stats = cont_sim.run_window(warmup, window)
+            demands = [flow.rate for flow in cont_flows]
+            allocation = max_min_allocation(demands, 1.0)
+            expected = [alloc * window for alloc in allocation]
+            _, avg_dev, min_dev, max_dev = deviation_from_expected(
+                [float(v) for v in stats.window_flits_per_flow], expected
+            )
+            rows.append(
+                Fig6Row(
+                    topology=name,
+                    workload=workload_name,
+                    slowdown=slowdown,
+                    avg_deviation=avg_dev,
+                    min_deviation=min_dev,
+                    max_deviation=max_dev,
+                    pvc_completion=pvc_done,
+                    baseline_completion=base_done,
+                )
+            )
+    return rows
+
+
+def format_fig6(rows: list[Fig6Row] | None = None) -> str:
+    """Render Figure 6(a)/(b) as a table."""
+    rows = rows or run_fig6()
+    body = [
+        [
+            row.workload,
+            row.topology,
+            row.slowdown * 100.0,
+            row.avg_deviation * 100.0,
+            row.min_deviation * 100.0,
+            row.max_deviation * 100.0,
+        ]
+        for row in rows
+    ]
+    return format_table(
+        ["workload", "topology", "slowdown (%)", "avg dev (%)", "min dev (%)", "max dev (%)"],
+        body,
+        title="Figure 6: slowdown vs preemption-free and deviation from max-min",
+        float_format=".2f",
+    )

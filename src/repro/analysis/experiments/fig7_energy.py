@@ -1,0 +1,85 @@
+"""Figure 7 — router energy per flit by hop type.
+
+For each topology: energy at a source hop, an intermediate hop, a
+destination hop, and the 3-hop composite route (the average
+communication distance under random traffic).  MECS crosses any
+distance with just two router traversals; DPS pays only a buffer and a
+2:1 mux at intermediate hops.  Purely analytical (see
+:mod:`repro.models.energy`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.energy import EnergyBreakdown, HopType, RouterEnergyModel
+from repro.models.technology import DEFAULT_TECHNOLOGY, TechnologyParameters
+from repro.topologies.registry import TOPOLOGY_NAMES, get_topology
+from repro.util.tables import format_table
+
+#: Figure 7's composite route length in hops.
+COMPOSITE_HOPS = 3
+
+
+@dataclass(frozen=True)
+class Fig7Row:
+    """Per-hop-type energy for one topology."""
+
+    topology: str
+    source: EnergyBreakdown
+    intermediate: EnergyBreakdown
+    destination: EnergyBreakdown
+    three_hops: EnergyBreakdown
+
+
+def run_fig7(
+    technology: TechnologyParameters = DEFAULT_TECHNOLOGY,
+    topology_names: tuple[str, ...] = TOPOLOGY_NAMES,
+) -> list[Fig7Row]:
+    """Energy breakdown per topology, in Figure 7's order."""
+    model = RouterEnergyModel(technology)
+    rows = []
+    for name in topology_names:
+        geometry = get_topology(name).geometry()
+        single_hop = name == "mecs"
+        rows.append(
+            Fig7Row(
+                topology=name,
+                source=model.hop_energy(geometry, HopType.SOURCE),
+                intermediate=model.hop_energy(geometry, HopType.INTERMEDIATE),
+                destination=model.hop_energy(geometry, HopType.DESTINATION),
+                three_hops=model.route_energy(
+                    geometry, COMPOSITE_HOPS, single_hop_reach=single_hop
+                ),
+            )
+        )
+    return rows
+
+
+def format_fig7(rows: list[Fig7Row] | None = None) -> str:
+    """Render Figure 7 (buffers / crossbar / flow table stacked totals)."""
+    rows = rows or run_fig7()
+    body = []
+    for row in rows:
+        for hop_name, energy in (
+            ("src", row.source),
+            ("intermediate", row.intermediate),
+            ("dest", row.destination),
+            ("3 hops", row.three_hops),
+        ):
+            body.append(
+                [
+                    row.topology,
+                    hop_name,
+                    energy.buffers_pj,
+                    energy.crossbar_pj,
+                    energy.flow_table_pj,
+                    energy.total_pj,
+                ]
+            )
+    return format_table(
+        ["topology", "hop", "buffers", "xbar", "flow table", "total (pJ/flit)"],
+        body,
+        title="Figure 7: router energy per flit",
+        float_format=".2f",
+    )

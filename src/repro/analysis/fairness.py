@@ -1,0 +1,116 @@
+"""Fairness mathematics: max-min allocation and throughput reports.
+
+Max-min fairness is the paper's yardstick ("a standard definition for
+fairness", citing Dally & Towles): sources demanding less than their
+fair share receive their full demand; the residual capacity is
+partitioned iteratively among the rest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.util.stats import mean, population_std
+
+
+def max_min_allocation(demands: list[float], capacity: float) -> list[float]:
+    """Max-min fair allocation of ``capacity`` across ``demands``.
+
+    Iterative waterfilling: repeatedly grant every unsatisfied source an
+    equal share of the remaining capacity; sources whose demand is below
+    the share are capped at their demand and removed.
+
+    >>> max_min_allocation([0.05, 0.20], 0.20)
+    [0.05, 0.15]
+    """
+    if capacity < 0:
+        raise ConfigurationError("capacity must be non-negative")
+    if any(d < 0 for d in demands):
+        raise ConfigurationError("demands must be non-negative")
+    allocation = [0.0] * len(demands)
+    active = list(range(len(demands)))
+    remaining = capacity
+    while active and remaining > 1e-15:
+        share = remaining / len(active)
+        capped = [i for i in active if demands[i] - allocation[i] <= share]
+        if capped:
+            for i in capped:
+                grant = demands[i] - allocation[i]
+                allocation[i] = demands[i]
+                remaining -= grant
+            active = [i for i in active if i not in set(capped)]
+        else:
+            for i in active:
+                allocation[i] += share
+            remaining = 0.0
+            break
+    return allocation
+
+
+@dataclass(frozen=True)
+class FairnessReport:
+    """Throughput fairness statistics in Table 2's format.
+
+    All relative quantities are fractions of the mean (the paper prints
+    them as percentages of the mean).
+    """
+
+    mean_flits: float
+    min_flits: float
+    max_flits: float
+    std_flits: float
+
+    @property
+    def min_relative(self) -> float:
+        """Minimum source throughput as a fraction of the mean."""
+        return self.min_flits / self.mean_flits if self.mean_flits else 0.0
+
+    @property
+    def max_relative(self) -> float:
+        """Maximum source throughput as a fraction of the mean."""
+        return self.max_flits / self.mean_flits if self.mean_flits else 0.0
+
+    @property
+    def std_relative(self) -> float:
+        """Standard deviation as a fraction of the mean."""
+        return self.std_flits / self.mean_flits if self.mean_flits else 0.0
+
+    @property
+    def max_deviation(self) -> float:
+        """Largest |relative deviation| from the mean (Section 5.3)."""
+        return max(abs(self.min_relative - 1.0), abs(self.max_relative - 1.0))
+
+
+def fairness_report(per_flow_flits: list[int]) -> FairnessReport:
+    """Summarise a per-flow delivered-flit vector as Table 2 does."""
+    if not per_flow_flits:
+        raise ConfigurationError("need at least one flow to report fairness")
+    values = [float(v) for v in per_flow_flits]
+    return FairnessReport(
+        mean_flits=mean(values),
+        min_flits=min(values),
+        max_flits=max(values),
+        std_flits=population_std(values),
+    )
+
+
+def deviation_from_expected(
+    measured: list[float], expected: list[float]
+) -> tuple[list[float], float, float, float]:
+    """Per-source relative deviations plus (signed mean, min, max).
+
+    Figure 6's thick bar is the signed average deviation across all
+    sources; the error bars are the per-source extremes.
+    """
+    if len(measured) != len(expected):
+        raise ConfigurationError("measured/expected lengths differ")
+    deviations = []
+    for got, want in zip(measured, expected):
+        if want <= 0:
+            deviations.append(0.0)
+        else:
+            deviations.append((got - want) / want)
+    if not deviations:
+        return [], 0.0, 0.0, 0.0
+    return deviations, mean(deviations), min(deviations), max(deviations)

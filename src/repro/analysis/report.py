@@ -1,0 +1,124 @@
+"""One-shot report generator: every result in a single document.
+
+``generate_report`` runs the full experiment harness (optionally the
+ablations too) and renders one markdown/plain-text document — the
+programmatic equivalent of running every benchmark with ``-s``.  Used
+by the ``python -m repro report`` CLI target.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.analysis import experiments as ex
+from repro.network.config import SimulationConfig
+
+
+@dataclass(frozen=True)
+class ReportOptions:
+    """Scaling knobs for a report run."""
+
+    fast: bool = True
+    seed: int = 1
+    include_ablations: bool = False
+    include_chip_study: bool = True
+
+
+def _section(title: str, body: str) -> str:
+    return f"## {title}\n\n```\n{body}\n```\n"
+
+
+def generate_report(options: ReportOptions | None = None) -> str:
+    """Run every experiment and return the combined document."""
+    options = options or ReportOptions()
+    scale = 0.3 if options.fast else 1.0
+    config10 = SimulationConfig(frame_cycles=10_000, seed=options.seed)
+    config50 = SimulationConfig(frame_cycles=50_000, seed=options.seed)
+    started = time.time()
+
+    sections = [
+        "# Reproduction report — Topology-aware QoS (Grot et al., 2010)",
+        "",
+        f"mode: {'fast (scaled)' if options.fast else 'full'}  |  "
+        f"seed: {options.seed}",
+        "",
+        _section("Figure 3 — router area", ex.format_fig3(ex.run_fig3())),
+        _section(
+            "Figure 4 — latency/throughput",
+            ex.format_fig4(
+                ex.run_fig4(
+                    rates=(0.02, 0.06, 0.10) if options.fast
+                    else (0.01, 0.03, 0.05, 0.07, 0.09, 0.11, 0.13),
+                    cycles=int(4000 * scale) if options.fast else 4000,
+                    warmup=int(1000 * scale) if options.fast else 1000,
+                    config=config10,
+                )
+            ),
+        ),
+        _section(
+            "Section 5.2 — saturation replay rates",
+            ex.format_saturation(
+                ex.run_saturation(cycles=int(8000 * scale) if options.fast else 8000,
+                                  config=config10)
+            ),
+        ),
+        _section(
+            "Table 2 — hotspot fairness",
+            ex.format_table2(
+                ex.run_table2(
+                    warmup=2000,
+                    window=int(25_000 * scale) if options.fast else 25_000,
+                    config=config50,
+                )
+            ),
+        ),
+        _section(
+            "Figure 5 — adversarial preemption",
+            ex.format_fig5(
+                ex.run_fig5(cycles=int(25_000 * scale) if options.fast else 25_000,
+                            config=config10)
+            ),
+        ),
+        _section(
+            "Figure 6 — slowdown and max-min deviation",
+            ex.format_fig6(
+                ex.run_fig6(
+                    duration=int(10_000 * scale) if options.fast else 10_000,
+                    window=int(15_000 * scale) if options.fast else 15_000,
+                    warmup=int(3000 * scale) if options.fast else 3000,
+                    config=config10,
+                )
+            ),
+        ),
+        _section("Figure 7 — router energy", ex.format_fig7(ex.run_fig7())),
+    ]
+    if options.include_chip_study:
+        from repro.analysis.chip_study import format_chip_study, run_chip_study
+
+        sections.append(
+            _section("Extension — shared-column placement",
+                     format_chip_study(run_chip_study()))
+        )
+    if options.include_ablations:
+        from repro.analysis import ablations as ab
+
+        sections.append(
+            _section("Ablation — reserved quota",
+                     ab.format_quota_ablation(ab.run_quota_ablation(config=config10)))
+        )
+        sections.append(
+            _section("Ablation — preemption patience",
+                     ab.format_patience_ablation(
+                         ab.run_patience_ablation(config=config10))),
+        )
+    sections.append(f"_generated in {time.time() - started:.1f}s_")
+    return "\n".join(sections)
+
+
+def write_report(path: str, options: ReportOptions | None = None) -> str:
+    """Generate and write the report; returns the path."""
+    text = generate_report(options)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    return path

@@ -1,0 +1,75 @@
+"""Load sweeps: latency/throughput curves (Figure 4).
+
+Each point runs a fresh simulation of one topology under one synthetic
+pattern at one injection rate and reports average packet latency and
+accepted throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.network.config import SimulationConfig
+from repro.network.engine import ColumnSimulator
+from repro.network.packet import FlowSpec
+from repro.qos.base import QosPolicy
+from repro.qos.pvc import PvcPolicy
+from repro.topologies.registry import get_topology
+
+
+@dataclass(frozen=True)
+class LatencyPoint:
+    """One point of a latency-vs-load curve."""
+
+    rate: float
+    mean_latency: float
+    delivered_flits: int
+    accepted_ratio: float
+    preemption_events: int
+
+
+def latency_throughput_sweep(
+    topology_name: str,
+    workload_factory,
+    rates: list[float],
+    *,
+    cycles: int = 6000,
+    warmup: int = 1500,
+    config: SimulationConfig | None = None,
+    policy_factory=PvcPolicy,
+) -> list[LatencyPoint]:
+    """Sweep injection rate for one topology (one Figure 4 curve).
+
+    Parameters
+    ----------
+    topology_name:
+        One of the five shared-region topologies.
+    workload_factory:
+        ``rate -> list[FlowSpec]``; e.g. ``uniform_workload``.
+    rates:
+        Injection rates in flits/cycle per injector.
+    cycles / warmup:
+        Simulation length and measurement warmup per point.
+    config:
+        Base configuration; the sweep reuses its frame/window settings.
+    policy_factory:
+        QoS policy constructor, PVC by default.
+    """
+    base = config or SimulationConfig(frame_cycles=10_000)
+    points = []
+    for rate in rates:
+        topology = get_topology(topology_name)
+        flows: list[FlowSpec] = workload_factory(rate)
+        policy: QosPolicy = policy_factory()
+        simulator = ColumnSimulator(topology.build(base), flows, policy, base)
+        stats = simulator.run(cycles, warmup=warmup)
+        points.append(
+            LatencyPoint(
+                rate=rate,
+                mean_latency=stats.mean_latency,
+                delivered_flits=stats.delivered_flits,
+                accepted_ratio=stats.offered_accepted_ratio,
+                preemption_events=stats.preemption_events,
+            )
+        )
+    return points

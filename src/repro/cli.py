@@ -1,0 +1,185 @@
+"""Command-line interface: regenerate any paper result from a shell.
+
+Usage (after installation)::
+
+    python -m repro list                 # what can be run
+    python -m repro fig3                 # router area (Figure 3)
+    python -m repro fig4 --fast          # latency curves (Figure 4)
+    python -m repro table2               # hotspot fairness (Table 2)
+    python -m repro fig5 fig6 fig7       # several at once
+    python -m repro saturation
+    python -m repro ablations            # all design-choice studies
+    python -m repro all --fast           # everything, scaled down
+
+``--fast`` shrinks simulation windows for a quick smoke pass;
+``--seed`` changes the deterministic seed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from collections.abc import Callable
+
+from repro.analysis import ablations as ab
+from repro.analysis import experiments as ex
+from repro.network.config import SimulationConfig
+
+
+def _config(args, frame: int) -> SimulationConfig:
+    return SimulationConfig(frame_cycles=frame, seed=args.seed)
+
+
+def _run_fig3(args) -> str:
+    return ex.format_fig3(ex.run_fig3())
+
+
+def _run_fig4(args) -> str:
+    cycles = 1500 if args.fast else 4000
+    rates = (0.02, 0.06, 0.10) if args.fast else (0.01, 0.03, 0.05, 0.07, 0.09, 0.11, 0.13)
+    result = ex.run_fig4(
+        rates=rates, cycles=cycles, warmup=cycles // 4, config=_config(args, 10_000)
+    )
+    text = ex.format_fig4(result)
+    if args.chart:
+        from repro.util.charts import line_chart
+
+        curves = {
+            name: [(p.rate * 100, p.mean_latency) for p in points]
+            for name, points in result.uniform.items()
+        }
+        text += "\n\n" + line_chart(
+            curves, title="uniform random: latency (cyc) vs injection (%)",
+            y_cap=120.0,
+        )
+    return text
+
+
+def _run_table2(args) -> str:
+    window = 6000 if args.fast else 25_000
+    rows = ex.run_table2(
+        warmup=window // 8, window=window, config=_config(args, 50_000)
+    )
+    return ex.format_table2(rows)
+
+
+def _run_fig5(args) -> str:
+    cycles = 8000 if args.fast else 25_000
+    return ex.format_fig5(ex.run_fig5(cycles=cycles, config=_config(args, 10_000)))
+
+
+def _run_fig6(args) -> str:
+    duration = 3000 if args.fast else 10_000
+    rows = ex.run_fig6(
+        duration=duration, window=duration + 5000, warmup=2000,
+        config=_config(args, 10_000),
+    )
+    return ex.format_fig6(rows)
+
+
+def _run_fig7(args) -> str:
+    return ex.format_fig7(ex.run_fig7())
+
+
+def _run_saturation(args) -> str:
+    cycles = 3000 if args.fast else 8000
+    return ex.format_saturation(
+        ex.run_saturation(cycles=cycles, config=_config(args, 10_000))
+    )
+
+
+def _run_chip_study(args) -> str:
+    from repro.analysis.chip_study import format_chip_study, run_chip_study
+
+    return format_chip_study(run_chip_study())
+
+
+def _run_report(args) -> str:
+    from repro.analysis.report import ReportOptions, write_report
+
+    path = write_report(
+        "REPORT.md",
+        ReportOptions(fast=args.fast, seed=args.seed),
+    )
+    return f"report written to {path}"
+
+
+def _run_ablations(args) -> str:
+    parts = [
+        ab.format_quota_ablation(ab.run_quota_ablation(config=_config(args, 10_000))),
+        ab.format_reserved_vc_ablation(
+            ab.run_reserved_vc_ablation(config=_config(args, 10_000))
+        ),
+        ab.format_patience_ablation(
+            ab.run_patience_ablation(config=_config(args, 10_000))
+        ),
+        ab.format_frame_ablation(ab.run_frame_ablation(config=SimulationConfig(seed=args.seed))),
+        ab.format_window_ablation(ab.run_window_ablation(config=_config(args, 10_000))),
+        ab.format_replica_ablation(
+            ab.run_replica_ablation(config=_config(args, 10_000))
+        ),
+        ab.format_fbfly_study(ab.run_fbfly_study(config=_config(args, 10_000))),
+    ]
+    return "\n\n".join(parts)
+
+
+COMMANDS: dict[str, tuple[Callable, str]] = {
+    "fig3": (_run_fig3, "Figure 3: router area overhead (analytical)"),
+    "fig4": (_run_fig4, "Figure 4: latency/throughput, uniform + tornado"),
+    "table2": (_run_table2, "Table 2: hotspot throughput fairness"),
+    "fig5": (_run_fig5, "Figure 5: adversarial preemption rates"),
+    "fig6": (_run_fig6, "Figure 6: slowdown + max-min deviation"),
+    "fig7": (_run_fig7, "Figure 7: router energy per flit (analytical)"),
+    "saturation": (_run_saturation, "Section 5.2: saturation replay rates"),
+    "ablations": (_run_ablations, "all design-choice ablation studies"),
+    "chip": (_run_chip_study, "shared-column count/placement study (extension)"),
+    "report": (_run_report, "write every result into REPORT.md"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate results from 'Topology-aware QoS Support in "
+        "Highly Integrated Chip Multiprocessors' (Grot et al., 2010).",
+    )
+    parser.add_argument(
+        "targets",
+        nargs="+",
+        help="experiments to run: " + ", ".join(COMMANDS) + ", 'all', or 'list'",
+    )
+    parser.add_argument("--fast", action="store_true", help="scaled-down quick pass")
+    parser.add_argument("--seed", type=int, default=1, help="deterministic seed")
+    parser.add_argument(
+        "--chart", action="store_true", help="add ASCII charts where available"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    targets = list(args.targets)
+    if "list" in targets:
+        for name, (_, description) in COMMANDS.items():
+            print(f"  {name:10s} {description}")
+        return 0
+    if "all" in targets:
+        targets = list(COMMANDS)
+    unknown = [t for t in targets if t not in COMMANDS]
+    if unknown:
+        print(f"unknown target(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(COMMANDS)}, all, list", file=sys.stderr)
+        return 2
+    for target in targets:
+        runner, _ = COMMANDS[target]
+        started = time.time()
+        print(runner(args))
+        print(f"[{target}: {time.time() - started:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,58 @@
+"""Chip-level topology-aware QoS architecture (Sections 1-2 of the paper).
+
+This package models the paper's *system proposal* around the shared
+region that :mod:`repro.network` simulates at cycle level:
+
+* a 256-tile CMP reduced to an 8x8 grid of network nodes by 4-way
+  concentration, interconnected by MECS;
+* one or more *shared columns* holding memory controllers with full
+  hardware QoS support (the rest of the chip has none);
+* *domains* — convex regions of nodes allocated to an application or
+  virtual machine so intra-domain cache traffic never leaves them;
+* the hypervisor services the paper requires from the OS: friendly
+  co-scheduling of threads onto nodes, convex domain allocation, and
+  programming flow rates into the QoS routers' memory-mapped registers;
+* chip-level MECS routing (single-hop per dimension) with inter-VM
+  transfers forced through the QoS-protected shared columns, and an
+  isolation verifier that proves the physical-isolation property;
+* a QoS-aware memory-controller endpoint model.
+"""
+
+from repro.core.allocator import DomainAllocator
+from repro.core.cache import (
+    CacheOrganisation,
+    domain_cache_analysis,
+    miss_ratio,
+    shared_wins,
+)
+from repro.core.chip import Chip, ChipConfig, NodeKind
+from repro.core.domain import Domain, is_convex, xy_path
+from repro.core.hypervisor import Hypervisor, VirtualMachine
+from repro.core.isolation import IsolationViolation, verify_isolation
+from repro.core.memctrl import MemoryController
+from repro.core.routing import RouterPath, route_inter_vm, route_intra_domain, route_to_shared
+from repro.core.system import TopologyAwareSystem
+
+__all__ = [
+    "CacheOrganisation",
+    "Chip",
+    "ChipConfig",
+    "Domain",
+    "DomainAllocator",
+    "Hypervisor",
+    "IsolationViolation",
+    "MemoryController",
+    "NodeKind",
+    "RouterPath",
+    "TopologyAwareSystem",
+    "VirtualMachine",
+    "domain_cache_analysis",
+    "is_convex",
+    "miss_ratio",
+    "shared_wins",
+    "route_inter_vm",
+    "route_intra_domain",
+    "route_to_shared",
+    "verify_isolation",
+    "xy_path",
+]

@@ -1,0 +1,103 @@
+"""Convex domain allocation.
+
+Allocates rectangular regions of compute nodes (rectangles are always
+XY-convex) sized to a VM's node demand, preferring placements close to
+a shared column so memory-bound workloads sit near their QoS region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.chip import Chip, Coord
+from repro.core.domain import Domain, DomainSet
+from repro.errors import AllocationError
+
+
+@dataclass
+class DomainAllocator:
+    """First-fit-by-score rectangular allocator over one chip."""
+
+    chip: Chip
+    domains: DomainSet = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.domains = DomainSet(self.chip)
+        self._free: set[Coord] = set(self.chip.compute_nodes())
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def free_nodes(self) -> int:
+        """Allocatable nodes remaining."""
+        return len(self._free)
+
+    def is_free(self, node: Coord) -> bool:
+        """Whether the node is allocatable and unowned."""
+        return node in self._free
+
+    # -- allocation ------------------------------------------------------
+
+    def allocate(self, name: str, n_nodes: int, *, weight: float = 1.0) -> Domain:
+        """Allocate a convex domain of at least ``n_nodes`` nodes.
+
+        Chooses the rectangle with minimal waste (area minus demand),
+        breaking ties by distance of the rectangle's centroid to the
+        nearest shared column, then by position.  Raises
+        :class:`AllocationError` when no rectangle fits (fragmentation
+        or exhaustion).
+        """
+        if n_nodes <= 0:
+            raise AllocationError("domain size must be positive")
+        if n_nodes > len(self._free):
+            raise AllocationError(
+                f"requested {n_nodes} nodes but only {len(self._free)} are free"
+            )
+        best: tuple[tuple, frozenset[Coord]] | None = None
+        width = self.chip.config.width
+        height = self.chip.config.height
+        for rect_w in range(1, width + 1):
+            for rect_h in range(1, height + 1):
+                area = rect_w * rect_h
+                if area < n_nodes:
+                    continue
+                for x0 in range(0, width - rect_w + 1):
+                    for y0 in range(0, height - rect_h + 1):
+                        nodes = [
+                            (x, y)
+                            for x in range(x0, x0 + rect_w)
+                            for y in range(y0, y0 + rect_h)
+                        ]
+                        if any(node not in self._free for node in nodes):
+                            continue
+                        centroid_x = x0 + (rect_w - 1) / 2
+                        distance = min(
+                            abs(column - centroid_x)
+                            for column in self.chip.config.shared_columns
+                        )
+                        score = (area - n_nodes, distance, x0, y0)
+                        if best is None or score < best[0]:
+                            best = (score, frozenset(nodes))
+        if best is None:
+            raise AllocationError(
+                f"no convex placement for {n_nodes} nodes (fragmentation)"
+            )
+        domain = Domain(name=name, nodes=best[1], weight=weight)
+        self.domains.add(domain)
+        self._free -= domain.nodes
+        return domain
+
+    def allocate_explicit(self, name: str, nodes: set[Coord], *, weight: float = 1.0) -> Domain:
+        """Allocate a caller-chosen node set (validated for convexity)."""
+        unavailable = [node for node in nodes if node not in self._free]
+        if unavailable:
+            raise AllocationError(f"nodes not free: {sorted(unavailable)}")
+        domain = Domain(name=name, nodes=frozenset(nodes), weight=weight)
+        self.domains.add(domain)
+        self._free -= domain.nodes
+        return domain
+
+    def release(self, name: str) -> None:
+        """Return a domain's nodes to the free pool."""
+        domain = self.domains.remove(name)
+        self._free |= domain.nodes

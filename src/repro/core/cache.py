@@ -1,0 +1,142 @@
+"""Intra-domain shared last-level cache model.
+
+Section 2.2 argues the convex-domain organisation "combines the
+benefits of increased capacity of a shared cache with physical
+isolation that precludes the need for cache-level hardware QoS
+support".  This model quantifies both halves of that claim for a
+domain:
+
+* **capacity** — threads see the aggregate cache of all tiles in the
+  domain instead of a private slice;
+* **locality cost** — a shared access travels to the tile that owns the
+  line (address-interleaved), so average access distance grows with
+  domain span;
+* **isolation** — capacity is a function of the domain alone; no other
+  tenant can displace its lines, so no cache QoS hardware is needed.
+
+The miss model is a standard power-law (square-root-rule) working-set
+curve — adequate for comparing *organisations*, which is all the
+architecture argument needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.chip import Chip
+from repro.core.domain import Domain
+from repro.errors import ConfigurationError
+
+#: Cache tile capacity; one tile per terminal slot devoted to cache.
+DEFAULT_TILE_KB = 512
+
+#: Power-law exponent of the miss-ratio curve (sqrt rule).
+_MISS_CURVE_EXPONENT = 0.5
+
+#: Compulsory-miss floor: extra capacity cannot help below this.
+MISS_FLOOR = 0.05
+
+
+@dataclass(frozen=True)
+class CacheOrganisation:
+    """Capacity/latency summary of one caching organisation."""
+
+    label: str
+    capacity_kb: int
+    miss_ratio: float
+    mean_access_hops: float
+
+    def __post_init__(self) -> None:
+        if self.capacity_kb < 0 or not 0.0 <= self.miss_ratio <= 1.0:
+            raise ConfigurationError("invalid cache organisation figures")
+
+
+def miss_ratio(
+    capacity_kb: float, working_set_kb: float, *, floor: float = MISS_FLOOR
+) -> float:
+    """Power-law miss curve: ``(capacity / ws) ** -0.5``, capped at 1
+    and floored at the compulsory-miss rate.
+
+    >>> miss_ratio(1024, 1024)
+    1.0
+    >>> round(miss_ratio(4096, 1024), 3)
+    0.5
+    """
+    if capacity_kb <= 0:
+        return 1.0
+    if working_set_kb <= 0:
+        raise ConfigurationError("working set must be positive")
+    if capacity_kb <= working_set_kb:
+        return 1.0
+    curve = (capacity_kb / working_set_kb) ** -_MISS_CURVE_EXPONENT
+    return max(floor, curve)
+
+
+def mean_pairwise_hops(domain: Domain) -> float:
+    """Average Manhattan distance between domain node pairs (incl. self)."""
+    nodes = sorted(domain.nodes)
+    total = 0
+    for a in nodes:
+        for b in nodes:
+            total += abs(a[0] - b[0]) + abs(a[1] - b[1])
+    return total / (len(nodes) ** 2)
+
+
+def domain_cache_analysis(
+    chip: Chip,
+    domain: Domain,
+    *,
+    working_set_kb: float,
+    cache_tiles_per_node: int = 2,
+    tile_kb: int = DEFAULT_TILE_KB,
+) -> tuple[CacheOrganisation, CacheOrganisation]:
+    """Compare private-per-node vs domain-shared cache organisations.
+
+    Returns ``(private, shared)``.  The shared organisation aggregates
+    every cache tile in the domain (lower miss ratio) but pays the mean
+    intra-domain hop distance per access; the private organisation has
+    zero network distance but only a node's own tiles.
+    """
+    if cache_tiles_per_node <= 0 or cache_tiles_per_node > chip.config.concentration:
+        raise ConfigurationError(
+            "cache_tiles_per_node must be in 1..concentration"
+        )
+    per_node_kb = cache_tiles_per_node * tile_kb
+    shared_kb = per_node_kb * domain.size
+    private = CacheOrganisation(
+        label="private per node",
+        capacity_kb=per_node_kb,
+        miss_ratio=miss_ratio(per_node_kb, working_set_kb),
+        mean_access_hops=0.0,
+    )
+    shared = CacheOrganisation(
+        label="domain-shared",
+        capacity_kb=shared_kb,
+        miss_ratio=miss_ratio(shared_kb, working_set_kb),
+        mean_access_hops=mean_pairwise_hops(domain),
+    )
+    return private, shared
+
+
+def shared_wins(
+    private: CacheOrganisation,
+    shared: CacheOrganisation,
+    *,
+    hop_cycles: float = 3.0,
+    miss_penalty_cycles: float = 120.0,
+) -> bool:
+    """Whether sharing lowers expected access cost for this working set.
+
+    Expected cost per access = hit distance + miss_ratio x penalty.
+    Sharing wins when the capacity-driven miss reduction outweighs the
+    extra on-die distance — true for working sets that overflow a
+    node's private slice, which is the consolidation scenario the paper
+    targets.
+    """
+    private_cost = private.mean_access_hops * hop_cycles + (
+        private.miss_ratio * miss_penalty_cycles
+    )
+    shared_cost = shared.mean_access_hops * hop_cycles + (
+        shared.miss_ratio * miss_penalty_cycles
+    )
+    return shared_cost < private_cost

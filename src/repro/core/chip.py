@@ -1,0 +1,139 @@
+"""The chip: a concentrated, MECS-connected grid with shared columns.
+
+The paper's target is a 256-tile CMP.  Four-way concentration (Balfour &
+Dally) integrates four terminals per router, reducing the network to an
+8x8 grid of nodes.  One or more columns in the grid are *shared
+regions*: each of their routers hosts a shared resource terminal (a
+memory controller in the paper) and carries hardware QoS support; every
+other node hosts core/cache tiles and carries none.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+Coord = tuple[int, int]
+
+
+class NodeKind(enum.Enum):
+    """What a network node integrates."""
+
+    COMPUTE = "compute"
+    SHARED = "shared"
+
+
+@dataclass(frozen=True)
+class ChipConfig:
+    """Grid dimensions and shared-region placement.
+
+    Attributes
+    ----------
+    width / height:
+        Node-grid dimensions (8x8 for the 256-tile target).
+    concentration:
+        Terminals per compute node (4 in the paper).
+    shared_columns:
+        X positions of the shared-resource columns (the paper evaluates
+        a single column in the middle of the grid).
+    """
+
+    width: int = 8
+    height: int = 8
+    concentration: int = 4
+    shared_columns: tuple[int, ...] = (4,)
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ConfigurationError("grid dimensions must be positive")
+        if self.concentration <= 0:
+            raise ConfigurationError("concentration must be positive")
+        if not self.shared_columns:
+            raise ConfigurationError("at least one shared column is required")
+        for column in self.shared_columns:
+            if not 0 <= column < self.width:
+                raise ConfigurationError(f"shared column {column} out of range")
+        if len(set(self.shared_columns)) != len(self.shared_columns):
+            raise ConfigurationError("shared columns must be distinct")
+
+    @property
+    def total_tiles(self) -> int:
+        """Terminals across the whole chip (256 for the default)."""
+        compute_nodes = self.width * self.height - len(self.shared_columns) * self.height
+        return compute_nodes * self.concentration + len(self.shared_columns) * self.height
+
+
+@dataclass
+class Chip:
+    """An instantiated chip: node kinds, geometry and reachability."""
+
+    config: ChipConfig = field(default_factory=ChipConfig)
+
+    def __post_init__(self) -> None:
+        self._shared = set()
+        for column in self.config.shared_columns:
+            for y in range(self.config.height):
+                self._shared.add((column, y))
+
+    # -- geometry ------------------------------------------------------
+
+    def in_bounds(self, node: Coord) -> bool:
+        """Whether the coordinate is on the grid."""
+        x, y = node
+        return 0 <= x < self.config.width and 0 <= y < self.config.height
+
+    def node_kind(self, node: Coord) -> NodeKind:
+        """COMPUTE or SHARED."""
+        self._check(node)
+        return NodeKind.SHARED if node in self._shared else NodeKind.COMPUTE
+
+    def is_shared(self, node: Coord) -> bool:
+        """Whether the node sits in a QoS-protected shared column."""
+        self._check(node)
+        return node in self._shared
+
+    def compute_nodes(self) -> list[Coord]:
+        """All allocatable (non-shared) nodes, row-major order."""
+        return [
+            (x, y)
+            for y in range(self.config.height)
+            for x in range(self.config.width)
+            if (x, y) not in self._shared
+        ]
+
+    def shared_nodes(self) -> list[Coord]:
+        """All shared-region nodes."""
+        return sorted(self._shared, key=lambda n: (n[0], n[1]))
+
+    def terminals_at(self, node: Coord) -> int:
+        """Terminals integrated at the node (4 compute / 1 shared)."""
+        return 1 if self.is_shared(node) else self.config.concentration
+
+    # -- MECS reachability ---------------------------------------------
+
+    def nearest_shared_column(self, node: Coord) -> int:
+        """X position of the closest shared column to the node."""
+        self._check(node)
+        x = node[0]
+        return min(self.config.shared_columns, key=lambda column: (abs(column - x), column))
+
+    def single_hop_to_shared(self, node: Coord) -> Coord:
+        """Shared-column entry reachable in one MECS row hop.
+
+        MECS point-to-multipoint row channels reach every node in the
+        row, so any node reaches a shared column without traversing any
+        intermediate router — the physical-isolation property the
+        scheme relies on.
+        """
+        column = self.nearest_shared_column(node)
+        return (column, node[1])
+
+    def mecs_row_reachable(self, a: Coord, b: Coord) -> bool:
+        """Whether one MECS row channel connects the two nodes."""
+        return self.in_bounds(a) and self.in_bounds(b) and a[1] == b[1] and a != b
+
+    def _check(self, node: Coord) -> None:
+        if not self.in_bounds(node):
+            raise ConfigurationError(f"node {node} outside the {self.config.width}x{self.config.height} grid")

@@ -1,0 +1,148 @@
+"""Domains: convex regions of nodes owned by one application or VM.
+
+The operating system must "allocate compute and storage resources to an
+application or virtual machine, ensuring that the domain complies with
+the convex shape property" (Section 2.2).  Convexity here is defined by
+the routing function: with XY dimension-order routing, a set is convex
+iff the XY path between every ordered pair of its nodes stays inside
+the set — then all intra-domain cache traffic is physically contained.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.chip import Chip, Coord
+from repro.errors import ConvexityError
+
+
+def xy_path(a: Coord, b: Coord) -> list[Coord]:
+    """Nodes on the XY dimension-order route from ``a`` to ``b``.
+
+    Moves along the row (X) first, then along the column (Y), matching
+    the paper's "first traverses a channel along the row in which the
+    access originated before switching to a column".
+
+    >>> xy_path((0, 0), (2, 1))
+    [(0, 0), (1, 0), (2, 0), (2, 1)]
+    """
+    path = [a]
+    x, y = a
+    step_x = 1 if b[0] > x else -1
+    while x != b[0]:
+        x += step_x
+        path.append((x, y))
+    step_y = 1 if b[1] > y else -1
+    while y != b[1]:
+        y += step_y
+        path.append((x, y))
+    return path
+
+
+def is_convex(nodes: frozenset[Coord] | set[Coord]) -> bool:
+    """Whether XY routes between all pairs of nodes stay in the set.
+
+    Rectangles always qualify; L-shapes do not (the return path along
+    the far row leaves the set).
+    """
+    if not nodes:
+        return True
+    node_set = set(nodes)
+    for a in node_set:
+        for b in node_set:
+            if a == b:
+                continue
+            if any(step not in node_set for step in xy_path(a, b)):
+                return False
+    return True
+
+
+@dataclass(frozen=True)
+class Domain:
+    """A named convex region allocated to one application or VM.
+
+    Attributes
+    ----------
+    name:
+        Owner identity (VM or application name).
+    nodes:
+        The allocated coordinates.
+    weight:
+        Relative service rate the hypervisor programs for the owner's
+        flows in the shared regions.
+    """
+
+    name: str
+    nodes: frozenset[Coord]
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise ConvexityError(f"domain {self.name!r} is empty")
+        if self.weight <= 0:
+            raise ConvexityError(f"domain {self.name!r} needs a positive weight")
+        if not is_convex(self.nodes):
+            raise ConvexityError(
+                f"domain {self.name!r} violates the convex-shape property"
+            )
+
+    def validate_on(self, chip: Chip) -> None:
+        """Check the domain only uses allocatable compute nodes."""
+        for node in self.nodes:
+            if not chip.in_bounds(node):
+                raise ConvexityError(f"domain {self.name!r}: node {node} off-grid")
+            if chip.is_shared(node):
+                raise ConvexityError(
+                    f"domain {self.name!r}: node {node} lies in a shared column"
+                )
+
+    def contains(self, node: Coord) -> bool:
+        """Membership test."""
+        return node in self.nodes
+
+    @property
+    def size(self) -> int:
+        """Number of nodes in the domain."""
+        return len(self.nodes)
+
+    def rows(self) -> set[int]:
+        """Grid rows the domain touches (shared-column entry rows)."""
+        return {y for _, y in self.nodes}
+
+    def capacity_threads(self, chip: Chip) -> int:
+        """How many threads the domain can host (terminals per node)."""
+        return sum(chip.terminals_at(node) for node in self.nodes)
+
+
+@dataclass
+class DomainSet:
+    """A collection of mutually exclusive domains on one chip."""
+
+    chip: Chip
+    domains: dict[str, Domain] = field(default_factory=dict)
+
+    def add(self, domain: Domain) -> None:
+        """Insert after validating convexity, bounds, and exclusivity."""
+        domain.validate_on(self.chip)
+        for existing in self.domains.values():
+            overlap = existing.nodes & domain.nodes
+            if overlap:
+                raise ConvexityError(
+                    f"domain {domain.name!r} overlaps {existing.name!r} at {sorted(overlap)}"
+                )
+        if domain.name in self.domains:
+            raise ConvexityError(f"duplicate domain name {domain.name!r}")
+        self.domains[domain.name] = domain
+
+    def remove(self, name: str) -> Domain:
+        """Remove and return a domain."""
+        if name not in self.domains:
+            raise ConvexityError(f"no domain named {name!r}")
+        return self.domains.pop(name)
+
+    def owner_of(self, node: Coord) -> str | None:
+        """Which domain owns the node, if any."""
+        for domain in self.domains.values():
+            if domain.contains(node):
+                return domain.name
+        return None

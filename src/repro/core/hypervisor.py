@@ -1,0 +1,131 @@
+"""Hypervisor: the OS support the scheme requires (Section 2.2).
+
+Three services, all deliberately modest:
+
+1. schedule threads from only the same application/VM onto a node
+   ("friendly" co-scheduling, which removes row-link QoS);
+2. allocate compute/storage to each VM as a convex domain;
+3. assign bandwidth/priorities to flows by programming memory-mapped
+   rate registers at QoS-enabled routers and endpoints in the shared
+   regions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.allocator import DomainAllocator
+from repro.core.chip import Chip, Coord
+from repro.core.domain import Domain
+from repro.errors import AllocationError
+
+
+@dataclass
+class VirtualMachine:
+    """One admitted VM: its domain, threads, and service weight."""
+
+    name: str
+    n_threads: int
+    weight: float
+    domain: Domain
+    thread_placement: dict[int, tuple[Coord, int]] = field(default_factory=dict)
+
+    def threads_on(self, node: Coord) -> list[int]:
+        """Thread ids co-scheduled on one node."""
+        return [
+            thread
+            for thread, (placed, _slot) in self.thread_placement.items()
+            if placed == node
+        ]
+
+
+@dataclass
+class RateRegister:
+    """Memory-mapped QoS programming at one shared-region router."""
+
+    node: Coord
+    weights: dict[str, float] = field(default_factory=dict)
+
+    def program(self, owner: str, weight: float) -> None:
+        """Write the owner's service weight."""
+        self.weights[owner] = weight
+
+    def clear(self, owner: str) -> None:
+        """Remove the owner's entry (VM teardown)."""
+        self.weights.pop(owner, None)
+
+
+class Hypervisor:
+    """Admits VMs, places threads, and programs shared-region rates."""
+
+    def __init__(self, chip: Chip) -> None:
+        self.chip = chip
+        self.allocator = DomainAllocator(chip)
+        self.vms: dict[str, VirtualMachine] = {}
+        self.rate_registers: dict[Coord, RateRegister] = {
+            node: RateRegister(node) for node in chip.shared_nodes()
+        }
+
+    # -- admission -------------------------------------------------------
+
+    def admit(self, name: str, n_threads: int, *, weight: float = 1.0) -> VirtualMachine:
+        """Admit a VM: allocate a convex domain sized for its threads,
+        co-schedule its threads, and program its weight chip-wide."""
+        if name in self.vms:
+            raise AllocationError(f"VM {name!r} already admitted")
+        if n_threads <= 0:
+            raise AllocationError("a VM needs at least one thread")
+        nodes_needed = math.ceil(n_threads / self.chip.config.concentration)
+        domain = self.allocator.allocate(name, nodes_needed, weight=weight)
+        vm = VirtualMachine(name=name, n_threads=n_threads, weight=weight, domain=domain)
+        self._place_threads(vm)
+        for register in self.rate_registers.values():
+            register.program(name, weight)
+        self.vms[name] = vm
+        return vm
+
+    def evict(self, name: str) -> None:
+        """Tear a VM down: release its domain and clear its registers."""
+        if name not in self.vms:
+            raise AllocationError(f"no VM named {name!r}")
+        del self.vms[name]
+        self.allocator.release(name)
+        for register in self.rate_registers.values():
+            register.clear(name)
+
+    def _place_threads(self, vm: VirtualMachine) -> None:
+        """Fill nodes with the VM's threads, one slot per terminal."""
+        nodes = sorted(vm.domain.nodes)
+        slots = [
+            (node, slot)
+            for node in nodes
+            for slot in range(self.chip.terminals_at(node))
+        ]
+        if len(slots) < vm.n_threads:
+            raise AllocationError(
+                f"domain of {vm.name!r} holds {len(slots)} threads, "
+                f"needs {vm.n_threads}"
+            )
+        for thread in range(vm.n_threads):
+            vm.thread_placement[thread] = slots[thread]
+
+    # -- invariants -------------------------------------------------------
+
+    def co_scheduling_ok(self) -> bool:
+        """No node hosts threads of two different VMs."""
+        owner_by_node: dict[Coord, str] = {}
+        for vm in self.vms.values():
+            for node, _slot in vm.thread_placement.values():
+                previous = owner_by_node.get(node)
+                if previous is not None and previous != vm.name:
+                    return False
+                owner_by_node[node] = vm.name
+        return True
+
+    def programmed_weight(self, node: Coord, owner: str) -> float | None:
+        """Weight programmed for the owner at a shared router."""
+        register = self.rate_registers.get(node)
+        if register is None:
+            return None
+        return register.weights.get(owner)

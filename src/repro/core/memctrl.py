@@ -1,0 +1,93 @@
+"""QoS-aware memory-controller endpoint.
+
+A comprehensive on-chip QoS solution needs protection at shared
+endpoints as well as in the network (Section 6 cites the memory-
+scheduling line of work).  This model serves one request per cycle
+using the same rate-scaled virtual-clock discipline PVC uses in the
+network, so a shared column pairs each router with a fair endpoint.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class MemRequest:
+    """One memory request from a flow (VM/application)."""
+
+    owner: str
+    issued_at: int
+    service_cycles: int = 1
+
+
+class MemoryController:
+    """Rate-weighted fair scheduler over per-owner request queues."""
+
+    def __init__(self, weights: dict[str, float]) -> None:
+        if not weights:
+            raise ConfigurationError("memory controller needs at least one owner")
+        for owner, weight in weights.items():
+            if weight <= 0:
+                raise ConfigurationError(f"owner {owner!r} needs a positive weight")
+        self.weights = dict(weights)
+        self.queues: dict[str, deque[MemRequest]] = {
+            owner: deque() for owner in weights
+        }
+        self.serviced: dict[str, int] = {owner: 0 for owner in weights}
+        self._consumed: dict[str, float] = {owner: 0.0 for owner in weights}
+        self.cycle = 0
+        self._busy_until = 0
+        self.total_wait_cycles = 0
+
+    def submit(self, owner: str, *, service_cycles: int = 1) -> None:
+        """Enqueue one request for ``owner``."""
+        if owner not in self.queues:
+            raise ConfigurationError(f"unknown owner {owner!r}")
+        self.queues[owner].append(
+            MemRequest(owner=owner, issued_at=self.cycle, service_cycles=service_cycles)
+        )
+
+    def tick(self) -> str | None:
+        """Advance one cycle; returns the owner served, if any."""
+        self.cycle += 1
+        if self._busy_until > self.cycle:
+            return None
+        best_owner = None
+        best_key = None
+        for owner, queue in self.queues.items():
+            if not queue:
+                continue
+            key = (self._consumed[owner] / self.weights[owner], owner)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_owner = owner
+        if best_owner is None:
+            return None
+        request = self.queues[best_owner].popleft()
+        self._consumed[best_owner] += request.service_cycles
+        self.serviced[best_owner] += 1
+        self.total_wait_cycles += self.cycle - request.issued_at
+        self._busy_until = self.cycle + request.service_cycles
+        return best_owner
+
+    def run(self, cycles: int) -> dict[str, int]:
+        """Tick ``cycles`` times; returns requests served per owner."""
+        served = {owner: 0 for owner in self.queues}
+        for _ in range(cycles):
+            owner = self.tick()
+            if owner is not None:
+                served[owner] += 1
+        return served
+
+    def flush_frame(self) -> None:
+        """Clear consumption counters (PVC-style frame rollover)."""
+        for owner in self._consumed:
+            self._consumed[owner] = 0.0
+
+    def backlog(self, owner: str) -> int:
+        """Pending requests for one owner."""
+        return len(self.queues[owner])

@@ -1,0 +1,110 @@
+"""Chip-level MECS routing with forced shared-column transit.
+
+MECS channels are point-to-multipoint: a packet crosses a whole row (or
+column span) in one network hop, stopping only where it turns or
+terminates.  Router-level interference therefore happens exclusively at
+the hop points, which is what the isolation argument rests on:
+
+* **intra-domain** traffic routes XY; convexity guarantees the turn
+  node belongs to the domain;
+* **shared-region access** (e.g. a cache miss to a memory controller)
+  takes one row hop to the QoS column, then moves inside the protected
+  column;
+* **inter-VM** traffic must transit a shared column even when that is
+  non-minimal, so the turn never lands in a third VM's domain
+  (the VM #1 -> VM #3 via VM #2 hazard of Section 2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.chip import Chip, Coord
+from repro.core.domain import Domain
+from repro.errors import IsolationError
+
+
+@dataclass(frozen=True)
+class RouterPath:
+    """A chip-level route as the sequence of routers actually traversed.
+
+    ``hops`` lists only the routers where the packet stops (MECS
+    bypasses everything in between); ``protected`` flags, per hop,
+    whether that router carries hardware QoS support.
+    """
+
+    hops: tuple[Coord, ...]
+    protected: tuple[bool, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.hops) != len(self.protected):
+            raise IsolationError("hops/protected length mismatch")
+
+    @property
+    def unprotected_hops(self) -> tuple[Coord, ...]:
+        """Routers traversed without QoS support."""
+        return tuple(
+            hop for hop, safe in zip(self.hops, self.protected) if not safe
+        )
+
+    def mecs_hop_count(self) -> int:
+        """Number of MECS channel traversals (hops minus one)."""
+        return max(0, len(self.hops) - 1)
+
+
+def _path(chip: Chip, hops: list[Coord]) -> RouterPath:
+    deduped: list[Coord] = []
+    for hop in hops:
+        if not deduped or deduped[-1] != hop:
+            deduped.append(hop)
+    return RouterPath(
+        hops=tuple(deduped),
+        protected=tuple(chip.is_shared(hop) for hop in deduped),
+    )
+
+
+def route_intra_domain(chip: Chip, domain: Domain, src: Coord, dst: Coord) -> RouterPath:
+    """XY route between two nodes of one domain.
+
+    Raises :class:`IsolationError` if either endpoint (or the XY turn
+    node) falls outside the domain — a convex domain never triggers
+    this for member pairs.
+    """
+    for endpoint in (src, dst):
+        if not domain.contains(endpoint):
+            raise IsolationError(
+                f"{endpoint} is not in domain {domain.name!r}"
+            )
+    turn = (dst[0], src[1])
+    if not domain.contains(turn):
+        raise IsolationError(
+            f"XY turn {turn} for {src}->{dst} leaves domain {domain.name!r}; "
+            "the domain is not convex"
+        )
+    return _path(chip, [src, turn, dst])
+
+
+def route_to_shared(chip: Chip, src: Coord, shared_dst: Coord) -> RouterPath:
+    """Route from any node to a shared-region node (e.g. an MC).
+
+    One MECS row hop to the shared column — bypassing every
+    intermediate router — then a protected column hop to the target.
+    """
+    if not chip.is_shared(shared_dst):
+        raise IsolationError(f"{shared_dst} is not a shared-region node")
+    entry = (shared_dst[0], src[1])
+    return _path(chip, [src, entry, shared_dst])
+
+
+def route_inter_vm(chip: Chip, src: Coord, dst: Coord) -> RouterPath:
+    """Inter-VM route transiting the QoS-protected shared column.
+
+    Row hop to the column nearest the source, protected column hop to
+    the destination's row, then a row hop out to the destination.  The
+    only routers traversed outside the endpoints' domains are
+    QoS-protected column routers, even when the route is non-minimal.
+    """
+    column = chip.nearest_shared_column(src)
+    entry = (column, src[1])
+    exit_node = (column, dst[1])
+    return _path(chip, [src, entry, exit_node, dst])

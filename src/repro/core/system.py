@@ -1,0 +1,174 @@
+"""System facade: chip + hypervisor + shared-region simulation bridge.
+
+``TopologyAwareSystem`` glues the chip-level architecture to the
+cycle-level shared-region simulator: each admitted VM's memory traffic
+enters the shared column at the routers of the rows its domain touches
+(via the east/west MECS row inputs, depending on which side of the
+column the domain sits), weighted by the VM's programmed service rate,
+destined uniformly across the column's memory controllers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.chip import Chip, ChipConfig, Coord
+from repro.core.hypervisor import Hypervisor, VirtualMachine
+from repro.core.isolation import IsolationViolation, audit_chip
+from repro.errors import AllocationError, ConfigurationError
+from repro.network.config import COLUMN_NODES, SimulationConfig
+from repro.network.engine import ColumnSimulator
+from repro.network.packet import EAST_PORTS, WEST_PORTS, FlowSpec
+from repro.qos.pvc import PvcPolicy
+from repro.topologies.registry import get_topology
+from repro.traffic.patterns import uniform_random
+
+
+@dataclass
+class SharedRegionBinding:
+    """How VM flows map onto shared-column injector ports."""
+
+    flows: list[FlowSpec] = field(default_factory=list)
+    owners: list[str] = field(default_factory=list)
+
+    def flows_of(self, owner: str) -> list[int]:
+        """Flow ids belonging to one VM."""
+        return [index for index, name in enumerate(self.owners) if name == owner]
+
+
+class TopologyAwareSystem:
+    """End-to-end model of the paper's architecture."""
+
+    def __init__(self, config: ChipConfig | None = None) -> None:
+        self.chip = Chip(config or ChipConfig())
+        if self.chip.config.height != COLUMN_NODES:
+            raise ConfigurationError(
+                "the shared-region simulator models an 8-router column; "
+                f"chip height {self.chip.config.height} != {COLUMN_NODES}"
+            )
+        self.hypervisor = Hypervisor(self.chip)
+
+    # -- VM lifecycle ------------------------------------------------------
+
+    def admit_vm(self, name: str, n_threads: int, *, weight: float = 1.0) -> VirtualMachine:
+        """Admit a VM (convex domain, co-scheduling, rate programming)."""
+        return self.hypervisor.admit(name, n_threads, weight=weight)
+
+    def evict_vm(self, name: str) -> None:
+        """Tear a VM down."""
+        self.hypervisor.evict(name)
+
+    def audit_isolation(self) -> list[IsolationViolation]:
+        """Verify physical isolation across all admitted VMs."""
+        return audit_chip(self.chip, self.hypervisor.allocator.domains)
+
+    # -- shared-region bridge ----------------------------------------------
+
+    def bind_shared_column(
+        self,
+        *,
+        rate_per_flow: float = 0.03,
+        column: int | None = None,
+    ) -> SharedRegionBinding:
+        """Build shared-column injector flows for every admitted VM.
+
+        Each row a VM's domain touches contributes one flow entering
+        the column router of that row: from a west-side domain via a
+        ``west*`` row-input port, from an east-side domain via an
+        ``east*`` port.  Flow weight is the VM's programmed service
+        weight; destinations are uniform across the column's MCs.
+        """
+        if column is None:
+            column = self.chip.config.shared_columns[0]
+        elif column not in self.chip.config.shared_columns:
+            raise ConfigurationError(f"{column} is not a shared column")
+        binding = SharedRegionBinding()
+        used_ports: dict[tuple[int, str], bool] = {}
+        for name, vm in sorted(self.hypervisor.vms.items()):
+            sides = self._domain_sides(vm, column)
+            for row, side in sorted(sides):
+                port = self._claim_port(row, side, used_ports)
+                binding.flows.append(
+                    FlowSpec(
+                        node=row,
+                        port=port,
+                        rate=rate_per_flow,
+                        weight=vm.weight,
+                        pattern=uniform_random,
+                    )
+                )
+                binding.owners.append(name)
+        if not binding.flows:
+            raise AllocationError("no VMs admitted; nothing to bind")
+        return binding
+
+    def _domain_sides(self, vm: VirtualMachine, column: int) -> set[tuple[int, str]]:
+        sides: set[tuple[int, str]] = set()
+        for x, y in vm.domain.nodes:
+            sides.add((y, "west" if x < column else "east"))
+        return sides
+
+    def _claim_port(
+        self, row: int, side: str, used: dict[tuple[int, str], bool]
+    ) -> str:
+        pool = WEST_PORTS if side == "west" else EAST_PORTS
+        for port in pool:
+            key = (row, port)
+            if key not in used:
+                used[key] = True
+                return port
+        raise AllocationError(
+            f"row {row} has no free {side}-side injector ports left"
+        )
+
+    def shared_region_simulator(
+        self,
+        topology_name: str = "dps",
+        *,
+        binding: SharedRegionBinding | None = None,
+        config: SimulationConfig | None = None,
+        rate_per_flow: float = 0.03,
+    ) -> tuple[ColumnSimulator, SharedRegionBinding]:
+        """Build a cycle-level simulator of the QoS column for this system."""
+        binding = binding or self.bind_shared_column(rate_per_flow=rate_per_flow)
+        config = config or SimulationConfig()
+        topology = get_topology(topology_name)
+        simulator = ColumnSimulator(
+            topology.build(config), binding.flows, PvcPolicy(), config
+        )
+        return simulator, binding
+
+    # -- reporting -----------------------------------------------------------
+
+    def describe(self) -> str:
+        """Human-readable layout summary (used by examples)."""
+        lines = [
+            f"chip: {self.chip.config.width}x{self.chip.config.height} nodes, "
+            f"{self.chip.config.total_tiles} tiles, "
+            f"shared columns at x={list(self.chip.config.shared_columns)}"
+        ]
+        for name, vm in sorted(self.hypervisor.vms.items()):
+            nodes = sorted(vm.domain.nodes)
+            lines.append(
+                f"  VM {name!r}: {vm.n_threads} threads, weight {vm.weight}, "
+                f"domain {nodes[0]}..{nodes[-1]} ({len(nodes)} nodes)"
+            )
+        return "\n".join(lines)
+
+
+def grid_ascii(system: TopologyAwareSystem) -> str:
+    """ASCII map of the chip: domains by initial, shared columns as '#'."""
+    chip = system.chip
+    rows = []
+    domains = system.hypervisor.allocator.domains
+    for y in range(chip.config.height):
+        row = []
+        for x in range(chip.config.width):
+            node: Coord = (x, y)
+            if chip.is_shared(node):
+                row.append("#")
+            else:
+                owner = domains.owner_of(node)
+                row.append(owner[0].upper() if owner else ".")
+        rows.append(" ".join(row))
+    return "\n".join(rows)

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one type at an API boundary.  Sub-classes are grouped by
+subsystem: configuration, simulation, chip-level allocation.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A simulator or topology configuration is invalid or inconsistent."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine reached an inconsistent internal state."""
+
+
+class TopologyError(ConfigurationError):
+    """A topology was asked to build a structure it cannot express."""
+
+
+class TrafficError(ConfigurationError):
+    """A traffic pattern or workload specification is invalid."""
+
+
+class AllocationError(ReproError):
+    """The chip-level domain allocator could not satisfy a request."""
+
+
+class ConvexityError(AllocationError):
+    """A proposed domain violates the convex-shape requirement."""
+
+
+class IsolationError(ReproError):
+    """A route violates the physical-isolation guarantees of the scheme."""
+
+
+class ModelError(ReproError):
+    """An area/energy model was queried with unsupported parameters."""

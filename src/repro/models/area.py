@@ -1,0 +1,91 @@
+"""Analytical router area model (Figure 3).
+
+Three components, mirroring the paper's accounting:
+
+* **Input buffers** — SRAM arrays; ``bits x area-per-bit`` with CACTI-like
+  periphery folded into the per-bit constant.
+* **Crossbar** — a monolithic wire grid whose area is the product of the
+  two edge lengths, each ``ports x width x track-pitch``.
+* **Flow state** — PVC per-flow bandwidth counters (small SRAM); DPS
+  replicates the table per column output port.
+
+The paper's qualitative findings this model reproduces:
+
+* mesh x1 is the most compact (5x5 crossbar, few ports);
+* mesh x4 is the largest, dominated by its 11x11 crossbar
+  (~``(11/5)^2`` = 4.8x the baseline crossbar);
+* MECS has the largest buffer footprint (7 column ports x 14 VCs) but a
+  compact crossbar (one switch port per direction);
+* DPS is comparable to MECS in total: smaller buffers, larger crossbar
+  (many column outputs) and a replicated flow table;
+* PVC flow state is never a significant contributor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.geometry import RouterGeometry
+from repro.models.technology import DEFAULT_TECHNOLOGY, TechnologyParameters
+
+
+@dataclass(frozen=True)
+class AreaBreakdown:
+    """Router area in mm^2, split the way Figure 3 stacks it."""
+
+    buffers_mm2: float
+    crossbar_mm2: float
+    flow_state_mm2: float
+    row_buffers_mm2: float
+
+    @property
+    def total_mm2(self) -> float:
+        """Total router area (sum of the three stacked components)."""
+        return self.buffers_mm2 + self.crossbar_mm2 + self.flow_state_mm2
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat dictionary for table rendering."""
+        return {
+            "buffers_mm2": self.buffers_mm2,
+            "crossbar_mm2": self.crossbar_mm2,
+            "flow_state_mm2": self.flow_state_mm2,
+            "total_mm2": self.total_mm2,
+            "row_buffers_mm2": self.row_buffers_mm2,
+        }
+
+
+class RouterAreaModel:
+    """Computes :class:`AreaBreakdown` for a :class:`RouterGeometry`."""
+
+    def __init__(self, technology: TechnologyParameters = DEFAULT_TECHNOLOGY) -> None:
+        self.technology = technology
+
+    def buffer_area_mm2(self, geometry: RouterGeometry) -> float:
+        """SRAM input-buffer area, row banks included."""
+        bits = geometry.buffer_bits(self.technology.flit_bits)
+        return bits * self.technology.sram_um2_per_bit * 1e-6
+
+    def row_buffer_area_mm2(self, geometry: RouterGeometry) -> float:
+        """Area of the row-input banks only (Figure 3's dotted line)."""
+        bits = geometry.row_buffer_bits(self.technology.flit_bits)
+        return bits * self.technology.sram_um2_per_bit * 1e-6
+
+    def crossbar_area_mm2(self, geometry: RouterGeometry) -> float:
+        """Wire-grid crossbar area: (in-edge) x (out-edge)."""
+        edge_um = self.technology.flit_bits * self.technology.xbar_track_pitch_um
+        in_edge = geometry.crossbar_inputs * edge_um
+        out_edge = geometry.crossbar_outputs * edge_um
+        return in_edge * out_edge * 1e-6
+
+    def flow_state_area_mm2(self, geometry: RouterGeometry) -> float:
+        """PVC flow-table SRAM area (per-flow counters, maybe replicated)."""
+        return geometry.flow_table_bits() * self.technology.sram_um2_per_bit * 1e-6
+
+    def breakdown(self, geometry: RouterGeometry) -> AreaBreakdown:
+        """Full Figure-3 style area breakdown for one router."""
+        return AreaBreakdown(
+            buffers_mm2=self.buffer_area_mm2(geometry),
+            crossbar_mm2=self.crossbar_area_mm2(geometry),
+            flow_state_mm2=self.flow_state_area_mm2(geometry),
+            row_buffers_mm2=self.row_buffer_area_mm2(geometry),
+        )

@@ -1,0 +1,185 @@
+"""Analytical router energy model (Figure 7).
+
+The paper reports the router energy expended per flit, broken down into
+input buffers, crossbar, and flow state, for three hop types — source,
+intermediate, destination — plus a 3-hop composite route (roughly the
+average communication distance under uniform random traffic).
+
+Component models:
+
+* **Buffers** — one write + one read per flit per buffered hop, scaled
+  mildly with bank size (longer bit/word lines in bigger arrays).
+* **Crossbar** — energy grows with ``inputs + outputs`` (the wire spans
+  a packet charges on each axis), plus the length of the input wire that
+  feeds the switch.  MECS shares one switch port among many drop-off
+  points, so its input wires average half the column span — this is why
+  MECS has the most energy-hungry switch stage despite a small crossbar.
+* **Flow state** — one query + one update per hop that carries PVC
+  logic.  DPS intermediate hops perform neither (Section 3.2).
+
+Hop-type composition:
+
+=================  ======================================  ==============
+topology           source / intermediate / destination     3-hop route
+=================  ======================================  ==============
+mesh x{1,2,4}      buf + xbar + flow at every hop          4 router hops
+MECS               source + destination only               2 router hops
+DPS                full routers at endpoints; intermediate  4 hops, 2 cheap
+                   hops are a buffer + 2:1 mux only
+=================  ======================================  ==============
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+from repro.models.geometry import RouterGeometry
+from repro.models.technology import DEFAULT_TECHNOLOGY, TechnologyParameters
+
+#: Reference VC count used to normalise buffer-array scaling.
+_REFERENCE_BANK_VCS = 6
+
+#: Energy of a 2:1 bypass multiplexer relative to one crossbar port pair.
+_MUX_FRACTION = 0.05
+
+
+class HopType(enum.Enum):
+    """Position of a hop along a route, as broken down in Figure 7."""
+
+    SOURCE = "src"
+    INTERMEDIATE = "intermediate"
+    DESTINATION = "dest"
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Per-flit energy in pJ, split the way Figure 7 stacks it."""
+
+    buffers_pj: float
+    crossbar_pj: float
+    flow_table_pj: float
+
+    @property
+    def total_pj(self) -> float:
+        """Total per-flit energy for the hop (or composite route)."""
+        return self.buffers_pj + self.crossbar_pj + self.flow_table_pj
+
+    def __add__(self, other: "EnergyBreakdown") -> "EnergyBreakdown":
+        return EnergyBreakdown(
+            buffers_pj=self.buffers_pj + other.buffers_pj,
+            crossbar_pj=self.crossbar_pj + other.crossbar_pj,
+            flow_table_pj=self.flow_table_pj + other.flow_table_pj,
+        )
+
+    def scaled(self, factor: float) -> "EnergyBreakdown":
+        """Scale all components (used for multi-hop composites)."""
+        return EnergyBreakdown(
+            buffers_pj=self.buffers_pj * factor,
+            crossbar_pj=self.crossbar_pj * factor,
+            flow_table_pj=self.flow_table_pj * factor,
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat dictionary for table rendering."""
+        return {
+            "buffers_pj": self.buffers_pj,
+            "crossbar_pj": self.crossbar_pj,
+            "flow_table_pj": self.flow_table_pj,
+            "total_pj": self.total_pj,
+        }
+
+
+ZERO_ENERGY = EnergyBreakdown(0.0, 0.0, 0.0)
+
+
+class RouterEnergyModel:
+    """Computes per-flit hop energy for a :class:`RouterGeometry`."""
+
+    def __init__(self, technology: TechnologyParameters = DEFAULT_TECHNOLOGY) -> None:
+        self.technology = technology
+
+    def _buffer_pj(self, geometry: RouterGeometry) -> float:
+        """Write + read energy for one flit, scaled with bank size."""
+        banks = geometry.column_banks or geometry.row_banks
+        if banks:
+            avg_vcs = sum(b.vcs_per_port for b in banks) / len(banks)
+        else:
+            avg_vcs = _REFERENCE_BANK_VCS
+        scale = math.sqrt(max(avg_vcs, 1) / _REFERENCE_BANK_VCS)
+        return self.technology.buffer_pj_per_flit * scale
+
+    def _crossbar_pj(self, geometry: RouterGeometry, *, long_inputs: bool) -> float:
+        """Crossbar traversal energy; long-input penalty for MECS."""
+        port_sum = geometry.crossbar_inputs + geometry.crossbar_outputs
+        base = self.technology.xbar_pj_per_port_pair_sum * port_sum / 10.0
+        wire = 0.0
+        if long_inputs:
+            wire = geometry.xbar_avg_input_wire_mm * self.technology.wire_pj_per_mm
+        return base + wire
+
+    def _flow_table_pj(self) -> float:
+        """One PVC query + update."""
+        return self.technology.flow_table_pj_per_access
+
+    def hop_energy(self, geometry: RouterGeometry, hop: HopType) -> EnergyBreakdown:
+        """Per-flit energy of one hop of the given type."""
+        buffers = self._buffer_pj(geometry)
+        if hop is HopType.INTERMEDIATE:
+            if not geometry.intermediate_has_crossbar:
+                # DPS: buffer + 2:1 mux; no switch, no flow state.
+                mux = self.technology.xbar_pj_per_port_pair_sum * _MUX_FRACTION
+                flow = (
+                    self._flow_table_pj()
+                    if geometry.intermediate_has_flow_state
+                    else 0.0
+                )
+                return EnergyBreakdown(buffers, mux, flow)
+            return EnergyBreakdown(
+                buffers,
+                self._crossbar_pj(geometry, long_inputs=False),
+                self._flow_table_pj() if geometry.intermediate_has_flow_state else 0.0,
+            )
+        if hop is HopType.DESTINATION:
+            # Column traffic lands on the column input banks; for MECS
+            # these are fed by long drop-off wires into the switch.
+            long_inputs = geometry.xbar_avg_input_wire_mm > 0.5
+            return EnergyBreakdown(
+                buffers,
+                self._crossbar_pj(geometry, long_inputs=long_inputs),
+                self._flow_table_pj(),
+            )
+        if hop is HopType.SOURCE:
+            # Injection enters via short terminal/row wires.
+            return EnergyBreakdown(
+                buffers,
+                self._crossbar_pj(geometry, long_inputs=False),
+                self._flow_table_pj(),
+            )
+        raise ModelError(f"unknown hop type: {hop!r}")
+
+    def route_energy(
+        self, geometry: RouterGeometry, hops: int, *, single_hop_reach: bool = False
+    ) -> EnergyBreakdown:
+        """Per-flit energy of an ``hops``-link route (Figure 7's "3 hops").
+
+        Parameters
+        ----------
+        geometry:
+            Router geometry of the topology.
+        hops:
+            Number of links crossed (3 in the paper's composite bar).
+        single_hop_reach:
+            True for MECS, whose point-to-multipoint channels cross any
+            distance with only a source and a destination router.
+        """
+        if hops < 1:
+            raise ModelError("a route needs at least one hop")
+        total = self.hop_energy(geometry, HopType.SOURCE)
+        total = total + self.hop_energy(geometry, HopType.DESTINATION)
+        if not single_hop_reach and hops > 1:
+            per_mid = self.hop_energy(geometry, HopType.INTERMEDIATE)
+            total = total + per_mid.scaled(hops - 1)
+        return total

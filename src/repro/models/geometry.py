@@ -1,0 +1,141 @@
+"""Router geometry descriptors consumed by the area and energy models.
+
+Each topology (mesh x1/x2/x4, MECS, DPS) describes the physical structure
+of one of its shared-region routers as a :class:`RouterGeometry`:
+buffer banks, crossbar dimensions, flow-state table shape, and the wire
+lengths that drive the MECS long-input-line energy penalty.  Keeping the
+descriptor separate from the cycle-level simulator lets Figure 3 and
+Figure 7 be regenerated without running a simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True)
+class BufferBank:
+    """A group of identical input buffer ports.
+
+    Attributes
+    ----------
+    ports:
+        Number of physical input ports in the bank.
+    vcs_per_port:
+        Virtual channels at each port (Table 1 of the paper).
+    flits_per_vc:
+        VC depth in flits; 4 everywhere (virtual cut-through must hold
+        the largest packet).
+    label:
+        Human-readable description used in reports.
+    """
+
+    ports: int
+    vcs_per_port: int
+    flits_per_vc: int = 4
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.ports < 0 or self.vcs_per_port < 0 or self.flits_per_vc <= 0:
+            raise ModelError("buffer bank dimensions must be non-negative")
+
+    def bits(self, flit_bits: int) -> int:
+        """Total storage bits in the bank."""
+        return self.ports * self.vcs_per_port * self.flits_per_vc * flit_bits
+
+
+@dataclass(frozen=True)
+class RouterGeometry:
+    """Physical description of one shared-region router.
+
+    Attributes
+    ----------
+    name:
+        Topology name this router belongs to (``mesh_x1`` ...).
+    row_banks:
+        Buffer banks for the MECS row inputs and the terminal injection
+        port.  Identical across all topologies (the dotted line in the
+        paper's Figure 3).
+    column_banks:
+        Topology-specific buffer banks for column inputs.
+    crossbar_inputs / crossbar_outputs:
+        Monolithic crossbar port counts (5x5 for mesh x1 and MECS, 11x11
+        for mesh x4, 5 inputs x 10 outputs for DPS per Section 3.2).
+    xbar_avg_input_wire_mm:
+        Average length of the wires feeding the crossbar inputs.  MECS
+        multiplexes many long drop-off wires onto few switch ports,
+        making its switch stage the most energy-hungry (Figure 7).
+    flow_table_flows:
+        Number of flows tracked by PVC state at this router.
+    flow_table_copies:
+        Replication factor of the flow table; DPS maintains bandwidth
+        counters per column output port (Section 3.2), meshes and MECS
+        keep one copy.
+    flow_counter_bits:
+        Width of one bandwidth counter entry.
+    intermediate_has_crossbar / intermediate_has_flow_state:
+        Whether an intermediate hop traverses the crossbar and touches
+        flow state.  Both false only for DPS (2:1 mux, no flow queries).
+    """
+
+    name: str
+    row_banks: tuple[BufferBank, ...]
+    column_banks: tuple[BufferBank, ...]
+    crossbar_inputs: int
+    crossbar_outputs: int
+    xbar_avg_input_wire_mm: float = 0.1
+    flow_table_flows: int = 64
+    flow_table_copies: int = 1
+    flow_counter_bits: int = 16
+    intermediate_has_crossbar: bool = True
+    intermediate_has_flow_state: bool = True
+    notes: str = ""
+    extra: dict = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.crossbar_inputs <= 0 or self.crossbar_outputs <= 0:
+            raise ModelError("crossbar must have positive port counts")
+        if self.flow_table_flows < 0 or self.flow_table_copies <= 0:
+            raise ModelError("flow table shape must be non-negative")
+        if self.xbar_avg_input_wire_mm < 0:
+            raise ModelError("wire length must be non-negative")
+
+    def buffer_bits(self, flit_bits: int, *, include_row: bool = True) -> int:
+        """Total buffer bits; optionally excluding the common row banks."""
+        bits = sum(bank.bits(flit_bits) for bank in self.column_banks)
+        if include_row:
+            bits += sum(bank.bits(flit_bits) for bank in self.row_banks)
+        return bits
+
+    def row_buffer_bits(self, flit_bits: int) -> int:
+        """Buffer bits of the row banks alone (Figure 3's dotted line)."""
+        return sum(bank.bits(flit_bits) for bank in self.row_banks)
+
+    def flow_table_bits(self) -> int:
+        """Total flow-state storage bits."""
+        return self.flow_table_flows * self.flow_counter_bits * self.flow_table_copies
+
+    def total_vcs(self) -> int:
+        """Total virtual channels across all banks (sanity/reporting)."""
+        return sum(
+            bank.ports * bank.vcs_per_port
+            for bank in (*self.row_banks, *self.column_banks)
+        )
+
+
+def standard_row_banks(
+    *, row_ports: int = 7, row_vcs: int = 6, terminal_vcs: int = 2
+) -> tuple[BufferBank, ...]:
+    """Row-side buffer banks shared by every shared-region topology.
+
+    Each shared-region router receives seven MECS row inputs (east and
+    west) plus one terminal port (Section 4).  This allocation is the
+    same for every column topology, which is why Figure 3 draws it as a
+    common baseline.
+    """
+    return (
+        BufferBank(ports=row_ports, vcs_per_port=row_vcs, label="row inputs"),
+        BufferBank(ports=1, vcs_per_port=terminal_vcs, label="terminal injection"),
+    )

@@ -1,0 +1,102 @@
+"""Process-technology parameters for the area and energy models.
+
+The paper targets a 32 nm process at 0.9 V.  The constants below are
+order-of-magnitude figures for that node, chosen so the analytical models
+in :mod:`repro.models.area` and :mod:`repro.models.energy` reproduce the
+relative component magnitudes of the paper's Figure 3 and Figure 7.
+They are exposed as a dataclass so experiments can sweep them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True)
+class TechnologyParameters:
+    """Technology constants consumed by the area/energy models.
+
+    Attributes
+    ----------
+    process_nm:
+        Feature size in nanometres (32 in the paper).
+    voltage:
+        Supply voltage in volts (0.9 in the paper).
+    sram_um2_per_bit:
+        SRAM array area per bit, including periphery overhead for the
+        small, wide arrays typical of NoC router buffers (CACTI-style).
+    xbar_track_pitch_um:
+        Wire track pitch of a crossbar grid; crossbar area scales as
+        ``inputs * outputs * (width_bits * pitch)^2``.
+    buffer_pj_per_flit:
+        Energy of one flit write + one flit read in an input buffer of
+        nominal size (scaled mildly with bank capacity).
+    xbar_pj_per_port_pair_sum:
+        Crossbar traversal energy coefficient; traversal energy scales
+        with ``(inputs + outputs)`` (loaded wire length on both axes).
+    wire_pj_per_mm:
+        Energy of driving one flit across 1 mm of repeated interconnect;
+        used for the long MECS crossbar input lines.
+    flow_table_pj_per_access:
+        Energy of one flow-state query + update (two small SRAM ops).
+    tile_span_mm:
+        Physical span of one tile edge; wire delay between adjacent
+        routers is one cycle over this span (Table 1).
+    flit_bits:
+        Link and datapath width; 16-byte links in the paper.
+    """
+
+    process_nm: int = 32
+    voltage: float = 0.9
+    sram_um2_per_bit: float = 0.90
+    xbar_track_pitch_um: float = 0.20
+    buffer_pj_per_flit: float = 2.0
+    xbar_pj_per_port_pair_sum: float = 0.94
+    wire_pj_per_mm: float = 0.85
+    flow_table_pj_per_access: float = 0.60
+    tile_span_mm: float = 1.0
+    flit_bits: int = 128
+
+    def __post_init__(self) -> None:
+        if self.process_nm <= 0:
+            raise ModelError("process_nm must be positive")
+        if not 0.0 < self.voltage < 2.0:
+            raise ModelError("voltage must be in (0, 2) volts")
+        if self.flit_bits <= 0:
+            raise ModelError("flit_bits must be positive")
+        for name in (
+            "sram_um2_per_bit",
+            "xbar_track_pitch_um",
+            "buffer_pj_per_flit",
+            "xbar_pj_per_port_pair_sum",
+            "wire_pj_per_mm",
+            "flow_table_pj_per_access",
+            "tile_span_mm",
+        ):
+            if getattr(self, name) <= 0:
+                raise ModelError(f"{name} must be positive")
+
+    def scaled_to_voltage(self, voltage: float) -> "TechnologyParameters":
+        """Return a copy with dynamic energies scaled by (V'/V)^2.
+
+        Area is voltage-independent; all pJ coefficients scale
+        quadratically with supply voltage, the standard CV^2 relation.
+        """
+        ratio = (voltage / self.voltage) ** 2
+        return TechnologyParameters(
+            process_nm=self.process_nm,
+            voltage=voltage,
+            sram_um2_per_bit=self.sram_um2_per_bit,
+            xbar_track_pitch_um=self.xbar_track_pitch_um,
+            buffer_pj_per_flit=self.buffer_pj_per_flit * ratio,
+            xbar_pj_per_port_pair_sum=self.xbar_pj_per_port_pair_sum * ratio,
+            wire_pj_per_mm=self.wire_pj_per_mm * ratio,
+            flow_table_pj_per_access=self.flow_table_pj_per_access * ratio,
+            tile_span_mm=self.tile_span_mm,
+            flit_bits=self.flit_bits,
+        )
+
+
+DEFAULT_TECHNOLOGY = TechnologyParameters()

@@ -1,0 +1,35 @@
+"""Cycle-level network-on-chip simulator for the QoS-enabled shared region.
+
+The engine models one shared-resource column of 8 routers (Section 4 of
+the paper): virtual cut-through flow control, per-port virtual channels,
+topology-specific pipeline depths, 1-cycle wire delay per tile spanned,
+16-byte links, and a pluggable QoS policy (PVC or an idealised per-flow
+queued baseline).
+
+The engine itself is topology-agnostic; topologies compile to a
+:class:`~repro.network.fabric.FabricBuild` of stations (input buffer
+banks), output ports (serialised link/ejection resources), and per-packet
+routes.
+"""
+
+from repro.network.config import SimulationConfig
+from repro.network.engine import ColumnSimulator
+from repro.network.fabric import FabricBuild, OutputPort, Station, VirtualChannel
+from repro.network.metrics import NetworkStats
+from repro.network.packet import FlowSpec, Packet
+from repro.network.trace import TraceEvent, TraceKind, TraceRecorder
+
+__all__ = [
+    "ColumnSimulator",
+    "FabricBuild",
+    "FlowSpec",
+    "NetworkStats",
+    "OutputPort",
+    "Packet",
+    "SimulationConfig",
+    "Station",
+    "TraceEvent",
+    "TraceKind",
+    "TraceRecorder",
+    "VirtualChannel",
+]

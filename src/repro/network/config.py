@@ -1,0 +1,74 @@
+"""Simulation configuration (Table 1 plus PVC parameters)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Number of routers in the shared-region column (one column of an 8x8 grid).
+COLUMN_NODES = 8
+
+#: PVC frame length used throughout the paper's evaluation.
+PAPER_FRAME_CYCLES = 50_000
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Knobs of one simulation run.
+
+    Attributes
+    ----------
+    frame_cycles:
+        PVC frame length; all bandwidth counters are flushed every frame
+        (50K cycles in the paper; experiments may scale it down together
+        with their measurement windows).
+    window_packets:
+        Per-source window of outstanding (un-ACKed) packets supporting
+        retransmission of preempted packets.
+    ack_overhead_cycles:
+        Fixed latency added to the per-hop delay of the dedicated ACK
+        network when delivering ACKs/NACKs.
+    reserved_vc:
+        Reserve one VC at each network port for rate-compliant traffic
+        (reduces preemption incidence, Section 4).
+    reserved_quota_share:
+        Fraction of link capacity whose worth of flits per frame is
+        preemption-protected for each flow ("the first N flits from each
+        source are non-preemptable").  ``None`` defaults to an equal
+        share across all flows in the workload.
+    preemption_enabled:
+        Master switch; the per-flow-queued baseline disables preemption.
+    preemption_patience_cycles:
+        A blocked packet may resolve priority inversion by preemption
+        only after waiting this many cycles at the head of its VC.
+        Models PVC's inversion *detection* (a transient conflict is not
+        an inversion) and damps preemption thrash.
+    seed:
+        RNG seed; runs are fully deterministic given the seed.
+    """
+
+    frame_cycles: int = PAPER_FRAME_CYCLES
+    window_packets: int = 16
+    ack_overhead_cycles: int = 3
+    reserved_vc: bool = True
+    reserved_quota_share: float | None = None
+    preemption_enabled: bool = True
+    preemption_patience_cycles: int = 24
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.frame_cycles <= 0:
+            raise ConfigurationError("frame_cycles must be positive")
+        if self.window_packets <= 0:
+            raise ConfigurationError("window_packets must be positive")
+        if self.ack_overhead_cycles < 0:
+            raise ConfigurationError("ack_overhead_cycles must be non-negative")
+        if self.reserved_quota_share is not None and not (
+            0.0 <= self.reserved_quota_share <= 1.0
+        ):
+            raise ConfigurationError("reserved_quota_share must be in [0, 1]")
+        if self.preemption_patience_cycles < 0:
+            raise ConfigurationError(
+                "preemption_patience_cycles must be non-negative"
+            )

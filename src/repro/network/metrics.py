@@ -1,0 +1,137 @@
+"""Statistics collected during a simulation run.
+
+Everything the paper's figures need: per-flow delivered flits inside a
+measurement window (Table 2, Figure 6), packet latency (Figure 4),
+preemption events and wasted hop traversals in mesh-equivalent tile
+units (Figure 5, Section 5.2), and hop counts by station kind (used by
+the integrated energy ablation).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.util.stats import RunningStats
+
+
+class NetworkStats:
+    """Mutable accumulator owned by one :class:`ColumnSimulator`.
+
+    Set ``collect_latencies=True`` (or call :meth:`enable_percentiles`)
+    to retain raw in-window latency samples for percentile reporting —
+    off by default to keep long runs memory-flat.
+    """
+
+    def __init__(self, n_flows: int, *, collect_latencies: bool = False) -> None:
+        self.n_flows = n_flows
+        self.collect_latencies = collect_latencies
+        self.latency_samples: list[float] = []
+        self.created_packets = 0
+        self.created_flits = 0
+        self.injected_packets = 0
+        self.delivered_packets = 0
+        self.delivered_flits = 0
+        self.window_flits_per_flow = [0] * n_flows
+        self.delivered_packets_per_flow = [0] * n_flows
+        self.latency = RunningStats()
+        self.preemption_events = 0
+        self.preempted_pids: set[int] = set()
+        self.wasted_tiles = 0
+        self.total_tiles = 0
+        self.replays = 0
+        self.hops_by_kind: dict[str, int] = defaultdict(int)
+        self.measure_from = 0
+        self.measure_until: float = float("inf")
+
+    def set_window(self, start: int, end: float = float("inf")) -> None:
+        """Restrict per-flow flit counting and latency to [start, end)."""
+        self.measure_from = start
+        self.measure_until = end
+
+    def in_window(self, cycle: int) -> bool:
+        """Whether a delivery at ``cycle`` falls in the measured window."""
+        return self.measure_from <= cycle < self.measure_until
+
+    def record_delivery(self, flow_id: int, size: int, latency: float, cycle: int) -> None:
+        """Account one delivered packet (called at tail-delivery time)."""
+        self.delivered_packets += 1
+        self.delivered_flits += size
+        self.delivered_packets_per_flow[flow_id] += 1
+        if self.in_window(cycle):
+            self.window_flits_per_flow[flow_id] += size
+            self.latency.add(latency)
+            if self.collect_latencies:
+                self.latency_samples.append(latency)
+
+    def record_preemption(self, pid: int, wasted_tiles: int) -> None:
+        """Account one preemption event and its replayed hop traversals."""
+        self.preemption_events += 1
+        self.preempted_pids.add(pid)
+        self.wasted_tiles += wasted_tiles
+
+    def record_hop(self, kind: str, tiles: int) -> None:
+        """Account a completed link/ejection traversal."""
+        self.total_tiles += tiles
+        self.hops_by_kind[kind] += 1
+
+    @property
+    def preempted_packet_fraction(self) -> float:
+        """Preemption events over all packets created (Figure 5 bars)."""
+        if self.created_packets == 0:
+            return 0.0
+        return self.preemption_events / self.created_packets
+
+    @property
+    def wasted_hop_fraction(self) -> float:
+        """Replayed tile traversals over all tile traversals (Figure 5)."""
+        if self.total_tiles == 0:
+            return 0.0
+        return self.wasted_tiles / self.total_tiles
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean in-window packet latency in cycles."""
+        return self.latency.mean
+
+    def enable_percentiles(self) -> None:
+        """Start retaining raw latency samples for percentile queries."""
+        self.collect_latencies = True
+
+    def latency_percentile(self, fraction: float) -> float:
+        """In-window latency percentile (requires sample collection).
+
+        QoS analyses care about tails, not just means: a scheme can have
+        a healthy average while starving someone at p99.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("percentile fraction must be in [0, 1]")
+        if not self.collect_latencies:
+            raise RuntimeError(
+                "latency samples were not collected; call enable_percentiles() "
+                "before running"
+            )
+        if not self.latency_samples:
+            return 0.0
+        ordered = sorted(self.latency_samples)
+        index = min(len(ordered) - 1, int(fraction * len(ordered)))
+        return ordered[index]
+
+    @property
+    def offered_accepted_ratio(self) -> float:
+        """Delivered over created flits; < 1 when saturated or draining."""
+        if self.created_flits == 0:
+            return 0.0
+        return self.delivered_flits / self.created_flits
+
+    def summary(self) -> dict[str, float]:
+        """Compact report dictionary used by experiments and tests."""
+        return {
+            "created_packets": float(self.created_packets),
+            "delivered_packets": float(self.delivered_packets),
+            "delivered_flits": float(self.delivered_flits),
+            "mean_latency": self.mean_latency,
+            "preemption_events": float(self.preemption_events),
+            "preempted_packet_fraction": self.preempted_packet_fraction,
+            "wasted_hop_fraction": self.wasted_hop_fraction,
+            "replays": float(self.replays),
+        }

@@ -1,0 +1,163 @@
+"""Flows and packets.
+
+A *flow* is one injector: a terminal port or one of the seven MECS row
+inputs at a shared-region router (Section 4: "all injectors, including
+the row inputs").  A *packet* is the unit of transfer — one or four flits
+(request/reply classes), moved with virtual cut-through flow control so a
+packet occupies a full virtual channel at every buffered hop.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from repro.errors import TrafficError
+
+#: Default stochastic mix of packet sizes: 1-flit requests and 4-flit
+#: replies, equally likely (Table 1: "1- and 4-flit packets").
+DEFAULT_SIZE_MIX: tuple[tuple[int, float], ...] = ((1, 0.5), (4, 0.5))
+
+#: Injector port names at one router: 1 terminal + 4 east + 3 west row inputs.
+TERMINAL_PORT = "terminal"
+EAST_PORTS = ("east0", "east1", "east2", "east3")
+WEST_PORTS = ("west0", "west1", "west2")
+ALL_INJECTOR_PORTS = (TERMINAL_PORT, *EAST_PORTS, *WEST_PORTS)
+
+DestinationChooser = Callable[[int, object], int]
+
+
+@dataclass
+class FlowSpec:
+    """One injector's traffic contract.
+
+    Attributes
+    ----------
+    node:
+        Shared-region router (0..7) hosting the injector.
+    port:
+        Injector port name (:data:`ALL_INJECTOR_PORTS`).
+    rate:
+        Offered load in flits/cycle (fraction of one link's capacity).
+    weight:
+        Relative service rate programmed into PVC ("assign bandwidth or
+        priorities to flows ... by programming memory-mapped registers").
+    pattern:
+        Callable ``(src_node, rng) -> destination_node`` drawn per packet.
+    size_mix:
+        ``(flits, probability)`` pairs for the stochastic size draw.
+    packet_limit:
+        If set, the injector stops after creating this many packets
+        (used for the finite Workload 1/2 slowdown runs of Figure 6).
+    """
+
+    node: int
+    port: str = TERMINAL_PORT
+    rate: float = 0.1
+    weight: float = 1.0
+    pattern: DestinationChooser | None = None
+    size_mix: Sequence[tuple[int, float]] = DEFAULT_SIZE_MIX
+    packet_limit: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.port not in ALL_INJECTOR_PORTS:
+            raise TrafficError(f"unknown injector port {self.port!r}")
+        if self.rate < 0:
+            raise TrafficError("rate must be non-negative")
+        if self.weight <= 0:
+            raise TrafficError("weight must be positive")
+        if self.packet_limit is not None and self.packet_limit < 0:
+            raise TrafficError("packet_limit must be non-negative")
+        total = sum(p for _, p in self.size_mix)
+        if not self.size_mix or abs(total - 1.0) > 1e-9:
+            raise TrafficError("size_mix probabilities must sum to 1")
+        if any(s <= 0 for s, _ in self.size_mix):
+            raise TrafficError("packet sizes must be positive")
+
+    @property
+    def mean_packet_size(self) -> float:
+        """Expected flits per packet under the size mix."""
+        return sum(size * prob for size, prob in self.size_mix)
+
+
+class Packet:
+    """A packet in flight.
+
+    Routes are stored as two parallel tuples computed at injection:
+    ``stations[i]`` is the buffered hop the packet occupies at step ``i``
+    and ``segments[i] = (port_index, wire_delay, tile_span, next_station)``
+    is the resource it must win to advance (``next_station == -1`` means
+    ejection at the destination terminal).
+    """
+
+    __slots__ = (
+        "pid",
+        "flow_id",
+        "src",
+        "dst",
+        "size",
+        "created_at",
+        "attempt",
+        "hop_index",
+        "stations",
+        "segments",
+        "protected",
+        "tiles_done",
+        "carried_priority",
+    )
+
+    def __init__(
+        self,
+        pid: int,
+        flow_id: int,
+        src: int,
+        dst: int,
+        size: int,
+        created_at: int,
+    ) -> None:
+        self.pid = pid
+        self.flow_id = flow_id
+        self.src = src
+        self.dst = dst
+        self.size = size
+        self.created_at = created_at
+        self.attempt = 0
+        self.hop_index = 0
+        self.stations: tuple[int, ...] = ()
+        self.segments: tuple[tuple[int, int, int, int], ...] = ()
+        self.protected = False
+        self.tiles_done = 0
+        self.carried_priority = 0.0
+
+    def reset_for_replay(self) -> None:
+        """Prepare a preempted packet for retransmission from the source."""
+        self.attempt += 1
+        self.hop_index = 0
+        self.tiles_done = 0
+        self.stations = ()
+        self.segments = ()
+
+    def current_station(self) -> int:
+        """Index of the station the packet currently occupies."""
+        return self.stations[self.hop_index]
+
+    def current_segment(self) -> tuple[int, int, int, int]:
+        """(port, wire_delay, tile_span, next_station) to advance."""
+        return self.segments[self.hop_index]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Packet(pid={self.pid}, flow={self.flow_id}, {self.src}->{self.dst}, "
+            f"size={self.size}, hop={self.hop_index}/{len(self.stations)})"
+        )
+
+
+@dataclass
+class RouteRequest:
+    """Inputs a topology needs to build one packet's route."""
+
+    src_node: int
+    dst_node: int
+    injection_station: int
+    replica_hint: int = 0
+    extra: dict = field(default_factory=dict)

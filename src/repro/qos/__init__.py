@@ -1,0 +1,26 @@
+"""Quality-of-service policies for the shared-region network.
+
+* :class:`~repro.qos.pvc.PvcPolicy` — Preemptive Virtual Clock (Grot,
+  Keckler, Mutlu, MICRO 2009), the QoS mechanism the paper adopts for
+  every shared-region topology.
+* :class:`~repro.qos.perflow.PerFlowQueuedPolicy` — an idealised
+  preemption-free baseline with per-flow queuing, used as the reference
+  for Figure 6's slowdown measurement.
+* :class:`~repro.qos.base.NoQosPolicy` — FIFO arbitration with no flow
+  state, modelling the unprotected regions of the chip (used by tests
+  and the hotspot-starvation demonstration).
+"""
+
+from repro.qos.base import NoQosPolicy, QosPolicy
+from repro.qos.flow_table import FlowTable
+from repro.qos.perflow import PerFlowQueuedPolicy
+from repro.qos.pvc import PROVISIONED_INJECTORS, PvcPolicy
+
+__all__ = [
+    "FlowTable",
+    "NoQosPolicy",
+    "PerFlowQueuedPolicy",
+    "PROVISIONED_INJECTORS",
+    "PvcPolicy",
+    "QosPolicy",
+]

@@ -1,0 +1,83 @@
+"""QoS policy interface and the no-QoS reference policy.
+
+The engine delegates every QoS decision to a policy object:
+
+* packet priority at a station (lower value = served first);
+* bandwidth accounting when a packet is forwarded;
+* frame rollover;
+* preemption-eligibility rules and reserved-VC admission;
+* whether a packet is preemption-protected at creation (reserved quota).
+"""
+
+from __future__ import annotations
+
+from repro.network.fabric import Station
+from repro.network.packet import FlowSpec, Packet
+
+
+class QosPolicy:
+    """Interface implemented by PVC, the per-flow baseline, and no-QoS."""
+
+    #: Whether the engine may resolve priority inversion by preemption.
+    allow_preemption = False
+    #: Whether stations may grow extra VCs on demand (per-flow queuing).
+    allow_overflow_vcs = False
+
+    def bind(self, n_nodes: int, flows: list[FlowSpec], config) -> None:
+        """Size internal state once the engine knows the flow set."""
+
+    def priority(self, station: Station, packet: Packet, now: int) -> float:
+        """Scheduling key at a QoS station; lower is served first."""
+        raise NotImplementedError
+
+    def on_forward(self, station: Station, packet: Packet, now: int) -> None:
+        """Bandwidth accounting when ``packet`` departs ``station``."""
+
+    def on_refund(self, station: Station, packet: Packet, now: int) -> None:
+        """Reverse bandwidth accounting for a preempted packet's hops.
+
+        Discarded flits never delivered useful bandwidth; billing them
+        anyway would spiral a preempted flow's priority downward and
+        invite further preemptions of the same flow.
+        """
+
+    def on_frame(self, now: int) -> None:
+        """Frame rollover (PVC flushes all counters)."""
+
+    def on_packet_created(self, flow_id: int, size: int, now: int) -> bool:
+        """Charge injection quota; returns True if preemption-protected."""
+        return False
+
+    def is_rate_compliant(self, station: Station, packet: Packet, now: int) -> bool:
+        """Whether the packet's flow qualifies for the reserved VC."""
+        return False
+
+    def may_preempt(self, candidate_priority: float, victim_priority: float) -> bool:
+        """Whether a candidate at that priority may discard the victim."""
+        return False
+
+
+class NoQosPolicy(QosPolicy):
+    """Locally fair arbitration, no flow state, no preemption.
+
+    Models the unprotected bulk of the chip.  Each output port picks a
+    pseudo-random ready packet every cycle — fair *locally*, but on a
+    chain toward a hotspot each merge point halves the bandwidth left
+    for upstream sources, so distant sources are starved (the
+    motivating observation of prior NoC QoS work cited in Section 5.3).
+    The test suite checks exactly this geometric decay.
+    """
+
+    allow_preemption = False
+
+    def priority(self, station: Station, packet: Packet, now: int) -> float:
+        # Deterministic avalanche hash of (input port, cycle): a
+        # stateless stand-in for per-port round-robin arbitration.  All
+        # VCs of a station share the draw (switch allocation grants
+        # ports, not VCs); ties fall back to oldest-first within the
+        # port.  The mix must be non-linear in the cycle so any two
+        # ports win against each other 50/50 over time.
+        value = (station.index * 0x9E3779B1) ^ (now * 0x85EBCA6B)
+        value &= 0xFFFFFFFF
+        value = ((value ^ (value >> 13)) * 0xC2B2AE35) & 0xFFFFFFFF
+        return float(value ^ (value >> 16))

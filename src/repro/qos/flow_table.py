@@ -1,0 +1,51 @@
+"""Per-router PVC flow state.
+
+Each QoS-enabled router tracks every flow's bandwidth consumption within
+the current frame.  The table is the "flow state" component of the area
+model (Figure 3) and the "flow table" energy component (Figure 7); here
+it is the functional counter array the priority function reads.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+class FlowTable:
+    """Bandwidth counters for ``n_flows`` flows at each of ``n_nodes`` routers.
+
+    Counters accumulate flits forwarded at the router and are cleared at
+    every frame boundary ("all bandwidth counters are periodically
+    cleared; the interval between two successive flushes is a frame").
+    """
+
+    def __init__(self, n_nodes: int, n_flows: int) -> None:
+        if n_nodes <= 0 or n_flows < 0:
+            raise ConfigurationError("flow table dimensions must be positive")
+        self.n_nodes = n_nodes
+        self.n_flows = n_flows
+        self._counters = [[0] * n_flows for _ in range(n_nodes)]
+        self.frame_start = 0
+
+    def charge(self, node: int, flow_id: int, flits: int) -> None:
+        """Account ``flits`` forwarded for ``flow_id`` at ``node``."""
+        self._counters[node][flow_id] += flits
+
+    def consumed(self, node: int, flow_id: int) -> int:
+        """Flits forwarded for the flow at the router this frame."""
+        return self._counters[node][flow_id]
+
+    def flush(self, now: int) -> None:
+        """Frame rollover: clear every counter at every router."""
+        for row in self._counters:
+            for index in range(len(row)):
+                row[index] = 0
+        self.frame_start = now
+
+    def elapsed_in_frame(self, now: int) -> int:
+        """Cycles since the last flush (compliance bookkeeping)."""
+        return now - self.frame_start
+
+    def snapshot(self, node: int) -> list[int]:
+        """Copy of one router's counters (tests and diagnostics)."""
+        return list(self._counters[node])

@@ -1,0 +1,139 @@
+"""Common scaffolding for shared-region column topologies.
+
+Every topology shares the same router periphery (Section 4): one
+terminal port plus seven MECS row inputs per router (four east, three
+west, grouped at most four per crossbar port), and a terminal ejection
+port limited to one flit per cycle.  Topologies differ only in the
+column interconnect between the eight routers.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.errors import TopologyError
+from repro.models.geometry import RouterGeometry
+from repro.network.config import COLUMN_NODES, SimulationConfig
+from repro.network.fabric import KIND_INJECT, FabricBuild, OutputPort, Station
+from repro.network.packet import ALL_INJECTOR_PORTS, EAST_PORTS, TERMINAL_PORT, WEST_PORTS
+
+__all__ = ["COLUMN_NODES", "ColumnTopology", "FabricScaffold"]
+
+
+class FabricScaffold:
+    """Accumulates stations/ports and pre-builds the shared periphery."""
+
+    def __init__(self, name: str, *, inject_va_wait: int) -> None:
+        self.name = name
+        self.stations: list[Station] = []
+        self.ports: list[OutputPort] = []
+        self.injection_station: dict[tuple[int, str], int] = {}
+        self.injection_vc: dict[tuple[int, str], int] = {}
+        self.ejection_ports: dict[int, int] = {}
+        self._build_periphery(inject_va_wait)
+
+    def _build_periphery(self, inject_va_wait: int) -> None:
+        for node in range(COLUMN_NODES):
+            ejection = self.add_port(node, f"EJ@{node}", is_ejection=True)
+            self.ejection_ports[node] = ejection.index
+            groups = (
+                (TERMINAL_PORT, (TERMINAL_PORT,)),
+                ("east", EAST_PORTS),
+                ("west", WEST_PORTS),
+            )
+            for group_name, members in groups:
+                # Two VCs per injector: one draining, one staging, so a
+                # source with backlog always has an arbitration-ready
+                # packet (otherwise the refill gap after each departure
+                # forfeits slots to lower-priority competitors and
+                # defeats weighted arbitration).  The shared tx line
+                # still caps each group at one flit per cycle.
+                station = self.add_station(
+                    node,
+                    f"inj_{group_name}@{node}",
+                    KIND_INJECT,
+                    n_vcs=2 * len(members),
+                    va_wait=inject_va_wait,
+                    qos=True,
+                )
+                for slot, member in enumerate(members):
+                    self.injection_station[(node, member)] = station.index
+                    self.injection_vc[(node, member)] = 2 * slot
+
+    def add_station(
+        self,
+        node: int,
+        label: str,
+        kind: str,
+        *,
+        n_vcs: int,
+        va_wait: int,
+        qos: bool,
+        reserve_first: bool = False,
+    ) -> Station:
+        """Create and register a station; returns it with its index set."""
+        station = Station(
+            len(self.stations),
+            node,
+            label,
+            kind,
+            n_vcs=n_vcs,
+            va_wait=va_wait,
+            qos=qos,
+            reserve_first=reserve_first,
+        )
+        self.stations.append(station)
+        return station
+
+    def add_port(self, node: int, label: str, *, is_ejection: bool = False) -> OutputPort:
+        """Create and register an output port."""
+        port = OutputPort(len(self.ports), node, label, is_ejection=is_ejection)
+        self.ports.append(port)
+        return port
+
+    def finish(self, route_builder, *, replica_count: int = 1) -> FabricBuild:
+        """Assemble the immutable build handed to the engine."""
+        return FabricBuild(
+            name=self.name,
+            stations=self.stations,
+            ports=self.ports,
+            injection_station=self.injection_station,
+            injection_vc=self.injection_vc,
+            route_builder=route_builder,
+            replica_count=replica_count,
+            ejection_ports=self.ejection_ports,
+        )
+
+
+class ColumnTopology(abc.ABC):
+    """A shared-region column interconnect.
+
+    Subclasses compile themselves to a fresh :class:`FabricBuild` per
+    simulation (stations and ports are mutable run-time state) and
+    describe their router physically via :meth:`geometry`.
+    """
+
+    name: str = "abstract"
+    replica_count: int = 1
+
+    @abc.abstractmethod
+    def build(self, config: SimulationConfig | None = None) -> FabricBuild:
+        """Compile stations, ports, and the route builder."""
+
+    @abc.abstractmethod
+    def geometry(self) -> RouterGeometry:
+        """Physical router descriptor for the area/energy models."""
+
+    @staticmethod
+    def validate_endpoints(src: int, dst: int) -> None:
+        """Bounds-check a route request."""
+        if not (0 <= src < COLUMN_NODES and 0 <= dst < COLUMN_NODES):
+            raise TopologyError(f"route endpoints out of range: {src}->{dst}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def injector_port_names() -> tuple[str, ...]:
+    """All injector port names at one router (re-exported convenience)."""
+    return ALL_INJECTOR_PORTS

@@ -1,0 +1,168 @@
+"""DPS — Destination Partitioned Subnets (the paper's new topology).
+
+DPS gives every destination node its own lightweight subnetwork.  A
+packet is routed, priority-stamped, and switched only at its source and
+destination; once inside a subnet it cannot change direction or output
+port, so intermediate hops need just two input ports (network + local)
+and a single output — a 2:1 mux instead of a crossbar, no flow-state
+queries, and a single-cycle traversal.
+
+The motivation (Section 3.2) is to combine mesh-grade router complexity
+with MECS-grade efficiency on multi-hop transfers.  The cost shows up at
+the source: one column output per subnet (a 5x10 crossbar) and a flow
+table replicated per output port.
+
+Router parameters (Table 1): 5 VCs per network port; 2-stage pipeline at
+source/destination (VA, XT); 1-stage at intermediate hops.
+"""
+
+from __future__ import annotations
+
+from repro.models.geometry import BufferBank, RouterGeometry, standard_row_banks
+from repro.network.config import COLUMN_NODES, SimulationConfig
+from repro.network.fabric import KIND_DPS_END, KIND_DPS_MID, FabricBuild
+from repro.network.packet import RouteRequest
+from repro.topologies.base import ColumnTopology, FabricScaffold
+
+#: Table 1: DPS carries 5 VCs per network port.
+DPS_VCS_PER_PORT = 5
+
+#: Source/destination routers run the mesh-like 2-stage pipeline.
+DPS_END_VA_WAIT = 1
+
+#: Intermediate hops are a registered 2:1 mux: no VA wait at all.
+DPS_MID_VA_WAIT = 0
+
+
+class DpsTopology(ColumnTopology):
+    """One dedicated subnet per destination node."""
+
+    name = "dps"
+    replica_count = 1
+
+    def build(self, config: SimulationConfig | None = None) -> FabricBuild:
+        """Compile the DPS fabric: 8 subnets over 8 nodes."""
+        config = config or SimulationConfig()
+        scaffold = FabricScaffold(self.name, inject_va_wait=DPS_END_VA_WAIT)
+        reserve = config.reserved_vc
+
+        # seg_port[(subnet, node)]: the output segment leaving `node`
+        # toward `subnet`'s destination (the 2:1 mux output).  It exists
+        # for every node except the destination itself.
+        seg_port: dict[tuple[int, int], int] = {}
+        # mid_station[(subnet, node)]: through-buffer at `node` on the
+        # way to `subnet` (strictly between an entry point and the
+        # destination).
+        mid_station: dict[tuple[int, int], int] = {}
+        # end_station[(subnet, side)]: terminating input at the subnet's
+        # destination; side is "N" (traffic arriving from the north) or
+        # "S" (from the south).
+        end_station: dict[tuple[int, str], int] = {}
+
+        for subnet in range(COLUMN_NODES):
+            for node in range(COLUMN_NODES):
+                if node == subnet:
+                    continue
+                direction = "S" if node < subnet else "N"
+                seg_port[(subnet, node)] = scaffold.add_port(
+                    node, f"D{subnet}{direction}@{node}"
+                ).index
+            for node in range(1, subnet):
+                station = scaffold.add_station(
+                    node,
+                    f"Dmid{subnet}@{node}",
+                    KIND_DPS_MID,
+                    n_vcs=DPS_VCS_PER_PORT,
+                    va_wait=DPS_MID_VA_WAIT,
+                    qos=False,
+                )
+                mid_station[(subnet, node)] = station.index
+            for node in range(subnet + 1, COLUMN_NODES - 1):
+                station = scaffold.add_station(
+                    node,
+                    f"Dmid{subnet}@{node}",
+                    KIND_DPS_MID,
+                    n_vcs=DPS_VCS_PER_PORT,
+                    va_wait=DPS_MID_VA_WAIT,
+                    qos=False,
+                )
+                mid_station[(subnet, node)] = station.index
+            if subnet > 0:
+                station = scaffold.add_station(
+                    subnet,
+                    f"Dend{subnet}N",
+                    KIND_DPS_END,
+                    n_vcs=DPS_VCS_PER_PORT,
+                    va_wait=DPS_END_VA_WAIT,
+                    qos=True,
+                    reserve_first=reserve,
+                )
+                end_station[(subnet, "N")] = station.index
+            if subnet < COLUMN_NODES - 1:
+                station = scaffold.add_station(
+                    subnet,
+                    f"Dend{subnet}S",
+                    KIND_DPS_END,
+                    n_vcs=DPS_VCS_PER_PORT,
+                    va_wait=DPS_END_VA_WAIT,
+                    qos=True,
+                    reserve_first=reserve,
+                )
+                end_station[(subnet, "S")] = station.index
+
+        ejection = scaffold.ejection_ports
+
+        def route(request: RouteRequest):
+            src, dst = request.src_node, request.dst_node
+            ColumnTopology.validate_endpoints(src, dst)
+            if src == dst:
+                return (
+                    (request.injection_station,),
+                    ((ejection[dst], 0, 0, -1),),
+                )
+            step = 1 if dst > src else -1
+            side = "N" if dst > src else "S"
+            stations = [request.injection_station]
+            segments = []
+            node = src
+            while True:
+                next_node = node + step
+                if next_node == dst:
+                    landing = end_station[(dst, side)]
+                else:
+                    landing = mid_station[(dst, next_node)]
+                segments.append((seg_port[(dst, node)], 1, 1, landing))
+                stations.append(landing)
+                if next_node == dst:
+                    break
+                node = next_node
+            segments.append((ejection[dst], 0, 0, -1))
+            return tuple(stations), tuple(segments)
+
+        return scaffold.finish(route, replica_count=1)
+
+    def geometry(self) -> RouterGeometry:
+        """Mesh-like buffers; wide crossbar; flow state per output port."""
+        return RouterGeometry(
+            name=self.name,
+            row_banks=standard_row_banks(),
+            column_banks=(
+                BufferBank(
+                    ports=COLUMN_NODES - 1,
+                    vcs_per_port=DPS_VCS_PER_PORT,
+                    label="subnet through-buffers",
+                ),
+                BufferBank(
+                    ports=2,
+                    vcs_per_port=DPS_VCS_PER_PORT,
+                    label="own-subnet terminating inputs",
+                ),
+            ),
+            crossbar_inputs=5,
+            crossbar_outputs=10,
+            xbar_avg_input_wire_mm=0.1,
+            flow_table_copies=COLUMN_NODES,
+            intermediate_has_crossbar=False,
+            intermediate_has_flow_state=False,
+            notes="per-destination subnets; 2:1 mux at intermediate hops",
+        )

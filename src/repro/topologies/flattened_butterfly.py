@@ -1,0 +1,119 @@
+"""Flattened butterfly column — the paper's suggested alternative.
+
+Section 2.2 notes that the scheme only needs *single-hop reachability*
+into the shared region and that "other topologies, such as the
+flattened butterfly, could also be employed".  This module implements
+that alternative for the shared column as an extension beyond the
+paper's evaluated set.
+
+A 1-D flattened butterfly (Kim, Balfour, Dally) fully connects the
+column: every node drives a **dedicated channel to each other node**
+(vs. MECS's one shared point-to-multipoint channel per direction).
+Compared to MECS:
+
+* source-side it has 7 column output ports instead of 2, so packets to
+  different destinations never serialise on a shared channel;
+* receiver-side it is identical in port count (one input per source)
+  but the dedicated channels carry less multiplexed load, so credit
+  round-trips can be covered with fewer VCs;
+* the crossbar needs a switch port per destination, DPS-style, making
+  the router larger than MECS's.
+
+Router parameters chosen symmetrically with Table 1's methodology:
+8 VCs per network port (shorter effective credit loops than MECS's 14),
+3-stage pipeline like MECS (many ports to arbitrate), wire delay of one
+cycle per tile spanned.
+"""
+
+from __future__ import annotations
+
+from repro.models.geometry import BufferBank, RouterGeometry, standard_row_banks
+from repro.network.config import COLUMN_NODES, SimulationConfig
+from repro.network.fabric import KIND_MECS, FabricBuild
+from repro.network.packet import RouteRequest
+from repro.topologies.base import ColumnTopology, FabricScaffold
+
+#: VCs per network port: between mesh (6) and MECS (14), covering a
+#: dedicated channel's round-trip credit latency.
+FBFLY_VCS_PER_PORT = 8
+
+#: 3-stage pipeline: the high-radix arbitration matches MECS's.
+FBFLY_VA_WAIT = 2
+
+
+class FlattenedButterflyTopology(ColumnTopology):
+    """Fully connected column: a dedicated channel per (src, dst) pair."""
+
+    name = "fbfly"
+    replica_count = 1
+
+    def build(self, config: SimulationConfig | None = None) -> FabricBuild:
+        """Compile the flattened-butterfly fabric."""
+        config = config or SimulationConfig()
+        scaffold = FabricScaffold(self.name, inject_va_wait=FBFLY_VA_WAIT)
+        reserve = config.reserved_vc
+
+        channel: dict[tuple[int, int], int] = {}
+        landing: dict[tuple[int, int], int] = {}
+        for src in range(COLUMN_NODES):
+            for dst in range(COLUMN_NODES):
+                if src == dst:
+                    continue
+                channel[(src, dst)] = scaffold.add_port(
+                    src, f"FB@{src}->{dst}"
+                ).index
+                station = scaffold.add_station(
+                    dst,
+                    f"FBin@{dst}<-{src}",
+                    KIND_MECS,
+                    n_vcs=FBFLY_VCS_PER_PORT,
+                    va_wait=FBFLY_VA_WAIT,
+                    qos=True,
+                    reserve_first=reserve,
+                )
+                landing[(src, dst)] = station.index
+
+        ejection = scaffold.ejection_ports
+
+        def route(request: RouteRequest):
+            src, dst = request.src_node, request.dst_node
+            ColumnTopology.validate_endpoints(src, dst)
+            if src == dst:
+                return (
+                    (request.injection_station,),
+                    ((ejection[dst], 0, 0, -1),),
+                )
+            distance = abs(dst - src)
+            return (
+                (request.injection_station, landing[(src, dst)]),
+                (
+                    (channel[(src, dst)], distance, distance, landing[(src, dst)]),
+                    (ejection[dst], 0, 0, -1),
+                ),
+            )
+
+        return scaffold.finish(route, replica_count=1)
+
+    def geometry(self) -> RouterGeometry:
+        """DPS-like wide switch; MECS-like per-source input buffering."""
+        return RouterGeometry(
+            name=self.name,
+            row_banks=standard_row_banks(),
+            column_banks=(
+                BufferBank(
+                    ports=COLUMN_NODES - 1,
+                    vcs_per_port=FBFLY_VCS_PER_PORT,
+                    label="column inputs (one per source)",
+                ),
+            ),
+            # Inputs: east group, west group, terminal, north group,
+            # south group; outputs: east, west, terminal + 7 dedicated
+            # column channels.
+            crossbar_inputs=5,
+            crossbar_outputs=10,
+            xbar_avg_input_wire_mm=3.5,
+            flow_table_copies=COLUMN_NODES,
+            intermediate_has_crossbar=True,
+            intermediate_has_flow_state=True,
+            notes="fully connected column; dedicated channel per pair",
+        )

@@ -1,0 +1,114 @@
+"""MECS column topology (Multidrop Express Channels).
+
+Each node drives one point-to-multipoint channel per direction that
+reaches every node on that side; any source-destination pair is a single
+network hop.  Receivers keep a dedicated input port per source (seven
+column inputs at each router), with up to four same-direction inputs
+sharing one crossbar port — which is why the router needs only a 5x5
+switch but pays for long input wires and deep buffers.
+
+Router parameters (Table 1): 14 VCs per network port (to cover the long
+round-trip credit latency of multi-tile channels), 3-stage pipeline
+(VA-local, VA-global, XT), wire delay of one cycle per tile spanned.
+"""
+
+from __future__ import annotations
+
+from repro.models.geometry import BufferBank, RouterGeometry, standard_row_banks
+from repro.network.config import COLUMN_NODES, SimulationConfig
+from repro.network.fabric import KIND_MECS, FabricBuild
+from repro.network.packet import RouteRequest
+from repro.topologies.base import ColumnTopology, FabricScaffold
+
+#: Table 1: MECS routers carry 14 VCs per network port.
+MECS_VCS_PER_PORT = 14
+
+#: Table 1: 3-stage pipeline -> 2 cycles of VA wait before crossbar
+#: traversal (VA-local, VA-global, XT).
+MECS_VA_WAIT = 2
+
+#: Average column-input wire length feeding the crossbar, in mm: a drop
+#: point sits half the column span away from the switch on average.
+MECS_AVG_INPUT_WIRE_MM = 3.5
+
+
+class MecsTopology(ColumnTopology):
+    """Point-to-multipoint channels; single-hop column reachability."""
+
+    name = "mecs"
+    replica_count = 1
+
+    def build(self, config: SimulationConfig | None = None) -> FabricBuild:
+        """Compile the MECS fabric."""
+        config = config or SimulationConfig()
+        scaffold = FabricScaffold(self.name, inject_va_wait=MECS_VA_WAIT)
+        reserve = config.reserved_vc
+
+        # Output channel per node per direction (point-to-multipoint).
+        south_out = [-1] * COLUMN_NODES
+        north_out = [-1] * COLUMN_NODES
+        for node in range(COLUMN_NODES - 1):
+            south_out[node] = scaffold.add_port(node, f"MS@{node}").index
+        for node in range(1, COLUMN_NODES):
+            north_out[node] = scaffold.add_port(node, f"MN@{node}").index
+
+        # Input station at each destination per source node.
+        in_station: dict[tuple[int, int], int] = {}
+        for dst in range(COLUMN_NODES):
+            for src in range(COLUMN_NODES):
+                if src == dst:
+                    continue
+                station = scaffold.add_station(
+                    dst,
+                    f"Min@{dst}<-{src}",
+                    KIND_MECS,
+                    n_vcs=MECS_VCS_PER_PORT,
+                    va_wait=MECS_VA_WAIT,
+                    qos=True,
+                    reserve_first=reserve,
+                )
+                in_station[(src, dst)] = station.index
+
+        ejection = scaffold.ejection_ports
+
+        def route(request: RouteRequest):
+            src, dst = request.src_node, request.dst_node
+            ColumnTopology.validate_endpoints(src, dst)
+            if src == dst:
+                return (
+                    (request.injection_station,),
+                    ((ejection[dst], 0, 0, -1),),
+                )
+            distance = abs(dst - src)
+            channel = south_out[src] if dst > src else north_out[src]
+            landing = in_station[(src, dst)]
+            return (
+                (request.injection_station, landing),
+                (
+                    (channel, distance, distance, landing),
+                    (ejection[dst], 0, 0, -1),
+                ),
+            )
+
+        return scaffold.finish(route, replica_count=1)
+
+    def geometry(self) -> RouterGeometry:
+        """Large buffers, compact 5x5 crossbar fed by long input lines."""
+        return RouterGeometry(
+            name=self.name,
+            row_banks=standard_row_banks(),
+            column_banks=(
+                BufferBank(
+                    ports=COLUMN_NODES - 1,
+                    vcs_per_port=MECS_VCS_PER_PORT,
+                    label="column inputs (one per source)",
+                ),
+            ),
+            crossbar_inputs=5,
+            crossbar_outputs=5,
+            xbar_avg_input_wire_mm=MECS_AVG_INPUT_WIRE_MM,
+            flow_table_copies=1,
+            intermediate_has_crossbar=True,
+            intermediate_has_flow_state=True,
+            notes="asymmetric router: many inputs share one switch port per direction",
+        )

@@ -1,0 +1,171 @@
+"""Mesh column topologies: baseline and replicated (mesh x1/x2/x4).
+
+The baseline mesh connects adjacent routers with one channel per
+direction.  Replicated variants multiply the channels (and the
+associated router ports) by the replication degree while keeping a
+single monolithic crossbar per node — the variant of Balfour & Dally's
+replicated networks that Section 3.2 adopts.  Packets pick a replica by
+round-robin at the source; the replica choice is fixed for the packet's
+whole path (subnetworks are independent), which is what produces the
+destination-convergence preemption thrashing of Figure 5.
+
+Router parameters (Table 1): 6 VCs per network port, 2-stage pipeline
+(VA, XT), 1-cycle wire between adjacent routers.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TopologyError
+from repro.models.geometry import BufferBank, RouterGeometry, standard_row_banks
+from repro.network.config import COLUMN_NODES, SimulationConfig
+from repro.network.fabric import KIND_MESH, FabricBuild
+from repro.network.packet import RouteRequest
+from repro.topologies.base import ColumnTopology, FabricScaffold
+
+#: Table 1: mesh routers carry 6 VCs per network port.
+MESH_VCS_PER_PORT = 6
+
+#: Table 1: 2-stage pipeline (VA, XT) -> 1 cycle of VA wait before the
+#: crossbar-traversal cycle the engine charges at transfer time.
+MESH_VA_WAIT = 1
+
+
+#: Replica selection policies for replicated meshes.
+REPLICA_PACKET_RR = "packet_rr"
+REPLICA_PER_FLOW = "per_flow"
+
+
+class MeshTopology(ColumnTopology):
+    """1-D mesh with ``replication`` parallel channels per direction.
+
+    ``replica_policy`` selects how packets spread over the replicas:
+
+    * ``packet_rr`` (default, the paper's behaviour) — round-robin per
+      packet at the source.  Packets of one flow diverge onto parallel
+      subnetworks and re-converge at the destination, producing the
+      preemption thrashing of Figure 5.
+    * ``per_flow`` — a static hash of the injection station pins each
+      flow to one replica; no destination re-convergence, at the cost
+      of load-balancing flexibility.  Used by the replica-policy
+      ablation study.
+    """
+
+    def __init__(
+        self, replication: int = 1, *, replica_policy: str = REPLICA_PACKET_RR
+    ) -> None:
+        if replication not in (1, 2, 4):
+            raise TopologyError("the paper evaluates mesh x1, x2, and x4 only")
+        if replica_policy not in (REPLICA_PACKET_RR, REPLICA_PER_FLOW):
+            raise TopologyError(f"unknown replica policy {replica_policy!r}")
+        self.replication = replication
+        self.replica_policy = replica_policy
+        self.name = f"mesh_x{replication}"
+        self.replica_count = replication
+
+    def build(self, config: SimulationConfig | None = None) -> FabricBuild:
+        """Compile the mesh fabric."""
+        config = config or SimulationConfig()
+        scaffold = FabricScaffold(self.name, inject_va_wait=MESH_VA_WAIT)
+        reserve = config.reserved_vc
+
+        # south_in[k][n]: input station at node n for southbound traffic
+        # on replica k (exists for n >= 1); north_in likewise for n <= 6.
+        south_in = [[-1] * COLUMN_NODES for _ in range(self.replication)]
+        north_in = [[-1] * COLUMN_NODES for _ in range(self.replication)]
+        south_port = [[-1] * COLUMN_NODES for _ in range(self.replication)]
+        north_port = [[-1] * COLUMN_NODES for _ in range(self.replication)]
+
+        for replica in range(self.replication):
+            for node in range(1, COLUMN_NODES):
+                station = scaffold.add_station(
+                    node,
+                    f"mS{replica}@{node}",
+                    KIND_MESH,
+                    n_vcs=MESH_VCS_PER_PORT,
+                    va_wait=MESH_VA_WAIT,
+                    qos=True,
+                    reserve_first=reserve,
+                )
+                south_in[replica][node] = station.index
+            for node in range(COLUMN_NODES - 1):
+                station = scaffold.add_station(
+                    node,
+                    f"mN{replica}@{node}",
+                    KIND_MESH,
+                    n_vcs=MESH_VCS_PER_PORT,
+                    va_wait=MESH_VA_WAIT,
+                    qos=True,
+                    reserve_first=reserve,
+                )
+                north_in[replica][node] = station.index
+            for node in range(COLUMN_NODES - 1):
+                south_port[replica][node] = scaffold.add_port(
+                    node, f"S{replica}@{node}"
+                ).index
+            for node in range(1, COLUMN_NODES):
+                north_port[replica][node] = scaffold.add_port(
+                    node, f"N{replica}@{node}"
+                ).index
+
+        ejection = scaffold.ejection_ports
+        replication = self.replication
+        per_flow = self.replica_policy == REPLICA_PER_FLOW
+
+        def route(request: RouteRequest):
+            src, dst = request.src_node, request.dst_node
+            ColumnTopology.validate_endpoints(src, dst)
+            if src == dst:
+                return (
+                    (request.injection_station,),
+                    ((ejection[dst], 0, 0, -1),),
+                )
+            if per_flow:
+                replica = request.injection_station % replication
+            else:
+                replica = request.replica_hint % replication
+            stations = [request.injection_station]
+            segments = []
+            if dst > src:
+                hops = range(src + 1, dst + 1)
+                in_table, port_table = south_in, south_port
+                port_of = lambda n: port_table[replica][n]  # noqa: E731
+                prev = src
+                for node in hops:
+                    segments.append((port_of(prev), 1, 1, in_table[replica][node]))
+                    stations.append(in_table[replica][node])
+                    prev = node
+            else:
+                hops = range(src - 1, dst - 1, -1)
+                prev = src
+                for node in hops:
+                    segments.append(
+                        (north_port[replica][prev], 1, 1, north_in[replica][node])
+                    )
+                    stations.append(north_in[replica][node])
+                    prev = node
+            segments.append((ejection[dst], 0, 0, -1))
+            return tuple(stations), tuple(segments)
+
+        return scaffold.finish(route, replica_count=self.replication)
+
+    def geometry(self) -> RouterGeometry:
+        """5x5 crossbar at x1, growing to 11x11 at x4 (Section 5.1)."""
+        column_ports = 2 * self.replication
+        return RouterGeometry(
+            name=self.name,
+            row_banks=standard_row_banks(),
+            column_banks=(
+                BufferBank(
+                    ports=column_ports,
+                    vcs_per_port=MESH_VCS_PER_PORT,
+                    label="column inputs",
+                ),
+            ),
+            crossbar_inputs=3 + column_ports,
+            crossbar_outputs=3 + column_ports,
+            xbar_avg_input_wire_mm=0.1,
+            flow_table_copies=1,
+            intermediate_has_crossbar=True,
+            intermediate_has_flow_state=True,
+            notes=f"{self.replication}-way replicated channels, monolithic crossbar",
+        )

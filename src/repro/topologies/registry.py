@@ -1,0 +1,40 @@
+"""Name-based topology registry used by experiments and examples."""
+
+from __future__ import annotations
+
+from repro.errors import TopologyError
+from repro.topologies.base import ColumnTopology
+from repro.topologies.dps import DpsTopology
+from repro.topologies.flattened_butterfly import FlattenedButterflyTopology
+from repro.topologies.mecs import MecsTopology
+from repro.topologies.mesh import MeshTopology
+
+#: Evaluation order used throughout the paper's tables and figures.
+TOPOLOGY_NAMES: tuple[str, ...] = ("mesh_x1", "mesh_x2", "mesh_x4", "mecs", "dps")
+
+#: The paper's set plus the flattened-butterfly extension (Section 2.2
+#: names it as an alternative but does not evaluate it).
+EXTENDED_TOPOLOGY_NAMES: tuple[str, ...] = (*TOPOLOGY_NAMES, "fbfly")
+
+
+def get_topology(name: str) -> ColumnTopology:
+    """Instantiate a topology by its paper name.
+
+    >>> get_topology("dps").name
+    'dps'
+    """
+    if name == "mesh_x1":
+        return MeshTopology(1)
+    if name == "mesh_x2":
+        return MeshTopology(2)
+    if name == "mesh_x4":
+        return MeshTopology(4)
+    if name == "mecs":
+        return MecsTopology()
+    if name == "dps":
+        return DpsTopology()
+    if name == "fbfly":
+        return FlattenedButterflyTopology()
+    raise TopologyError(
+        f"unknown topology {name!r}; expected one of {EXTENDED_TOPOLOGY_NAMES}"
+    )

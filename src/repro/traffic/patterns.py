@@ -1,0 +1,71 @@
+"""Destination-selection patterns over the 8-node shared column.
+
+A pattern is a callable ``(src_node, rng) -> dst_node`` drawn once per
+packet, matching the engine's :class:`~repro.network.packet.FlowSpec`
+contract.  The paper's evaluation uses uniform random (benign), tornado
+(adversarial for rings/meshes), and hotspot (fairness stress); the
+extras are standard permutations kept for wider coverage.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.errors import TrafficError
+from repro.network.config import COLUMN_NODES
+
+Pattern = Callable[[int, object], int]
+
+
+def uniform_random(src: int, rng) -> int:
+    """Uniformly random destination among the other nodes.
+
+    "Different sources stochastically spreading traffic across different
+    destinations" — the benign pattern of Figure 4(a).
+    """
+    dst = rng.uniform_int(0, COLUMN_NODES - 2)
+    return dst if dst < src else dst + 1
+
+
+def tornado(src: int, rng) -> int:
+    """Destination half-way across the dimension: ``(src + N/2) mod N``.
+
+    A challenge workload for rings and meshes (Figure 4(b)); every
+    source concentrates on one distant destination, loading the centre
+    links heavily while MECS/DPS isolate each pair.
+    """
+    return (src + COLUMN_NODES // 2) % COLUMN_NODES
+
+
+def hotspot(target: int = 0) -> Pattern:
+    """All traffic converges on ``target`` (Table 2 / Figure 5 setup).
+
+    Returns a pattern closure so the hotspot node is configurable; the
+    paper uses the terminal port of node 0.
+    """
+    if not 0 <= target < COLUMN_NODES:
+        raise TrafficError(f"hotspot target {target} out of range")
+
+    def pattern(src: int, rng) -> int:
+        return target
+
+    return pattern
+
+
+def nearest_neighbor(src: int, rng) -> int:
+    """Random adjacent destination (short-haul stress; favours DPS)."""
+    if src == 0:
+        return 1
+    if src == COLUMN_NODES - 1:
+        return COLUMN_NODES - 2
+    return src + (1 if rng.bernoulli(0.5) else -1)
+
+
+def bit_reversal(src: int, rng) -> int:
+    """3-bit bit-reversal permutation (classic NoC benchmark extra)."""
+    reversed_bits = int(f"{src:03b}"[::-1], 2)
+    if reversed_bits == src:
+        # Fixed points fall back to the benign uniform pattern so the
+        # injector still exercises the network.
+        return uniform_random(src, rng)
+    return reversed_bits

@@ -1,0 +1,13 @@
+"""Small shared helpers: deterministic RNG, stats, and ASCII tables."""
+
+from repro.util.rng import DeterministicRng
+from repro.util.stats import RunningStats, mean, population_std
+from repro.util.tables import format_table
+
+__all__ = [
+    "DeterministicRng",
+    "RunningStats",
+    "mean",
+    "population_std",
+    "format_table",
+]

@@ -1,0 +1,100 @@
+"""Minimal ASCII charts for terminal reports.
+
+The CLI renders latency curves and component breakdowns without any
+plotting dependency: a multi-series line chart on a character canvas
+and a labelled horizontal bar chart.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.errors import ConfigurationError
+
+_MARKERS = "ox+*#@%&"
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    *,
+    width: int = 40,
+    title: str | None = None,
+    unit: str = "",
+) -> str:
+    """Horizontal bars scaled to the largest value.
+
+    >>> print(bar_chart({"a": 2.0, "b": 1.0}, width=4))
+    a  2.000  ####
+    b  1.000  ##
+    """
+    if not values:
+        raise ConfigurationError("bar_chart needs at least one value")
+    peak = max(values.values())
+    label_width = max(len(label) for label in values)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in values.items():
+        length = 0 if peak <= 0 else max(1, round(width * value / peak))
+        bar = "#" * length if value > 0 else ""
+        suffix = f" {unit}" if unit else ""
+        lines.append(f"{label.ljust(label_width)}  {value:.3f}{suffix}  {bar}")
+    return "\n".join(lines)
+
+
+def line_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    *,
+    width: int = 60,
+    height: int = 16,
+    title: str | None = None,
+    y_cap: float | None = None,
+) -> str:
+    """Multi-series scatter/line chart on a character canvas.
+
+    Each series is a list of (x, y) points; series are drawn with
+    distinct markers and listed in a legend.  ``y_cap`` clips saturated
+    latency blow-ups so the interesting region stays readable.
+    """
+    if not series or all(not points for points in series.values()):
+        raise ConfigurationError("line_chart needs at least one point")
+    xs = [x for points in series.values() for x, _ in points]
+    ys = [min(y, y_cap) if y_cap else y for points in series.values() for _, y in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for index, (name, points) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in points:
+            if y_cap is not None:
+                y = min(y, y_cap)
+            column = round((x - x_low) / x_span * (width - 1))
+            row = height - 1 - round((y - y_low) / y_span * (height - 1))
+            canvas[row][column] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_high:.1f}"
+    bottom_label = f"{y_low:.1f}"
+    gutter = max(len(top_label), len(bottom_label))
+    for row_index, row in enumerate(canvas):
+        if row_index == 0:
+            label = top_label.rjust(gutter)
+        elif row_index == height - 1:
+            label = bottom_label.rjust(gutter)
+        else:
+            label = " " * gutter
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * gutter + " +" + "-" * width)
+    lines.append(
+        " " * gutter + f"  {x_low:g}".ljust(width // 2) + f"{x_high:g}".rjust(width // 2)
+    )
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(legend)
+    return "\n".join(lines)

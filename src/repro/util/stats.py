@@ -1,0 +1,84 @@
+"""Tiny statistics helpers used by metrics collection and experiments.
+
+These are deliberately dependency-free (no numpy import at module scope in
+the hot simulation path) and operate on plain Python floats.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty sequence."""
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def population_std(values: Sequence[float]) -> float:
+    """Population standard deviation; 0.0 for fewer than two samples."""
+    if len(values) < 2:
+        return 0.0
+    mu = mean(values)
+    variance = sum((v - mu) ** 2 for v in values) / len(values)
+    return math.sqrt(variance)
+
+
+class RunningStats:
+    """Single-pass accumulator for count / mean / min / max / std.
+
+    Uses Welford's algorithm so it is numerically stable for long
+    simulations accumulating millions of latency samples.
+    """
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def add(self, value: float) -> None:
+        """Fold one sample into the accumulator."""
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Fold many samples into the accumulator."""
+        for value in values:
+            self.add(value)
+
+    @property
+    def mean(self) -> float:
+        """Mean of the samples seen so far (0.0 when empty)."""
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Population variance of the samples seen so far."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / self.count
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation of the samples seen so far."""
+        return math.sqrt(self.variance)
+
+    def as_dict(self) -> dict[str, float]:
+        """Summary dictionary, convenient for experiment reports."""
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "min": self.minimum if self.count else 0.0,
+            "max": self.maximum if self.count else 0.0,
+            "std": self.std,
+        }

@@ -1,0 +1,32 @@
+"""Shared fixtures: fast simulator builders and canonical configs."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from helpers import build_simulator  # noqa: E402
+from repro.network.config import SimulationConfig  # noqa: E402
+from repro.topologies.registry import TOPOLOGY_NAMES  # noqa: E402
+
+
+@pytest.fixture
+def fast_config() -> SimulationConfig:
+    """Short-frame config used by most engine tests."""
+    return SimulationConfig(frame_cycles=2000, seed=7)
+
+
+@pytest.fixture(params=TOPOLOGY_NAMES)
+def topology_name(request) -> str:
+    """Parametrises a test across all five shared-region topologies."""
+    return request.param
+
+
+@pytest.fixture
+def make_simulator():
+    """Fixture wrapper around :func:`build_simulator`."""
+    return build_simulator

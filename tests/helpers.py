@@ -1,0 +1,24 @@
+"""Test helpers shared across modules."""
+
+from __future__ import annotations
+
+from repro.network.config import SimulationConfig
+from repro.network.engine import ColumnSimulator
+from repro.qos.pvc import PvcPolicy
+from repro.topologies.registry import get_topology
+from repro.traffic.workloads import uniform_workload
+
+
+def build_simulator(
+    topology_name: str,
+    flows=None,
+    *,
+    policy=None,
+    config: SimulationConfig | None = None,
+) -> ColumnSimulator:
+    """One-liner simulator builder used across the test suite."""
+    config = config or SimulationConfig(frame_cycles=2000, seed=7)
+    flows = flows if flows is not None else uniform_workload(0.05)
+    policy = policy or PvcPolicy()
+    topology = get_topology(topology_name)
+    return ColumnSimulator(topology.build(config), flows, policy, config)

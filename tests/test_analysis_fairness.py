@@ -1,0 +1,106 @@
+"""Max-min allocation and fairness reports (property-based)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.fairness import (
+    deviation_from_expected,
+    fairness_report,
+    max_min_allocation,
+)
+from repro.errors import ConfigurationError
+
+demands_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False), min_size=1, max_size=16
+)
+
+
+def test_max_min_paper_example():
+    # Workload 1's setting: under-share sources get their full demand,
+    # the rest split the remainder equally.
+    allocation = max_min_allocation(
+        [0.05, 0.08, 0.11, 0.14, 0.16, 0.18, 0.19, 0.20], 1.0
+    )
+    assert allocation[0] == pytest.approx(0.05)
+    assert allocation[1] == pytest.approx(0.08)
+    assert allocation[2] == pytest.approx(0.11)
+    # The four largest demands are capped at an equal level.
+    top = allocation[4:]
+    assert max(top) - min(top) < 1e-9
+    assert sum(allocation) == pytest.approx(1.0)
+
+
+def test_max_min_with_plentiful_capacity():
+    assert max_min_allocation([0.1, 0.2], 1.0) == [
+        pytest.approx(0.1),
+        pytest.approx(0.2),
+    ]
+
+
+def test_max_min_zero_capacity():
+    assert max_min_allocation([0.5, 0.5], 0.0) == [0.0, 0.0]
+
+
+def test_max_min_rejects_negatives():
+    with pytest.raises(ConfigurationError):
+        max_min_allocation([-0.1], 1.0)
+    with pytest.raises(ConfigurationError):
+        max_min_allocation([0.1], -1.0)
+
+
+@given(demands_strategy, st.floats(min_value=0.0, max_value=4.0, allow_nan=False))
+def test_max_min_properties(demands, capacity):
+    allocation = max_min_allocation(demands, capacity)
+    # Never exceed demand, never negative.
+    for got, want in zip(allocation, demands):
+        assert -1e-12 <= got <= want + 1e-9
+    # Never exceed capacity.
+    assert sum(allocation) <= capacity + 1e-9
+    # Work-conserving: either all demand met or all capacity used.
+    assert (
+        math.isclose(sum(allocation), min(sum(demands), capacity), abs_tol=1e-6)
+    )
+
+
+@given(demands_strategy)
+def test_max_min_unsatisfied_sources_get_equal_shares(demands):
+    capacity = sum(demands) * 0.5
+    allocation = max_min_allocation(demands, capacity)
+    unsatisfied = [
+        alloc for alloc, demand in zip(allocation, demands) if alloc < demand - 1e-9
+    ]
+    if len(unsatisfied) >= 2:
+        assert max(unsatisfied) - min(unsatisfied) < 1e-6
+
+
+def test_fairness_report_table2_shape():
+    report = fairness_report([98, 100, 102])
+    assert report.mean_flits == pytest.approx(100.0)
+    assert report.min_relative == pytest.approx(0.98)
+    assert report.max_relative == pytest.approx(1.02)
+    assert report.max_deviation == pytest.approx(0.02)
+
+
+def test_fairness_report_rejects_empty():
+    with pytest.raises(ConfigurationError):
+        fairness_report([])
+
+
+def test_deviation_from_expected():
+    deviations, avg, lo, hi = deviation_from_expected([90.0, 110.0], [100.0, 100.0])
+    assert deviations == [pytest.approx(-0.1), pytest.approx(0.1)]
+    assert avg == pytest.approx(0.0)
+    assert lo == pytest.approx(-0.1)
+    assert hi == pytest.approx(0.1)
+
+
+def test_deviation_handles_zero_expectation():
+    deviations, avg, lo, hi = deviation_from_expected([5.0], [0.0])
+    assert deviations == [0.0]
+
+
+def test_deviation_rejects_length_mismatch():
+    with pytest.raises(ConfigurationError):
+        deviation_from_expected([1.0], [1.0, 2.0])

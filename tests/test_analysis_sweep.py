@@ -1,0 +1,50 @@
+"""Load-sweep harness mechanics."""
+
+from repro.analysis.sweep import LatencyPoint, latency_throughput_sweep
+from repro.network.config import SimulationConfig
+from repro.qos.perflow import PerFlowQueuedPolicy
+from repro.traffic.workloads import uniform_workload
+
+_FAST = SimulationConfig(frame_cycles=2000, seed=4)
+
+
+def test_sweep_one_point_per_rate():
+    points = latency_throughput_sweep(
+        "dps", uniform_workload, [0.02, 0.05, 0.08],
+        cycles=1200, warmup=300, config=_FAST,
+    )
+    assert [point.rate for point in points] == [0.02, 0.05, 0.08]
+    assert all(isinstance(point, LatencyPoint) for point in points)
+
+
+def test_sweep_latency_grows_with_load():
+    points = latency_throughput_sweep(
+        "mesh_x1", uniform_workload, [0.02, 0.30],
+        cycles=2000, warmup=500, config=_FAST,
+    )
+    assert points[1].mean_latency > points[0].mean_latency
+
+
+def test_sweep_throughput_grows_below_saturation():
+    points = latency_throughput_sweep(
+        "mecs", uniform_workload, [0.02, 0.06],
+        cycles=2000, warmup=500, config=_FAST,
+    )
+    assert points[1].delivered_flits > points[0].delivered_flits
+
+
+def test_sweep_accepts_alternate_policy():
+    points = latency_throughput_sweep(
+        "mesh_x1", uniform_workload, [0.05],
+        cycles=1200, warmup=300, config=_FAST,
+        policy_factory=PerFlowQueuedPolicy,
+    )
+    assert points[0].preemption_events == 0
+
+
+def test_sweep_accepted_ratio_bounded():
+    points = latency_throughput_sweep(
+        "dps", uniform_workload, [0.05],
+        cycles=1500, warmup=300, config=_FAST,
+    )
+    assert 0.0 < points[0].accepted_ratio <= 1.0

@@ -1,0 +1,102 @@
+"""Domain allocation: placement quality, exclusivity, release."""
+
+import pytest
+
+from repro.core.allocator import DomainAllocator
+from repro.core.chip import Chip, ChipConfig
+from repro.core.domain import is_convex
+from repro.errors import AllocationError
+
+
+def test_allocates_requested_size_or_slightly_more():
+    allocator = DomainAllocator(Chip())
+    domain = allocator.allocate("vm", 6)
+    assert 6 <= domain.size <= 6  # 6 = 2x3 or 1x6 rectangles exist
+    assert is_convex(domain.nodes)
+
+
+def test_allocation_is_convex_and_avoids_shared_column():
+    allocator = DomainAllocator(Chip())
+    domain = allocator.allocate("vm", 10)
+    assert is_convex(domain.nodes)
+    chip = Chip()
+    assert all(not chip.is_shared(node) for node in domain.nodes)
+
+
+def test_allocations_are_mutually_exclusive():
+    allocator = DomainAllocator(Chip())
+    a = allocator.allocate("a", 8)
+    b = allocator.allocate("b", 8)
+    assert a.nodes.isdisjoint(b.nodes)
+
+
+def test_prefers_placement_near_shared_column():
+    allocator = DomainAllocator(Chip())
+    domain = allocator.allocate("vm", 4)
+    xs = [x for x, _ in domain.nodes]
+    centroid = sum(xs) / len(xs)
+    # The shared column is at x=4; a fresh chip should place adjacent.
+    assert abs(centroid - 4) <= 1.5
+
+
+def test_release_returns_capacity():
+    allocator = DomainAllocator(Chip())
+    before = allocator.free_nodes
+    allocator.allocate("vm", 12)
+    assert allocator.free_nodes == before - 12
+    allocator.release("vm")
+    assert allocator.free_nodes == before
+
+
+def test_exhaustion_raises():
+    allocator = DomainAllocator(Chip())
+    # The shared column splits the chip into a 4x8 and a 3x8 region.
+    allocator.allocate("west", 32)
+    allocator.allocate("east", 24)
+    assert allocator.free_nodes == 0
+    with pytest.raises(AllocationError):
+        allocator.allocate("more", 1)
+
+
+def test_rectangle_cannot_straddle_shared_column():
+    allocator = DomainAllocator(Chip())
+    # 33 nodes exceeds the largest compute rectangle (4x8 west of the
+    # column) even though 56 are free.
+    with pytest.raises(AllocationError):
+        allocator.allocate("wide", 33)
+
+
+def test_fragmentation_raises_even_with_enough_total():
+    # A 1-wide chip strip: allocate the two ends, leaving scattered
+    # space that cannot host a 4-node rectangle contiguously.
+    chip = Chip(ChipConfig(width=3, height=8, shared_columns=(1,)))
+    allocator = DomainAllocator(chip)
+    # Columns 0 and 2 are free (8 nodes each). Claim 6 of column 0 and
+    # 6 of column 2, leaving 2+2 split nodes: no 4-rectangle fits.
+    allocator.allocate_explicit("a", {(0, y) for y in range(6)})
+    allocator.allocate_explicit("b", {(2, y) for y in range(6)})
+    with pytest.raises(AllocationError):
+        allocator.allocate("c", 4)
+
+
+def test_allocate_explicit_checks_freeness():
+    allocator = DomainAllocator(Chip())
+    allocator.allocate_explicit("a", {(0, 0)})
+    with pytest.raises(AllocationError):
+        allocator.allocate_explicit("b", {(0, 0)})
+
+
+def test_rejects_nonpositive_and_oversized_requests():
+    allocator = DomainAllocator(Chip())
+    with pytest.raises(AllocationError):
+        allocator.allocate("vm", 0)
+    with pytest.raises(AllocationError):
+        allocator.allocate("vm", 57)
+
+
+def test_is_free_tracking():
+    allocator = DomainAllocator(Chip())
+    assert allocator.is_free((0, 0))
+    assert not allocator.is_free((4, 0))  # shared column, never free
+    allocator.allocate_explicit("a", {(0, 0)})
+    assert not allocator.is_free((0, 0))

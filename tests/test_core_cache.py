@@ -1,0 +1,104 @@
+"""Intra-domain shared-cache model."""
+
+import pytest
+
+from repro.core.cache import (
+    CacheOrganisation,
+    domain_cache_analysis,
+    mean_pairwise_hops,
+    miss_ratio,
+    shared_wins,
+)
+from repro.core.chip import Chip
+from repro.core.domain import Domain
+from repro.errors import ConfigurationError
+
+
+def _domain(width=2, height=2, origin=(0, 0)):
+    x0, y0 = origin
+    return Domain(
+        "vm",
+        frozenset(
+            (x, y) for x in range(x0, x0 + width) for y in range(y0, y0 + height)
+        ),
+    )
+
+
+def test_miss_ratio_saturates_at_one():
+    assert miss_ratio(256, 1024) == 1.0
+    assert miss_ratio(1024, 1024) == 1.0
+
+
+def test_miss_ratio_sqrt_rule():
+    assert miss_ratio(4096, 1024) == pytest.approx(0.5)
+    assert miss_ratio(16384, 1024) == pytest.approx(0.25)
+
+
+def test_miss_ratio_validation():
+    assert miss_ratio(0, 100) == 1.0
+    with pytest.raises(ConfigurationError):
+        miss_ratio(100, 0)
+
+
+def test_mean_pairwise_hops_single_node():
+    assert mean_pairwise_hops(Domain("d", frozenset({(3, 3)}))) == 0.0
+
+
+def test_mean_pairwise_hops_grows_with_span():
+    small = mean_pairwise_hops(_domain(2, 2))
+    large = mean_pairwise_hops(_domain(4, 2))
+    assert large > small
+
+
+def test_analysis_capacity_aggregation():
+    chip = Chip()
+    private, shared = domain_cache_analysis(
+        chip, _domain(2, 2), working_set_kb=2048
+    )
+    assert shared.capacity_kb == 4 * private.capacity_kb
+    assert shared.miss_ratio <= private.miss_ratio
+    assert private.mean_access_hops == 0.0
+    assert shared.mean_access_hops > 0.0
+
+
+def test_analysis_validates_tile_budget():
+    chip = Chip()
+    with pytest.raises(ConfigurationError):
+        domain_cache_analysis(
+            chip, _domain(), working_set_kb=1024, cache_tiles_per_node=9
+        )
+
+
+def test_sharing_wins_for_overflowing_working_set():
+    chip = Chip()
+    # Working set far beyond one node's slice: sharing must win.
+    private, shared = domain_cache_analysis(
+        chip, _domain(3, 3), working_set_kb=4096
+    )
+    assert shared_wins(private, shared)
+
+
+def test_sharing_loses_for_tiny_working_set():
+    chip = Chip()
+    # Working set far inside a single node's private slice: both
+    # organisations sit near the compulsory-miss floor, so the shared
+    # cache's extra hops buy nothing.
+    private, shared = domain_cache_analysis(
+        chip, _domain(3, 3), working_set_kb=4
+    )
+    assert private.miss_ratio < 1.0
+    assert not shared_wins(private, shared)
+
+
+def test_miss_floor_applies():
+    from repro.core.cache import MISS_FLOOR
+
+    assert miss_ratio(10_000_000, 1) == MISS_FLOOR
+    assert miss_ratio(10_000_000, 1, floor=0.0) < MISS_FLOOR
+
+
+def test_organisation_validation():
+    with pytest.raises(ConfigurationError):
+        CacheOrganisation("bad", capacity_kb=-1, miss_ratio=0.5, mean_access_hops=0)
+    with pytest.raises(ConfigurationError):
+        CacheOrganisation("bad", capacity_kb=1, miss_ratio=1.5, mean_access_hops=0)

@@ -1,0 +1,83 @@
+"""Chip geometry: grids, shared columns, MECS reachability."""
+
+import pytest
+
+from repro.core.chip import Chip, ChipConfig, NodeKind
+from repro.errors import ConfigurationError
+
+
+def test_default_is_8x8_with_middle_column():
+    chip = Chip()
+    assert chip.config.width == 8
+    assert chip.config.height == 8
+    assert chip.config.shared_columns == (4,)
+
+
+def test_tile_accounting():
+    chip = Chip()
+    # 56 compute nodes x 4 terminals + 8 shared nodes x 1 terminal.
+    assert chip.config.total_tiles == 56 * 4 + 8
+
+
+def test_node_kinds():
+    chip = Chip()
+    assert chip.node_kind((4, 3)) is NodeKind.SHARED
+    assert chip.node_kind((3, 3)) is NodeKind.COMPUTE
+    assert chip.is_shared((4, 0))
+    assert not chip.is_shared((0, 0))
+
+
+def test_terminals_at():
+    chip = Chip()
+    assert chip.terminals_at((4, 2)) == 1
+    assert chip.terminals_at((2, 2)) == 4
+
+
+def test_compute_and_shared_partitions():
+    chip = Chip()
+    compute = set(chip.compute_nodes())
+    shared = set(chip.shared_nodes())
+    assert len(compute) == 56
+    assert len(shared) == 8
+    assert compute.isdisjoint(shared)
+
+
+def test_out_of_bounds_rejected():
+    chip = Chip()
+    with pytest.raises(ConfigurationError):
+        chip.node_kind((8, 0))
+    assert not chip.in_bounds((-1, 0))
+
+
+def test_nearest_shared_column_multiple():
+    chip = Chip(ChipConfig(shared_columns=(2, 6)))
+    assert chip.nearest_shared_column((0, 0)) == 2
+    assert chip.nearest_shared_column((7, 0)) == 6
+    assert chip.nearest_shared_column((4, 0)) == 2  # tie goes low
+
+
+def test_single_hop_to_shared_is_same_row():
+    chip = Chip()
+    entry = chip.single_hop_to_shared((1, 5))
+    assert entry == (4, 5)
+    assert chip.is_shared(entry)
+
+
+def test_mecs_row_reachability():
+    chip = Chip()
+    assert chip.mecs_row_reachable((0, 3), (7, 3))
+    assert not chip.mecs_row_reachable((0, 3), (0, 4))
+    assert not chip.mecs_row_reachable((0, 3), (0, 3))
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        ChipConfig(width=0)
+    with pytest.raises(ConfigurationError):
+        ChipConfig(concentration=0)
+    with pytest.raises(ConfigurationError):
+        ChipConfig(shared_columns=())
+    with pytest.raises(ConfigurationError):
+        ChipConfig(shared_columns=(9,))
+    with pytest.raises(ConfigurationError):
+        ChipConfig(shared_columns=(4, 4))

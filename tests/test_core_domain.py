@@ -1,0 +1,116 @@
+"""Domains: XY paths, convexity, exclusivity (property-based)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.chip import Chip
+from repro.core.domain import Domain, DomainSet, is_convex, xy_path
+from repro.errors import ConvexityError
+
+coords = st.tuples(st.integers(0, 7), st.integers(0, 7))
+
+
+def test_xy_path_goes_x_then_y():
+    assert xy_path((0, 0), (2, 2)) == [(0, 0), (1, 0), (2, 0), (2, 1), (2, 2)]
+
+
+def test_xy_path_handles_negative_directions():
+    assert xy_path((2, 2), (0, 0)) == [(2, 2), (1, 2), (0, 2), (0, 1), (0, 0)]
+
+
+@given(coords, coords)
+def test_xy_path_endpoints_and_length(a, b):
+    path = xy_path(a, b)
+    assert path[0] == a
+    assert path[-1] == b
+    assert len(path) == abs(a[0] - b[0]) + abs(a[1] - b[1]) + 1
+    # Each step moves exactly one grid unit.
+    for u, v in zip(path, path[1:]):
+        assert abs(u[0] - v[0]) + abs(u[1] - v[1]) == 1
+
+
+@given(
+    st.integers(0, 5), st.integers(0, 5), st.integers(1, 3), st.integers(1, 3)
+)
+def test_rectangles_are_always_convex(x0, y0, w, h):
+    nodes = {(x, y) for x in range(x0, x0 + w) for y in range(y0, y0 + h)}
+    assert is_convex(nodes)
+
+
+def test_l_shape_is_not_convex():
+    nodes = {(0, 0), (0, 1), (1, 1)}
+    assert not is_convex(nodes)
+
+
+def test_disconnected_set_is_not_convex():
+    assert not is_convex({(0, 0), (2, 2)})
+
+
+def test_empty_and_singleton_are_convex():
+    assert is_convex(set())
+    assert is_convex({(3, 3)})
+
+
+def test_domain_rejects_non_convex():
+    with pytest.raises(ConvexityError):
+        Domain("bad", frozenset({(0, 0), (0, 1), (1, 1)}))
+
+
+def test_domain_rejects_empty_and_bad_weight():
+    with pytest.raises(ConvexityError):
+        Domain("empty", frozenset())
+    with pytest.raises(ConvexityError):
+        Domain("w", frozenset({(0, 0)}), weight=0.0)
+
+
+def test_domain_validate_on_chip_rejects_shared_nodes():
+    chip = Chip()
+    domain = Domain("vm", frozenset({(4, 0)}))
+    with pytest.raises(ConvexityError):
+        domain.validate_on(chip)
+
+
+def test_domain_rows_and_capacity():
+    chip = Chip()
+    domain = Domain("vm", frozenset({(0, 0), (0, 1), (1, 0), (1, 1)}))
+    assert domain.rows() == {0, 1}
+    assert domain.capacity_threads(chip) == 16
+    assert domain.size == 4
+
+
+def test_domain_set_rejects_overlap():
+    chip = Chip()
+    domains = DomainSet(chip)
+    domains.add(Domain("a", frozenset({(0, 0), (1, 0)})))
+    with pytest.raises(ConvexityError):
+        domains.add(Domain("b", frozenset({(1, 0), (2, 0)})))
+
+
+def test_domain_set_rejects_duplicate_name():
+    chip = Chip()
+    domains = DomainSet(chip)
+    domains.add(Domain("a", frozenset({(0, 0)})))
+    with pytest.raises(ConvexityError):
+        domains.add(Domain("a", frozenset({(2, 2)})))
+
+
+def test_domain_set_owner_lookup_and_remove():
+    chip = Chip()
+    domains = DomainSet(chip)
+    domains.add(Domain("a", frozenset({(0, 0)})))
+    assert domains.owner_of((0, 0)) == "a"
+    assert domains.owner_of((5, 5)) is None
+    removed = domains.remove("a")
+    assert removed.name == "a"
+    with pytest.raises(ConvexityError):
+        domains.remove("a")
+
+
+@given(st.sets(coords, min_size=2, max_size=6))
+def test_convexity_implies_turn_containment(nodes):
+    # The property the architecture relies on: convex => the XY turn
+    # node of every pair is inside the set.
+    if is_convex(nodes):
+        for a in nodes:
+            for b in nodes:
+                assert (b[0], a[1]) in nodes

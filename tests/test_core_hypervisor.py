@@ -1,0 +1,77 @@
+"""Hypervisor: admission, co-scheduling, rate programming."""
+
+import pytest
+
+from repro.core.chip import Chip
+from repro.core.hypervisor import Hypervisor
+from repro.errors import AllocationError
+
+
+@pytest.fixture
+def hypervisor():
+    return Hypervisor(Chip())
+
+
+def test_admit_sizes_domain_for_threads(hypervisor):
+    vm = hypervisor.admit("web", n_threads=10, weight=2.0)
+    # 10 threads / 4-way concentration -> 3 nodes.
+    assert vm.domain.size == 3
+    assert len(vm.thread_placement) == 10
+
+
+def test_threads_co_scheduled_at_most_four_per_node(hypervisor):
+    vm = hypervisor.admit("web", n_threads=16)
+    for node in vm.domain.nodes:
+        assert len(vm.threads_on(node)) <= 4
+
+
+def test_co_scheduling_invariant_across_vms(hypervisor):
+    hypervisor.admit("a", 8)
+    hypervisor.admit("b", 12)
+    hypervisor.admit("c", 4)
+    assert hypervisor.co_scheduling_ok()
+
+
+def test_rates_programmed_at_every_shared_router(hypervisor):
+    hypervisor.admit("web", 8, weight=2.5)
+    for node in hypervisor.chip.shared_nodes():
+        assert hypervisor.programmed_weight(node, "web") == 2.5
+
+
+def test_evict_releases_domain_and_clears_registers(hypervisor):
+    hypervisor.admit("web", 8, weight=2.5)
+    free_before = hypervisor.allocator.free_nodes
+    hypervisor.evict("web")
+    assert hypervisor.allocator.free_nodes == free_before + 2
+    assert hypervisor.programmed_weight((4, 0), "web") is None
+    assert "web" not in hypervisor.vms
+
+
+def test_duplicate_admission_rejected(hypervisor):
+    hypervisor.admit("web", 4)
+    with pytest.raises(AllocationError):
+        hypervisor.admit("web", 4)
+
+
+def test_evict_unknown_rejected(hypervisor):
+    with pytest.raises(AllocationError):
+        hypervisor.evict("ghost")
+
+
+def test_zero_thread_vm_rejected(hypervisor):
+    with pytest.raises(AllocationError):
+        hypervisor.admit("empty", 0)
+
+
+def test_programmed_weight_missing_lookups(hypervisor):
+    hypervisor.admit("web", 4, weight=1.5)
+    assert hypervisor.programmed_weight((0, 0), "web") is None  # not shared
+    assert hypervisor.programmed_weight((4, 0), "ghost") is None
+
+
+def test_admission_fills_chip_until_exhaustion(hypervisor):
+    # 56 compute nodes x 4 threads = 224 thread slots.
+    hypervisor.admit("big1", 96)   # 24 nodes
+    hypervisor.admit("big2", 96)   # 24 nodes
+    with pytest.raises(AllocationError):
+        hypervisor.admit("big3", 64)  # 16 nodes > 8 left

@@ -1,0 +1,91 @@
+"""Memory-controller endpoint: weighted fair service."""
+
+import pytest
+
+from repro.core.memctrl import MemoryController
+from repro.errors import ConfigurationError
+
+
+def test_requires_owners_and_positive_weights():
+    with pytest.raises(ConfigurationError):
+        MemoryController({})
+    with pytest.raises(ConfigurationError):
+        MemoryController({"a": 0.0})
+
+
+def test_rejects_unknown_owner_submission():
+    controller = MemoryController({"a": 1.0})
+    with pytest.raises(ConfigurationError):
+        controller.submit("b")
+
+
+def test_idle_tick_serves_nothing():
+    controller = MemoryController({"a": 1.0})
+    assert controller.tick() is None
+
+
+def test_equal_weights_equal_service():
+    controller = MemoryController({"a": 1.0, "b": 1.0})
+    for _ in range(200):
+        controller.submit("a")
+        controller.submit("b")
+    served = controller.run(200)
+    assert abs(served["a"] - served["b"]) <= 1
+
+
+def test_weighted_service_is_proportional():
+    controller = MemoryController({"light": 1.0, "heavy": 3.0})
+    for _ in range(400):
+        controller.submit("light")
+        controller.submit("heavy")
+    served = controller.run(400)
+    assert 2.4 < served["heavy"] / served["light"] < 3.6
+
+
+def test_idle_owner_yields_bandwidth():
+    controller = MemoryController({"busy": 1.0, "idle": 1.0})
+    for _ in range(100):
+        controller.submit("busy")
+    served = controller.run(100)
+    assert served["busy"] == 100
+    assert served["idle"] == 0
+
+
+def test_service_cycles_occupy_the_controller():
+    controller = MemoryController({"a": 1.0})
+    controller.submit("a", service_cycles=10)
+    controller.submit("a", service_cycles=10)
+    served = controller.run(15)
+    # Second request cannot start until cycle 11.
+    assert served["a"] == 2
+    assert controller.serviced["a"] == 2
+
+
+def test_flush_frame_resets_history():
+    controller = MemoryController({"a": 1.0, "b": 1.0})
+    for _ in range(50):
+        controller.submit("a")
+    controller.run(50)
+    controller.flush_frame()
+    # After the flush, 'a' is not penalised for its past service.
+    for _ in range(10):
+        controller.submit("a")
+        controller.submit("b")
+    served = controller.run(20)
+    assert abs(served["a"] - served["b"]) <= 1
+
+
+def test_backlog_tracking():
+    controller = MemoryController({"a": 1.0})
+    controller.submit("a")
+    controller.submit("a")
+    assert controller.backlog("a") == 2
+    controller.run(3)
+    assert controller.backlog("a") == 0
+
+
+def test_wait_cycles_accumulate():
+    controller = MemoryController({"a": 1.0})
+    controller.submit("a")
+    controller.run(5)
+    assert controller.total_wait_cycles >= 1

@@ -1,0 +1,108 @@
+"""Chip-level routing and the physical-isolation guarantees."""
+
+import pytest
+
+from repro.core.allocator import DomainAllocator
+from repro.core.chip import Chip
+from repro.core.domain import Domain
+from repro.core.isolation import audit_chip, naive_xy_violations, verify_isolation
+from repro.core.routing import (
+    RouterPath,
+    route_inter_vm,
+    route_intra_domain,
+    route_to_shared,
+)
+from repro.errors import IsolationError
+
+
+@pytest.fixture
+def chip():
+    return Chip()
+
+
+def _domain(nodes, name="vm"):
+    return Domain(name, frozenset(nodes))
+
+
+def test_intra_domain_route_stays_inside(chip):
+    domain = _domain({(0, 0), (1, 0), (0, 1), (1, 1)})
+    path = route_intra_domain(chip, domain, (0, 0), (1, 1))
+    assert set(path.hops) <= domain.nodes
+    assert path.hops[0] == (0, 0)
+    assert path.hops[-1] == (1, 1)
+
+
+def test_intra_domain_rejects_outside_endpoints(chip):
+    domain = _domain({(0, 0)})
+    with pytest.raises(IsolationError):
+        route_intra_domain(chip, domain, (0, 0), (5, 5))
+
+
+def test_route_to_shared_is_two_mecs_hops(chip):
+    path = route_to_shared(chip, (0, 3), (4, 6))
+    assert path.hops == ((0, 3), (4, 3), (4, 6))
+    # Row hop lands in the shared column; only the source is unprotected.
+    assert path.protected == (False, True, True)
+    assert path.mecs_hop_count() == 2
+
+
+def test_route_to_shared_rejects_compute_target(chip):
+    with pytest.raises(IsolationError):
+        route_to_shared(chip, (0, 0), (3, 3))
+
+
+def test_inter_vm_route_transits_shared_column(chip):
+    path = route_inter_vm(chip, (0, 0), (7, 7))
+    assert (4, 0) in path.hops
+    assert (4, 7) in path.hops
+    # Every hop outside the endpoints is a protected column router.
+    assert path.unprotected_hops == ((0, 0), (7, 7))
+
+
+def test_inter_vm_route_same_row_still_uses_column(chip):
+    path = route_inter_vm(chip, (0, 2), (7, 2))
+    assert any(chip.is_shared(hop) for hop in path.hops)
+
+
+def test_router_path_validation():
+    with pytest.raises(IsolationError):
+        RouterPath(hops=((0, 0),), protected=(True, False))
+
+
+def test_verify_isolation_flags_intrusion(chip):
+    domains = DomainAllocator(chip).domains
+    domains.add(_domain({(2, 2)}, "victim"))
+    # A route that hops through the victim's node without permission.
+    path = RouterPath(hops=((0, 2), (2, 2), (3, 2)), protected=(False,) * 3)
+    violations = verify_isolation(chip, domains, [(path, frozenset({"other"}))])
+    assert len(violations) == 1
+    assert violations[0].intruded_domain == "victim"
+    assert violations[0].hop == (2, 2)
+
+
+def test_audit_clean_layout_has_no_violations(chip):
+    allocator = DomainAllocator(chip)
+    allocator.allocate("a", 6)
+    allocator.allocate("b", 8)
+    allocator.allocate("c", 4)
+    assert audit_chip(chip, allocator.domains) == []
+
+
+def test_naive_xy_routing_violates_isolation(chip):
+    # Section 2.2's hazard: VM#1 -> VM#3 traffic turning inside VM#2.
+    allocator = DomainAllocator(chip)
+    allocator.allocate_explicit("vm1", {(0, 0), (1, 0), (0, 1), (1, 1)})
+    allocator.allocate_explicit("vm2", {(6, 0), (7, 0), (6, 1), (7, 1)})
+    allocator.allocate_explicit("vm3", {(6, 6), (7, 6), (6, 7), (7, 7)})
+    violations = naive_xy_violations(chip, allocator.domains)
+    assert violations  # naive DOR interferes with a third VM
+    intruded = {violation.intruded_domain for violation in violations}
+    assert "vm2" in intruded
+
+
+def test_shared_column_transit_fixes_naive_violations(chip):
+    allocator = DomainAllocator(chip)
+    allocator.allocate_explicit("vm1", {(0, 0), (1, 0), (0, 1), (1, 1)})
+    allocator.allocate_explicit("vm2", {(6, 0), (7, 0), (6, 1), (7, 1)})
+    allocator.allocate_explicit("vm3", {(6, 6), (7, 6), (6, 7), (7, 7)})
+    assert audit_chip(chip, allocator.domains) == []

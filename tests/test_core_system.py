@@ -1,0 +1,76 @@
+"""TopologyAwareSystem: the end-to-end facade."""
+
+import pytest
+
+from repro.core.chip import ChipConfig
+from repro.core.system import TopologyAwareSystem, grid_ascii
+from repro.errors import AllocationError, ConfigurationError
+
+
+@pytest.fixture
+def system():
+    sys_ = TopologyAwareSystem()
+    sys_.admit_vm("web", 24, weight=2.0)
+    sys_.admit_vm("db", 16, weight=3.0)
+    sys_.admit_vm("analytics", 32, weight=1.0)
+    return sys_
+
+
+def test_rejects_wrong_height_chip():
+    with pytest.raises(ConfigurationError):
+        TopologyAwareSystem(ChipConfig(width=8, height=4, shared_columns=(2,)))
+
+
+def test_admitted_vms_are_isolated(system):
+    assert system.audit_isolation() == []
+    assert system.hypervisor.co_scheduling_ok()
+
+
+def test_bind_shared_column_covers_every_domain_row(system):
+    binding = system.bind_shared_column()
+    for name, vm in system.hypervisor.vms.items():
+        flow_rows = {
+            binding.flows[index].node for index in binding.flows_of(name)
+        }
+        assert flow_rows == vm.domain.rows()
+
+
+def test_bound_flows_carry_vm_weights(system):
+    binding = system.bind_shared_column()
+    for index, owner in enumerate(binding.owners):
+        assert binding.flows[index].weight == system.hypervisor.vms[owner].weight
+
+
+def test_bind_rejects_non_shared_column(system):
+    with pytest.raises(ConfigurationError):
+        system.bind_shared_column(column=0)
+
+
+def test_bind_without_vms_raises():
+    empty = TopologyAwareSystem()
+    with pytest.raises(AllocationError):
+        empty.bind_shared_column()
+
+
+def test_shared_region_simulation_serves_all_vms(system):
+    simulator, binding = system.shared_region_simulator("dps", rate_per_flow=0.05)
+    stats = simulator.run(4000, warmup=500)
+    per_owner = {}
+    for index, owner in enumerate(binding.owners):
+        per_owner[owner] = per_owner.get(owner, 0) + stats.window_flits_per_flow[index]
+    assert all(flits > 0 for flits in per_owner.values())
+
+
+def test_evict_vm_frees_resources(system):
+    system.evict_vm("analytics")
+    assert "analytics" not in system.hypervisor.vms
+    system.admit_vm("batch", 32)  # refill the freed space
+
+
+def test_describe_and_ascii(system):
+    text = system.describe()
+    assert "web" in text and "db" in text
+    art = grid_ascii(system)
+    assert "#" in art            # shared column
+    assert "W" in art or "D" in art  # domains by initial
+    assert len(art.splitlines()) == 8

@@ -1,0 +1,131 @@
+"""Preemption mechanics: inversion resolution, throttles, replays."""
+
+import pytest
+
+from repro.network.config import SimulationConfig
+from repro.network.packet import FlowSpec
+from repro.qos.perflow import PerFlowQueuedPolicy
+from repro.qos.pvc import PvcPolicy
+from repro.traffic.workloads import workload1, workload2
+
+from helpers import build_simulator
+
+
+def _adversarial_config(**overrides):
+    defaults = dict(frame_cycles=4000, seed=3, preemption_patience_cycles=8)
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+def test_workload1_triggers_preemptions_on_mesh():
+    sim = build_simulator("mesh_x1", workload1(), config=_adversarial_config())
+    stats = sim.run(12_000)
+    assert stats.preemption_events > 0
+    assert stats.wasted_tiles > 0
+    assert stats.replays == stats.preemption_events
+
+
+def test_preempted_packets_are_eventually_delivered():
+    config = _adversarial_config()
+    flows = workload1(packet_limit=60)
+    sim = build_simulator("mesh_x1", flows, config=config)
+    sim.run_until_drained(max_cycles=200_000)
+    # Despite preemptions, every created packet is delivered exactly once.
+    assert sim.stats.delivered_packets == sim.stats.created_packets
+
+
+def test_disabling_preemption_removes_events():
+    config = _adversarial_config(preemption_enabled=False)
+    sim = build_simulator("mesh_x1", workload1(), config=config)
+    stats = sim.run(12_000)
+    assert stats.preemption_events == 0
+
+
+def test_perflow_policy_never_preempts():
+    sim = build_simulator(
+        "mesh_x1", workload1(), policy=PerFlowQueuedPolicy(),
+        config=_adversarial_config(),
+    )
+    stats = sim.run(12_000)
+    assert stats.preemption_events == 0
+
+
+def test_reserved_quota_throttles_preemptions():
+    # A full-frame quota marks every packet non-preemptable.
+    protected = _adversarial_config(reserved_quota_share=1.0)
+    sim = build_simulator("mesh_x1", workload1(), config=protected)
+    assert sim.run(12_000).preemption_events == 0
+
+
+def test_small_quota_increases_preemptions():
+    tiny = _adversarial_config(reserved_quota_share=0.0)
+    provisioned = _adversarial_config()  # 1/64 share
+    tiny_events = build_simulator(
+        "mesh_x1", workload1(), config=tiny
+    ).run(12_000).preemption_events
+    base_events = build_simulator(
+        "mesh_x1", workload1(), config=provisioned
+    ).run(12_000).preemption_events
+    assert tiny_events >= base_events
+
+
+def test_patience_monotonically_damps_preemptions():
+    impatient = _adversarial_config(preemption_patience_cycles=0)
+    patient = _adversarial_config(preemption_patience_cycles=64)
+    few = build_simulator("mesh_x1", workload1(), config=patient).run(
+        12_000
+    ).preemption_events
+    many = build_simulator("mesh_x1", workload1(), config=impatient).run(
+        12_000
+    ).preemption_events
+    assert few < many
+
+
+def test_wasted_hops_counted_in_tile_units():
+    # MECS: a victim that crossed d tiles wastes d mesh-equivalent hops.
+    config = _adversarial_config()
+    sim = build_simulator("mecs", workload2(), config=config)
+    stats = sim.run(12_000)
+    if stats.preemption_events:
+        assert stats.wasted_tiles >= stats.preemption_events  # >= 1 tile each
+    # hop fraction is a valid ratio.
+    assert 0.0 <= stats.wasted_hop_fraction <= 1.0
+
+
+def test_preemption_event_counts_each_occurrence():
+    config = _adversarial_config()
+    sim = build_simulator("mesh_x2", workload1(), config=config)
+    stats = sim.run(12_000)
+    # A packet may be preempted multiple times; events >= unique pids.
+    assert stats.preemption_events >= len(stats.preempted_pids)
+
+
+def test_workload2_mesh_x1_much_calmer_than_workload1():
+    config = _adversarial_config()
+    w1 = build_simulator("mesh_x1", workload1(), config=config).run(12_000)
+    w2 = build_simulator("mesh_x1", workload2(), config=config).run(12_000)
+    assert w2.preempted_packet_fraction < w1.preempted_packet_fraction
+
+
+def test_replicated_mesh_worst_preemption_on_workload2():
+    config = _adversarial_config()
+    results = {}
+    for name in ("mesh_x1", "mesh_x2", "mesh_x4", "mecs", "dps"):
+        results[name] = build_simulator(name, workload2(), config=config).run(
+            12_000
+        ).preemption_events
+    assert results["mesh_x2"] > results["mesh_x1"]
+    assert results["mesh_x4"] > results["mesh_x1"]
+    assert results["mesh_x2"] > results["dps"]
+    assert results["mesh_x4"] > results["dps"]
+
+
+def test_protected_packets_survive_pressure():
+    # With everything protected, no packet is ever discarded, so
+    # delivered == created after drain even under hotspot pressure.
+    config = _adversarial_config(reserved_quota_share=1.0)
+    flows = workload1(packet_limit=50)
+    sim = build_simulator("dps", flows, config=config)
+    sim.run_until_drained(max_cycles=200_000)
+    assert sim.stats.preemption_events == 0
+    assert sim.stats.delivered_packets == sim.stats.created_packets

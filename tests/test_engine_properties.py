@@ -1,0 +1,123 @@
+"""Property-based engine invariants (hypothesis).
+
+For randomly drawn small workloads on random topologies:
+
+* conservation: after draining a finite workload, every created packet
+  is delivered exactly once (despite preemptions and replays);
+* accounting: statistics are internally consistent and bounded;
+* determinism: identical (seed, workload, topology) -> identical stats.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.network.config import SimulationConfig
+from repro.network.engine import ColumnSimulator
+from repro.network.packet import FlowSpec
+from repro.qos.perflow import PerFlowQueuedPolicy
+from repro.qos.pvc import PvcPolicy
+from repro.topologies.registry import EXTENDED_TOPOLOGY_NAMES, get_topology
+
+_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+flow_strategy = st.builds(
+    FlowSpec,
+    node=st.integers(0, 7),
+    rate=st.floats(min_value=0.02, max_value=0.4),
+    weight=st.floats(min_value=0.5, max_value=4.0),
+    pattern=st.just(lambda src, rng: (src + 3) % 8),
+    packet_limit=st.integers(min_value=1, max_value=25),
+)
+
+
+def _dedupe(flows):
+    """Keep at most one flow per injector slot."""
+    seen = set()
+    unique = []
+    for flow in flows:
+        key = (flow.node, flow.port)
+        if key not in seen:
+            seen.add(key)
+            unique.append(flow)
+    return unique
+
+
+@given(
+    st.sampled_from(EXTENDED_TOPOLOGY_NAMES),
+    st.lists(flow_strategy, min_size=1, max_size=5).map(_dedupe),
+    st.integers(0, 2**16),
+)
+@_SETTINGS
+def test_finite_workloads_conserve_packets(name, flows, seed):
+    config = SimulationConfig(
+        frame_cycles=3000, seed=seed, preemption_patience_cycles=4
+    )
+    simulator = ColumnSimulator(
+        get_topology(name).build(config), flows, PvcPolicy(), config
+    )
+    simulator.run_until_drained(max_cycles=300_000)
+    stats = simulator.stats
+    assert stats.delivered_packets == stats.created_packets
+    assert stats.delivered_flits == stats.created_flits
+    expected = sum(flow.packet_limit for flow in flows)
+    assert stats.created_packets == expected
+
+
+@given(
+    st.sampled_from(EXTENDED_TOPOLOGY_NAMES),
+    st.lists(flow_strategy, min_size=1, max_size=4).map(_dedupe),
+    st.integers(0, 2**16),
+)
+@_SETTINGS
+def test_statistics_are_internally_consistent(name, flows, seed):
+    config = SimulationConfig(frame_cycles=3000, seed=seed)
+    simulator = ColumnSimulator(
+        get_topology(name).build(config), flows, PvcPolicy(), config
+    )
+    stats = simulator.run(2500)
+    assert 0 <= stats.delivered_packets <= stats.created_packets
+    assert stats.wasted_tiles <= stats.total_tiles
+    assert 0.0 <= stats.wasted_hop_fraction <= 1.0
+    assert stats.replays == stats.preemption_events
+    assert len(stats.preempted_pids) <= stats.preemption_events or (
+        stats.preemption_events == 0
+    )
+    assert sum(stats.delivered_packets_per_flow) == stats.delivered_packets
+
+
+@given(
+    st.sampled_from(("mesh_x2", "dps")),
+    st.lists(flow_strategy, min_size=1, max_size=3).map(_dedupe),
+    st.integers(0, 2**10),
+)
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_determinism_property(name, flows, seed):
+    config = SimulationConfig(frame_cycles=3000, seed=seed)
+
+    def run():
+        simulator = ColumnSimulator(
+            get_topology(name).build(config), flows, PvcPolicy(), config
+        )
+        return simulator.run(1500).summary()
+
+    assert run() == run()
+
+
+@given(
+    st.lists(flow_strategy, min_size=1, max_size=4).map(_dedupe),
+    st.integers(0, 2**10),
+)
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_perflow_baseline_never_discards(flows, seed):
+    config = SimulationConfig(frame_cycles=3000, seed=seed)
+    simulator = ColumnSimulator(
+        get_topology("mesh_x1").build(config), flows, PerFlowQueuedPolicy(), config
+    )
+    simulator.run_until_drained(max_cycles=300_000)
+    assert simulator.stats.preemption_events == 0
+    assert simulator.stats.delivered_packets == simulator.stats.created_packets

@@ -1,0 +1,36 @@
+"""The exception hierarchy: everything derives from ReproError."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    for name in (
+        "ConfigurationError",
+        "SimulationError",
+        "TopologyError",
+        "TrafficError",
+        "AllocationError",
+        "ConvexityError",
+        "IsolationError",
+        "ModelError",
+    ):
+        assert issubclass(getattr(errors, name), errors.ReproError)
+
+
+def test_topology_error_is_configuration_error():
+    assert issubclass(errors.TopologyError, errors.ConfigurationError)
+
+
+def test_traffic_error_is_configuration_error():
+    assert issubclass(errors.TrafficError, errors.ConfigurationError)
+
+
+def test_convexity_error_is_allocation_error():
+    assert issubclass(errors.ConvexityError, errors.AllocationError)
+
+
+def test_catching_base_catches_subclasses():
+    with pytest.raises(errors.ReproError):
+        raise errors.IsolationError("contained")

@@ -1,0 +1,52 @@
+"""Latency percentile collection."""
+
+import pytest
+
+from repro.network.metrics import NetworkStats
+
+from helpers import build_simulator
+from repro.traffic.workloads import uniform_workload
+
+
+def test_percentiles_require_opt_in():
+    stats = NetworkStats(n_flows=1)
+    with pytest.raises(RuntimeError):
+        stats.latency_percentile(0.5)
+
+
+def test_percentile_math():
+    stats = NetworkStats(n_flows=1, collect_latencies=True)
+    for value in (10.0, 20.0, 30.0, 40.0):
+        stats.record_delivery(0, 1, value, cycle=5)
+    assert stats.latency_percentile(0.0) == 10.0
+    assert stats.latency_percentile(0.5) == 30.0
+    assert stats.latency_percentile(1.0) == 40.0
+
+
+def test_percentile_rejects_bad_fraction():
+    stats = NetworkStats(n_flows=1, collect_latencies=True)
+    with pytest.raises(ValueError):
+        stats.latency_percentile(1.5)
+
+
+def test_percentile_empty_is_zero():
+    stats = NetworkStats(n_flows=1, collect_latencies=True)
+    assert stats.latency_percentile(0.99) == 0.0
+
+
+def test_samples_respect_window():
+    stats = NetworkStats(n_flows=1, collect_latencies=True)
+    stats.set_window(100, 200)
+    stats.record_delivery(0, 1, 7.0, cycle=50)    # outside
+    stats.record_delivery(0, 1, 9.0, cycle=150)   # inside
+    assert stats.latency_samples == [9.0]
+
+
+def test_end_to_end_tail_latency():
+    sim = build_simulator("dps", uniform_workload(0.05))
+    sim.stats.enable_percentiles()
+    sim.run(4000, warmup=1000)
+    p50 = sim.stats.latency_percentile(0.5)
+    p99 = sim.stats.latency_percentile(0.99)
+    assert 0 < p50 <= p99
+    assert p50 <= sim.stats.mean_latency * 1.5

@@ -1,0 +1,65 @@
+"""RouterGeometry and BufferBank arithmetic."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.models.geometry import BufferBank, RouterGeometry, standard_row_banks
+
+
+def test_buffer_bank_bits():
+    bank = BufferBank(ports=2, vcs_per_port=6, flits_per_vc=4)
+    assert bank.bits(128) == 2 * 6 * 4 * 128
+
+
+def test_buffer_bank_rejects_bad_dims():
+    with pytest.raises(ModelError):
+        BufferBank(ports=-1, vcs_per_port=6)
+    with pytest.raises(ModelError):
+        BufferBank(ports=1, vcs_per_port=1, flits_per_vc=0)
+
+
+def _geometry(**overrides):
+    defaults = dict(
+        name="test",
+        row_banks=standard_row_banks(),
+        column_banks=(BufferBank(2, 6),),
+        crossbar_inputs=5,
+        crossbar_outputs=5,
+    )
+    defaults.update(overrides)
+    return RouterGeometry(**defaults)
+
+
+def test_standard_row_banks_shape():
+    row, terminal = standard_row_banks()
+    assert row.ports == 7  # seven MECS row inputs (Section 4)
+    assert terminal.ports == 1
+
+
+def test_buffer_bits_includes_and_excludes_rows():
+    geometry = _geometry()
+    with_rows = geometry.buffer_bits(128)
+    without = geometry.buffer_bits(128, include_row=False)
+    assert with_rows - without == geometry.row_buffer_bits(128)
+    assert without == 2 * 6 * 4 * 128
+
+
+def test_flow_table_bits_with_copies():
+    geometry = _geometry(flow_table_copies=8)
+    assert geometry.flow_table_bits() == 64 * 16 * 8
+
+
+def test_total_vcs_counts_all_banks():
+    geometry = _geometry()
+    expected = 7 * 6 + 1 * 2 + 2 * 6
+    assert geometry.total_vcs() == expected
+
+
+def test_rejects_nonpositive_crossbar():
+    with pytest.raises(ModelError):
+        _geometry(crossbar_inputs=0)
+
+
+def test_rejects_negative_wire():
+    with pytest.raises(ModelError):
+        _geometry(xbar_avg_input_wire_mm=-1.0)

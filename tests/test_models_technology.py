@@ -1,0 +1,53 @@
+"""Technology parameters: validation and voltage scaling."""
+
+import math
+
+import pytest
+
+from repro.errors import ModelError
+from repro.models.technology import DEFAULT_TECHNOLOGY, TechnologyParameters
+
+
+def test_defaults_match_paper_targets():
+    assert DEFAULT_TECHNOLOGY.process_nm == 32
+    assert DEFAULT_TECHNOLOGY.voltage == 0.9
+    assert DEFAULT_TECHNOLOGY.flit_bits == 128  # 16-byte links
+
+
+def test_rejects_nonpositive_process():
+    with pytest.raises(ModelError):
+        TechnologyParameters(process_nm=0)
+
+
+def test_rejects_out_of_range_voltage():
+    with pytest.raises(ModelError):
+        TechnologyParameters(voltage=2.5)
+
+
+def test_rejects_nonpositive_coefficients():
+    with pytest.raises(ModelError):
+        TechnologyParameters(sram_um2_per_bit=0.0)
+    with pytest.raises(ModelError):
+        TechnologyParameters(wire_pj_per_mm=-1.0)
+
+
+def test_voltage_scaling_is_quadratic():
+    scaled = DEFAULT_TECHNOLOGY.scaled_to_voltage(0.45)
+    ratio = (0.45 / 0.9) ** 2
+    assert math.isclose(
+        scaled.buffer_pj_per_flit, DEFAULT_TECHNOLOGY.buffer_pj_per_flit * ratio
+    )
+    assert math.isclose(
+        scaled.wire_pj_per_mm, DEFAULT_TECHNOLOGY.wire_pj_per_mm * ratio
+    )
+
+
+def test_voltage_scaling_leaves_area_constants():
+    scaled = DEFAULT_TECHNOLOGY.scaled_to_voltage(0.45)
+    assert scaled.sram_um2_per_bit == DEFAULT_TECHNOLOGY.sram_um2_per_bit
+    assert scaled.xbar_track_pitch_um == DEFAULT_TECHNOLOGY.xbar_track_pitch_um
+
+
+def test_frozen():
+    with pytest.raises(Exception):
+        DEFAULT_TECHNOLOGY.voltage = 1.0  # type: ignore[misc]

@@ -1,0 +1,50 @@
+"""SimulationConfig validation and paper defaults."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network.config import COLUMN_NODES, PAPER_FRAME_CYCLES, SimulationConfig
+
+
+def test_paper_defaults():
+    config = SimulationConfig()
+    assert config.frame_cycles == PAPER_FRAME_CYCLES == 50_000
+    assert config.reserved_vc is True
+    assert config.preemption_enabled is True
+
+
+def test_column_size_is_eight():
+    assert COLUMN_NODES == 8
+
+
+def test_rejects_nonpositive_frame():
+    with pytest.raises(ConfigurationError):
+        SimulationConfig(frame_cycles=0)
+
+
+def test_rejects_nonpositive_window():
+    with pytest.raises(ConfigurationError):
+        SimulationConfig(window_packets=0)
+
+
+def test_rejects_negative_ack_overhead():
+    with pytest.raises(ConfigurationError):
+        SimulationConfig(ack_overhead_cycles=-1)
+
+
+def test_rejects_out_of_range_quota_share():
+    with pytest.raises(ConfigurationError):
+        SimulationConfig(reserved_quota_share=1.5)
+    SimulationConfig(reserved_quota_share=0.0)
+    SimulationConfig(reserved_quota_share=1.0)
+
+
+def test_rejects_negative_patience():
+    with pytest.raises(ConfigurationError):
+        SimulationConfig(preemption_patience_cycles=-1)
+
+
+def test_config_is_frozen():
+    config = SimulationConfig()
+    with pytest.raises(Exception):
+        config.seed = 9  # type: ignore[misc]

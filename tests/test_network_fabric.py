@@ -1,0 +1,89 @@
+"""Stations, VCs, output ports, and FabricBuild lookups."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.network.fabric import OutputPort, Station, VirtualChannel
+from repro.network.packet import Packet
+from repro.topologies.registry import get_topology
+
+
+def _station(n_vcs=3, reserve_first=False):
+    return Station(
+        0, 0, "s", "mesh", n_vcs=n_vcs, va_wait=1, qos=True, reserve_first=reserve_first
+    )
+
+
+def test_station_requires_vcs():
+    with pytest.raises(TopologyError):
+        _station(n_vcs=0)
+
+
+def test_free_vc_skips_reserved_without_permission():
+    station = _station(n_vcs=2, reserve_first=True)
+    vc = station.free_vc(allow_reserved=False)
+    assert vc is not None
+    assert not vc.reserved
+    assert vc.index == 1
+
+
+def test_free_vc_grants_reserved_with_permission():
+    station = _station(n_vcs=2, reserve_first=True)
+    station.vcs[1].packet = object()
+    assert station.free_vc(allow_reserved=False) is None
+    vc = station.free_vc(allow_reserved=True)
+    assert vc is not None and vc.reserved
+
+
+def test_free_vc_overflow_grows_station():
+    station = _station(n_vcs=1)
+    station.allow_overflow = True
+    station.vcs[0].packet = object()
+    vc = station.free_vc(allow_reserved=True)
+    assert vc is not None
+    assert len(station.vcs) == 2
+
+
+def test_occupancy_counts_held_vcs():
+    station = _station(n_vcs=3)
+    station.vcs[0].packet = object()
+    station.vcs[2].packet = object()
+    assert station.occupancy() == 2
+
+
+def test_vc_clear_resets_transfer_state():
+    station = _station()
+    vc = station.vcs[0]
+    vc.packet = Packet(0, 0, 0, 1, 1, 0)
+    vc.arriving_until = 10
+    vc.inbound_port = OutputPort(0, 0, "p", is_ejection=False)
+    vc.departing = True
+    vc.clear()
+    assert vc.packet is None
+    assert vc.arriving_until == -1
+    assert vc.inbound_port is None
+    assert not vc.departing
+
+
+def test_fabric_lookup_by_label():
+    build = get_topology("mesh_x1").build()
+    station = build.station_by_label("inj_terminal@0")
+    assert station.node == 0
+    port = build.port_by_label("EJ@7")
+    assert port.is_ejection
+
+
+def test_fabric_lookup_missing_label_raises():
+    build = get_topology("mesh_x1").build()
+    with pytest.raises(TopologyError):
+        build.station_by_label("nope")
+    with pytest.raises(TopologyError):
+        build.port_by_label("nope")
+
+
+def test_virtual_channel_reserved_flag():
+    station = _station(n_vcs=2, reserve_first=True)
+    assert station.vcs[0].reserved
+    assert not station.vcs[1].reserved
+    plain = VirtualChannel(station, 5)
+    assert not plain.reserved

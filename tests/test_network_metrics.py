@@ -1,0 +1,70 @@
+"""NetworkStats accounting: windows, fractions, summaries."""
+
+from repro.network.metrics import NetworkStats
+
+
+def test_window_filtering():
+    stats = NetworkStats(n_flows=2)
+    stats.set_window(100, 200)
+    stats.record_delivery(0, 4, 12.0, 50)    # before window
+    stats.record_delivery(0, 4, 12.0, 150)   # inside
+    stats.record_delivery(1, 1, 9.0, 250)    # after
+    assert stats.window_flits_per_flow == [4, 0]
+    assert stats.latency.count == 1
+    # Global delivery counters are window-independent.
+    assert stats.delivered_packets == 3
+    assert stats.delivered_flits == 9
+
+
+def test_preemption_fractions():
+    stats = NetworkStats(n_flows=1)
+    stats.created_packets = 10
+    stats.record_preemption(3, wasted_tiles=2)
+    stats.record_preemption(3, wasted_tiles=1)  # same packet again
+    stats.record_hop("mesh", 1)
+    stats.record_hop("mesh", 1)
+    stats.record_hop("mesh", 1)
+    assert stats.preemption_events == 2
+    assert stats.preempted_packet_fraction == 0.2
+    assert stats.wasted_tiles == 3
+    assert stats.wasted_hop_fraction == 1.0  # 3 wasted / 3 total
+
+
+def test_fractions_are_zero_when_empty():
+    stats = NetworkStats(n_flows=1)
+    assert stats.preempted_packet_fraction == 0.0
+    assert stats.wasted_hop_fraction == 0.0
+    assert stats.offered_accepted_ratio == 0.0
+    assert stats.mean_latency == 0.0
+
+
+def test_hops_by_kind_accumulates():
+    stats = NetworkStats(n_flows=1)
+    stats.record_hop("inject", 1)
+    stats.record_hop("inject", 1)
+    stats.record_hop("dps_mid", 1)
+    assert stats.hops_by_kind["inject"] == 2
+    assert stats.hops_by_kind["dps_mid"] == 1
+
+
+def test_summary_keys():
+    stats = NetworkStats(n_flows=1)
+    summary = stats.summary()
+    for key in (
+        "created_packets",
+        "delivered_packets",
+        "mean_latency",
+        "preemption_events",
+        "wasted_hop_fraction",
+        "replays",
+    ):
+        assert key in summary
+
+
+def test_in_window_bounds():
+    stats = NetworkStats(n_flows=1)
+    stats.set_window(10, 20)
+    assert not stats.in_window(9)
+    assert stats.in_window(10)
+    assert stats.in_window(19)
+    assert not stats.in_window(20)

@@ -1,0 +1,80 @@
+"""FlowSpec validation and Packet lifecycle."""
+
+import pytest
+
+from repro.errors import TrafficError
+from repro.network.packet import (
+    ALL_INJECTOR_PORTS,
+    DEFAULT_SIZE_MIX,
+    FlowSpec,
+    Packet,
+)
+
+
+def test_injector_port_inventory():
+    # 1 terminal + 4 east + 3 west = the 8 injectors per router.
+    assert len(ALL_INJECTOR_PORTS) == 8
+
+
+def test_default_size_mix_is_paper_mix():
+    sizes = {size for size, _ in DEFAULT_SIZE_MIX}
+    assert sizes == {1, 4}  # request/reply classes (Table 1)
+
+
+def test_flow_spec_mean_packet_size():
+    spec = FlowSpec(node=0, size_mix=((1, 0.5), (4, 0.5)))
+    assert spec.mean_packet_size == 2.5
+
+
+def test_flow_spec_rejects_unknown_port():
+    with pytest.raises(TrafficError):
+        FlowSpec(node=0, port="north0")
+
+
+def test_flow_spec_rejects_negative_rate():
+    with pytest.raises(TrafficError):
+        FlowSpec(node=0, rate=-0.1)
+
+
+def test_flow_spec_rejects_nonpositive_weight():
+    with pytest.raises(TrafficError):
+        FlowSpec(node=0, weight=0.0)
+
+
+def test_flow_spec_rejects_bad_size_mix():
+    with pytest.raises(TrafficError):
+        FlowSpec(node=0, size_mix=((1, 0.4), (4, 0.4)))
+    with pytest.raises(TrafficError):
+        FlowSpec(node=0, size_mix=((0, 1.0),))
+
+
+def test_flow_spec_rejects_negative_packet_limit():
+    with pytest.raises(TrafficError):
+        FlowSpec(node=0, packet_limit=-1)
+
+
+def test_packet_replay_reset():
+    packet = Packet(pid=1, flow_id=2, src=3, dst=0, size=4, created_at=100)
+    packet.stations = (5, 6, 7)
+    packet.segments = ((1, 1, 1, 6), (2, 1, 1, 7), (3, 0, 0, -1))
+    packet.hop_index = 2
+    packet.tiles_done = 2
+    packet.reset_for_replay()
+    assert packet.attempt == 1
+    assert packet.hop_index == 0
+    assert packet.tiles_done == 0
+    assert packet.stations == ()
+    # Identity and creation time survive the replay (latency is measured
+    # from first injection).
+    assert packet.created_at == 100
+    assert packet.pid == 1
+
+
+def test_packet_current_accessors():
+    packet = Packet(pid=1, flow_id=0, src=0, dst=2, size=1, created_at=0)
+    packet.stations = (10, 11)
+    packet.segments = ((4, 1, 1, 11), (5, 0, 0, -1))
+    assert packet.current_station() == 10
+    assert packet.current_segment() == (4, 1, 1, 11)
+    packet.hop_index = 1
+    assert packet.current_station() == 11

@@ -1,0 +1,44 @@
+"""FlowTable: charging, flushing, frame bookkeeping."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.qos.flow_table import FlowTable
+
+
+def test_charge_and_consumed():
+    table = FlowTable(n_nodes=2, n_flows=3)
+    table.charge(0, 1, 4)
+    table.charge(0, 1, 1)
+    assert table.consumed(0, 1) == 5
+    assert table.consumed(1, 1) == 0  # per-router state
+
+
+def test_negative_charge_refunds():
+    table = FlowTable(n_nodes=1, n_flows=1)
+    table.charge(0, 0, 4)
+    table.charge(0, 0, -4)
+    assert table.consumed(0, 0) == 0
+
+
+def test_flush_clears_everything_and_marks_frame():
+    table = FlowTable(n_nodes=2, n_flows=2)
+    table.charge(0, 0, 7)
+    table.charge(1, 1, 3)
+    table.flush(now=500)
+    assert table.consumed(0, 0) == 0
+    assert table.consumed(1, 1) == 0
+    assert table.frame_start == 500
+    assert table.elapsed_in_frame(650) == 150
+
+
+def test_snapshot_is_a_copy():
+    table = FlowTable(n_nodes=1, n_flows=2)
+    snap = table.snapshot(0)
+    snap[0] = 99
+    assert table.consumed(0, 0) == 0
+
+
+def test_rejects_bad_dimensions():
+    with pytest.raises(ConfigurationError):
+        FlowTable(n_nodes=0, n_flows=1)

@@ -1,0 +1,152 @@
+"""PVC, per-flow-queued, and no-QoS policy semantics."""
+
+import pytest
+
+from repro.network.config import SimulationConfig
+from repro.network.fabric import Station
+from repro.network.packet import FlowSpec, Packet
+from repro.qos.base import NoQosPolicy
+from repro.qos.perflow import PerFlowQueuedPolicy
+from repro.qos.pvc import PROVISIONED_INJECTORS, PvcPolicy
+
+
+def _station(node=0, qos=True):
+    return Station(0, node, "s", "mesh", n_vcs=2, va_wait=1, qos=qos)
+
+
+def _packet(flow_id=0, size=4, created=0):
+    return Packet(pid=1, flow_id=flow_id, src=0, dst=1, size=size, created_at=created)
+
+
+def _bound_pvc(flows=None, config=None):
+    policy = PvcPolicy()
+    flows = flows or [FlowSpec(node=0, weight=1.0), FlowSpec(node=1, weight=2.0)]
+    policy.bind(8, flows, config or SimulationConfig(frame_cycles=1000))
+    return policy
+
+
+def test_pvc_priority_scales_with_weight():
+    policy = _bound_pvc()
+    station = _station()
+    heavy = _packet(flow_id=1)
+    light = _packet(flow_id=0)
+    policy.table.charge(0, 0, 10)
+    policy.table.charge(0, 1, 10)
+    # Same consumption, double weight -> half the priority value (better).
+    assert policy.priority(station, heavy, 0) == pytest.approx(
+        policy.priority(station, light, 0) / 2
+    )
+
+
+def test_pvc_on_forward_charges_local_router():
+    policy = _bound_pvc()
+    station = _station(node=3)
+    policy.on_forward(station, _packet(flow_id=0, size=4), 0)
+    assert policy.table.consumed(3, 0) == 4
+    assert policy.table.consumed(0, 0) == 0
+
+
+def test_pvc_refund_reverses_charge_and_clamps():
+    policy = _bound_pvc()
+    station = _station(node=2)
+    packet = _packet(flow_id=0, size=4)
+    policy.on_forward(station, packet, 0)
+    policy.on_refund(station, packet, 0)
+    assert policy.table.consumed(2, 0) == 0
+    # Refund after a flush must not go negative.
+    policy.on_refund(station, packet, 0)
+    assert policy.table.consumed(2, 0) == 0
+
+
+def test_pvc_frame_resets_counters_and_quota():
+    policy = _bound_pvc()
+    station = _station()
+    policy.on_forward(station, _packet(flow_id=0, size=4), 0)
+    policy.on_packet_created(0, 4, 0)
+    policy.on_frame(1000)
+    assert policy.table.consumed(0, 0) == 0
+    assert policy.frame_injected(0) == 0
+
+
+def test_pvc_quota_defaults_to_provisioned_population():
+    config = SimulationConfig(frame_cycles=6400)
+    policy = _bound_pvc(config=config)
+    assert policy.quota_flits() == pytest.approx(6400 / PROVISIONED_INJECTORS)
+
+
+def test_pvc_quota_share_override():
+    config = SimulationConfig(frame_cycles=1000, reserved_quota_share=0.5)
+    policy = _bound_pvc(config=config)
+    assert policy.quota_flits() == pytest.approx(500)
+
+
+def test_pvc_quota_protects_early_flits_only():
+    config = SimulationConfig(frame_cycles=640)  # quota = 10 flits
+    policy = _bound_pvc(config=config)
+    assert policy.on_packet_created(0, 4, 0) is True   # 4 <= 10
+    assert policy.on_packet_created(0, 4, 1) is True   # 8 <= 10
+    assert policy.on_packet_created(0, 4, 2) is False  # 12 > 10
+    assert policy.frame_injected(0) == 12
+
+
+def test_pvc_rate_compliance_tracks_provisioned_rate():
+    config = SimulationConfig(frame_cycles=50_000)
+    policy = _bound_pvc(config=config)
+    station = _station(node=0)
+    packet = _packet(flow_id=0, size=1)
+    # Fresh flow with slack: compliant.
+    assert policy.is_rate_compliant(station, packet, now=10)
+    # Consume far beyond the provisioned share early in the frame.
+    policy.table.charge(0, 0, 500)
+    assert not policy.is_rate_compliant(station, packet, now=100)
+
+
+def test_pvc_may_preempt_requires_strict_inversion():
+    policy = _bound_pvc()
+    assert policy.may_preempt(1.0, 2.0)
+    assert not policy.may_preempt(2.0, 1.0)
+    assert not policy.may_preempt(1.0, 1.0)
+
+
+def test_pvc_allows_preemption_flag():
+    assert PvcPolicy.allow_preemption is True
+    assert PvcPolicy.allow_overflow_vcs is False
+
+
+def test_perflow_never_preempts_and_overflows():
+    assert PerFlowQueuedPolicy.allow_preemption is False
+    assert PerFlowQueuedPolicy.allow_overflow_vcs is True
+
+
+def test_perflow_priority_matches_pvc_form():
+    policy = PerFlowQueuedPolicy()
+    policy.bind(8, [FlowSpec(node=0, weight=4.0)], SimulationConfig())
+    station = _station(node=0)
+    packet = _packet(flow_id=0, size=4)
+    policy.on_forward(station, packet, 0)
+    assert policy.priority(station, packet, 0) == pytest.approx(1.0)
+
+
+def test_perflow_everyone_is_rate_compliant():
+    policy = PerFlowQueuedPolicy()
+    policy.bind(8, [FlowSpec(node=0)], SimulationConfig())
+    assert policy.is_rate_compliant(_station(), _packet(), 0)
+
+
+def test_noqos_priority_is_locally_random_but_deterministic():
+    policy = NoQosPolicy()
+    packet = _packet()
+    station = _station()
+    # Deterministic for a given (packet, cycle)...
+    assert policy.priority(station, packet, 10) == policy.priority(
+        station, packet, 10
+    )
+    # ...but varies across cycles (stateless random arbitration).
+    draws = {policy.priority(station, packet, now) for now in range(16)}
+    assert len(draws) > 1
+
+
+def test_noqos_never_preempts():
+    policy = NoQosPolicy()
+    assert not policy.may_preempt(0.0, 100.0)
+    assert not policy.on_packet_created(0, 4, 0)

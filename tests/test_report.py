@@ -1,0 +1,50 @@
+"""Report generator."""
+
+import os
+
+import pytest
+
+from repro.analysis.report import ReportOptions, generate_report, write_report
+
+
+@pytest.fixture(scope="module")
+def fast_report() -> str:
+    return generate_report(ReportOptions(fast=True, seed=3))
+
+
+def test_fast_report_contains_every_section(fast_report):
+    for title in (
+        "Figure 3",
+        "Figure 4",
+        "Table 2",
+        "Figure 5",
+        "Figure 6",
+        "Figure 7",
+        "saturation replay",
+        "shared-column placement",
+    ):
+        assert title in fast_report, title
+
+
+def test_report_mode_header(fast_report):
+    assert "fast (scaled)" in fast_report
+    assert "seed: 3" in fast_report
+
+
+def test_report_tables_render(fast_report):
+    assert "mesh_x1" in fast_report
+    assert "dps" in fast_report
+    assert "```" in fast_report
+
+
+def test_write_report_creates_file(tmp_path, fast_report, monkeypatch):
+    # Reuse the cached text instead of regenerating the whole harness.
+    import repro.analysis.report as report_module
+
+    monkeypatch.setattr(report_module, "generate_report", lambda options=None: fast_report)
+    path = str(tmp_path / "REPORT.md")
+    returned = write_report(path)
+    assert returned == path
+    assert os.path.exists(path)
+    with open(path, encoding="utf-8") as handle:
+        assert "Reproduction report" in handle.read()

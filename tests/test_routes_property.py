@@ -1,0 +1,89 @@
+"""Property-based route invariants across every topology.
+
+For any (topology, src, dst, replica):
+
+* the route terminates with an ejection segment at the destination;
+* stations and segments are aligned and consistent;
+* tile spans sum to the Manhattan distance along the column;
+* every intermediate station sits on the geometric path;
+* wire delays equal tile spans (1 cycle per tile, Table 1).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.network.config import COLUMN_NODES
+from repro.network.packet import RouteRequest
+from repro.topologies.registry import TOPOLOGY_NAMES, get_topology
+
+_BUILDS = {name: get_topology(name).build() for name in TOPOLOGY_NAMES}
+
+nodes = st.integers(min_value=0, max_value=COLUMN_NODES - 1)
+
+
+def _route(name, src, dst, replica=0):
+    build = _BUILDS[name]
+    request = RouteRequest(
+        src_node=src,
+        dst_node=dst,
+        injection_station=build.injection_station[(src, "terminal")],
+        replica_hint=replica,
+    )
+    return build, *build.route_builder(request)
+
+
+@given(st.sampled_from(TOPOLOGY_NAMES), nodes, nodes, st.integers(0, 7))
+@settings(max_examples=300, deadline=None)
+def test_route_shape_invariants(name, src, dst, replica):
+    build, stations, segments = _route(name, src, dst, replica)
+    assert len(stations) == len(segments)
+    # Final segment ejects at the destination terminal.
+    last_port, last_wire, last_span, last_next = segments[-1]
+    assert last_next == -1
+    assert last_port == build.ejection_ports[dst]
+    assert last_wire == 0 and last_span == 0
+    # Earlier segments chain into the next station in the list.
+    for index, (port, wire, span, nxt) in enumerate(segments[:-1]):
+        assert nxt == stations[index + 1]
+        assert wire == span  # 1 cycle per tile spanned
+        assert not build.ports[port].is_ejection
+
+
+@given(st.sampled_from(TOPOLOGY_NAMES), nodes, nodes)
+@settings(max_examples=300, deadline=None)
+def test_route_distance_conservation(name, src, dst):
+    build, stations, segments = _route(name, src, dst)
+    total_span = sum(span for _, _, span, _ in segments)
+    assert total_span == abs(dst - src)
+
+
+@given(st.sampled_from(TOPOLOGY_NAMES), nodes, nodes)
+@settings(max_examples=300, deadline=None)
+def test_route_stations_lie_between_endpoints(name, src, dst):
+    build, stations, segments = _route(name, src, dst)
+    low, high = min(src, dst), max(src, dst)
+    for station_index in stations:
+        node = build.stations[station_index].node
+        assert low <= node <= high
+    # Destination station(s) end at the destination node.
+    assert build.stations[stations[-1]].node == dst
+
+
+@given(st.sampled_from(TOPOLOGY_NAMES), nodes, nodes)
+@settings(max_examples=200, deadline=None)
+def test_route_is_deterministic(name, src, dst):
+    _, stations_a, segments_a = _route(name, src, dst)
+    _, stations_b, segments_b = _route(name, src, dst)
+    assert stations_a == stations_b
+    assert segments_a == segments_b
+
+
+@given(nodes, nodes, st.integers(0, 3))
+@settings(max_examples=200, deadline=None)
+def test_mesh_x4_replica_routes_are_parallel(src, dst, replica):
+    build, stations, segments = _route("mesh_x4", src, dst, replica)
+    if src == dst:
+        return
+    # A route never mixes replicas: all its column ports carry the
+    # replica's index in their label.
+    labels = {build.ports[seg[0]].label[1] for seg in segments[:-1]}
+    assert labels == {str(replica)}

@@ -1,0 +1,241 @@
+"""Topology builders: structure of each fabric (Table 1 / Section 3.2)."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.network.config import COLUMN_NODES
+from repro.network.fabric import KIND_DPS_END, KIND_DPS_MID, KIND_MECS, KIND_MESH
+from repro.network.packet import RouteRequest
+from repro.topologies.dps import DpsTopology
+from repro.topologies.mecs import MecsTopology
+from repro.topologies.mesh import MeshTopology
+from repro.topologies.registry import TOPOLOGY_NAMES, get_topology
+
+
+def _route(build, src, dst, replica=0):
+    request = RouteRequest(
+        src_node=src,
+        dst_node=dst,
+        injection_station=build.injection_station[(src, "terminal")],
+        replica_hint=replica,
+    )
+    return build.route_builder(request)
+
+
+# -- registry -----------------------------------------------------------
+
+
+def test_registry_covers_paper_order():
+    assert TOPOLOGY_NAMES == ("mesh_x1", "mesh_x2", "mesh_x4", "mecs", "dps")
+
+
+def test_registry_rejects_unknown():
+    with pytest.raises(TopologyError):
+        get_topology("torus")
+
+
+def test_mesh_rejects_unevaluated_replication():
+    with pytest.raises(TopologyError):
+        MeshTopology(3)
+
+
+# -- common scaffolding --------------------------------------------------
+
+
+@pytest.mark.parametrize("name", TOPOLOGY_NAMES)
+def test_every_node_has_all_injector_slots(name):
+    build = get_topology(name).build()
+    for node in range(COLUMN_NODES):
+        for port in ("terminal", "east0", "east3", "west0", "west2"):
+            assert (node, port) in build.injection_station
+
+
+@pytest.mark.parametrize("name", TOPOLOGY_NAMES)
+def test_each_injector_owns_distinct_vc(name):
+    build = get_topology(name).build()
+    seen = set()
+    for key, station in build.injection_station.items():
+        slot = (station, build.injection_vc[key])
+        assert slot not in seen
+        seen.add(slot)
+
+
+@pytest.mark.parametrize("name", TOPOLOGY_NAMES)
+def test_ejection_port_per_node(name):
+    build = get_topology(name).build()
+    assert set(build.ejection_ports) == set(range(COLUMN_NODES))
+    for node, port_index in build.ejection_ports.items():
+        assert build.ports[port_index].is_ejection
+        assert build.ports[port_index].node == node
+
+
+@pytest.mark.parametrize("name", TOPOLOGY_NAMES)
+def test_self_route_is_direct_ejection(name):
+    build = get_topology(name).build()
+    stations, segments = _route(build, 3, 3)
+    assert len(stations) == 1
+    assert segments[-1][3] == -1
+    assert segments[-1][0] == build.ejection_ports[3]
+
+
+# -- mesh ----------------------------------------------------------------
+
+
+def test_mesh_vc_count_is_table1():
+    build = MeshTopology(1).build()
+    station = build.station_by_label("mS0@1")
+    assert len(station.vcs) == 6
+    assert station.va_wait == 1  # 2-stage pipeline (VA, XT)
+
+
+def test_mesh_route_has_one_station_per_hop():
+    build = MeshTopology(1).build()
+    stations, segments = _route(build, 1, 5)
+    assert len(stations) == 1 + 4  # injection + 4 hops
+    assert all(seg[1] == 1 for seg in segments[:-1])  # 1-cycle wires
+
+
+def test_mesh_route_northbound_uses_north_ports():
+    build = MeshTopology(1).build()
+    _, segments = _route(build, 5, 2)
+    first_port = build.ports[segments[0][0]]
+    assert first_port.label == "N0@5"
+
+
+def test_mesh_replicas_are_disjoint_channels():
+    build = MeshTopology(4).build()
+    ports = set()
+    for replica in range(4):
+        _, segments = _route(build, 0, 7, replica=replica)
+        ports.add(segments[0][0])
+    assert len(ports) == 4  # round-robin spreads over all replicas
+
+
+def test_mesh_replica_hint_wraps():
+    build = MeshTopology(2).build()
+    a = _route(build, 0, 3, replica=0)
+    b = _route(build, 0, 3, replica=2)
+    assert a == b
+
+
+def test_mesh_station_kinds():
+    build = MeshTopology(1).build()
+    assert build.station_by_label("mS0@4").kind == KIND_MESH
+
+
+# -- MECS ----------------------------------------------------------------
+
+
+def test_mecs_vc_count_is_table1():
+    build = MecsTopology().build()
+    station = build.station_by_label("Min@0<-7")
+    assert len(station.vcs) == 14
+    assert station.va_wait == 2  # 3-stage pipeline
+
+
+def test_mecs_route_is_single_network_hop():
+    build = MecsTopology().build()
+    stations, segments = _route(build, 0, 7)
+    assert len(stations) == 2  # injection + landing
+    assert segments[0][1] == 7  # wire delay = tiles spanned
+    assert segments[0][2] == 7  # tile span for hop accounting
+
+
+def test_mecs_one_channel_per_direction():
+    build = MecsTopology().build()
+    # All southbound destinations of node 2 share one output channel.
+    ports = {_route(build, 2, dst)[1][0][0] for dst in range(3, 8)}
+    assert len(ports) == 1
+
+
+def test_mecs_input_port_per_source():
+    build = MecsTopology().build()
+    # Node 0 has a dedicated input from each of the 7 other nodes.
+    landings = {_route(build, src, 0)[0][1] for src in range(1, 8)}
+    assert len(landings) == 7
+    assert all(build.stations[s].kind == KIND_MECS for s in landings)
+
+
+# -- DPS -----------------------------------------------------------------
+
+
+def test_dps_vc_count_is_table1():
+    build = DpsTopology().build()
+    station = build.station_by_label("Dmid0@4")
+    assert len(station.vcs) == 5
+
+
+def test_dps_intermediate_hops_have_no_qos_and_no_va_wait():
+    build = DpsTopology().build()
+    station = build.station_by_label("Dmid0@4")
+    assert station.va_wait == 0  # single-cycle traversal
+    assert not station.qos      # no flow state queries/updates
+    assert station.kind == KIND_DPS_MID
+
+
+def test_dps_endpoints_have_qos():
+    build = DpsTopology().build()
+    station = build.station_by_label("Dend0S")
+    assert station.qos
+    assert station.va_wait == 1
+    assert station.kind == KIND_DPS_END
+
+
+def test_dps_route_rides_single_subnet():
+    build = DpsTopology().build()
+    stations, segments = _route(build, 7, 0)
+    # injection + 6 mids + end station
+    assert len(stations) == 8
+    labels = [build.stations[s].label for s in stations[1:]]
+    assert labels == [f"Dmid0@{n}" for n in range(6, 0, -1)] + ["Dend0S"]
+
+
+def test_dps_adjacent_route_skips_mids():
+    build = DpsTopology().build()
+    stations, _ = _route(build, 3, 4)
+    assert len(stations) == 2
+    assert build.stations[stations[1]].label == "Dend4N"
+
+
+def test_dps_local_injection_shares_segment_with_through_traffic():
+    build = DpsTopology().build()
+    # The 2:1 mux: node 5's injection into subnet 0 uses the same
+    # segment port as through traffic leaving node 5 on subnet 0.
+    _, inject_segments = _route(build, 5, 0)
+    _, through_segments = _route(build, 7, 0)
+    inject_port = inject_segments[0][0]
+    through_port_at_5 = through_segments[2][0]
+    assert inject_port == through_port_at_5
+
+
+def test_dps_subnets_are_disjoint_between_destinations():
+    build = DpsTopology().build()
+    _, to_0 = _route(build, 7, 0)
+    _, to_1 = _route(build, 7, 1)
+    ports_0 = {seg[0] for seg in to_0[:-1]}
+    ports_1 = {seg[0] for seg in to_1[:-1]}
+    assert ports_0.isdisjoint(ports_1)
+
+
+# -- geometry consistency -------------------------------------------------
+
+
+@pytest.mark.parametrize("name", TOPOLOGY_NAMES)
+def test_geometry_names_match(name):
+    assert get_topology(name).geometry().name == name
+
+
+def test_mesh_crossbar_port_counts():
+    assert MeshTopology(1).geometry().crossbar_inputs == 5   # 5x5 (paper)
+    assert MeshTopology(4).geometry().crossbar_inputs == 11  # 11x11 (paper)
+
+
+def test_dps_crossbar_has_many_outputs():
+    geometry = DpsTopology().geometry()
+    assert geometry.crossbar_outputs > geometry.crossbar_inputs
+
+
+def test_route_endpoint_validation():
+    build = MeshTopology(1).build()
+    with pytest.raises(TopologyError):
+        _route(build, 0, 9)

@@ -1,0 +1,92 @@
+"""Flattened-butterfly extension topology."""
+
+import pytest
+
+from repro.network.config import COLUMN_NODES
+from repro.network.packet import RouteRequest
+from repro.topologies.flattened_butterfly import FlattenedButterflyTopology
+from repro.topologies.registry import EXTENDED_TOPOLOGY_NAMES, get_topology
+
+from helpers import build_simulator
+
+
+def _route(build, src, dst):
+    request = RouteRequest(
+        src_node=src,
+        dst_node=dst,
+        injection_station=build.injection_station[(src, "terminal")],
+    )
+    return build.route_builder(request)
+
+
+def test_registered_as_extension():
+    assert "fbfly" in EXTENDED_TOPOLOGY_NAMES
+    assert get_topology("fbfly").name == "fbfly"
+
+
+def test_single_hop_reach():
+    build = FlattenedButterflyTopology().build()
+    stations, segments = _route(build, 0, 7)
+    assert len(stations) == 2
+    assert segments[0][1] == 7  # wire delay = distance
+
+
+def test_dedicated_channel_per_pair():
+    build = FlattenedButterflyTopology().build()
+    # Unlike MECS, every (src, dst) pair gets its own channel.
+    ports = {_route(build, 2, dst)[1][0][0] for dst in range(8) if dst != 2}
+    assert len(ports) == 7
+
+
+def test_landing_station_per_source():
+    build = FlattenedButterflyTopology().build()
+    landings = {_route(build, src, 3)[0][1] for src in range(8) if src != 3}
+    assert len(landings) == 7
+
+
+def test_no_channel_serialisation_between_destinations():
+    # Two packets from node 0 to different destinations never contend
+    # for a column channel (they do in MECS).
+    fb = FlattenedButterflyTopology().build()
+    _, to_5 = _route(fb, 0, 5)
+    _, to_6 = _route(fb, 0, 6)
+    assert to_5[0][0] != to_6[0][0]
+    mecs = get_topology("mecs").build()
+    _, m5 = _route(mecs, 0, 5)
+    _, m6 = _route(mecs, 0, 6)
+    assert m5[0][0] == m6[0][0]
+
+
+def test_simulates_and_delivers():
+    sim = build_simulator("fbfly")
+    stats = sim.run(3000)
+    assert stats.delivered_packets > 0
+
+
+def test_geometry_shape():
+    geometry = FlattenedButterflyTopology().geometry()
+    assert geometry.crossbar_outputs > geometry.crossbar_inputs
+    assert geometry.flow_table_copies == COLUMN_NODES
+
+
+def test_mesh_replica_policy_validation():
+    from repro.errors import TopologyError
+    from repro.topologies.mesh import MeshTopology
+
+    with pytest.raises(TopologyError):
+        MeshTopology(2, replica_policy="random")
+
+
+def test_per_flow_policy_is_static():
+    from repro.topologies.mesh import MeshTopology
+
+    build = MeshTopology(4, replica_policy="per_flow").build()
+    routes = set()
+    for hint in range(8):
+        request = RouteRequest(
+            src_node=0, dst_node=5,
+            injection_station=build.injection_station[(0, "terminal")],
+            replica_hint=hint,
+        )
+        routes.add(build.route_builder(request))
+    assert len(routes) == 1  # hint is ignored; the flow is pinned

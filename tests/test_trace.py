@@ -1,0 +1,102 @@
+"""Event tracing: recording, eviction, queries, engine integration."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network.config import SimulationConfig
+from repro.network.trace import TraceEvent, TraceKind, TraceRecorder
+from repro.traffic.workloads import workload1
+
+from helpers import build_simulator
+
+
+def test_capacity_validation():
+    with pytest.raises(ConfigurationError):
+        TraceRecorder(capacity=0)
+
+
+def test_record_and_query():
+    recorder = TraceRecorder(capacity=10)
+    recorder.record(5, TraceKind.CREATE, pid=1, flow_id=0, where="node0")
+    recorder.record(6, TraceKind.WIN, pid=1, flow_id=0, where="S0@0")
+    assert len(recorder.events) == 2
+    assert recorder.events_of_packet(1)[0].kind is TraceKind.CREATE
+    assert recorder.count(TraceKind.WIN) == 1
+
+
+def test_ring_buffer_eviction_keeps_counts():
+    recorder = TraceRecorder(capacity=3)
+    for cycle in range(10):
+        recorder.record(cycle, TraceKind.WIN, pid=cycle, flow_id=0, where="p")
+    assert len(recorder.events) == 3
+    assert recorder.dropped == 7
+    assert recorder.count(TraceKind.WIN) == 10
+    assert "dropped" in recorder.format_tail(5)
+
+
+def test_event_string_rendering():
+    event = TraceEvent(12, TraceKind.PREEMPT, 7, 3, "mS0@4", "wasted_tiles=2")
+    text = str(event)
+    assert "preempt" in text
+    assert "pkt=7" in text
+    assert "wasted_tiles=2" in text
+
+
+def test_empty_tail():
+    assert TraceRecorder().format_tail() == "(no events)"
+
+
+def test_engine_emits_lifecycle_events():
+    sim = build_simulator("mesh_x1")
+    recorder = TraceRecorder(capacity=100_000)
+    recorder.attach(sim)
+    sim.run(1500)
+    assert recorder.count(TraceKind.CREATE) > 0
+    assert recorder.count(TraceKind.INJECT) > 0
+    assert recorder.count(TraceKind.WIN) > 0
+    assert recorder.count(TraceKind.DELIVER) > 0
+    # Every delivered packet was created and injected first.
+    assert recorder.count(TraceKind.DELIVER) <= recorder.count(TraceKind.CREATE)
+
+
+def test_packet_life_story_is_ordered():
+    sim = build_simulator("dps")
+    recorder = TraceRecorder(capacity=100_000)
+    recorder.attach(sim)
+    sim.run(800)
+    delivered = recorder.events_of_kind(TraceKind.DELIVER)
+    assert delivered, "need at least one delivery to inspect"
+    story = recorder.events_of_packet(delivered[0].pid)
+    kinds = [event.kind for event in story]
+    assert kinds[0] is TraceKind.CREATE
+    assert kinds[-1] is TraceKind.DELIVER
+    cycles = [event.cycle for event in story]
+    assert cycles == sorted(cycles)
+
+
+def test_preemptions_produce_nack_then_reinject():
+    config = SimulationConfig(
+        frame_cycles=4000, seed=3, preemption_patience_cycles=4
+    )
+    sim = build_simulator("mesh_x2", workload1(), config=config)
+    recorder = TraceRecorder(capacity=500_000)
+    recorder.attach(sim)
+    sim.run(10_000)
+    assert recorder.count(TraceKind.PREEMPT) > 0
+    # Every preemption produces a NACK; a few may still be in flight on
+    # the ACK network when the run stops.
+    assert 0 < recorder.count(TraceKind.NACK) <= recorder.count(TraceKind.PREEMPT)
+    # A preempted packet's story shows preempt -> nack -> inject again.
+    victim = recorder.events_of_kind(TraceKind.PREEMPT)[0]
+    story = recorder.events_of_packet(victim.pid)
+    kinds = [event.kind for event in story]
+    preempt_at = kinds.index(TraceKind.PREEMPT)
+    assert TraceKind.NACK in kinds[preempt_at:]
+
+
+def test_untraced_runs_unaffected():
+    baseline = build_simulator("dps").run(1000).summary()
+    traced_sim = build_simulator("dps")
+    TraceRecorder().attach(traced_sim)
+    traced = traced_sim.run(1000).summary()
+    assert baseline == traced

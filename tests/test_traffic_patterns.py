@@ -1,0 +1,74 @@
+"""Destination patterns over the 8-node column."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import TrafficError
+from repro.traffic.patterns import (
+    bit_reversal,
+    hotspot,
+    nearest_neighbor,
+    tornado,
+    uniform_random,
+)
+from repro.util.rng import DeterministicRng
+
+nodes = st.integers(min_value=0, max_value=7)
+
+
+@given(nodes, st.integers(0, 2**30))
+def test_uniform_random_never_self(src, seed):
+    rng = DeterministicRng(seed)
+    dst = uniform_random(src, rng)
+    assert 0 <= dst <= 7
+    assert dst != src
+
+
+def test_uniform_random_covers_all_destinations():
+    rng = DeterministicRng(1)
+    seen = {uniform_random(3, rng) for _ in range(500)}
+    assert seen == {0, 1, 2, 4, 5, 6, 7}
+
+
+@given(nodes)
+def test_tornado_is_half_way_permutation(src):
+    assert tornado(src, None) == (src + 4) % 8
+
+
+def test_tornado_is_a_permutation():
+    assert sorted(tornado(s, None) for s in range(8)) == list(range(8))
+
+
+@given(nodes, nodes)
+def test_hotspot_targets_fixed_node(target, src):
+    pattern = hotspot(target)
+    assert pattern(src, None) == target
+
+
+def test_hotspot_rejects_out_of_range():
+    with pytest.raises(TrafficError):
+        hotspot(8)
+    with pytest.raises(TrafficError):
+        hotspot(-1)
+
+
+@given(nodes, st.integers(0, 2**30))
+def test_nearest_neighbor_is_adjacent(src, seed):
+    rng = DeterministicRng(seed)
+    dst = nearest_neighbor(src, rng)
+    assert abs(dst - src) == 1
+    assert 0 <= dst <= 7
+
+
+@given(nodes, st.integers(0, 2**30))
+def test_bit_reversal_in_range_and_never_self(src, seed):
+    rng = DeterministicRng(seed)
+    dst = bit_reversal(src, rng)
+    assert 0 <= dst <= 7
+    assert dst != src
+
+
+def test_bit_reversal_known_values():
+    rng = DeterministicRng(0)
+    assert bit_reversal(1, rng) == 4  # 001 -> 100
+    assert bit_reversal(3, rng) == 6  # 011 -> 110

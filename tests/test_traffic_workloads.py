@@ -1,0 +1,95 @@
+"""Workload builders: flow sets for each experiment."""
+
+import pytest
+
+from repro.errors import TrafficError
+from repro.network.packet import ALL_INJECTOR_PORTS, TERMINAL_PORT
+from repro.traffic.workloads import (
+    WORKLOAD1_RATES,
+    full_column_workload,
+    hotspot_all_injectors,
+    tornado_workload,
+    uniform_workload,
+    workload1,
+    workload2,
+)
+
+
+def test_uniform_workload_one_terminal_per_node():
+    flows = uniform_workload(0.1)
+    assert len(flows) == 8
+    assert all(flow.port == TERMINAL_PORT for flow in flows)
+    assert {flow.node for flow in flows} == set(range(8))
+
+
+def test_uniform_workload_rejects_negative_rate():
+    with pytest.raises(TrafficError):
+        uniform_workload(-0.1)
+
+
+def test_tornado_workload_uses_tornado_pattern():
+    flows = tornado_workload(0.1)
+    assert flows[2].pattern(2, None) == 6
+
+
+def test_full_column_workload_covers_all_64_injectors():
+    flows = full_column_workload(0.05)
+    assert len(flows) == 64
+    slots = {(flow.node, flow.port) for flow in flows}
+    assert len(slots) == 64
+
+
+def test_hotspot_all_injectors_targets_node0():
+    flows = hotspot_all_injectors(0.05)
+    assert len(flows) == 64
+    assert all(flow.pattern(flow.node, None) == 0 for flow in flows)
+    assert all(flow.weight == 1.0 for flow in flows)
+
+
+def test_hotspot_alternate_target():
+    flows = hotspot_all_injectors(0.05, target=5)
+    assert all(flow.pattern(flow.node, None) == 5 for flow in flows)
+
+
+def test_workload1_shape_matches_paper():
+    flows = workload1()
+    assert len(flows) == 8
+    assert all(flow.port == TERMINAL_PORT for flow in flows)
+    # Rates span 5%..20%, average around 14% (Section 5.3).
+    rates = [flow.rate for flow in flows]
+    assert min(rates) == 0.05
+    assert max(rates) == 0.20
+    assert 0.13 <= sum(rates) / len(rates) <= 0.15
+    # Equal priorities: equal PVC weights.
+    assert {flow.weight for flow in flows} == {1.0}
+
+
+def test_workload1_oversubscribes_fair_share():
+    # 8 sources sharing a 1-flit/cycle hotspot: fair share is 12.5%;
+    # the ladder's average must exceed it to guarantee contention.
+    assert sum(WORKLOAD1_RATES) / 8 > 0.125
+
+
+def test_workload1_rejects_wrong_rate_count():
+    with pytest.raises(TrafficError):
+        workload1(rates=(0.1, 0.2))
+
+
+def test_workload2_shape_matches_paper():
+    flows = workload2()
+    assert len(flows) == 9
+    node7 = [flow for flow in flows if flow.node == 7]
+    node6 = [flow for flow in flows if flow.node == 6]
+    assert len(node7) == 8  # all eight injectors at the farthest node
+    assert {flow.port for flow in node7} == set(ALL_INJECTOR_PORTS)
+    assert len(node6) == 1  # one extra injector for output contention
+    assert node6[0].port == TERMINAL_PORT
+
+
+def test_packet_limits_propagate():
+    for factory in (uniform_workload, tornado_workload):
+        flows = factory(0.1, packet_limit=17)
+        assert all(flow.packet_limit == 17 for flow in flows)
+    assert all(f.packet_limit == 5 for f in workload1(packet_limit=5))
+    assert all(f.packet_limit == 5 for f in workload2(packet_limit=5))
+    assert all(f.packet_limit == 5 for f in hotspot_all_injectors(packet_limit=5))

@@ -1,0 +1,57 @@
+"""ASCII chart rendering."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.util.charts import bar_chart, line_chart
+
+
+def test_bar_chart_scales_to_peak():
+    text = bar_chart({"a": 2.0, "b": 1.0}, width=10)
+    lines = text.splitlines()
+    assert lines[0].count("#") == 10
+    assert lines[1].count("#") == 5
+
+
+def test_bar_chart_title_and_unit():
+    text = bar_chart({"x": 1.0}, title="T", unit="pJ")
+    assert text.splitlines()[0] == "T"
+    assert "pJ" in text
+
+
+def test_bar_chart_zero_values():
+    text = bar_chart({"a": 0.0, "b": 1.0})
+    lines = text.splitlines()
+    assert "#" not in lines[0]
+
+
+def test_bar_chart_rejects_empty():
+    with pytest.raises(ConfigurationError):
+        bar_chart({})
+
+
+def test_line_chart_contains_markers_and_legend():
+    text = line_chart(
+        {"s1": [(0, 0), (1, 1)], "s2": [(0, 1), (1, 0)]},
+        width=20,
+        height=6,
+    )
+    assert "o" in text and "x" in text
+    assert "o s1" in text and "x s2" in text
+
+
+def test_line_chart_y_cap_clips():
+    capped = line_chart({"s": [(0, 1), (1, 1000)]}, y_cap=10.0, height=5)
+    assert "10.0" in capped  # axis labelled at the cap, not 1000
+
+
+def test_line_chart_single_point():
+    text = line_chart({"s": [(1, 5)]}, width=10, height=4)
+    assert "o" in text
+
+
+def test_line_chart_rejects_empty():
+    with pytest.raises(ConfigurationError):
+        line_chart({})
+    with pytest.raises(ConfigurationError):
+        line_chart({"s": []})

@@ -1,0 +1,80 @@
+"""DeterministicRng: reproducibility and draw semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.rng import DeterministicRng
+
+
+def test_same_seed_same_sequence():
+    a = DeterministicRng(42)
+    b = DeterministicRng(42)
+    assert [a.uniform_int(0, 100) for _ in range(50)] == [
+        b.uniform_int(0, 100) for _ in range(50)
+    ]
+
+
+def test_different_seeds_diverge():
+    a = DeterministicRng(1)
+    b = DeterministicRng(2)
+    assert [a.uniform_int(0, 10**6) for _ in range(10)] != [
+        b.uniform_int(0, 10**6) for _ in range(10)
+    ]
+
+
+def test_spawn_is_deterministic():
+    parent1 = DeterministicRng(9)
+    parent2 = DeterministicRng(9)
+    assert parent1.spawn(3).random() == parent2.spawn(3).random()
+
+
+def test_spawn_children_are_independent():
+    parent = DeterministicRng(9)
+    child_a = parent.spawn(0)
+    child_b = parent.spawn(1)
+    assert [child_a.random() for _ in range(5)] != [
+        child_b.random() for _ in range(5)
+    ]
+
+
+def test_bernoulli_extremes():
+    rng = DeterministicRng(0)
+    assert not rng.bernoulli(0.0)
+    assert rng.bernoulli(1.0)
+    assert not rng.bernoulli(-0.5)
+    assert rng.bernoulli(1.5)
+
+
+def test_bernoulli_rate_statistics():
+    rng = DeterministicRng(11)
+    hits = sum(rng.bernoulli(0.3) for _ in range(20_000))
+    assert 0.27 < hits / 20_000 < 0.33
+
+
+def test_choice_index_respects_weights():
+    rng = DeterministicRng(5)
+    counts = [0, 0]
+    for _ in range(10_000):
+        counts[rng.choice_index([1.0, 3.0])] += 1
+    assert 0.20 < counts[0] / 10_000 < 0.30
+
+
+def test_choice_index_rejects_zero_weights():
+    rng = DeterministicRng(5)
+    with pytest.raises(ValueError):
+        rng.choice_index([0.0, 0.0])
+
+
+@given(st.integers(min_value=0, max_value=2**30), st.integers(0, 50))
+def test_uniform_int_in_bounds(seed, high):
+    rng = DeterministicRng(seed)
+    value = rng.uniform_int(0, high)
+    assert 0 <= value <= high
+
+
+def test_shuffle_is_permutation():
+    rng = DeterministicRng(3)
+    items = list(range(20))
+    shuffled = list(items)
+    rng.shuffle(shuffled)
+    assert sorted(shuffled) == items

@@ -1,0 +1,63 @@
+"""RunningStats and helpers: Welford accumulation matches batch math."""
+
+import math
+
+from hypothesis import given, strategies as st
+
+from repro.util.stats import RunningStats, mean, population_std
+
+
+def test_mean_empty_is_zero():
+    assert mean([]) == 0.0
+
+
+def test_mean_basic():
+    assert mean([1.0, 2.0, 3.0]) == 2.0
+
+
+def test_population_std_constant_sequence():
+    assert population_std([4.0, 4.0, 4.0]) == 0.0
+
+
+def test_population_std_known_value():
+    assert math.isclose(population_std([2.0, 4.0]), 1.0)
+
+
+def test_running_stats_empty():
+    stats = RunningStats()
+    assert stats.count == 0
+    assert stats.mean == 0.0
+    assert stats.std == 0.0
+
+
+def test_running_stats_single_sample():
+    stats = RunningStats()
+    stats.add(5.0)
+    assert stats.mean == 5.0
+    assert stats.minimum == 5.0
+    assert stats.maximum == 5.0
+    assert stats.variance == 0.0
+
+
+def test_running_stats_extend_and_dict():
+    stats = RunningStats()
+    stats.extend([1.0, 2.0, 3.0, 4.0])
+    summary = stats.as_dict()
+    assert summary["count"] == 4.0
+    assert summary["mean"] == 2.5
+    assert summary["min"] == 1.0
+    assert summary["max"] == 4.0
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                          allow_nan=False, allow_infinity=False),
+                min_size=2, max_size=200))
+def test_running_stats_matches_batch(values):
+    stats = RunningStats()
+    stats.extend(values)
+    assert math.isclose(stats.mean, mean(values), rel_tol=1e-9, abs_tol=1e-6)
+    assert math.isclose(
+        stats.std, population_std(values), rel_tol=1e-6, abs_tol=1e-6
+    )
+    assert stats.minimum == min(values)
+    assert stats.maximum == max(values)

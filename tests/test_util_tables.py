@@ -1,0 +1,42 @@
+"""ASCII table rendering."""
+
+from repro.util.tables import format_table
+
+
+def test_headers_and_rows_present():
+    text = format_table(["a", "bb"], [[1, 2.5], [3, 4.25]])
+    assert "a" in text
+    assert "bb" in text
+    assert "2.500" in text
+
+
+def test_title_and_underline():
+    text = format_table(["x"], [[1]], title="My Table")
+    lines = text.splitlines()
+    assert lines[0] == "My Table"
+    assert lines[1] == "=" * len("My Table")
+
+
+def test_float_format_override():
+    text = format_table(["v"], [[1.23456]], float_format=".1f")
+    assert "1.2" in text
+    assert "1.23" not in text
+
+
+def test_column_alignment():
+    text = format_table(["col", "value"], [["tiny", 1], ["much-longer-cell", 2]])
+    lines = text.splitlines()
+    # All data lines align the second column at the same offset.
+    offsets = {line.index("1") for line in lines if line.endswith("1")}
+    offsets |= {line.index("2") for line in lines if line.endswith("2")}
+    assert len(offsets) == 1
+
+
+def test_string_cells_pass_through():
+    text = format_table(["k"], [["98.6%"]])
+    assert "98.6%" in text
+
+
+def test_bools_are_not_float_formatted():
+    text = format_table(["flag"], [[True]])
+    assert "True" in text
