@@ -6,7 +6,7 @@ frame length, retransmission window, replica selection) plus the
 flattened-butterfly alternative Section 2.2 names but does not evaluate.
 """
 
-from conftest import run_once
+from conftest import record_runtime_baseline, run_once, time_variants
 
 from repro.analysis.ablations import (
     format_fbfly_study,
@@ -96,3 +96,22 @@ def test_extension_flattened_butterfly(benchmark):
     # single-hop reach keeps 3-hop energy in the MECS/DPS class.
     assert abs(by_name["fbfly"].uniform_latency - by_name["mecs"].uniform_latency) < 2.0
     assert by_name["fbfly"].three_hop_energy_pj < 14.0
+
+
+def test_ablations_serial_vs_parallel_runtime(benchmark):
+    """Patience + quota sweeps on both executors: equal points, timings."""
+
+    def sweep(executor):
+        return (
+            run_patience_ablation(executor=executor),
+            run_quota_ablation(executor=executor),
+        )
+
+    timings, results = time_variants(sweep)
+    serial = results["serial"]
+    parallel = next(v for k, v in results.items() if k.startswith("parallel"))
+    assert serial == parallel
+    record_runtime_baseline("ablations_patience_plus_quota", timings)
+    print()
+    print(f"ablation runtime comparison: {timings}")
+    run_once(benchmark, format_patience_ablation, serial[0])

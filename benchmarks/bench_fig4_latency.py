@@ -1,6 +1,6 @@
 """Figure 4 — latency/throughput on uniform random and tornado."""
 
-from conftest import run_once
+from conftest import record_runtime_baseline, run_once, time_variants
 
 from repro.analysis.experiments import format_fig4, run_fig4
 from repro.network.config import SimulationConfig
@@ -27,3 +27,28 @@ def test_fig4_latency_curves(benchmark):
     assert low_uniform["mecs"] < low_uniform["mesh_x1"]
     assert high_tornado["mesh_x1"] > high_tornado["mecs"]
     assert high_tornado["mesh_x4"] > high_tornado["mecs"]
+
+
+def test_fig4_serial_vs_parallel_runtime(benchmark):
+    """Same sweep, both executors: equal curves, recorded wall-clocks."""
+
+    def sweep(executor):
+        return run_fig4(
+            rates=_RATES[:4],
+            cycles=2500,
+            warmup=600,
+            config=SimulationConfig(frame_cycles=10_000, seed=1),
+            executor=executor,
+        )
+
+    timings, results = time_variants(sweep)
+    serial = results["serial"]
+    parallel = next(v for k, v in results.items() if k.startswith("parallel"))
+    assert serial.uniform == parallel.uniform
+    assert serial.tornado == parallel.tornado
+    record_runtime_baseline("fig4_40_point_sweep", timings)
+    print()
+    print(f"fig4 runtime comparison: {timings}")
+    # pytest-benchmark records the (cheap) formatting pass; the real
+    # measurement of interest is the timings dict persisted above.
+    run_once(benchmark, format_fig4, serial)

@@ -5,9 +5,29 @@ prints the same rows the paper reports (run with ``-s`` to see them;
 they are also printed into the captured output).  Simulation-backed
 benchmarks use scaled windows documented in EXPERIMENTS.md; pass the
 paper-scale parameters through the experiment modules for long runs.
+
+Experiments that route through :mod:`repro.runtime` accept an
+``executor=``; :func:`executor_variants` supplies the serial reference
+and a process-parallel executor so a benchmark can report both
+wall-clocks, and :func:`record_runtime_baseline` persists the
+comparison into ``BENCH_runtime.json`` at the repo root.
 """
 
 from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.runtime.executor import Executor, ParallelExecutor, SerialExecutor
+
+#: Where the serial-vs-parallel baselines are recorded.
+BASELINE_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), os.pardir, "BENCH_runtime.json"
+)
+
+#: Worker count for the parallel variants (override: REPRO_BENCH_JOBS).
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "0")) or (os.cpu_count() or 1)
 
 
 def run_once(benchmark, fn, *args, **kwargs):
@@ -18,3 +38,49 @@ def run_once(benchmark, fn, *args, **kwargs):
     wall-clock time.
     """
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def executor_variants() -> list[tuple[str, Executor]]:
+    """The serial reference plus a process-parallel executor."""
+    return [
+        ("serial", SerialExecutor()),
+        (f"parallel[{BENCH_JOBS}]", ParallelExecutor(jobs=BENCH_JOBS)),
+    ]
+
+
+def time_variants(fn) -> tuple[dict[str, float], dict[str, object]]:
+    """Run ``fn(executor)`` once per variant; return timings + results."""
+    timings: dict[str, float] = {}
+    results: dict[str, object] = {}
+    for label, executor in executor_variants():
+        started = time.perf_counter()
+        results[label] = fn(executor)
+        timings[label] = round(time.perf_counter() - started, 3)
+    return timings, results
+
+
+def record_runtime_baseline(name: str, timings: dict[str, float]) -> None:
+    """Merge one benchmark's serial-vs-parallel timings into the baseline.
+
+    The file is keyed by benchmark name so reruns update in place; the
+    committed copy documents the machine it was recorded on.
+    """
+    try:
+        with open(BASELINE_PATH, encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        data = {"_meta": {}}
+    data.setdefault("_meta", {})
+    data["_meta"]["cpu_count"] = os.cpu_count()
+    data["_meta"]["jobs"] = BENCH_JOBS
+    serial = timings.get("serial")
+    parallel = next(
+        (v for k, v in timings.items() if k.startswith("parallel")), None
+    )
+    entry: dict[str, object] = {"timings_seconds": timings}
+    if serial and parallel:
+        entry["speedup"] = round(serial / parallel, 3)
+    data[name] = entry
+    with open(BASELINE_PATH, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")

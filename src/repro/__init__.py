@@ -25,6 +25,26 @@ Chip-level architecture::
     system.admit_vm("db", n_threads=16, weight=3.0)
     assert system.audit_isolation() == []
 
+Parallel sweeps with result caching (:mod:`repro.runtime`)::
+
+    from repro import ParallelExecutor, ResultCache, run_grid
+
+    grid = run_grid(
+        ["mesh_x1", "mecs", "dps"], [0.02, 0.06, 0.10],
+        workload="full_column", cycles=4000, warmup=1000,
+        executor=ParallelExecutor(),          # os.cpu_count() workers
+        cache=ResultCache(),                  # ~/.cache/repro
+    )
+    for name, curve in grid.curves.items():
+        print(name, [point.mean_latency for point in curve])
+    print(grid.manifest.summary())  # "... N simulated, M cached ..."
+
+Every point is a declarative, content-hashed :class:`RunSpec`; results
+are bit-identical across serial/parallel execution and cache round
+trips (same seeds ⇒ same stats), and a repeated sweep performs zero
+simulations.  Lower-level control: build :class:`RunSpec` batches by
+hand and pass them to :func:`run_batch` or an executor's ``map``.
+
 Experiments (one per paper table/figure) live in
 :mod:`repro.analysis.experiments`.
 """
@@ -56,6 +76,19 @@ from repro.network.packet import FlowSpec, Packet
 from repro.qos.base import NoQosPolicy, QosPolicy
 from repro.qos.perflow import PerFlowQueuedPolicy
 from repro.qos.pvc import PvcPolicy
+from repro.runtime import (
+    BatchResult,
+    GridResult,
+    ParallelExecutor,
+    ResultCache,
+    RunManifest,
+    RunResult,
+    RunSpec,
+    SerialExecutor,
+    execute_spec,
+    run_batch,
+    run_grid,
+)
 from repro.topologies.registry import TOPOLOGY_NAMES, get_topology
 from repro.traffic.workloads import (
     full_column_workload,
@@ -66,10 +99,11 @@ from repro.traffic.workloads import (
     workload2,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AllocationError",
+    "BatchResult",
     "Chip",
     "ChipConfig",
     "ColumnSimulator",
@@ -77,18 +111,25 @@ __all__ = [
     "ConvexityError",
     "Domain",
     "FlowSpec",
+    "GridResult",
     "Hypervisor",
     "IsolationError",
     "MemoryController",
     "ModelError",
     "NoQosPolicy",
     "Packet",
+    "ParallelExecutor",
     "PerFlowQueuedPolicy",
     "PvcPolicy",
     "QosPolicy",
     "ReproError",
+    "ResultCache",
     "RouterAreaModel",
     "RouterEnergyModel",
+    "RunManifest",
+    "RunResult",
+    "RunSpec",
+    "SerialExecutor",
     "SimulationConfig",
     "SimulationError",
     "TOPOLOGY_NAMES",
@@ -97,6 +138,7 @@ __all__ = [
     "TopologyError",
     "TrafficError",
     "VirtualMachine",
+    "execute_spec",
     "fairness_report",
     "full_column_workload",
     "get_topology",
@@ -104,6 +146,8 @@ __all__ = [
     "is_convex",
     "latency_throughput_sweep",
     "max_min_allocation",
+    "run_batch",
+    "run_grid",
     "tornado_workload",
     "uniform_workload",
     "workload1",

@@ -13,10 +13,10 @@ from dataclasses import dataclass, replace
 
 from repro.analysis.fairness import fairness_report
 from repro.network.config import SimulationConfig
-from repro.network.engine import ColumnSimulator
-from repro.qos.pvc import PvcPolicy
-from repro.topologies.registry import get_topology
-from repro.traffic.workloads import hotspot_all_injectors, workload1
+from repro.runtime.cache import ResultCache
+from repro.runtime.executor import Executor
+from repro.runtime.runner import run_batch
+from repro.runtime.spec import RunSpec
 from repro.util.tables import format_table
 
 DEFAULT_FRAMES: tuple[int, ...] = (2_000, 5_000, 10_000, 25_000, 50_000)
@@ -38,31 +38,44 @@ def run_frame_ablation(
     frames: tuple[int, ...] = DEFAULT_FRAMES,
     window: int = 12_000,
     config: SimulationConfig | None = None,
+    executor: Executor | None = None,
+    cache: ResultCache | None = None,
 ) -> list[FramePoint]:
     """Measure fairness (hotspot) and preemption (Workload 1) per frame."""
     base = config or SimulationConfig(seed=1)
-    points = []
+    specs = []
     for frame in frames:
         cfg = replace(base, frame_cycles=frame)
-        fair_sim = ColumnSimulator(
-            get_topology(topology_name).build(cfg),
-            hotspot_all_injectors(0.05),
-            PvcPolicy(),
-            cfg,
+        specs.append(
+            RunSpec(
+                topology=topology_name,
+                workload="hotspot64",
+                rate=0.05,
+                config=cfg,
+                mode="window",
+                cycles=window,
+                warmup=window // 4,
+            )
         )
-        fair_stats = fair_sim.run_window(window // 4, window)
-        report = fairness_report(fair_stats.window_flits_per_flow)
-
-        adv_sim = ColumnSimulator(
-            get_topology(topology_name).build(cfg), workload1(), PvcPolicy(), cfg
+        specs.append(
+            RunSpec(
+                topology=topology_name,
+                workload="workload1",
+                config=cfg,
+                cycles=window,
+            )
         )
-        adv_stats = adv_sim.run(window)
+    batch = run_batch(specs, executor=executor, cache=cache)
+    points = []
+    for index, frame in enumerate(frames):
+        fair, adv = batch.results[2 * index : 2 * index + 2]
+        report = fairness_report(list(fair.window_flits_per_flow))
         points.append(
             FramePoint(
                 frame_cycles=frame,
                 fairness_std=report.std_relative,
                 max_deviation=report.max_deviation,
-                adversarial_preemptions=adv_stats.preemption_events,
+                adversarial_preemptions=adv.preemption_events,
             )
         )
     return points

@@ -15,10 +15,10 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from repro.network.config import SimulationConfig
-from repro.network.engine import ColumnSimulator
-from repro.qos.pvc import PvcPolicy
-from repro.topologies.registry import get_topology
-from repro.traffic.workloads import workload1
+from repro.runtime.cache import ResultCache
+from repro.runtime.executor import Executor
+from repro.runtime.runner import run_batch
+from repro.runtime.spec import RunSpec
 from repro.util.tables import format_table
 
 DEFAULT_PATIENCE: tuple[int, ...] = (0, 4, 8, 16, 32, 64)
@@ -41,26 +41,32 @@ def run_patience_ablation(
     patience_values: tuple[int, ...] = DEFAULT_PATIENCE,
     cycles: int = 20_000,
     config: SimulationConfig | None = None,
+    executor: Executor | None = None,
+    cache: ResultCache | None = None,
 ) -> list[PatiencePoint]:
     """Sweep the inversion-detection window under Workload 1."""
     base = config or SimulationConfig(frame_cycles=10_000, seed=1)
-    points = []
-    for patience in patience_values:
-        cfg = replace(base, preemption_patience_cycles=patience)
-        simulator = ColumnSimulator(
-            get_topology(topology_name).build(cfg), workload1(), PvcPolicy(), cfg
+    specs = [
+        RunSpec(
+            topology=topology_name,
+            workload="workload1",
+            config=replace(base, preemption_patience_cycles=patience),
+            cycles=cycles,
+            warmup=cycles // 4,
         )
-        stats = simulator.run(cycles, warmup=cycles // 4)
-        points.append(
-            PatiencePoint(
-                patience=patience,
-                preemption_events=stats.preemption_events,
-                preempted_packet_fraction=stats.preempted_packet_fraction,
-                wasted_hop_fraction=stats.wasted_hop_fraction,
-                mean_latency=stats.mean_latency,
-            )
+        for patience in patience_values
+    ]
+    batch = run_batch(specs, executor=executor, cache=cache)
+    return [
+        PatiencePoint(
+            patience=patience,
+            preemption_events=result.preemption_events,
+            preempted_packet_fraction=result.preempted_packet_fraction,
+            wasted_hop_fraction=result.wasted_hop_fraction,
+            mean_latency=result.mean_latency,
         )
-    return points
+        for patience, result in zip(patience_values, batch.results)
+    ]
 
 
 def format_patience_ablation(points: list[PatiencePoint] | None = None) -> str:

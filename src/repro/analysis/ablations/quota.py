@@ -12,10 +12,10 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from repro.network.config import SimulationConfig
-from repro.network.engine import ColumnSimulator
-from repro.qos.pvc import PvcPolicy
-from repro.topologies.registry import get_topology
-from repro.traffic.workloads import workload1
+from repro.runtime.cache import ResultCache
+from repro.runtime.executor import Executor
+from repro.runtime.runner import run_batch
+from repro.runtime.spec import RunSpec
 from repro.util.tables import format_table
 
 DEFAULT_SHARES: tuple[float, ...] = (0.0, 1.0 / 256, 1.0 / 64, 1.0 / 16, 1.0)
@@ -38,27 +38,33 @@ def run_quota_ablation(
     shares: tuple[float, ...] = DEFAULT_SHARES,
     cycles: int = 20_000,
     config: SimulationConfig | None = None,
+    executor: Executor | None = None,
+    cache: ResultCache | None = None,
 ) -> list[QuotaPoint]:
     """Sweep the reserved quota share under Workload 1."""
     base = config or SimulationConfig(frame_cycles=10_000, seed=1)
-    points = []
-    for share in shares:
-        cfg = replace(base, reserved_quota_share=share)
-        policy = PvcPolicy()
-        simulator = ColumnSimulator(
-            get_topology(topology_name).build(cfg), workload1(), policy, cfg
+    specs = [
+        RunSpec(
+            topology=topology_name,
+            workload="workload1",
+            config=replace(base, reserved_quota_share=share),
+            cycles=cycles,
         )
-        stats = simulator.run(cycles)
-        points.append(
-            QuotaPoint(
-                share=share,
-                quota_flits=policy.quota_flits(),
-                preemption_events=stats.preemption_events,
-                wasted_hop_fraction=stats.wasted_hop_fraction,
-                delivered_flits=stats.delivered_flits,
-            )
+        for share in shares
+    ]
+    batch = run_batch(specs, executor=executor, cache=cache)
+    return [
+        QuotaPoint(
+            share=share,
+            # PvcPolicy.bind sizes the quota as share * frame_cycles;
+            # the shares here are explicit, so reproduce it directly.
+            quota_flits=share * spec.config.frame_cycles,
+            preemption_events=result.preemption_events,
+            wasted_hop_fraction=result.wasted_hop_fraction,
+            delivered_flits=result.delivered_flits,
         )
-    return points
+        for share, spec, result in zip(shares, specs, batch.results)
+    ]
 
 
 def format_quota_ablation(points: list[QuotaPoint] | None = None) -> str:

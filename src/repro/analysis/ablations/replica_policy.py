@@ -13,11 +13,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.network.config import SimulationConfig
-from repro.network.engine import ColumnSimulator
-from repro.qos.pvc import PvcPolicy
-from repro.topologies.mesh import REPLICA_PACKET_RR, REPLICA_PER_FLOW, MeshTopology
-from repro.traffic.patterns import uniform_random
-from repro.traffic.workloads import full_column_workload, workload2
+from repro.runtime.cache import ResultCache
+from repro.runtime.executor import Executor
+from repro.runtime.runner import run_batch
+from repro.runtime.spec import RunSpec
+from repro.topologies.mesh import REPLICA_PACKET_RR, REPLICA_PER_FLOW
 from repro.util.tables import format_table
 
 
@@ -37,35 +37,52 @@ def run_replica_ablation(
     replications: tuple[int, ...] = (2, 4),
     cycles: int = 15_000,
     config: SimulationConfig | None = None,
+    executor: Executor | None = None,
+    cache: ResultCache | None = None,
 ) -> list[ReplicaPoint]:
     """Workload 2 thrash and uniform-random latency per policy."""
     base = config or SimulationConfig(frame_cycles=10_000, seed=1)
+    cells = [
+        (replication, policy_name)
+        for replication in replications
+        for policy_name in (REPLICA_PACKET_RR, REPLICA_PER_FLOW)
+    ]
+    specs = []
+    for replication, policy_name in cells:
+        topology_params = {"replica_policy": policy_name}
+        specs.append(
+            RunSpec(
+                topology=f"mesh_x{replication}",
+                topology_params=topology_params,
+                workload="workload2",
+                config=base,
+                cycles=cycles,
+            )
+        )
+        specs.append(
+            RunSpec(
+                topology=f"mesh_x{replication}",
+                topology_params=topology_params,
+                workload="full_column",
+                rate=0.07,
+                config=base,
+                cycles=4000,
+                warmup=1000,
+            )
+        )
+    batch = run_batch(specs, executor=executor, cache=cache)
     points = []
-    for replication in replications:
-        for policy_name in (REPLICA_PACKET_RR, REPLICA_PER_FLOW):
-            topology = MeshTopology(replication, replica_policy=policy_name)
-            adv = ColumnSimulator(
-                topology.build(base), workload2(), PvcPolicy(), base
+    for index, (replication, policy_name) in enumerate(cells):
+        adv, load = batch.results[2 * index : 2 * index + 2]
+        points.append(
+            ReplicaPoint(
+                replication=replication,
+                policy=policy_name,
+                w2_preempted_fraction=adv.preempted_packet_fraction,
+                w2_wasted_hop_fraction=adv.wasted_hop_fraction,
+                uniform_latency=load.mean_latency,
             )
-            adv_stats = adv.run(cycles)
-
-            topology = MeshTopology(replication, replica_policy=policy_name)
-            load = ColumnSimulator(
-                topology.build(base),
-                full_column_workload(0.07, pattern=uniform_random),
-                PvcPolicy(),
-                base,
-            )
-            load_stats = load.run(4000, warmup=1000)
-            points.append(
-                ReplicaPoint(
-                    replication=replication,
-                    policy=policy_name,
-                    w2_preempted_fraction=adv_stats.preempted_packet_fraction,
-                    w2_wasted_hop_fraction=adv_stats.wasted_hop_fraction,
-                    uniform_latency=load_stats.mean_latency,
-                )
-            )
+        )
     return points
 
 

@@ -13,10 +13,10 @@ from dataclasses import dataclass, replace
 
 from repro.analysis.fairness import fairness_report
 from repro.network.config import SimulationConfig
-from repro.network.engine import ColumnSimulator
-from repro.qos.pvc import PvcPolicy
-from repro.topologies.registry import get_topology
-from repro.traffic.workloads import hotspot_all_injectors, workload1
+from repro.runtime.cache import ResultCache
+from repro.runtime.executor import Executor
+from repro.runtime.runner import run_batch
+from repro.runtime.spec import RunSpec
 from repro.util.tables import format_table
 
 
@@ -36,33 +36,41 @@ def run_reserved_vc_ablation(
     topology_name: str = "dps",
     cycles: int = 15_000,
     config: SimulationConfig | None = None,
+    executor: Executor | None = None,
+    cache: ResultCache | None = None,
 ) -> list[ReservedVcPoint]:
     """Hotspot + Workload 1, reserved VC on/off."""
     base = config or SimulationConfig(frame_cycles=10_000, seed=1)
+    cells = [
+        (workload_name, rate, reserved)
+        for workload_name, rate in (("hotspot64", 0.05), ("workload1", None))
+        for reserved in (True, False)
+    ]
+    specs = [
+        RunSpec(
+            topology=topology_name,
+            workload=workload_name,
+            rate=rate,
+            config=replace(base, reserved_vc=reserved),
+            mode="window",
+            cycles=cycles,
+            warmup=cycles // 3,
+        )
+        for workload_name, rate, reserved in cells
+    ]
+    batch = run_batch(specs, executor=executor, cache=cache)
     points = []
-    for workload_name, flows_factory, rate_args in (
-        ("hotspot64", hotspot_all_injectors, {"rate": 0.05}),
-        ("workload1", workload1, {}),
-    ):
-        for reserved in (True, False):
-            cfg = replace(base, reserved_vc=reserved)
-            simulator = ColumnSimulator(
-                get_topology(topology_name).build(cfg),
-                flows_factory(**rate_args),
-                PvcPolicy(),
-                cfg,
+    for (workload_name, _, reserved), result in zip(cells, batch.results):
+        report = fairness_report(list(result.window_flits_per_flow))
+        points.append(
+            ReservedVcPoint(
+                workload=workload_name,
+                reserved=reserved,
+                preemption_events=result.preemption_events,
+                fairness_std=report.std_relative,
+                delivered_flits=result.delivered_flits,
             )
-            stats = simulator.run_window(cycles // 3, cycles)
-            report = fairness_report(stats.window_flits_per_flow)
-            points.append(
-                ReservedVcPoint(
-                    workload=workload_name,
-                    reserved=reserved,
-                    preemption_events=stats.preemption_events,
-                    fairness_std=report.std_relative,
-                    delivered_flits=stats.delivered_flits,
-                )
-            )
+        )
     return points
 
 

@@ -14,11 +14,11 @@ from dataclasses import dataclass
 from repro.models.area import RouterAreaModel
 from repro.models.energy import RouterEnergyModel
 from repro.network.config import SimulationConfig
-from repro.network.engine import ColumnSimulator
-from repro.qos.pvc import PvcPolicy
+from repro.runtime.cache import ResultCache
+from repro.runtime.executor import Executor
+from repro.runtime.runner import run_batch
+from repro.runtime.spec import RunSpec
 from repro.topologies.registry import get_topology
-from repro.traffic.patterns import tornado, uniform_random
-from repro.traffic.workloads import full_column_workload
 from repro.util.tables import format_table
 
 STUDY_TOPOLOGIES: tuple[str, ...] = ("mecs", "dps", "fbfly")
@@ -42,30 +42,45 @@ def run_fbfly_study(
     high_rate: float = 0.12,
     cycles: int = 4000,
     config: SimulationConfig | None = None,
+    executor: Executor | None = None,
+    cache: ResultCache | None = None,
 ) -> list[FbflyRow]:
     """Latency (low/high load) plus analytical area/energy."""
     base = config or SimulationConfig(frame_cycles=10_000, seed=1)
     area_model = RouterAreaModel()
     energy_model = RouterEnergyModel()
+    load_points = (
+        ("uniform_random", low_rate),
+        ("tornado", low_rate),
+        ("tornado", high_rate),
+    )
+    specs = [
+        RunSpec(
+            topology=name,
+            workload="full_column",
+            rate=rate,
+            workload_params={"pattern": pattern},
+            config=base,
+            cycles=cycles,
+            warmup=cycles // 4,
+        )
+        for name in STUDY_TOPOLOGIES
+        for pattern, rate in load_points
+    ]
+    batch = run_batch(specs, executor=executor, cache=cache)
     rows = []
-    for name in STUDY_TOPOLOGIES:
-        def _latency(rate, pattern):
-            simulator = ColumnSimulator(
-                get_topology(name).build(base),
-                full_column_workload(rate, pattern=pattern),
-                PvcPolicy(),
-                base,
-            )
-            return simulator.run(cycles, warmup=cycles // 4).mean_latency
-
+    for index, name in enumerate(STUDY_TOPOLOGIES):
+        uniform, tornado_low, tornado_high = batch.results[
+            3 * index : 3 * index + 3
+        ]
         geometry = get_topology(name).geometry()
         single_hop = name in ("mecs", "fbfly")
         rows.append(
             FbflyRow(
                 topology=name,
-                uniform_latency=_latency(low_rate, uniform_random),
-                tornado_latency=_latency(low_rate, tornado),
-                saturated_tornado_latency=_latency(high_rate, tornado),
+                uniform_latency=uniform.mean_latency,
+                tornado_latency=tornado_low.mean_latency,
+                saturated_tornado_latency=tornado_high.mean_latency,
                 router_area_mm2=area_model.breakdown(geometry).total_mm2,
                 three_hop_energy_pj=energy_model.route_energy(
                     geometry, 3, single_hop_reach=single_hop

@@ -12,10 +12,10 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from repro.network.config import SimulationConfig
-from repro.network.engine import ColumnSimulator
-from repro.network.packet import FlowSpec
-from repro.qos.pvc import PvcPolicy
-from repro.topologies.registry import get_topology
+from repro.runtime.cache import ResultCache
+from repro.runtime.executor import Executor
+from repro.runtime.runner import run_batch
+from repro.runtime.spec import RunSpec
 from repro.util.tables import format_table
 
 DEFAULT_WINDOWS: tuple[int, ...] = (1, 2, 4, 8, 16, 32)
@@ -36,28 +36,32 @@ def run_window_ablation(
     windows: tuple[int, ...] = DEFAULT_WINDOWS,
     cycles: int = 6_000,
     config: SimulationConfig | None = None,
+    executor: Executor | None = None,
+    cache: ResultCache | None = None,
 ) -> list[WindowPoint]:
     """Sweep the retransmission window for a saturated 0->7 flow."""
     base = config or SimulationConfig(frame_cycles=10_000, seed=1)
-    points = []
-    for window in windows:
-        cfg = replace(base, window_packets=window)
-        flows = [
-            FlowSpec(node=0, rate=0.9, pattern=lambda s, rng: 7,
-                     size_mix=((1, 1.0),))
-        ]
-        simulator = ColumnSimulator(
-            get_topology(topology_name).build(cfg), flows, PvcPolicy(), cfg
+    specs = [
+        RunSpec(
+            topology=topology_name,
+            workload="single_flow",
+            rate=0.9,
+            workload_params={"node": 0, "dst": 7, "flits": 1},
+            config=replace(base, window_packets=window),
+            cycles=cycles,
+            warmup=cycles // 4,
         )
-        stats = simulator.run(cycles, warmup=cycles // 4)
-        points.append(
-            WindowPoint(
-                window_packets=window,
-                delivered_flits=stats.delivered_flits,
-                mean_latency=stats.mean_latency,
-            )
+        for window in windows
+    ]
+    batch = run_batch(specs, executor=executor, cache=cache)
+    return [
+        WindowPoint(
+            window_packets=window,
+            delivered_flits=result.delivered_flits,
+            mean_latency=result.mean_latency,
         )
-    return points
+        for window, result in zip(windows, batch.results)
+    ]
 
 
 def format_window_ablation(points: list[WindowPoint] | None = None) -> str:

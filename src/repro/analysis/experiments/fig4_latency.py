@@ -4,21 +4,31 @@ Two panels: uniform random (benign) and tornado (adversarial for meshes
 — every source concentrates on the node half-way across the dimension).
 Every injector at every router is loaded (64 flows), swept over
 per-injector injection rates; the curve reports average packet latency.
+
+Both panels for all topologies are submitted to the runtime as one
+batch, so a :class:`~repro.runtime.ParallelExecutor` overlaps every
+(topology, pattern, rate) point and a :class:`~repro.runtime.ResultCache`
+makes repeated sweeps free.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.analysis.sweep import LatencyPoint, latency_throughput_sweep
+from repro.analysis.sweep import LatencyPoint, point_from_result
 from repro.network.config import SimulationConfig
+from repro.runtime.cache import ResultCache
+from repro.runtime.executor import Executor
+from repro.runtime.runner import RunManifest, run_batch
+from repro.runtime.spec import RunSpec
 from repro.topologies.registry import TOPOLOGY_NAMES
-from repro.traffic.patterns import tornado, uniform_random
-from repro.traffic.workloads import full_column_workload
 from repro.util.tables import format_table
 
 #: Default swept injection rates (flits/cycle per injector).
 DEFAULT_RATES: tuple[float, ...] = (0.01, 0.03, 0.05, 0.07, 0.09, 0.11, 0.13)
+
+#: The two panels: Figure 4(a) benign, Figure 4(b) adversarial.
+_PANEL_PATTERNS: tuple[str, ...] = ("uniform_random", "tornado")
 
 
 @dataclass(frozen=True)
@@ -28,6 +38,7 @@ class Fig4Result:
     uniform: dict[str, list[LatencyPoint]]
     tornado: dict[str, list[LatencyPoint]]
     rates: tuple[float, ...]
+    manifest: RunManifest | None = None
 
 
 def run_fig4(
@@ -37,29 +48,43 @@ def run_fig4(
     warmup: int = 1500,
     topology_names: tuple[str, ...] = TOPOLOGY_NAMES,
     config: SimulationConfig | None = None,
+    executor: Executor | None = None,
+    cache: ResultCache | None = None,
 ) -> Fig4Result:
     """Run both Figure 4 panels for every topology."""
     config = config or SimulationConfig(frame_cycles=10_000)
-    uniform_curves = {}
-    tornado_curves = {}
-    for name in topology_names:
-        uniform_curves[name] = latency_throughput_sweep(
-            name,
-            lambda rate: full_column_workload(rate, pattern=uniform_random),
-            list(rates),
+    specs = [
+        RunSpec(
+            topology=name,
+            workload="full_column",
+            rate=rate,
+            workload_params={"pattern": pattern},
+            config=config,
             cycles=cycles,
             warmup=warmup,
-            config=config,
         )
-        tornado_curves[name] = latency_throughput_sweep(
-            name,
-            lambda rate: full_column_workload(rate, pattern=tornado),
-            list(rates),
-            cycles=cycles,
-            warmup=warmup,
-            config=config,
-        )
-    return Fig4Result(uniform=uniform_curves, tornado=tornado_curves, rates=rates)
+        for pattern in _PANEL_PATTERNS
+        for name in topology_names
+        for rate in rates
+    ]
+    batch = run_batch(specs, executor=executor, cache=cache)
+    curves: dict[str, dict[str, list[LatencyPoint]]] = {
+        pattern: {} for pattern in _PANEL_PATTERNS
+    }
+    index = 0
+    for pattern in _PANEL_PATTERNS:
+        for name in topology_names:
+            curves[pattern][name] = [
+                point_from_result(rate, batch.results[index + offset])
+                for offset, rate in enumerate(rates)
+            ]
+            index += len(rates)
+    return Fig4Result(
+        uniform=curves["uniform_random"],
+        tornado=curves["tornado"],
+        rates=rates,
+        manifest=batch.manifest,
+    )
 
 
 def _panel(curves: dict[str, list[LatencyPoint]], rates, title: str) -> str:

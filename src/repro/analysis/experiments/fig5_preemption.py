@@ -16,10 +16,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.network.config import SimulationConfig
-from repro.network.engine import ColumnSimulator
-from repro.qos.pvc import PvcPolicy
-from repro.topologies.registry import TOPOLOGY_NAMES, get_topology
-from repro.traffic.workloads import workload1, workload2
+from repro.runtime.cache import ResultCache
+from repro.runtime.executor import Executor
+from repro.runtime.runner import run_batch
+from repro.runtime.spec import RunSpec
+from repro.topologies.registry import TOPOLOGY_NAMES
 from repro.util.tables import format_table
 
 
@@ -40,6 +41,8 @@ def run_fig5(
     cycles: int = 25_000,
     topology_names: tuple[str, ...] = TOPOLOGY_NAMES,
     config: SimulationConfig | None = None,
+    executor: Executor | None = None,
+    cache: ResultCache | None = None,
 ) -> list[Fig5Row]:
     """Run Workload 1 and Workload 2 on every topology.
 
@@ -48,25 +51,32 @@ def run_fig5(
     quota scales with the frame, preserving the adversarial dynamics.
     """
     config = config or SimulationConfig(frame_cycles=10_000)
-    rows = []
-    for workload_name, factory in (("workload1", workload1), ("workload2", workload2)):
-        for name in topology_names:
-            topology = get_topology(name)
-            simulator = ColumnSimulator(
-                topology.build(config), factory(), PvcPolicy(), config
-            )
-            stats = simulator.run(cycles)
-            rows.append(
-                Fig5Row(
-                    topology=name,
-                    workload=workload_name,
-                    preempted_packet_fraction=stats.preempted_packet_fraction,
-                    wasted_hop_fraction=stats.wasted_hop_fraction,
-                    preemption_events=stats.preemption_events,
-                    delivered_packets=stats.delivered_packets,
-                )
-            )
-    return rows
+    cells = [
+        (workload_name, topology_name)
+        for workload_name in ("workload1", "workload2")
+        for topology_name in topology_names
+    ]
+    specs = [
+        RunSpec(
+            topology=topology_name,
+            workload=workload_name,
+            config=config,
+            cycles=cycles,
+        )
+        for workload_name, topology_name in cells
+    ]
+    batch = run_batch(specs, executor=executor, cache=cache)
+    return [
+        Fig5Row(
+            topology=topology_name,
+            workload=workload_name,
+            preempted_packet_fraction=result.preempted_packet_fraction,
+            wasted_hop_fraction=result.wasted_hop_fraction,
+            preemption_events=result.preemption_events,
+            delivered_packets=result.delivered_packets,
+        )
+        for (workload_name, topology_name), result in zip(cells, batch.results)
+    ]
 
 
 def format_fig5(rows: list[Fig5Row] | None = None) -> str:

@@ -11,6 +11,11 @@ Two measurements per topology and adversarial workload:
   hotspot ejection capacity.  The thick bar in the paper is the average
   across sources (essentially zero); the error bars are the per-source
   extremes (a few percent).
+
+Each (workload, topology) cell needs three independent simulations —
+PVC drain, per-flow-queued drain, and a continuous windowed run — all
+submitted to the runtime as one batch (30 runs for the paper's five
+topologies), so a parallel executor overlaps them freely.
 """
 
 from __future__ import annotations
@@ -19,10 +24,11 @@ from dataclasses import dataclass
 
 from repro.analysis.fairness import deviation_from_expected, max_min_allocation
 from repro.network.config import SimulationConfig
-from repro.network.engine import ColumnSimulator
-from repro.qos.perflow import PerFlowQueuedPolicy
-from repro.qos.pvc import PvcPolicy
-from repro.topologies.registry import TOPOLOGY_NAMES, get_topology
+from repro.runtime.cache import ResultCache
+from repro.runtime.executor import Executor
+from repro.runtime.runner import run_batch
+from repro.runtime.spec import RunSpec
+from repro.topologies.registry import TOPOLOGY_NAMES
 from repro.traffic.workloads import workload1, workload2
 from repro.util.tables import format_table
 
@@ -43,26 +49,6 @@ class Fig6Row:
     baseline_completion: int
 
 
-def _finite_workload(factory, *, duration: int):
-    """Give each flow a packet budget proportional to its rate."""
-    flows = factory()
-    sized = []
-    for flow in flows:
-        budget = max(1, round(flow.rate * duration / flow.mean_packet_size))
-        sized.append(
-            type(flow)(
-                node=flow.node,
-                port=flow.port,
-                rate=flow.rate,
-                weight=flow.weight,
-                pattern=flow.pattern,
-                size_mix=flow.size_mix,
-                packet_limit=budget,
-            )
-        )
-    return sized
-
-
 def run_fig6(
     *,
     duration: int = 12_000,
@@ -70,49 +56,69 @@ def run_fig6(
     warmup: int = 3000,
     topology_names: tuple[str, ...] = TOPOLOGY_NAMES,
     config: SimulationConfig | None = None,
+    executor: Executor | None = None,
+    cache: ResultCache | None = None,
 ) -> list[Fig6Row]:
     """Run slowdown and deviation measurements for both workloads."""
     config = config or SimulationConfig(frame_cycles=10_000)
-    rows = []
-    for workload_name, factory in _WORKLOADS.items():
-        for name in topology_names:
-            # Slowdown: finite budget, PVC vs per-flow-queued baseline.
-            flows = _finite_workload(factory, duration=duration)
-            pvc_sim = ColumnSimulator(
-                get_topology(name).build(config), flows, PvcPolicy(), config
-            )
-            pvc_done = pvc_sim.run_until_drained(max_cycles=40 * duration)
-            base_sim = ColumnSimulator(
-                get_topology(name).build(config), flows, PerFlowQueuedPolicy(), config
-            )
-            base_done = base_sim.run_until_drained(max_cycles=40 * duration)
-            slowdown = pvc_done / base_done - 1.0 if base_done else 0.0
-
-            # Deviation: continuous run, windowed per-source throughput
-            # against the max-min allocation of the ejection capacity.
-            cont_flows = factory()
-            cont_sim = ColumnSimulator(
-                get_topology(name).build(config), cont_flows, PvcPolicy(), config
-            )
-            stats = cont_sim.run_window(warmup, window)
-            demands = [flow.rate for flow in cont_flows]
-            allocation = max_min_allocation(demands, 1.0)
-            expected = [alloc * window for alloc in allocation]
-            _, avg_dev, min_dev, max_dev = deviation_from_expected(
-                [float(v) for v in stats.window_flits_per_flow], expected
-            )
-            rows.append(
-                Fig6Row(
-                    topology=name,
-                    workload=workload_name,
-                    slowdown=slowdown,
-                    avg_deviation=avg_dev,
-                    min_deviation=min_dev,
-                    max_deviation=max_dev,
-                    pvc_completion=pvc_done,
-                    baseline_completion=base_done,
+    cells = [
+        (workload_name, topology_name)
+        for workload_name in _WORKLOADS
+        for topology_name in topology_names
+    ]
+    specs = []
+    for workload_name, topology_name in cells:
+        # Slowdown: finite budget, PVC vs per-flow-queued baseline.
+        for policy in ("pvc", "perflow"):
+            specs.append(
+                RunSpec(
+                    topology=topology_name,
+                    workload=f"{workload_name}_finite",
+                    workload_params={"duration": duration},
+                    policy=policy,
+                    config=config,
+                    mode="drain",
+                    cycles=40 * duration,
                 )
             )
+        # Deviation: continuous run, windowed per-source throughput.
+        specs.append(
+            RunSpec(
+                topology=topology_name,
+                workload=workload_name,
+                config=config,
+                mode="window",
+                cycles=window,
+                warmup=warmup,
+            )
+        )
+    batch = run_batch(specs, executor=executor, cache=cache)
+
+    rows = []
+    for index, (workload_name, topology_name) in enumerate(cells):
+        pvc, base, cont = batch.results[3 * index : 3 * index + 3]
+        pvc_done = pvc.completion_cycle
+        base_done = base.completion_cycle
+        slowdown = pvc_done / base_done - 1.0 if base_done else 0.0
+
+        demands = [flow.rate for flow in _WORKLOADS[workload_name]()]
+        allocation = max_min_allocation(demands, 1.0)
+        expected = [alloc * window for alloc in allocation]
+        _, avg_dev, min_dev, max_dev = deviation_from_expected(
+            [float(v) for v in cont.window_flits_per_flow], expected
+        )
+        rows.append(
+            Fig6Row(
+                topology=topology_name,
+                workload=workload_name,
+                slowdown=slowdown,
+                avg_deviation=avg_dev,
+                min_deviation=min_dev,
+                max_deviation=max_dev,
+                pvc_completion=pvc_done,
+                baseline_completion=base_done,
+            )
+        )
     return rows
 
 

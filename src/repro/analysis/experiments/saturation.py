@@ -12,11 +12,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.network.config import SimulationConfig
-from repro.network.engine import ColumnSimulator
-from repro.qos.pvc import PvcPolicy
-from repro.topologies.registry import TOPOLOGY_NAMES, get_topology
-from repro.traffic.patterns import tornado, uniform_random
-from repro.traffic.workloads import full_column_workload
+from repro.runtime.cache import ResultCache
+from repro.runtime.executor import Executor
+from repro.runtime.runner import run_batch
+from repro.runtime.spec import RunSpec
+from repro.topologies.registry import TOPOLOGY_NAMES
 from repro.util.tables import format_table
 
 #: Per-injector rate that saturates every topology (64 injectors).
@@ -40,26 +40,38 @@ def run_saturation(
     cycles: int = 8000,
     topology_names: tuple[str, ...] = TOPOLOGY_NAMES,
     config: SimulationConfig | None = None,
+    executor: Executor | None = None,
+    cache: ResultCache | None = None,
 ) -> list[SaturationPoint]:
     """Measure saturation preemption rates on both patterns."""
     config = config or SimulationConfig(frame_cycles=10_000)
-    points = []
-    for pattern_name, pattern in (("uniform", uniform_random), ("tornado", tornado)):
-        for name in topology_names:
-            topology = get_topology(name)
-            flows = full_column_workload(rate, pattern=pattern)
-            simulator = ColumnSimulator(topology.build(config), flows, PvcPolicy(), config)
-            stats = simulator.run(cycles)
-            points.append(
-                SaturationPoint(
-                    topology=name,
-                    pattern=pattern_name,
-                    replayed_packet_fraction=stats.preempted_packet_fraction,
-                    preemption_events=stats.preemption_events,
-                    delivered_flits=stats.delivered_flits,
-                )
-            )
-    return points
+    cells = [
+        (label, pattern, name)
+        for label, pattern in (("uniform", "uniform_random"), ("tornado", "tornado"))
+        for name in topology_names
+    ]
+    specs = [
+        RunSpec(
+            topology=name,
+            workload="full_column",
+            rate=rate,
+            workload_params={"pattern": pattern},
+            config=config,
+            cycles=cycles,
+        )
+        for _, pattern, name in cells
+    ]
+    batch = run_batch(specs, executor=executor, cache=cache)
+    return [
+        SaturationPoint(
+            topology=name,
+            pattern=label,
+            replayed_packet_fraction=result.preempted_packet_fraction,
+            preemption_events=result.preemption_events,
+            delivered_flits=result.delivered_flits,
+        )
+        for (label, _, name), result in zip(cells, batch.results)
+    ]
 
 
 def format_saturation(points: list[SaturationPoint] | None = None) -> str:

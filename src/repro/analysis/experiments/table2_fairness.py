@@ -13,10 +13,11 @@ from dataclasses import dataclass
 
 from repro.analysis.fairness import FairnessReport, fairness_report
 from repro.network.config import SimulationConfig
-from repro.network.engine import ColumnSimulator
-from repro.qos.pvc import PvcPolicy
-from repro.topologies.registry import TOPOLOGY_NAMES, get_topology
-from repro.traffic.workloads import hotspot_all_injectors
+from repro.runtime.cache import ResultCache
+from repro.runtime.executor import Executor
+from repro.runtime.runner import run_batch
+from repro.runtime.spec import RunSpec
+from repro.topologies.registry import TOPOLOGY_NAMES
 from repro.util.tables import format_table
 
 
@@ -36,6 +37,8 @@ def run_table2(
     window: int = 20_000,
     topology_names: tuple[str, ...] = TOPOLOGY_NAMES,
     config: SimulationConfig | None = None,
+    executor: Executor | None = None,
+    cache: ResultCache | None = None,
 ) -> list[Table2Row]:
     """Run the hotspot fairness experiment for every topology.
 
@@ -44,20 +47,27 @@ def run_table2(
     can be raised to paper scale via ``window``.
     """
     config = config or SimulationConfig(frame_cycles=50_000)
-    rows = []
-    for name in topology_names:
-        topology = get_topology(name)
-        flows = hotspot_all_injectors(rate)
-        simulator = ColumnSimulator(topology.build(config), flows, PvcPolicy(), config)
-        stats = simulator.run_window(warmup, window)
-        rows.append(
-            Table2Row(
-                topology=name,
-                report=fairness_report(stats.window_flits_per_flow),
-                preemption_events=stats.preemption_events,
-            )
+    specs = [
+        RunSpec(
+            topology=name,
+            workload="hotspot64",
+            rate=rate,
+            config=config,
+            mode="window",
+            cycles=window,
+            warmup=warmup,
         )
-    return rows
+        for name in topology_names
+    ]
+    batch = run_batch(specs, executor=executor, cache=cache)
+    return [
+        Table2Row(
+            topology=name,
+            report=fairness_report(list(result.window_flits_per_flow)),
+            preemption_events=result.preemption_events,
+        )
+        for name, result in zip(topology_names, batch.results)
+    ]
 
 
 def format_table2(rows: list[Table2Row] | None = None) -> str:

@@ -13,6 +13,8 @@ from dataclasses import dataclass
 
 from repro.analysis import experiments as ex
 from repro.network.config import SimulationConfig
+from repro.runtime.cache import ResultCache
+from repro.runtime.executor import Executor
 
 
 @dataclass(frozen=True)
@@ -29,8 +31,18 @@ def _section(title: str, body: str) -> str:
     return f"## {title}\n\n```\n{body}\n```\n"
 
 
-def generate_report(options: ReportOptions | None = None) -> str:
-    """Run every experiment and return the combined document."""
+def generate_report(
+    options: ReportOptions | None = None,
+    *,
+    executor: Executor | None = None,
+    cache: ResultCache | None = None,
+) -> str:
+    """Run every experiment and return the combined document.
+
+    ``executor``/``cache`` thread through to every simulation-backed
+    experiment, so a parallel executor overlaps each section's points
+    and a warm cache regenerates the whole report without simulating.
+    """
     options = options or ReportOptions()
     scale = 0.3 if options.fast else 1.0
     config10 = SimulationConfig(frame_cycles=10_000, seed=options.seed)
@@ -53,6 +65,7 @@ def generate_report(options: ReportOptions | None = None) -> str:
                     cycles=int(4000 * scale) if options.fast else 4000,
                     warmup=int(1000 * scale) if options.fast else 1000,
                     config=config10,
+                    executor=executor, cache=cache,
                 )
             ),
         ),
@@ -60,7 +73,7 @@ def generate_report(options: ReportOptions | None = None) -> str:
             "Section 5.2 — saturation replay rates",
             ex.format_saturation(
                 ex.run_saturation(cycles=int(8000 * scale) if options.fast else 8000,
-                                  config=config10)
+                                  config=config10, executor=executor, cache=cache)
             ),
         ),
         _section(
@@ -70,6 +83,7 @@ def generate_report(options: ReportOptions | None = None) -> str:
                     warmup=2000,
                     window=int(25_000 * scale) if options.fast else 25_000,
                     config=config50,
+                    executor=executor, cache=cache,
                 )
             ),
         ),
@@ -77,7 +91,7 @@ def generate_report(options: ReportOptions | None = None) -> str:
             "Figure 5 — adversarial preemption",
             ex.format_fig5(
                 ex.run_fig5(cycles=int(25_000 * scale) if options.fast else 25_000,
-                            config=config10)
+                            config=config10, executor=executor, cache=cache)
             ),
         ),
         _section(
@@ -88,6 +102,7 @@ def generate_report(options: ReportOptions | None = None) -> str:
                     window=int(15_000 * scale) if options.fast else 15_000,
                     warmup=int(3000 * scale) if options.fast else 3000,
                     config=config10,
+                    executor=executor, cache=cache,
                 )
             ),
         ),
@@ -105,20 +120,34 @@ def generate_report(options: ReportOptions | None = None) -> str:
 
         sections.append(
             _section("Ablation — reserved quota",
-                     ab.format_quota_ablation(ab.run_quota_ablation(config=config10)))
+                     ab.format_quota_ablation(
+                         ab.run_quota_ablation(config=config10,
+                                               executor=executor, cache=cache)))
         )
         sections.append(
             _section("Ablation — preemption patience",
                      ab.format_patience_ablation(
-                         ab.run_patience_ablation(config=config10))),
+                         ab.run_patience_ablation(config=config10,
+                                                  executor=executor, cache=cache))),
         )
     sections.append(f"_generated in {time.time() - started:.1f}s_")
     return "\n".join(sections)
 
 
-def write_report(path: str, options: ReportOptions | None = None) -> str:
+def write_report(
+    path: str,
+    options: ReportOptions | None = None,
+    *,
+    executor: Executor | None = None,
+    cache: ResultCache | None = None,
+) -> str:
     """Generate and write the report; returns the path."""
-    text = generate_report(options)
+    runtime_kwargs = {}
+    if executor is not None:
+        runtime_kwargs["executor"] = executor
+    if cache is not None:
+        runtime_kwargs["cache"] = cache
+    text = generate_report(options, **runtime_kwargs)
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(text)
     return path

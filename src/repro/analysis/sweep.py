@@ -3,6 +3,14 @@
 Each point runs a fresh simulation of one topology under one synthetic
 pattern at one injection rate and reports average packet latency and
 accepted throughput.
+
+Sweeps route through :mod:`repro.runtime`: pass the workload as a
+*registry name* (``"uniform"``, ``"full_column"``, ...) to get
+process-parallel execution (``executor=ParallelExecutor()``) and
+content-addressed caching (``cache=ResultCache()``) for free.  Passing
+a bare callable ``rate -> list[FlowSpec]`` is still supported for
+ad-hoc workloads, but executes serially in-process and is never cached
+(callables have no stable content hash).
 """
 
 from __future__ import annotations
@@ -14,6 +22,10 @@ from repro.network.engine import ColumnSimulator
 from repro.network.packet import FlowSpec
 from repro.qos.base import QosPolicy
 from repro.qos.pvc import PvcPolicy
+from repro.runtime.cache import ResultCache
+from repro.runtime.executor import Executor
+from repro.runtime.runner import run_grid
+from repro.runtime.spec import POLICY_NAMES_BY_CLASS, RunResult
 from repro.topologies.registry import get_topology
 
 
@@ -28,6 +40,17 @@ class LatencyPoint:
     preemption_events: int
 
 
+def point_from_result(rate: float, result: RunResult) -> LatencyPoint:
+    """Project a runtime :class:`RunResult` onto the curve-point shape."""
+    return LatencyPoint(
+        rate=rate,
+        mean_latency=result.mean_latency,
+        delivered_flits=result.delivered_flits,
+        accepted_ratio=result.accepted_ratio,
+        preemption_events=result.preemption_events,
+    )
+
+
 def latency_throughput_sweep(
     topology_name: str,
     workload_factory,
@@ -37,6 +60,9 @@ def latency_throughput_sweep(
     warmup: int = 1500,
     config: SimulationConfig | None = None,
     policy_factory=PvcPolicy,
+    workload_params: dict | None = None,
+    executor: Executor | None = None,
+    cache: ResultCache | None = None,
 ) -> list[LatencyPoint]:
     """Sweep injection rate for one topology (one Figure 4 curve).
 
@@ -45,7 +71,9 @@ def latency_throughput_sweep(
     topology_name:
         One of the five shared-region topologies.
     workload_factory:
-        ``rate -> list[FlowSpec]``; e.g. ``uniform_workload``.
+        Either a workload registry name (``"uniform"``,
+        ``"full_column"``, ... — parallelisable and cacheable) or a
+        legacy callable ``rate -> list[FlowSpec]`` (serial, uncached).
     rates:
         Injection rates in flits/cycle per injector.
     cycles / warmup:
@@ -54,8 +82,38 @@ def latency_throughput_sweep(
         Base configuration; the sweep reuses its frame/window settings.
     policy_factory:
         QoS policy constructor, PVC by default.
+    workload_params:
+        Extra builder parameters for named workloads (e.g.
+        ``{"pattern": "tornado"}``).
+    executor / cache:
+        Runtime execution strategy and result store (named workloads
+        only); defaults to serial and uncached.
     """
     base = config or SimulationConfig(frame_cycles=10_000)
+    if isinstance(workload_factory, str):
+        policy_name = POLICY_NAMES_BY_CLASS.get(policy_factory)
+        if policy_name is None:
+            raise TypeError(
+                "named-workload sweeps need a registered policy class, got "
+                f"{policy_factory!r}"
+            )
+        grid = run_grid(
+            [topology_name],
+            rates,
+            workload=workload_factory,
+            workload_params=workload_params,
+            policy=policy_name,
+            cycles=cycles,
+            warmup=warmup,
+            config=base,
+            executor=executor,
+            cache=cache,
+        )
+        return [
+            point_from_result(rate, result)
+            for rate, result in zip(rates, grid.curves[topology_name])
+        ]
+
     points = []
     for rate in rates:
         topology = get_topology(topology_name)

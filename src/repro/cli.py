@@ -2,17 +2,25 @@
 
 Usage (after installation)::
 
-    python -m repro list                 # what can be run
-    python -m repro fig3                 # router area (Figure 3)
-    python -m repro fig4 --fast          # latency curves (Figure 4)
-    python -m repro table2               # hotspot fairness (Table 2)
-    python -m repro fig5 fig6 fig7       # several at once
-    python -m repro saturation
-    python -m repro ablations            # all design-choice studies
-    python -m repro all --fast           # everything, scaled down
+    repro list                           # what can be run
+    repro fig3                           # router area (Figure 3)
+    repro fig4 --fast                    # latency curves (Figure 4)
+    repro fig4 --jobs 0                  # ... across all CPU cores
+    repro table2                         # hotspot fairness (Table 2)
+    repro fig5 fig6 fig7                 # several at once
+    repro saturation --no-cache          # force re-simulation
+    repro ablations --jobs 4             # all design-choice studies
+    repro all --fast                     # everything, scaled down
+    repro cache info                     # result-cache statistics
+    repro cache clear                    # drop this version's entries
 
-``--fast`` shrinks simulation windows for a quick smoke pass;
-``--seed`` changes the deterministic seed.
+(or ``python -m repro ...`` without installation).  ``--fast`` shrinks
+simulation windows for a quick smoke pass; ``--seed`` changes the
+deterministic seed.  Simulation-backed targets run through
+:mod:`repro.runtime`: ``--jobs N`` fans points out over N worker
+processes (``0`` = all cores), and results are cached under
+``--cache-dir`` (default ``~/.cache/repro``) keyed by the run spec's
+content hash, so repeating a sweep performs zero simulations.
 """
 
 from __future__ import annotations
@@ -25,10 +33,44 @@ from collections.abc import Callable
 from repro.analysis import ablations as ab
 from repro.analysis import experiments as ex
 from repro.network.config import SimulationConfig
+from repro.runtime.cache import ResultCache
+from repro.runtime.executor import Executor, ParallelExecutor, SerialExecutor
+from repro.runtime.runner import RunManifest
 
 
 def _config(args, frame: int) -> SimulationConfig:
     return SimulationConfig(frame_cycles=frame, seed=args.seed)
+
+
+def _executor(args) -> Executor:
+    """``--jobs 1`` → serial; ``--jobs 0`` → all cores; else N workers."""
+    if args.jobs == 1:
+        return SerialExecutor()
+    return ParallelExecutor(jobs=None if args.jobs == 0 else args.jobs)
+
+
+def _cache(args) -> ResultCache | None:
+    if args.no_cache:
+        return None
+    return ResultCache(args.cache_dir)
+
+
+def _with_manifest(text: str, manifests: list[RunManifest]) -> str:
+    """Append the runtime footer recording simulated-vs-cached work."""
+    if not manifests:
+        return text
+    return f"{text}\n[runtime: {RunManifest.merge(manifests).summary()}]"
+
+
+def _with_cache_footer(text: str, cache: ResultCache | None) -> str:
+    """Runtime footer for commands whose results carry no manifest.
+
+    The cache's own counters accumulate across every batch the command
+    ran: writes are fresh simulations, hits were served from disk.
+    """
+    if cache is None:
+        return text
+    return f"{text}\n[runtime: {cache.writes} simulated, {cache.hits} cached]"
 
 
 def _run_fig3(args) -> str:
@@ -39,7 +81,8 @@ def _run_fig4(args) -> str:
     cycles = 1500 if args.fast else 4000
     rates = (0.02, 0.06, 0.10) if args.fast else (0.01, 0.03, 0.05, 0.07, 0.09, 0.11, 0.13)
     result = ex.run_fig4(
-        rates=rates, cycles=cycles, warmup=cycles // 4, config=_config(args, 10_000)
+        rates=rates, cycles=cycles, warmup=cycles // 4, config=_config(args, 10_000),
+        executor=_executor(args), cache=_cache(args),
     )
     text = ex.format_fig4(result)
     if args.chart:
@@ -53,29 +96,38 @@ def _run_fig4(args) -> str:
             curves, title="uniform random: latency (cyc) vs injection (%)",
             y_cap=120.0,
         )
-    return text
+    return _with_manifest(text, [result.manifest] if result.manifest else [])
 
 
 def _run_table2(args) -> str:
     window = 6000 if args.fast else 25_000
+    cache = _cache(args)
     rows = ex.run_table2(
-        warmup=window // 8, window=window, config=_config(args, 50_000)
+        warmup=window // 8, window=window, config=_config(args, 50_000),
+        executor=_executor(args), cache=cache,
     )
-    return ex.format_table2(rows)
+    return _with_cache_footer(ex.format_table2(rows), cache)
 
 
 def _run_fig5(args) -> str:
     cycles = 8000 if args.fast else 25_000
-    return ex.format_fig5(ex.run_fig5(cycles=cycles, config=_config(args, 10_000)))
+    cache = _cache(args)
+    text = ex.format_fig5(
+        ex.run_fig5(cycles=cycles, config=_config(args, 10_000),
+                    executor=_executor(args), cache=cache)
+    )
+    return _with_cache_footer(text, cache)
 
 
 def _run_fig6(args) -> str:
     duration = 3000 if args.fast else 10_000
+    cache = _cache(args)
     rows = ex.run_fig6(
         duration=duration, window=duration + 5000, warmup=2000,
         config=_config(args, 10_000),
+        executor=_executor(args), cache=cache,
     )
-    return ex.format_fig6(rows)
+    return _with_cache_footer(ex.format_fig6(rows), cache)
 
 
 def _run_fig7(args) -> str:
@@ -84,9 +136,12 @@ def _run_fig7(args) -> str:
 
 def _run_saturation(args) -> str:
     cycles = 3000 if args.fast else 8000
-    return ex.format_saturation(
-        ex.run_saturation(cycles=cycles, config=_config(args, 10_000))
+    cache = _cache(args)
+    text = ex.format_saturation(
+        ex.run_saturation(cycles=cycles, config=_config(args, 10_000),
+                          executor=_executor(args), cache=cache)
     )
+    return _with_cache_footer(text, cache)
 
 
 def _run_chip_study(args) -> str:
@@ -101,27 +156,69 @@ def _run_report(args) -> str:
     path = write_report(
         "REPORT.md",
         ReportOptions(fast=args.fast, seed=args.seed),
+        executor=_executor(args),
+        cache=_cache(args),
     )
     return f"report written to {path}"
 
 
 def _run_ablations(args) -> str:
+    executor = _executor(args)
+    cache = _cache(args)
     parts = [
-        ab.format_quota_ablation(ab.run_quota_ablation(config=_config(args, 10_000))),
+        ab.format_quota_ablation(
+            ab.run_quota_ablation(config=_config(args, 10_000),
+                                  executor=executor, cache=cache)
+        ),
         ab.format_reserved_vc_ablation(
-            ab.run_reserved_vc_ablation(config=_config(args, 10_000))
+            ab.run_reserved_vc_ablation(config=_config(args, 10_000),
+                                        executor=executor, cache=cache)
         ),
         ab.format_patience_ablation(
-            ab.run_patience_ablation(config=_config(args, 10_000))
+            ab.run_patience_ablation(config=_config(args, 10_000),
+                                     executor=executor, cache=cache)
         ),
-        ab.format_frame_ablation(ab.run_frame_ablation(config=SimulationConfig(seed=args.seed))),
-        ab.format_window_ablation(ab.run_window_ablation(config=_config(args, 10_000))),
+        ab.format_frame_ablation(
+            ab.run_frame_ablation(config=SimulationConfig(seed=args.seed),
+                                  executor=executor, cache=cache)
+        ),
+        ab.format_window_ablation(
+            ab.run_window_ablation(config=_config(args, 10_000),
+                                   executor=executor, cache=cache)
+        ),
         ab.format_replica_ablation(
-            ab.run_replica_ablation(config=_config(args, 10_000))
+            ab.run_replica_ablation(config=_config(args, 10_000),
+                                    executor=executor, cache=cache)
         ),
-        ab.format_fbfly_study(ab.run_fbfly_study(config=_config(args, 10_000))),
+        ab.format_fbfly_study(
+            ab.run_fbfly_study(config=_config(args, 10_000),
+                               executor=executor, cache=cache)
+        ),
     ]
-    return "\n\n".join(parts)
+    return _with_cache_footer("\n\n".join(parts), cache)
+
+
+def _run_cache(args) -> int:
+    """``repro cache [info|clear]`` — inspect or empty the result store."""
+    action = args.targets[1] if len(args.targets) > 1 else "info"
+    cache = ResultCache(args.cache_dir)
+    if action == "info":
+        info = cache.info()
+        print(f"cache root:     {info.root}")
+        print(f"cache version:  v{info.version}")
+        print(f"entries:        {info.entries}")
+        print(f"total size:     {info.total_bytes} bytes")
+        if info.other_versions:
+            print(f"other versions: {', '.join(info.other_versions)}")
+        return 0
+    if action == "clear":
+        removed = cache.clear(all_versions=args.all_versions)
+        scope = "all versions" if args.all_versions else f"v{cache.version}"
+        print(f"removed {removed} cached result(s) ({scope})")
+        return 0
+    print(f"unknown cache action {action!r}; expected info or clear",
+          file=sys.stderr)
+    return 2
 
 
 COMMANDS: dict[str, tuple[Callable, str]] = {
@@ -137,6 +234,10 @@ COMMANDS: dict[str, tuple[Callable, str]] = {
     "report": (_run_report, "write every result into REPORT.md"),
 }
 
+#: Listed alongside COMMANDS but dispatched separately (takes a
+#: sub-action instead of producing a result table).
+CACHE_COMMAND_HELP = "result cache maintenance: cache info | cache clear"
+
 
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
@@ -148,12 +249,29 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "targets",
         nargs="+",
-        help="experiments to run: " + ", ".join(COMMANDS) + ", 'all', or 'list'",
+        help="experiments to run: " + ", ".join(COMMANDS)
+        + ", cache, 'all', or 'list'",
     )
     parser.add_argument("--fast", action="store_true", help="scaled-down quick pass")
     parser.add_argument("--seed", type=int, default=1, help="deterministic seed")
     parser.add_argument(
         "--chart", action="store_true", help="add ASCII charts where available"
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for simulation sweeps (0 = all cores; default 1)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="result cache directory (default $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="always simulate; neither read nor write the result cache",
+    )
+    parser.add_argument(
+        "--all-versions", action="store_true",
+        help="with 'cache clear': drop entries of every package version",
     )
     return parser
 
@@ -162,16 +280,30 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     targets = list(args.targets)
+    if args.jobs < 0:
+        print("--jobs must be >= 0", file=sys.stderr)
+        return 2
     if "list" in targets:
         for name, (_, description) in COMMANDS.items():
             print(f"  {name:10s} {description}")
+        print(f"  {'cache':10s} {CACHE_COMMAND_HELP}")
         return 0
+    if "cache" in targets:
+        if targets[0] != "cache":
+            print("'cache' must be the first target: repro cache [info|clear]",
+                  file=sys.stderr)
+            return 2
+        if len(targets) > 2:
+            print(f"unexpected arguments after cache action: "
+                  f"{' '.join(targets[2:])}", file=sys.stderr)
+            return 2
+        return _run_cache(args)
     if "all" in targets:
         targets = list(COMMANDS)
     unknown = [t for t in targets if t not in COMMANDS]
     if unknown:
         print(f"unknown target(s): {', '.join(unknown)}", file=sys.stderr)
-        print(f"available: {', '.join(COMMANDS)}, all, list", file=sys.stderr)
+        print(f"available: {', '.join(COMMANDS)}, cache, all, list", file=sys.stderr)
         return 2
     for target in targets:
         runner, _ = COMMANDS[target]

@@ -1,0 +1,181 @@
+"""On-disk content-addressed result store.
+
+Blobs live under ``<root>/v<version>/<hh>/<hash>.json`` where ``hash``
+is the spec's SHA-256 content hash, ``hh`` its first two hex digits
+(directory sharding) and ``version`` the package version — bumping
+``repro.__version__`` therefore invalidates every prior entry without
+touching them on disk.  Writes are atomic (temp file + ``os.replace``)
+so a killed run never leaves a half-written blob; corrupt or
+mismatching blobs read as misses.
+
+The default root is ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.runtime.spec import RunResult, RunSpec
+
+#: Environment override for the cache root.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "repro"
+
+
+def _package_version() -> str:
+    # Lazy import: repro/__init__ imports the runtime package, so a
+    # module-level ``from repro import __version__`` here would be
+    # circular.  By call time the package is fully initialised.
+    import repro
+
+    return repro.__version__
+
+
+@dataclass(frozen=True)
+class CacheInfo:
+    """Snapshot of the store returned by :meth:`ResultCache.info`."""
+
+    root: str
+    version: str
+    entries: int
+    total_bytes: int
+    other_versions: tuple[str, ...]
+
+
+class ResultCache:
+    """Content-addressed :class:`RunResult` store keyed by spec hash."""
+
+    def __init__(self, root: str | os.PathLike | None = None, *,
+                 version: str | None = None) -> None:
+        self.root = Path(root).expanduser() if root else default_cache_dir()
+        self.version = version or _package_version()
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    # -- paths --------------------------------------------------------
+
+    @property
+    def version_dir(self) -> Path:
+        return self.root / f"v{self.version}"
+
+    def path_for(self, spec_hash: str) -> Path:
+        return self.version_dir / spec_hash[:2] / f"{spec_hash}.json"
+
+    # -- operations ---------------------------------------------------
+
+    def get(self, spec: RunSpec) -> RunResult | None:
+        """Stored result for ``spec``, or ``None`` on miss/corruption."""
+        path = self.path_for(spec.content_hash)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                blob = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        if (
+            blob.get("cache_version") != self.version
+            or blob.get("spec_hash") != spec.content_hash
+        ):
+            self.misses += 1
+            return None
+        try:
+            result = RunResult.from_json(blob["result"])
+        except (KeyError, TypeError, AttributeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, spec: RunSpec, result: RunResult) -> Path:
+        """Atomically persist ``result`` under the spec's hash."""
+        path = self.path_for(spec.content_hash)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        blob = {
+            "cache_version": self.version,
+            "spec_hash": spec.content_hash,
+            "spec": spec.to_json(),
+            "result": result.to_json(),
+        }
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(blob, handle, sort_keys=True)
+        os.replace(tmp, path)
+        self.writes += 1
+        return path
+
+    def _blobs(self) -> list[Path]:
+        if not self.version_dir.is_dir():
+            return []
+        return sorted(self.version_dir.glob("*/*.json"))
+
+    def info(self) -> CacheInfo:
+        """Entry count and size for this version; names of the others."""
+        blobs = self._blobs()
+        others = tuple(
+            sorted(
+                entry.name
+                for entry in self.root.iterdir()
+                if entry.is_dir()
+                and entry.name.startswith("v")
+                and entry.name != f"v{self.version}"
+            )
+        ) if self.root.is_dir() else ()
+        return CacheInfo(
+            root=str(self.root),
+            version=self.version,
+            entries=len(blobs),
+            total_bytes=sum(blob.stat().st_size for blob in blobs),
+            other_versions=others,
+        )
+
+    def clear(self, *, all_versions: bool = False) -> int:
+        """Delete stored blobs; returns how many were removed.
+
+        Only ``v*`` version directories are touched — the cache root
+        may be a shared directory (``--cache-dir ~/.cache``), so
+        anything that does not look like one of our version stores is
+        left alone.
+        """
+        removed = 0
+        if all_versions:
+            roots = (
+                [
+                    entry
+                    for entry in self.root.iterdir()
+                    if entry.is_dir() and entry.name.startswith("v")
+                ]
+                if self.root.is_dir()
+                else []
+            )
+        else:
+            roots = [self.version_dir]
+        for version_root in roots:
+            for blob in version_root.glob("*/*.json"):
+                blob.unlink(missing_ok=True)
+                removed += 1
+            # Sweep orphaned temp files from killed runs so the shard
+            # directories actually empty out.
+            for orphan in version_root.glob("*/*.tmp.*"):
+                orphan.unlink(missing_ok=True)
+            for shard in version_root.glob("*"):
+                if shard.is_dir():
+                    try:
+                        shard.rmdir()
+                    except OSError:
+                        pass
+            try:
+                version_root.rmdir()
+            except OSError:
+                pass
+        return removed

@@ -1,0 +1,209 @@
+"""Executors: map batches of :class:`RunSpec` to :class:`RunResult`.
+
+Both executors share the same contract:
+
+* duplicate specs in one batch are simulated once (content-hash dedup);
+* the cache (if given) is consulted before simulating and written back
+  after;
+* result order matches spec order;
+* serial and parallel execution of the same batch produce *equal*
+  results, because :func:`execute_spec` is deterministic given the spec.
+
+:class:`ParallelExecutor` fans the un-cached work out over a
+``concurrent.futures.ProcessPoolExecutor`` with ``os.cpu_count()``
+workers by default.  Specs are plain frozen dataclasses of scalars, so
+they pickle cheaply; results flow back to the parent, which owns all
+cache writes (workers never touch the store).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections.abc import Callable, Sequence
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.runtime.cache import ResultCache
+from repro.runtime.spec import RunResult, RunSpec, execute_spec
+
+#: ``progress(done, total, spec, cached)`` — invoked once per spec as
+#: its result becomes available (cache hits first, then simulations).
+ProgressCallback = Callable[[int, int, RunSpec, bool], None]
+
+
+@dataclass
+class ExecutionOutcome:
+    """A batch's results plus the counters the run manifest reports."""
+
+    results: list[RunResult]
+    cache_hits: int
+    simulated: int
+    elapsed_seconds: float
+
+
+class Executor:
+    """Interface shared by :class:`SerialExecutor`/:class:`ParallelExecutor`."""
+
+    jobs: int = 1
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+    def run(
+        self,
+        specs: Sequence[RunSpec],
+        *,
+        cache: ResultCache | None = None,
+        progress: ProgressCallback | None = None,
+    ) -> ExecutionOutcome:
+        raise NotImplementedError
+
+    def map(
+        self,
+        specs: Sequence[RunSpec],
+        *,
+        cache: ResultCache | None = None,
+        progress: ProgressCallback | None = None,
+    ) -> list[RunResult]:
+        """Results only — convenience over :meth:`run`."""
+        return self.run(specs, cache=cache, progress=progress).results
+
+    # -- shared plumbing ---------------------------------------------
+
+    def _resolve_cached(
+        self,
+        specs: Sequence[RunSpec],
+        cache: ResultCache | None,
+        progress: ProgressCallback | None,
+    ) -> tuple[dict[str, RunResult], list[RunSpec], int, int, int]:
+        """Split a batch into (resolved-by-hash, unique pending specs).
+
+        Duplicate specs collapse onto one simulation; counters and the
+        progress callback run over the *unique* specs.  Returns
+        ``(resolved, pending, cache_hits, done, total)``.
+        """
+        unique: dict[str, RunSpec] = {}
+        for spec in specs:
+            unique.setdefault(spec.content_hash, spec)
+        total = len(unique)
+        resolved: dict[str, RunResult] = {}
+        pending: list[RunSpec] = []
+        hits = 0
+        done = 0
+        for key, spec in unique.items():
+            cached = cache.get(spec) if cache is not None else None
+            if cached is not None:
+                resolved[key] = cached
+                hits += 1
+                done += 1
+                if progress is not None:
+                    progress(done, total, spec, True)
+            else:
+                pending.append(spec)
+        return resolved, pending, hits, done, total
+
+    @staticmethod
+    def _ordered(
+        specs: Sequence[RunSpec], resolved: dict[str, RunResult]
+    ) -> list[RunResult]:
+        return [resolved[spec.content_hash] for spec in specs]
+
+    @staticmethod
+    def _simulate_serially(
+        pending: Sequence[RunSpec],
+        resolved: dict[str, RunResult],
+        cache: ResultCache | None,
+        progress: ProgressCallback | None,
+        done: int,
+        total: int,
+    ) -> None:
+        """Execute ``pending`` in-process, with cache write-back."""
+        for spec in pending:
+            result = execute_spec(spec)
+            resolved[spec.content_hash] = result
+            if cache is not None:
+                cache.put(spec, result)
+            done += 1
+            if progress is not None:
+                progress(done, total, spec, False)
+
+
+class SerialExecutor(Executor):
+    """In-process, one spec at a time — the reference executor."""
+
+    jobs = 1
+
+    def describe(self) -> str:
+        return "serial"
+
+    def run(self, specs, *, cache=None, progress=None):
+        started = time.perf_counter()
+        resolved, pending, hits, done, total = self._resolve_cached(
+            specs, cache, progress
+        )
+        self._simulate_serially(pending, resolved, cache, progress, done, total)
+        return ExecutionOutcome(
+            results=self._ordered(specs, resolved),
+            cache_hits=hits,
+            simulated=len(pending),
+            elapsed_seconds=time.perf_counter() - started,
+        )
+
+
+class ParallelExecutor(Executor):
+    """Process-pool fan-out over the un-cached portion of a batch.
+
+    ``jobs=None`` (the default) sizes the pool to ``os.cpu_count()``.
+    With ``jobs=1`` the batch degenerates to serial execution in-process
+    (no pool spawn cost), which keeps ``--jobs 1`` honest in the CLI.
+    """
+
+    def __init__(self, jobs: int | None = None) -> None:
+        if jobs is not None and jobs < 1:
+            raise ValueError("jobs must be >= 1 (or None for cpu_count)")
+        self.jobs = jobs or os.cpu_count() or 1
+
+    def describe(self) -> str:
+        return f"parallel[jobs={self.jobs}]"
+
+    def run(self, specs, *, cache=None, progress=None):
+        started = time.perf_counter()
+        resolved, pending, hits, done, total = self._resolve_cached(
+            specs, cache, progress
+        )
+        if pending and self.jobs > 1:
+            workers = min(self.jobs, len(pending))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {pool.submit(execute_spec, spec): spec for spec in pending}
+                outstanding = set(futures)
+                while outstanding:
+                    finished, outstanding = wait(
+                        outstanding, return_when=FIRST_COMPLETED
+                    )
+                    for future in finished:
+                        spec = futures[future]
+                        try:
+                            result = future.result()
+                        except Exception as exc:  # surface which spec died
+                            for other in outstanding:
+                                other.cancel()
+                            raise SimulationError(
+                                f"worker failed on {spec.label()} "
+                                f"({spec.content_hash[:12]}): {exc}"
+                            ) from exc
+                        resolved[spec.content_hash] = result
+                        if cache is not None:
+                            cache.put(spec, result)
+                        done += 1
+                        if progress is not None:
+                            progress(done, total, spec, False)
+        else:
+            self._simulate_serially(pending, resolved, cache, progress, done, total)
+        return ExecutionOutcome(
+            results=self._ordered(specs, resolved),
+            cache_hits=hits,
+            simulated=len(pending),
+            elapsed_seconds=time.perf_counter() - started,
+        )

@@ -17,24 +17,29 @@ TOPOLOGY_NAMES: tuple[str, ...] = ("mesh_x1", "mesh_x2", "mesh_x4", "mecs", "dps
 EXTENDED_TOPOLOGY_NAMES: tuple[str, ...] = (*TOPOLOGY_NAMES, "fbfly")
 
 
-def get_topology(name: str) -> ColumnTopology:
+def get_topology(name: str, **params) -> ColumnTopology:
     """Instantiate a topology by its paper name.
+
+    Extra keyword ``params`` pass through to the topology constructor
+    (e.g. ``replica_policy="per_flow"`` for the replicated meshes) so
+    declarative :class:`~repro.runtime.spec.RunSpec` objects can address
+    parameterised variants by name.
 
     >>> get_topology("dps").name
     'dps'
     """
     if name == "mesh_x1":
-        return MeshTopology(1)
+        return MeshTopology(1, **params)
     if name == "mesh_x2":
-        return MeshTopology(2)
+        return MeshTopology(2, **params)
     if name == "mesh_x4":
-        return MeshTopology(4)
+        return MeshTopology(4, **params)
     if name == "mecs":
-        return MecsTopology()
+        return MecsTopology(**params)
     if name == "dps":
-        return DpsTopology()
+        return DpsTopology(**params)
     if name == "fbfly":
-        return FlattenedButterflyTopology()
+        return FlattenedButterflyTopology(**params)
     raise TopologyError(
         f"unknown topology {name!r}; expected one of {EXTENDED_TOPOLOGY_NAMES}"
     )

@@ -11,6 +11,11 @@
 * ``workload2`` — Workload 1's construction but with all eight
   injectors of node 7 active (pressuring one downstream MECS port) plus
   one injector at node 6 for destination contention (Figure 5(b)/6(b)).
+* ``workload1_finite`` / ``workload2_finite`` — the same workloads with
+  a per-flow packet budget proportional to the flow's rate, for the
+  Figure 6 completion-time (slowdown) runs.
+* ``single_flow_workload`` — one saturated long-haul flow (used by the
+  retransmission-window ablation).
 """
 
 from __future__ import annotations
@@ -23,6 +28,21 @@ from repro.network.packet import (
     FlowSpec,
 )
 from repro.traffic.patterns import Pattern, hotspot, tornado, uniform_random
+
+__all__ = [
+    "WORKLOAD1_RATES",
+    "WORKLOAD2_EXTRA_RATE",
+    "finite_budget_workload",
+    "full_column_workload",
+    "hotspot_all_injectors",
+    "single_flow_workload",
+    "tornado_workload",
+    "uniform_workload",
+    "workload1",
+    "workload1_finite",
+    "workload2",
+    "workload2_finite",
+]
 
 #: Workload 1 per-source assigned rates (flits/cycle).  The paper gives
 #: the range (5%..20%) and the mean (~14%); the concrete ladder below
@@ -160,3 +180,69 @@ def workload2(
         )
     )
     return flows
+
+
+def finite_budget_workload(
+    flows: list[FlowSpec], duration: int
+) -> list[FlowSpec]:
+    """Give each flow a packet budget proportional to its rate.
+
+    The budget is the number of packets the flow would emit in
+    ``duration`` cycles at its assigned rate — the finite construction
+    behind Figure 6's completion-time (slowdown) measurement.
+    """
+    if duration <= 0:
+        raise TrafficError("duration must be positive")
+    sized = []
+    for flow in flows:
+        budget = max(1, round(flow.rate * duration / flow.mean_packet_size))
+        sized.append(
+            type(flow)(
+                node=flow.node,
+                port=flow.port,
+                rate=flow.rate,
+                weight=flow.weight,
+                pattern=flow.pattern,
+                size_mix=flow.size_mix,
+                packet_limit=budget,
+            )
+        )
+    return sized
+
+
+def workload1_finite(
+    *, duration: int, target: int = 0,
+    rates: tuple[float, ...] = WORKLOAD1_RATES,
+) -> list[FlowSpec]:
+    """Workload 1 with a rate-proportional packet budget (Figure 6(a))."""
+    return finite_budget_workload(workload1(target=target, rates=rates), duration)
+
+
+def workload2_finite(
+    *, duration: int, target: int = 0,
+    rates: tuple[float, ...] = WORKLOAD1_RATES,
+) -> list[FlowSpec]:
+    """Workload 2 with a rate-proportional packet budget (Figure 6(b))."""
+    return finite_budget_workload(workload2(target=target, rates=rates), duration)
+
+
+def single_flow_workload(
+    rate: float = 0.9, *, node: int = 0, dst: int = COLUMN_NODES - 1,
+    flits: int = 1,
+) -> list[FlowSpec]:
+    """One saturated fixed-destination flow (window ablation's probe).
+
+    Defaults to the worst round trip in the column (node 0 -> node 7)
+    with single-flit packets so delivered flits equal delivered packets.
+    """
+    if node == dst:
+        raise TrafficError("single_flow_workload needs node != dst")
+    return [
+        FlowSpec(
+            node=node,
+            port=TERMINAL_PORT,
+            rate=rate,
+            pattern=hotspot(dst),
+            size_mix=((flits, 1.0),),
+        )
+    ]

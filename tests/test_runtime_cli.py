@@ -1,0 +1,98 @@
+"""CLI wiring of the runtime flags and the cache subcommand."""
+
+import pytest
+
+from repro.cli import _cache, _executor, build_parser, main
+from repro.network.config import SimulationConfig
+from repro.runtime.cache import ResultCache
+from repro.runtime.executor import ParallelExecutor, SerialExecutor
+from repro.runtime.spec import RunSpec, execute_spec
+
+
+def _args(*argv):
+    return build_parser().parse_args(["fig3", *argv])
+
+
+def test_parser_runtime_defaults():
+    args = _args()
+    assert args.jobs == 1
+    assert args.cache_dir is None
+    assert not args.no_cache
+
+
+def test_jobs_flag_selects_the_executor():
+    assert isinstance(_executor(_args()), SerialExecutor)
+    four = _executor(_args("--jobs", "4"))
+    assert isinstance(four, ParallelExecutor)
+    assert four.jobs == 4
+    import os
+
+    auto = _executor(_args("--jobs", "0"))
+    assert auto.jobs == (os.cpu_count() or 1)
+
+
+def test_negative_jobs_is_an_error(capsys):
+    assert main(["fig3", "--jobs", "-2"]) == 2
+    assert "--jobs" in capsys.readouterr().err
+
+
+def test_no_cache_disables_the_store(tmp_path):
+    assert _cache(_args("--no-cache")) is None
+    cache = _cache(_args("--cache-dir", str(tmp_path)))
+    assert isinstance(cache, ResultCache)
+    assert cache.root == tmp_path
+
+
+def test_cache_info_subcommand(tmp_path, capsys):
+    assert main(["cache", "info", "--cache-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert str(tmp_path) in out
+    assert "entries:        0" in out
+
+
+def test_cache_clear_subcommand(tmp_path, capsys):
+    spec = RunSpec(topology="mesh_x1", workload="uniform", rate=0.05,
+                   config=SimulationConfig(frame_cycles=2000, seed=4),
+                   cycles=300)
+    ResultCache(tmp_path).put(spec, execute_spec(spec))
+    assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
+    assert "removed 1 cached result(s)" in capsys.readouterr().out
+    assert ResultCache(tmp_path).info().entries == 0
+
+
+def test_cache_unknown_action_fails(tmp_path, capsys):
+    assert main(["cache", "shrink", "--cache-dir", str(tmp_path)]) == 2
+    assert "unknown cache action" in capsys.readouterr().err
+
+
+def test_cache_must_be_the_first_target(tmp_path, capsys):
+    assert main(["fig3", "cache", "--cache-dir", str(tmp_path)]) == 2
+    assert "must be the first target" in capsys.readouterr().err
+
+
+def test_cache_rejects_trailing_targets(tmp_path, capsys):
+    assert main(["cache", "info", "fig3", "--cache-dir", str(tmp_path)]) == 2
+    assert "unexpected arguments" in capsys.readouterr().err
+
+
+def test_cache_appears_in_list(capsys):
+    assert main(["list"]) == 0
+    assert "cache" in capsys.readouterr().out
+
+
+@pytest.mark.slow
+def test_saturation_end_to_end_populates_and_reuses_cache(tmp_path, capsys):
+    argv = ["saturation", "--fast", "--jobs", "2", "--cache-dir", str(tmp_path)]
+    assert main(argv) == 0
+    first = capsys.readouterr().out
+    assert "Section 5.2" in first
+    assert "[runtime: 10 simulated, 0 cached]" in first
+    entries = ResultCache(tmp_path).info().entries
+    assert entries == 10  # 2 patterns x 5 topologies
+
+    assert main(argv) == 0
+    second = capsys.readouterr().out
+    # Identical tables, no new cache entries: the rerun was free.
+    assert "[runtime: 0 simulated, 10 cached]" in second
+    assert first.split("[runtime")[0] == second.split("[runtime")[0]
+    assert ResultCache(tmp_path).info().entries == entries

@@ -1,0 +1,176 @@
+"""RunSpec: canonical serialisation and content-hash stability."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network.config import SimulationConfig
+from repro.runtime.spec import (
+    POLICIES,
+    WORKLOAD_BUILDERS,
+    RunResult,
+    RunSpec,
+    build_flows,
+    execute_spec,
+)
+
+_CFG = SimulationConfig(frame_cycles=2000, seed=4)
+
+
+def _spec(**overrides) -> RunSpec:
+    base = dict(
+        topology="dps",
+        workload="full_column",
+        rate=0.05,
+        workload_params={"pattern": "tornado"},
+        config=_CFG,
+        cycles=800,
+        warmup=200,
+    )
+    base.update(overrides)
+    return RunSpec(**base)
+
+
+def test_identical_specs_share_a_hash():
+    assert _spec().content_hash == _spec().content_hash
+    assert _spec() == _spec()
+
+
+def test_param_dict_order_is_irrelevant():
+    a = RunSpec(topology="dps", workload="single_flow", rate=0.9,
+                workload_params={"node": 0, "dst": 7}, config=_CFG, cycles=500)
+    b = RunSpec(topology="dps", workload="single_flow", rate=0.9,
+                workload_params={"dst": 7, "node": 0}, config=_CFG, cycles=500)
+    assert a.content_hash == b.content_hash
+
+
+@pytest.mark.parametrize(
+    "override",
+    [
+        {"topology": "mecs"},
+        {"workload": "uniform"},
+        {"rate": 0.07},
+        {"workload_params": {"pattern": "uniform_random"}},
+        {"policy": "perflow"},
+        {"config": SimulationConfig(frame_cycles=2000, seed=5)},
+        {"mode": "window"},
+        {"cycles": 801},
+        {"warmup": 201},
+    ],
+)
+def test_any_field_change_changes_the_hash(override):
+    assert _spec(**override).content_hash != _spec().content_hash
+
+
+def test_json_round_trip_preserves_spec_and_hash():
+    spec = _spec(topology_params={})
+    clone = RunSpec.from_json(spec.to_json())
+    assert clone == spec
+    assert clone.content_hash == spec.content_hash
+
+
+def test_canonical_json_is_sorted_and_compact():
+    text = _spec().canonical_json()
+    assert ": " not in text and ", " not in text
+    import json
+
+    keys = list(json.loads(text))
+    assert keys == sorted(keys)
+
+
+def test_hash_is_stable_across_process_boundaries():
+    """The cache key must not depend on interpreter state (e.g. hash
+    randomisation): a fresh process must derive the same digest."""
+    spec = _spec()
+    code = (
+        "from repro.network.config import SimulationConfig\n"
+        "from repro.runtime.spec import RunSpec\n"
+        "spec = RunSpec(topology='dps', workload='full_column', rate=0.05,\n"
+        "               workload_params={'pattern': 'tornado'},\n"
+        "               config=SimulationConfig(frame_cycles=2000, seed=4),\n"
+        "               cycles=800, warmup=200)\n"
+        "print(spec.content_hash)\n"
+    )
+    src_dir = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.abspath(src_dir)
+    out = subprocess.run(
+        [sys.executable, "-c", code], capture_output=True, text=True,
+        env=env, check=True,
+    )
+    assert out.stdout.strip() == spec.content_hash
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"topology": "nope"},
+        {"workload": "nope"},
+        {"policy": "nope"},
+        {"mode": "nope"},
+        {"cycles": 0},
+        {"warmup": -1},
+        {"workload_params": {"pattern": [1, 2]}},
+    ],
+)
+def test_invalid_specs_are_rejected(kwargs):
+    with pytest.raises(ConfigurationError):
+        _spec(**kwargs)
+
+
+def test_every_registered_workload_builds_flows():
+    for name, entry in WORKLOAD_BUILDERS.items():
+        params = {"duration": 1000} if name.endswith("_finite") else {}
+        rate = None if entry.rate == "forbidden" else 0.05
+        spec = RunSpec(topology="mesh_x1", workload=name, rate=rate,
+                       workload_params=params, config=_CFG, cycles=100)
+        assert build_flows(spec), name
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"workload": "workload1", "rate": 0.05, "workload_params": {}},
+        {"workload": "uniform", "rate": None, "workload_params": {}},
+        {"workload": "workload1_finite", "rate": None, "workload_params": {}},
+        {"workload": "full_column", "workload_params": {"pattren": "tornado"}},
+        {"workload": "full_column", "workload_params": {"pattern": "tornadoo"}},
+    ],
+)
+def test_workload_contract_violations_are_rejected(kwargs):
+    with pytest.raises(ConfigurationError):
+        _spec(**kwargs)
+
+
+def test_policy_registry_covers_the_public_policies():
+    assert set(POLICIES) == {"pvc", "perflow", "noqos"}
+
+
+def test_run_result_json_round_trip():
+    result = execute_spec(_spec(cycles=400, warmup=100))
+    clone = RunResult.from_json(result.to_json())
+    assert clone == result
+
+
+def test_execute_spec_matches_direct_engine_run():
+    from repro.network.engine import ColumnSimulator
+    from repro.qos.pvc import PvcPolicy
+    from repro.topologies.registry import get_topology
+    from repro.traffic.patterns import tornado
+    from repro.traffic.workloads import full_column_workload
+
+    spec = _spec(cycles=600, warmup=150)
+    result = execute_spec(spec)
+    simulator = ColumnSimulator(
+        get_topology("dps").build(_CFG),
+        full_column_workload(0.05, pattern=tornado),
+        PvcPolicy(),
+        _CFG,
+    )
+    stats = simulator.run(600, warmup=150)
+    assert result.mean_latency == stats.mean_latency
+    assert result.delivered_flits == stats.delivered_flits
+    assert result.preemption_events == stats.preemption_events
