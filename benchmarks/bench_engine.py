@@ -1,0 +1,42 @@
+"""Engine core — activity-tracked engine vs frozen golden reference.
+
+Records per-regime wall-clocks and speedups into ``BENCH_engine.json``
+at the repo root (see :mod:`repro.runtime.bench` for the matrix).  The
+harness verifies stats equality between the two engines on every point,
+so this suite doubles as a coarse golden-equivalence check at benchmark
+scale.
+
+Acceptance targets for the activity-tracking work: >= 2x on a
+low-injection-rate sweep point, and no worse than a 5% regression at
+saturation.
+"""
+
+import os
+
+from conftest import run_once
+
+from repro.runtime.bench import (
+    BENCH_ENGINE_FILENAME,
+    format_engine_bench,
+    record_engine_baseline,
+    run_engine_bench,
+)
+
+BASELINE_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), os.pardir, BENCH_ENGINE_FILENAME
+)
+
+
+def test_engine_speedup_low_rate_and_saturation(benchmark):
+    results = run_once(benchmark, run_engine_bench, repeats=3)
+    record_engine_baseline(results, BASELINE_PATH)
+    print()
+    print(format_engine_bench(results))
+    assert all(result.stats_equal for result in results)
+    by_regime = {}
+    for result in results:
+        by_regime.setdefault(result.point.regime, []).append(result.speedup)
+    # The low-rate regime is what the activity tracking is for.
+    assert max(by_regime["low_rate"]) >= 2.0
+    # Saturation falls back to dense stepping: never worse than -5%.
+    assert min(by_regime["saturation"]) >= 0.95

@@ -99,7 +99,11 @@ from repro.traffic.workloads import (
     workload2,
 )
 
-__version__ = "1.1.0"
+# 1.2.0: activity-tracked engine (geometric inter-arrival sampling +
+# cycle skipping).  Results are bit-identical to 1.1.0, but the version
+# bump deliberately invalidates the result cache so every stored blob
+# is regenerated — and therefore re-verified — by the new engine.
+__version__ = "1.2.0"
 
 __all__ = [
     "AllocationError",

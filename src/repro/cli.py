@@ -13,6 +13,9 @@ Usage (after installation)::
     repro all --fast                     # everything, scaled down
     repro cache info                     # result-cache statistics
     repro cache clear                    # drop this version's entries
+    repro bench engine                   # engine vs golden-reference timings
+    repro bench engine --record B.json   # ... and persist the baseline
+    repro fig4 --profile                 # cProfile top-20 for any target
 
 (or ``python -m repro ...`` without installation).  ``--fast`` shrinks
 simulation windows for a quick smoke pass; ``--seed`` changes the
@@ -198,6 +201,52 @@ def _run_ablations(args) -> str:
     return _with_cache_footer("\n\n".join(parts), cache)
 
 
+def _profiled(fn, *fn_args):
+    """Run ``fn`` under cProfile; return (result, top-20 report)."""
+    import cProfile
+    import io
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = fn(*fn_args)
+    profiler.disable()
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.strip_dirs().sort_stats("cumulative").print_stats(20)
+    return result, buffer.getvalue().rstrip()
+
+
+def _run_bench(args) -> int:
+    """``repro bench engine`` — optimised-vs-golden engine timings."""
+    action = args.targets[1] if len(args.targets) > 1 else "engine"
+    if action != "engine":
+        print(f"unknown bench action {action!r}; expected engine",
+              file=sys.stderr)
+        return 2
+    from repro.runtime.bench import (
+        format_engine_bench,
+        record_engine_baseline,
+        run_engine_bench,
+    )
+
+    if args.profile:
+        results, report = _profiled(lambda: run_engine_bench(fast=args.fast))
+        print(report)
+        print()
+    else:
+        results = run_engine_bench(fast=args.fast)
+    print(format_engine_bench(results))
+    if not all(result.stats_equal for result in results):
+        print("ERROR: engines diverged — see tests/test_engine_golden.py",
+              file=sys.stderr)
+        return 1
+    if args.record:
+        record_engine_baseline(results, args.record)
+        print(f"baseline recorded to {args.record}")
+    return 0
+
+
 def _run_cache(args) -> int:
     """``repro cache [info|clear]`` — inspect or empty the result store."""
     action = args.targets[1] if len(args.targets) > 1 else "info"
@@ -234,9 +283,10 @@ COMMANDS: dict[str, tuple[Callable, str]] = {
     "report": (_run_report, "write every result into REPORT.md"),
 }
 
-#: Listed alongside COMMANDS but dispatched separately (takes a
+#: Listed alongside COMMANDS but dispatched separately (take a
 #: sub-action instead of producing a result table).
 CACHE_COMMAND_HELP = "result cache maintenance: cache info | cache clear"
+BENCH_COMMAND_HELP = "engine benchmark vs golden reference: bench engine"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -273,6 +323,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--all-versions", action="store_true",
         help="with 'cache clear': drop entries of every package version",
     )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="run the target under cProfile and print the top 20 entries",
+    )
+    parser.add_argument(
+        "--record", default=None, metavar="PATH",
+        help="with 'bench engine': merge timings into the JSON baseline",
+    )
     return parser
 
 
@@ -287,6 +345,7 @@ def main(argv: list[str] | None = None) -> int:
         for name, (_, description) in COMMANDS.items():
             print(f"  {name:10s} {description}")
         print(f"  {'cache':10s} {CACHE_COMMAND_HELP}")
+        print(f"  {'bench':10s} {BENCH_COMMAND_HELP}")
         return 0
     if "cache" in targets:
         if targets[0] != "cache":
@@ -298,17 +357,35 @@ def main(argv: list[str] | None = None) -> int:
                   f"{' '.join(targets[2:])}", file=sys.stderr)
             return 2
         return _run_cache(args)
+    if "bench" in targets:
+        if targets[0] != "bench":
+            print("'bench' must be the first target: repro bench engine",
+                  file=sys.stderr)
+            return 2
+        if len(targets) > 2:
+            print(f"unexpected arguments after bench action: "
+                  f"{' '.join(targets[2:])}", file=sys.stderr)
+            return 2
+        return _run_bench(args)
     if "all" in targets:
         targets = list(COMMANDS)
     unknown = [t for t in targets if t not in COMMANDS]
     if unknown:
         print(f"unknown target(s): {', '.join(unknown)}", file=sys.stderr)
-        print(f"available: {', '.join(COMMANDS)}, cache, all, list", file=sys.stderr)
+        print(f"available: {', '.join(COMMANDS)}, cache, bench, all, list",
+              file=sys.stderr)
         return 2
     for target in targets:
         runner, _ = COMMANDS[target]
         started = time.time()
-        print(runner(args))
+        if args.profile:
+            output, report = _profiled(runner, args)
+            print(output)
+            print()
+            print(f"--- cProfile top 20 (cumulative) for {target} ---")
+            print(report)
+        else:
+            print(runner(args))
         print(f"[{target}: {time.time() - started:.1f}s]\n")
     return 0
 

@@ -43,6 +43,7 @@ class VirtualChannel:
         "arriving_until",
         "inbound_port",
         "departing",
+        "epoch",
     )
 
     def __init__(self, station: "Station", index: int, reserved: bool = False) -> None:
@@ -54,6 +55,13 @@ class VirtualChannel:
         self.arriving_until = -1
         self.inbound_port: OutputPort | None = None
         self.departing = False
+        #: Placement generation, bumped every time a packet is placed
+        #: into this VC.  The activity-tracked engine prunes request
+        #: lists lazily and stores ``(epoch, vc)`` entries, so an entry
+        #: left over from a previous tenant (the VC was cleared and
+        #: reused between two port visits) identifies itself as stale
+        #: instead of double-counting the VC as a live request.
+        self.epoch = 0
 
     def clear(self) -> None:
         """Empty the VC (after tail departure or a preemption)."""
@@ -144,7 +152,10 @@ class OutputPort:
         self.label = label
         self.is_ejection = is_ejection
         self.busy_until = 0
-        self.requests: list[VirtualChannel] = []
+        #: Pending arbitration requests.  The activity-tracked engine
+        #: stores ``(vc.epoch, vc)`` pairs (pruned lazily); the golden
+        #: reference engine stores bare VCs (pruned every cycle).
+        self.requests: list = []
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"OutputPort({self.label})"

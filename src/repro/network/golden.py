@@ -1,64 +1,25 @@
-"""The cycle-level simulation engine for the shared-region column.
+"""Frozen reference engine for golden-equivalence checking.
 
-Per cycle, in order:
+This is a verbatim behavioural copy of the pre-optimisation
+:class:`~repro.network.engine.ColumnSimulator` (the naive engine that
+visits every injector and every output port on every cycle).  It exists
+for exactly two purposes:
 
-1. **Frame rollover** — the QoS policy flushes its bandwidth counters.
-2. **Timeline events** — VC frees (tail departures), packet deliveries,
-   ACKs (window release) and NACKs (replay enqueue) scheduled earlier.
-3. **Injection** — each injector may generate a packet (Bernoulli in
-   flits/cycle), then places the oldest replay/pending packet into its
-   dedicated injection VC if its retransmission window allows.
-4. **Arbitration** — every output port with requests picks the
-   highest-priority ready packet that can secure a downstream VC;
-   the globally best candidate may resolve priority inversion by
-   preempting the worst-priority unprotected packet downstream.
+* the golden-equivalence test suite asserts that the activity-tracked
+  engine produces **identical** :class:`NetworkStats` and traces for the
+  same seed across topologies, QoS policies and injection rates;
+* ``benchmarks/bench_engine.py`` times it against the optimised engine
+  to record the speedup in ``BENCH_engine.json``.
 
-Timing model (Table 1): winning arbitration at cycle *t* puts the header
-on the wire after one crossbar-traversal cycle; it becomes eligible for
-the next arbitration at ``t + 1 + wire_delay + next_station.va_wait``
-(cut-through — the body streams behind).  Links and ejection ports
-serialise at one flit/cycle, so every resource a packet wins is busy for
-``size`` cycles.  Mesh routers wait 1 cycle in VA, MECS 2 (two-level
-arbitration over many ports/VCs), DPS intermediate hops 0 (single-cycle
-2:1 mux traversal).
-
-Activity tracking
------------------
-
-The engine only *visits* components that can make progress, and only
-*simulates* cycles at which something can happen:
-
-* Injection uses geometric inter-arrival sampling: each injector
-  precomputes its next emission cycle with
-  :meth:`~repro.util.rng.DeterministicRng.geometric`, which consumes the
-  underlying uniform stream exactly as the per-cycle Bernoulli draws
-  would — the packet schedule is bit-identical, but idle injectors cost
-  nothing.  Injectors are swept only while they hold queued packets or
-  are due to emit.
-* Output ports live in an active set while they hold requests, and each
-  arbitration pass reports the earliest future cycle at which the port
-  could act (VC readiness, crossbar-line and port serialisation
-  horizons).  A port with a ready-but-blocked candidate pins the horizon
-  to the next cycle, so preemption patience and rate-compliance windows
-  are still evaluated cycle-by-cycle, exactly as the reference engine
-  does.
-* When no horizon, timeline event, emission, frame boundary or run
-  bound falls on the next cycle, the clock jumps straight to the
-  earliest of them.  Skipped cycles are ones the reference engine would
-  have scanned without any state change, which is why the optimised
-  engine is bit-equivalent to :mod:`repro.network.golden` (enforced by
-  the golden-equivalence test suite).
-
-``run_until_drained`` tracks an aggregate count of undrained injectors
-(maintained at ACK/creation transitions) instead of scanning every
-injector every cycle.
+Do not add features here and do not "fix" it to match engine changes —
+any intentional behaviour change to the real engine must update this
+file in the same commit, with the equivalence suite re-run, so that
+behavioural drift is always a deliberate, reviewed event.
 """
 
 from __future__ import annotations
 
-from bisect import insort
 from collections import deque
-from heapq import heappop, heappush
 
 from repro.errors import ConfigurationError, SimulationError
 from repro.network.config import SimulationConfig
@@ -73,9 +34,6 @@ _EV_FREE = 0
 _EV_DELIVER = 1
 _EV_ACK = 2
 _EV_NACK = 3
-
-#: Sentinel cycle meaning "no activity on this component's horizon".
-_FAR = 1 << 62
 
 
 class _Injector:
@@ -95,8 +53,6 @@ class _Injector:
         "sizes",
         "size_weights",
         "replica_rr",
-        "next_emit_cycle",
-        "drained",
     )
 
     def __init__(
@@ -122,11 +78,6 @@ class _Injector:
         self.sizes = [size for size, _ in spec.size_mix]
         self.size_weights = [prob for _, prob in spec.size_mix]
         self.replica_rr = 0
-        #: Precomputed cycle of the next emission (None = none scheduled).
-        self.next_emit_cycle: int | None = None
-        #: Whether the engine's aggregate drain counter regards this
-        #: injector as idle (kept in sync at the few transition points).
-        self.drained = False
 
     def exhausted(self) -> bool:
         """True once the injector will never produce more work."""
@@ -139,8 +90,8 @@ class _Injector:
         return self.exhausted() and self.outstanding == 0
 
 
-class ColumnSimulator:
-    """Simulates one QoS-enabled shared-region column.
+class GoldenColumnSimulator:
+    """Reference simulator — see the module docstring.
 
     Parameters
     ----------
@@ -175,28 +126,6 @@ class ColumnSimulator:
         self.trace = None
         self._root_rng = DeterministicRng(self.config.seed)
 
-        # Activity tracking (see module docstring).  Ports are woken by
-        # a due-time heap (`_port_heap` entries paired with the
-        # `_port_due` earliest-wake array for staleness checks); due
-        # ports are arbitrated in index order because arbitration order
-        # is architecturally significant and must match the reference
-        # engine's flat in-order port scan.  Injectors with queued work
-        # live in `_queued`, an incrementally sorted id list, for the
-        # same reason.
-        self._event_heap: list[int] = []
-        self._emit_heap: list[tuple[int, int]] = []
-        self._port_heap: list[tuple[int, int]] = []
-        #: Ports due again on the very next cycle (blocked candidates,
-        #: single-flit serialisation).  A plain list: under congestion
-        #: these re-arm every cycle and heap churn would dominate.
-        self._hot_ports: list[int] = []
-        self._port_due: list[int] = [_FAR] * len(fabric.ports)
-        self._queued: list[int] = []
-        self._queued_set: set[int] = set()
-        self._occupied_vcs = 0
-        self._undrained = 0
-        self._hold = False
-
         n_nodes = 1 + max(station.node for station in fabric.stations)
         self.policy.bind(n_nodes, self.flows, self.config)
 
@@ -216,16 +145,9 @@ class ColumnSimulator:
             if slot in used_slots:
                 raise ConfigurationError(f"two flows mapped to injector {key}")
             used_slots.add(slot)
-            injector = _Injector(
-                flow_id, spec, station, vc_index, self._root_rng.spawn(flow_id)
+            self._injectors.append(
+                _Injector(flow_id, spec, station, vc_index, self._root_rng.spawn(flow_id))
             )
-            injector.drained = injector.idle()
-            if not injector.drained:
-                self._undrained += 1
-            limit = spec.packet_limit
-            if injector.emit_probability > 0 and (limit is None or limit > 0):
-                self._schedule_emission(injector, 0)
-            self._injectors.append(injector)
 
     # ------------------------------------------------------------------
     # public API
@@ -236,7 +158,7 @@ class ColumnSimulator:
             self.stats.set_window(self.cycle + warmup)
         end = self.cycle + cycles
         while self.cycle < end:
-            self._step(end)
+            self._step()
         return self.stats
 
     def run_window(self, warmup: int, window: int) -> NetworkStats:
@@ -244,7 +166,7 @@ class ColumnSimulator:
         self.stats.set_window(self.cycle + warmup, self.cycle + warmup + window)
         end = self.cycle + warmup + window
         while self.cycle < end:
-            self._step(end)
+            self._step()
         return self.stats
 
     def run_until_drained(self, max_cycles: int) -> int:
@@ -255,9 +177,9 @@ class ColumnSimulator:
         """
         deadline = self.cycle + max_cycles
         while self.cycle < deadline:
-            if self._undrained == 0:
+            if all(injector.idle() for injector in self._injectors):
                 return self.cycle
-            self._step(deadline, stop_on_drain=True)
+            self._step()
         raise SimulationError(
             f"workload did not drain within {max_cycles} cycles "
             f"(outstanding={[i.outstanding for i in self._injectors]})"
@@ -266,65 +188,30 @@ class ColumnSimulator:
     # ------------------------------------------------------------------
     # cycle phases
 
-    def _step(self, limit: int, *, stop_on_drain: bool = False) -> None:
+    def _step(self) -> None:
         now = self.cycle
-        frame = self.config.frame_cycles
-        if now > 0 and now % frame == 0:
+        if now > 0 and now % self.config.frame_cycles == 0:
             self.policy.on_frame(now)
             # A frame flush clears every bandwidth counter, so priority
             # stamps carried by in-flight packets (used at stations with
             # no flow state, e.g. DPS intermediate hops) must be cleared
             # too — otherwise pre-flush stamps look spuriously worse
             # than post-flush traffic and trigger preemption storms.
-            # The occupancy counter bounds the scan to frames with
-            # packets actually resident somewhere in the fabric.
-            if self._occupied_vcs:
-                for station in self.fabric.stations:
-                    for vc in station.vcs:
-                        if vc.packet is not None:
-                            vc.packet.carried_priority = 0.0
-        event_heap = self._event_heap
-        while event_heap and event_heap[0] <= now:
-            heappop(event_heap)
+            for station in self.fabric.stations:
+                for vc in station.vcs:
+                    if vc.packet is not None:
+                        vc.packet.carried_priority = 0.0
         events = self._timeline.pop(now, None)
         if events:
             self._process_events(events, now)
-        self._hold = False
         self._inject(now)
         self._arbitrate(now)
-        # Cycle skipping: jump to the earliest cycle at which anything
-        # can happen — a port wake-up, a timeline event, a scheduled
-        # emission, the next frame boundary, or the caller's run bound.
-        # `_hold` (set by a preemption, which frees a VC after the
-        # injection phase) and a completed drain (the caller must
-        # observe the exact completion cycle) pin the clock to
-        # single-step.
-        advance = now + 1
-        if (
-            not self._hold
-            and not self._hot_ports
-            and not (stop_on_drain and self._undrained == 0)
-        ):
-            target = now - now % frame + frame
-            port_heap = self._port_heap
-            if port_heap and port_heap[0][0] < target:
-                target = port_heap[0][0]
-            if event_heap and event_heap[0] < target:
-                target = event_heap[0]
-            emit_heap = self._emit_heap
-            if emit_heap and emit_heap[0][0] < target:
-                target = emit_heap[0][0]
-            if limit < target:
-                target = limit
-            if target > advance:
-                advance = target
-        self.cycle = advance
+        self.cycle = now + 1
 
     def _schedule(self, when: int, event: tuple) -> None:
         bucket = self._timeline.get(when)
         if bucket is None:
             self._timeline[when] = [event]
-            heappush(self._event_heap, when)
         else:
             bucket.append(event)
 
@@ -335,7 +222,6 @@ class ColumnSimulator:
                 _, vc, pid = event
                 if vc.packet is not None and vc.packet.pid == pid and vc.departing:
                     vc.clear()
-                    self._occupied_vcs -= 1
             elif kind == _EV_DELIVER:
                 _, packet, tail_cycle = event
                 latency = tail_cycle - packet.created_at
@@ -349,21 +235,11 @@ class ColumnSimulator:
                     )
             elif kind == _EV_ACK:
                 _, flow_id = event
-                injector = self._injectors[flow_id]
-                injector.outstanding -= 1
-                if (
-                    not injector.drained
-                    and injector.outstanding == 0
-                    and injector.exhausted()
-                ):
-                    injector.drained = True
-                    self._undrained -= 1
+                self._injectors[flow_id].outstanding -= 1
             elif kind == _EV_NACK:
                 _, packet = event
                 packet.reset_for_replay()
-                injector = self._injectors[packet.flow_id]
-                injector.replay.append(packet)
-                self._note_live(injector)
+                self._injectors[packet.flow_id].replay.append(packet)
                 if self.trace is not None:
                     self.trace.record(
                         now, TraceKind.NACK, packet.pid, packet.flow_id,
@@ -373,56 +249,15 @@ class ColumnSimulator:
     # ------------------------------------------------------------------
     # injection
 
-    def _note_live(self, injector: _Injector) -> None:
-        """Mark an injector as holding queued work (and thus undrained)."""
-        flow_id = injector.flow_id
-        if flow_id not in self._queued_set:
-            self._queued_set.add(flow_id)
-            insort(self._queued, flow_id)
-        if injector.drained:
-            injector.drained = False
-            self._undrained += 1
-
-    def _schedule_emission(self, injector: _Injector, start_cycle: int) -> None:
-        """Precompute the injector's next emission cycle.
-
-        The geometric draw consumes the injector's RNG stream exactly as
-        per-cycle Bernoulli trials starting at ``start_cycle`` would, so
-        the emission schedule matches the reference engine to the cycle.
-        """
-        cycle = start_cycle + injector.rng.geometric(injector.emit_probability) - 1
-        injector.next_emit_cycle = cycle
-        heappush(self._emit_heap, (cycle, injector.flow_id))
-
     def _inject(self, now: int) -> None:
-        emit_heap = self._emit_heap
-        due: list[int] | None = None
-        while emit_heap and emit_heap[0][0] == now:
-            if due is None:
-                due = []
-            due.append(heappop(emit_heap)[1])
-        queued = self._queued
-        if due is None:
-            if not queued:
-                return
-            active = queued[:]
-        elif not queued:
-            active = due  # heap pops at equal cycle are flow-id ordered
-        else:
-            active = self._merge_ids(queued, due)
-        window = self.config.window_packets
-        queued_set = self._queued_set
-        injectors = self._injectors
-        stats = self.stats
-        for flow_id in active:
-            injector = injectors[flow_id]
-            limit = injector.spec.packet_limit
-            if injector.next_emit_cycle == now:
-                injector.next_emit_cycle = None
-                if limit is None or injector.created < limit:
+        for injector in self._injectors:
+            spec = injector.spec
+            limit = spec.packet_limit
+            if injector.emit_probability > 0 and (
+                limit is None or injector.created < limit
+            ):
+                if injector.rng.bernoulli(injector.emit_probability):
                     self._create_packet(injector, now)
-                    if limit is None or injector.created < limit:
-                        self._schedule_emission(injector, now + 1)
             for slot in (injector.vc_index, injector.vc_index + 1):
                 queue = injector.replay or injector.pending
                 if not queue:
@@ -432,12 +267,12 @@ class ColumnSimulator:
                     continue
                 packet = queue[0]
                 is_new = packet.attempt == 0
-                if is_new and injector.outstanding >= window:
+                if is_new and injector.outstanding >= self.config.window_packets:
                     break
                 queue.popleft()
                 if is_new:
                     injector.outstanding += 1
-                    stats.injected_packets += 1
+                    self.stats.injected_packets += 1
                 self._build_route(injector, packet)
                 self._place(vc, packet, now + injector.station.va_wait)
                 if self.trace is not None:
@@ -446,32 +281,6 @@ class ColumnSimulator:
                         injector.station.label,
                         f"attempt={packet.attempt}",
                     )
-            if not injector.pending and not injector.replay:
-                if flow_id in queued_set:
-                    queued_set.discard(flow_id)
-                    queued.remove(flow_id)
-
-    @staticmethod
-    def _merge_ids(left: list[int], right: list[int]) -> list[int]:
-        """Merge two sorted id lists, dropping duplicates."""
-        merged: list[int] = []
-        i = j = 0
-        n_left, n_right = len(left), len(right)
-        while i < n_left and j < n_right:
-            a, b = left[i], right[j]
-            if a < b:
-                merged.append(a)
-                i += 1
-            elif b < a:
-                merged.append(b)
-                j += 1
-            else:
-                merged.append(a)
-                i += 1
-                j += 1
-        merged.extend(left[i:])
-        merged.extend(right[j:])
-        return merged
 
     def _create_packet(self, injector: _Injector, now: int) -> None:
         spec = injector.spec
@@ -484,7 +293,6 @@ class ColumnSimulator:
         self.stats.created_flits += size
         packet.protected = self.policy.on_packet_created(injector.flow_id, size, now)
         injector.pending.append(packet)
-        self._note_live(injector)
         if self.trace is not None:
             self.trace.record(
                 now, TraceKind.CREATE, packet.pid, packet.flow_id,
@@ -509,25 +317,8 @@ class ColumnSimulator:
         vc.arriving_until = -1
         vc.inbound_port = None
         vc.departing = False
-        vc.epoch += 1
-        self._occupied_vcs += 1
         port = self.fabric.ports[packet.current_segment()[0]]
-        port.requests.append((vc.epoch, vc))
-        self._wake_port(port.index, ready_at)
-
-    def _wake_port(self, index: int, when: int) -> None:
-        """Schedule an arbitration visit for a port no later than ``when``.
-
-        ``when`` is a conservative lower bound (a new request's
-        ``ready_at``, or the horizon the last arbitration pass
-        reported); an early visit is harmless — the pass recomputes the
-        true horizon from port state — but a late one would miss work,
-        so pushes only ever move a port's due time earlier.
-        """
-        due = self._port_due
-        if when < due[index]:
-            due[index] = when
-            heappush(self._port_heap, (when, index))
+        port.requests.append(vc)
 
     # ------------------------------------------------------------------
     # arbitration
@@ -540,83 +331,28 @@ class ColumnSimulator:
         return packet.carried_priority
 
     def _arbitrate(self, now: int) -> None:
-        """Arbitrate every port due at ``now``, in port-index order."""
-        port_due = self._port_due
-        hot = self._hot_ports
-        due: list[int] = []
-        if hot:
-            for index in hot:
-                if port_due[index] == now:
-                    port_due[index] = _FAR
-                    due.append(index)
-            del hot[:]
-        heap = self._port_heap
-        while heap and heap[0][0] <= now:
-            when, index = heappop(heap)
-            # An entry is live only while it matches the recorded due
-            # time; anything else was superseded by an earlier wake.
-            if when == port_due[index]:
-                port_due[index] = _FAR
-                due.append(index)
-        if not due:
-            return
-        due.sort()
-        ports = self.fabric.ports
-        nxt = now + 1
-        for index in due:
-            horizon = self._arbitrate_port(ports[index], now)
-            if horizon == nxt:
-                port_due[index] = nxt
-                hot.append(index)
-            elif horizon < _FAR:
-                self._wake_port(index, horizon)
+        for port in self.fabric.ports:
+            if port.requests:
+                self._arbitrate_port(port, now)
 
-    def _arbitrate_port(self, port: OutputPort, now: int) -> int:
-        """One arbitration pass; returns the port's next-activity horizon.
-
-        The horizon is a lower bound on the next cycle at which this
-        port's state can change without an intervening timeline event or
-        wake-up: ``now + 1`` when a ready candidate is blocked (patience
-        and rate-compliance must be re-evaluated every cycle), otherwise
-        the earliest of the port/crossbar-line serialisation bounds and
-        the requests' ``ready_at`` times.
-        """
-        live: list[tuple[int, VirtualChannel]] = []
+    def _arbitrate_port(self, port: OutputPort, now: int) -> None:
+        live: list[VirtualChannel] = []
         candidates: list[tuple[float, int, int, VirtualChannel]] = []
-        wait_until = _FAR
-        port_free = port.busy_until <= now
-        port_index = port.index
-        for entry in port.requests:
-            epoch, vc = entry
-            if vc.epoch != epoch:
-                continue  # stale: the VC was cleared and reused
+        for vc in port.requests:
             packet = vc.packet
             if packet is None or vc.departing:
                 continue
-            hop = packet.hop_index
-            if packet.stations[hop] != vc.station.index:
+            if packet.stations[packet.hop_index] != vc.station.index:
                 continue
-            if packet.segments[hop][0] != port_index:
+            if packet.segments[packet.hop_index][0] != port.index:
                 continue
-            live.append(entry)
-            ready_at = vc.ready_at
-            line_free = vc.station.tx_busy_until
-            if ready_at <= now and line_free <= now:
-                if port_free:
-                    priority = self._priority_of(vc.station, packet, now)
-                    candidates.append(
-                        (priority, packet.created_at, packet.pid, vc)
-                    )
-                else:
-                    wait_until = now  # ready; gated only by the port
-            else:
-                eligible_at = ready_at if ready_at >= line_free else line_free
-                if eligible_at < wait_until:
-                    wait_until = eligible_at
+            live.append(vc)
+            if vc.ready_at <= now and vc.station.tx_busy_until <= now:
+                priority = self._priority_of(vc.station, packet, now)
+                candidates.append((priority, packet.created_at, packet.pid, vc))
         port.requests = live
-        if not port_free or not candidates:
-            busy = port.busy_until
-            return busy if busy > wait_until else wait_until
+        if port.busy_until > now or not candidates:
+            return
         candidates.sort()
         for rank, (priority, _, _, vc) in enumerate(candidates):
             packet = vc.packet
@@ -624,9 +360,7 @@ class ColumnSimulator:
             next_station_index = segment[3]
             if next_station_index < 0:
                 self._transfer(vc, packet, port, segment, None, now)
-                return port.busy_until if len(candidates) > 1 else max(
-                    port.busy_until, wait_until
-                )
+                return
             next_station = self.fabric.stations[next_station_index]
             allow_reserved = self.config.reserved_vc and self.policy.is_rate_compliant(
                 vc.station, packet, now
@@ -642,13 +376,7 @@ class ColumnSimulator:
                 target = self._try_preempt(next_station, priority, now)
             if target is not None:
                 self._transfer(vc, packet, port, segment, target, now)
-                return port.busy_until if len(candidates) > 1 else max(
-                    port.busy_until, wait_until
-                )
-        # Ready candidates exist but none could advance (downstream VCs
-        # full): patience counters and compliance windows may change the
-        # outcome next cycle, so the port must be revisited every cycle.
-        return now + 1
+                return
 
     def _try_preempt(
         self, station: Station, candidate_priority: float, now: int
@@ -697,10 +425,6 @@ class ColumnSimulator:
             # The victim's tail is still on the wire: kill the transfer.
             vc.inbound_port.busy_until = now
         vc.clear()
-        self._occupied_vcs -= 1
-        # The freed VC may unblock a transfer or an injection placement
-        # on the very next cycle, before any scheduled event fires.
-        self._hold = True
         distance = abs(vc.station.node - packet.src)
         nack_at = now + distance + self.config.ack_overhead_cycles
         self._schedule(max(nack_at, now + 1), (_EV_NACK, packet))
@@ -747,14 +471,8 @@ class ColumnSimulator:
         target.arriving_until = now + wire_delay + packet.size
         target.inbound_port = port
         target.departing = False
-        self._occupied_vcs += 1
-        target.epoch += 1
         next_port = self.fabric.ports[packet.current_segment()[0]]
-        next_port.requests.append((target.epoch, target))
-        # The receiving port may already have been arbitrated this cycle
-        # (or be asleep): schedule it for the new request's earliest
-        # eligibility so the clock cannot skip past it.
-        self._wake_port(next_port.index, target.ready_at)
+        next_port.requests.append(target)
 
     # ------------------------------------------------------------------
     # diagnostics

@@ -74,6 +74,35 @@ class NetworkStats:
         self.total_tiles += tiles
         self.hops_by_kind[kind] += 1
 
+    def snapshot(self) -> dict[str, object]:
+        """Full-fidelity state dump for exact-equality comparison.
+
+        Captures every accumulator (including per-flow vectors, the
+        running latency moments and the preempted-pid set), so two
+        engines that produce equal snapshots are observationally
+        indistinguishable.  The golden-equivalence suite compares the
+        optimised engine against :mod:`repro.network.golden` with this.
+        """
+        return {
+            "created_packets": self.created_packets,
+            "created_flits": self.created_flits,
+            "injected_packets": self.injected_packets,
+            "delivered_packets": self.delivered_packets,
+            "delivered_flits": self.delivered_flits,
+            "window_flits_per_flow": list(self.window_flits_per_flow),
+            "delivered_packets_per_flow": list(self.delivered_packets_per_flow),
+            "latency_count": self.latency.count,
+            "latency_mean": self.latency.mean,
+            "latency_m2": self.latency._m2,
+            "latency_samples": list(self.latency_samples),
+            "preemption_events": self.preemption_events,
+            "preempted_pids": sorted(self.preempted_pids),
+            "wasted_tiles": self.wasted_tiles,
+            "total_tiles": self.total_tiles,
+            "replays": self.replays,
+            "hops_by_kind": dict(self.hops_by_kind),
+        }
+
     @property
     def preempted_packet_fraction(self) -> float:
         """Preemption events over all packets created (Figure 5 bars)."""

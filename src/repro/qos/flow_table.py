@@ -37,9 +37,9 @@ class FlowTable:
 
     def flush(self, now: int) -> None:
         """Frame rollover: clear every counter at every router."""
+        zeros = [0] * self.n_flows
         for row in self._counters:
-            for index in range(len(row)):
-                row[index] = 0
+            row[:] = zeros
         self.frame_start = now
 
     def elapsed_in_frame(self, now: int) -> int:

@@ -91,8 +91,7 @@ class PvcPolicy(QosPolicy):
     def on_frame(self, now: int) -> None:
         """Flush all counters and reset per-frame injection quotas."""
         self.table.flush(now)
-        for index in range(len(self._frame_injected)):
-            self._frame_injected[index] = 0
+        self._frame_injected[:] = [0] * len(self._frame_injected)
 
     # -- preemption throttles ----------------------------------------
 

@@ -20,6 +20,13 @@ Typical use::
     print(grid.manifest.summary())   # "... 0 simulated, 21 cached ..."
 """
 
+from repro.runtime.bench import (
+    EnginePoint,
+    EngineResult,
+    format_engine_bench,
+    record_engine_baseline,
+    run_engine_bench,
+)
 from repro.runtime.cache import CacheInfo, ResultCache, default_cache_dir
 from repro.runtime.executor import (
     ExecutionOutcome,
@@ -47,6 +54,8 @@ from repro.runtime.spec import (
 __all__ = [
     "BatchResult",
     "CacheInfo",
+    "EnginePoint",
+    "EngineResult",
     "ExecutionOutcome",
     "Executor",
     "GridResult",
@@ -62,6 +71,9 @@ __all__ = [
     "build_flows",
     "default_cache_dir",
     "execute_spec",
+    "format_engine_bench",
+    "record_engine_baseline",
     "run_batch",
+    "run_engine_bench",
     "run_grid",
 ]

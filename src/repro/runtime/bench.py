@@ -1,0 +1,176 @@
+"""Engine benchmark harness: optimised vs golden reference timings.
+
+Every point runs the *same* workload through the activity-tracked
+:class:`~repro.network.engine.ColumnSimulator` and the frozen
+:class:`~repro.network.golden.GoldenColumnSimulator`, verifies the two
+produce identical :meth:`NetworkStats.snapshot` dumps (a benchmark that
+silently changed results would be worse than useless), and reports the
+wall-clock ratio.  Consumers:
+
+* ``benchmarks/bench_engine.py`` records the numbers to
+  ``BENCH_engine.json`` at the repo root;
+* ``repro bench engine`` prints them from the console script.
+
+The default matrix brackets the regimes the optimisation targets: the
+low-injection left edge of the latency curves (where cycle skipping and
+geometric inter-arrival sampling shine) and a point past saturation
+(where the engine falls back to dense single-stepping and must not
+regress).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+
+from repro.network.config import SimulationConfig
+from repro.network.engine import ColumnSimulator
+from repro.network.golden import GoldenColumnSimulator
+from repro.topologies.registry import get_topology
+from repro.traffic.workloads import full_column_workload, offered_load
+
+#: File name of the committed baseline at the repository root.
+BENCH_ENGINE_FILENAME = "BENCH_engine.json"
+
+
+@dataclass(frozen=True)
+class EnginePoint:
+    """One benchmark point: a workload pinned to one simulation regime."""
+
+    name: str
+    topology: str
+    rate: float
+    cycles: int
+    warmup: int = 0
+    regime: str = "low_rate"  # or "saturation"
+    config: SimulationConfig = field(
+        default_factory=lambda: SimulationConfig(frame_cycles=2000, seed=3)
+    )
+
+    def flows(self):
+        return full_column_workload(self.rate)
+
+
+@dataclass(frozen=True)
+class EngineResult:
+    """Timings for one point (seconds, best of ``repeats`` runs)."""
+
+    point: EnginePoint
+    optimized_seconds: float
+    golden_seconds: float
+    stats_equal: bool
+
+    @property
+    def speedup(self) -> float:
+        if self.optimized_seconds <= 0:
+            return float("inf")
+        return self.golden_seconds / self.optimized_seconds
+
+
+def default_points(*, fast: bool = False) -> tuple[EnginePoint, ...]:
+    """The committed benchmark matrix (``fast`` shrinks cycle budgets)."""
+    low_cycles, low_warmup = (1500, 300) if fast else (6000, 1500)
+    sat_cycles = 800 if fast else 3000
+    return (
+        EnginePoint("low_rate_mecs_0p01", "mecs", 0.01, low_cycles, low_warmup,
+                    regime="low_rate"),
+        EnginePoint("low_rate_mesh_x1_0p01", "mesh_x1", 0.01, low_cycles,
+                    low_warmup, regime="low_rate"),
+        EnginePoint("saturation_mecs_0p30", "mecs", 0.30, sat_cycles,
+                    regime="saturation"),
+        EnginePoint("saturation_mesh_x1_0p30", "mesh_x1", 0.30, sat_cycles,
+                    regime="saturation"),
+    )
+
+
+def _time_one(cls, point: EnginePoint) -> tuple[float, dict]:
+    from repro.qos.pvc import PvcPolicy
+
+    build = get_topology(point.topology).build(point.config)
+    simulator = cls(build, point.flows(), PvcPolicy(), point.config)
+    started = time.perf_counter()
+    simulator.run(point.cycles, warmup=point.warmup)
+    return time.perf_counter() - started, simulator.stats.snapshot()
+
+
+def run_point(point: EnginePoint, *, repeats: int = 2) -> EngineResult:
+    """Benchmark one point, best-of-``repeats`` per engine."""
+    best_optimized = best_golden = float("inf")
+    snap_optimized = snap_golden = None
+    for _ in range(max(1, repeats)):
+        seconds, snap_optimized = _time_one(ColumnSimulator, point)
+        best_optimized = min(best_optimized, seconds)
+        seconds, snap_golden = _time_one(GoldenColumnSimulator, point)
+        best_golden = min(best_golden, seconds)
+    return EngineResult(
+        point=point,
+        optimized_seconds=round(best_optimized, 4),
+        golden_seconds=round(best_golden, 4),
+        stats_equal=snap_optimized == snap_golden,
+    )
+
+
+def run_engine_bench(
+    *, fast: bool = False, repeats: int = 2,
+    points: tuple[EnginePoint, ...] | None = None,
+) -> list[EngineResult]:
+    """Run the whole matrix; see :func:`default_points`."""
+    return [
+        run_point(point, repeats=repeats)
+        for point in (points or default_points(fast=fast))
+    ]
+
+
+def format_engine_bench(results: list[EngineResult]) -> str:
+    """Human-readable table for the CLI."""
+    lines = [
+        "engine benchmark (optimised vs frozen golden reference)",
+        f"{'point':26s} {'regime':10s} {'optimised':>10s} {'golden':>10s} "
+        f"{'speedup':>8s}  stats",
+    ]
+    for result in results:
+        lines.append(
+            f"{result.point.name:26s} {result.point.regime:10s} "
+            f"{result.optimized_seconds:9.3f}s {result.golden_seconds:9.3f}s "
+            f"{result.speedup:7.2f}x  "
+            + ("identical" if result.stats_equal else "DIVERGED!")
+        )
+    return "\n".join(lines)
+
+
+def record_engine_baseline(
+    results: list[EngineResult], path: str | os.PathLike
+) -> None:
+    """Merge results into the JSON baseline (keyed by point name)."""
+    import repro
+
+    try:
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        data = {}
+    data.setdefault("_meta", {})
+    data["_meta"]["cpu_count"] = os.cpu_count()
+    data["_meta"]["engine_version"] = repro.__version__
+    for result in results:
+        data[result.point.name] = {
+            "regime": result.point.regime,
+            "topology": result.point.topology,
+            "rate": result.point.rate,
+            "offered_load_flits_per_cycle": round(
+                offered_load(result.point.flows()), 4
+            ),
+            "cycles": result.point.cycles,
+            "warmup": result.point.warmup,
+            "timings_seconds": {
+                "optimized": result.optimized_seconds,
+                "golden": result.golden_seconds,
+            },
+            "speedup": round(result.speedup, 3),
+            "stats_equal": result.stats_equal,
+        }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")

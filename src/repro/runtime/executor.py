@@ -156,8 +156,12 @@ class ParallelExecutor(Executor):
     """Process-pool fan-out over the un-cached portion of a batch.
 
     ``jobs=None`` (the default) sizes the pool to ``os.cpu_count()``.
-    With ``jobs=1`` the batch degenerates to serial execution in-process
-    (no pool spawn cost), which keeps ``--jobs 1`` honest in the CLI.
+    The pool is only spawned when it can actually help: with ``jobs=1``,
+    or when the un-cached portion of the batch is a single spec, the
+    batch degenerates to serial in-process execution.  Pool spawn and
+    pickling overhead on a one-worker/one-spec batch was measured as a
+    0.787x *slowdown* in BENCH_runtime.json — degenerating keeps
+    ``--jobs 1`` (and trivially small batches) honest.
     """
 
     def __init__(self, jobs: int | None = None) -> None:
@@ -173,7 +177,7 @@ class ParallelExecutor(Executor):
         resolved, pending, hits, done, total = self._resolve_cached(
             specs, cache, progress
         )
-        if pending and self.jobs > 1:
+        if len(pending) > 1 and self.jobs > 1:
             workers = min(self.jobs, len(pending))
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 futures = {pool.submit(execute_spec, spec): spec for spec in pending}

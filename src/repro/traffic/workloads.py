@@ -35,6 +35,7 @@ __all__ = [
     "finite_budget_workload",
     "full_column_workload",
     "hotspot_all_injectors",
+    "offered_load",
     "single_flow_workload",
     "tornado_workload",
     "uniform_workload",
@@ -43,6 +44,18 @@ __all__ = [
     "workload2",
     "workload2_finite",
 ]
+
+
+def offered_load(flows: list[FlowSpec]) -> float:
+    """Aggregate offered load of a workload in flits/cycle.
+
+    The sum of per-injector rates — the natural x-axis of the latency
+    curves and the activity level that decides how much the
+    activity-tracked engine can skip (expected emissions per cycle are
+    ``offered_load(flows) / mean packet size``).  Used by the engine
+    benchmark to label its recorded points.
+    """
+    return sum(flow.rate for flow in flows)
 
 #: Workload 1 per-source assigned rates (flits/cycle).  The paper gives
 #: the range (5%..20%) and the mean (~14%); the concrete ladder below

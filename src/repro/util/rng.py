@@ -41,6 +41,30 @@ class DeterministicRng:
             return True
         return self._random.random() < probability
 
+    def geometric(self, probability: float) -> int:
+        """Trials until the first success of a Bernoulli sequence (>= 1).
+
+        Drawn by running the actual trial sequence rather than by
+        inverse-transform sampling, so it consumes the underlying
+        uniform stream *exactly* as the equivalent run of
+        :meth:`bernoulli` calls would.  That bit-compatibility is what
+        lets the engine precompute each injector's next emission cycle
+        (and skip the idle cycles in between) while reproducing the
+        per-cycle-draw engine's packet schedule to the cycle.  The edge
+        cases mirror :meth:`bernoulli`: ``probability >= 1`` succeeds on
+        the first trial without consuming a draw, and ``probability <=
+        0`` is rejected because the sequence would never terminate.
+        """
+        if probability >= 1.0:
+            return 1
+        if probability <= 0.0:
+            raise ValueError("geometric() requires a positive probability")
+        draw = self._random.random
+        trials = 1
+        while draw() >= probability:
+            trials += 1
+        return trials
+
     def choice_index(self, weights: list[float]) -> int:
         """Draw an index proportionally to ``weights`` (all >= 0)."""
         total = sum(weights)

@@ -1,0 +1,139 @@
+"""Golden-equivalence suite: optimised engine == frozen reference.
+
+The activity-tracked :class:`~repro.network.engine.ColumnSimulator`
+skips idle cycles and idle components; these tests pin it to the
+pre-optimisation engine preserved in :mod:`repro.network.golden` by
+asserting **identical** :meth:`NetworkStats.snapshot` dumps (every
+counter, per-flow vector, latency moment and preempted pid) — and, for
+a preemption-heavy scenario, identical event traces — across a matrix
+of topologies × QoS policies × injection rates, plus the window and
+drain run modes.
+
+Any intentional engine behaviour change must update golden.py in the
+same commit; an unintentional divergence fails here first.
+"""
+
+import pytest
+
+from repro.network.config import SimulationConfig
+from repro.network.engine import ColumnSimulator
+from repro.network.golden import GoldenColumnSimulator
+from repro.network.trace import TraceRecorder
+from repro.qos.base import NoQosPolicy
+from repro.qos.perflow import PerFlowQueuedPolicy
+from repro.qos.pvc import PvcPolicy
+from repro.topologies.registry import get_topology
+from repro.traffic.workloads import (
+    full_column_workload,
+    uniform_workload,
+    workload1,
+    workload1_finite,
+    workload2,
+)
+
+POLICIES = {
+    "pvc": PvcPolicy,
+    "perflow": PerFlowQueuedPolicy,
+    "noqos": NoQosPolicy,
+}
+
+#: Low / high per-injector rates: the left edge of the latency curves
+#: (mostly idle fabric, the cycle-skipping fast path) and a point past
+#: saturation (dense fabric, the single-step fall-back path).
+RATES = (0.02, 0.30)
+
+TOPOLOGIES = ("mesh_x1", "mesh_x2", "mecs", "dps")
+
+
+def _pair(topology, flows_factory, policy_name, config):
+    """Build (optimised, golden) simulators over identical inputs."""
+    sims = []
+    for cls in (ColumnSimulator, GoldenColumnSimulator):
+        build = get_topology(topology).build(config)
+        sims.append(cls(build, flows_factory(), POLICIES[policy_name](), config))
+    return sims
+
+
+@pytest.mark.parametrize("topology", TOPOLOGIES)
+@pytest.mark.parametrize("policy", ("pvc", "noqos"))
+@pytest.mark.parametrize("rate", RATES)
+def test_run_mode_matches_golden(topology, policy, rate):
+    config = SimulationConfig(frame_cycles=1500, seed=5)
+    cycles = 2500 if rate >= 0.1 else 4000
+    optimised, golden = _pair(
+        topology, lambda: full_column_workload(rate), policy, config
+    )
+    optimised.run(cycles, warmup=cycles // 4)
+    golden.run(cycles, warmup=cycles // 4)
+    assert optimised.stats.snapshot() == golden.stats.snapshot()
+    assert optimised.cycle == golden.cycle
+
+
+@pytest.mark.parametrize("topology", ("mesh_x1", "mecs", "dps"))
+def test_perflow_policy_matches_golden(topology):
+    # The per-flow baseline grows overflow VCs on demand — a different
+    # buffering regime than the fixed-VC PVC/no-QoS paths.
+    config = SimulationConfig(frame_cycles=1500, seed=5)
+    optimised, golden = _pair(
+        topology, lambda: uniform_workload(0.15), "perflow", config
+    )
+    optimised.run(3000)
+    golden.run(3000)
+    assert optimised.stats.snapshot() == golden.stats.snapshot()
+
+
+def test_window_mode_matches_golden():
+    config = SimulationConfig(frame_cycles=2000, seed=7)
+    optimised, golden = _pair("dps", workload2, "pvc", config)
+    optimised.run_window(500, 3000)
+    golden.run_window(500, 3000)
+    assert optimised.stats.snapshot() == golden.stats.snapshot()
+
+
+def test_drain_mode_matches_golden_completion_cycle():
+    config = SimulationConfig(frame_cycles=2000, seed=7)
+    optimised, golden = _pair(
+        "mecs", lambda: workload1_finite(duration=2000), "pvc", config
+    )
+    done_optimised = optimised.run_until_drained(max_cycles=60_000)
+    done_golden = golden.run_until_drained(max_cycles=60_000)
+    assert done_optimised == done_golden
+    assert optimised.stats.snapshot() == golden.stats.snapshot()
+
+
+def test_preemption_heavy_trace_matches_golden():
+    # Workload 1 under a short frame and low patience maximises the
+    # preemption/NACK/replay machinery; compare full event traces, not
+    # just aggregate counters.
+    config = SimulationConfig(
+        frame_cycles=3000, seed=11, preemption_patience_cycles=4
+    )
+    optimised, golden = _pair("mesh_x2", workload1, "pvc", config)
+    trace_optimised = TraceRecorder(capacity=200_000)
+    trace_golden = TraceRecorder(capacity=200_000)
+    trace_optimised.attach(optimised)
+    trace_golden.attach(golden)
+    optimised.run(5000)
+    golden.run(5000)
+    assert optimised.stats.preemption_events > 0  # the scenario bites
+    assert optimised.stats.snapshot() == golden.stats.snapshot()
+    assert list(trace_optimised.events) == list(trace_golden.events)
+
+
+def test_stepwise_runs_match_golden():
+    # Chopping one simulation into many small run() calls (as the
+    # window-probing tests do) must hit the same states as one big run:
+    # cycle skipping may never overshoot a caller's bound.
+    config = SimulationConfig(frame_cycles=1000, seed=3)
+    optimised, golden = _pair(
+        "mesh_x1", lambda: uniform_workload(0.05), "pvc", config
+    )
+    for chunk in (1, 7, 100, 333, 1, 2059):
+        optimised.run(chunk)
+        golden.run(chunk)
+        assert optimised.cycle == golden.cycle
+        assert optimised.stats.snapshot() == golden.stats.snapshot()
+        assert all(
+            optimised.injector_state(f) == golden.injector_state(f)
+            for f in range(len(optimised.flows))
+        )

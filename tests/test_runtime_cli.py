@@ -77,7 +77,45 @@ def test_cache_rejects_trailing_targets(tmp_path, capsys):
 
 def test_cache_appears_in_list(capsys):
     assert main(["list"]) == 0
-    assert "cache" in capsys.readouterr().out
+    out = capsys.readouterr().out
+    assert "cache" in out
+    assert "bench" in out
+
+
+def test_bench_engine_runs_and_records(tmp_path, capsys, monkeypatch):
+    # Shrink the matrix so the smoke test stays fast.
+    from repro.runtime import bench
+
+    point = bench.EnginePoint("smoke_mesh", "mesh_x1", 0.05, 300, 50)
+    monkeypatch.setattr(bench, "default_points", lambda fast=False: (point,))
+    baseline = tmp_path / "BENCH_engine.json"
+    assert main(["bench", "engine", "--fast", "--record", str(baseline)]) == 0
+    out = capsys.readouterr().out
+    assert "smoke_mesh" in out
+    assert "identical" in out
+    import json
+
+    data = json.loads(baseline.read_text())
+    assert data["smoke_mesh"]["stats_equal"] is True
+    assert data["smoke_mesh"]["timings_seconds"]["golden"] > 0
+
+
+def test_bench_rejects_unknown_action(capsys):
+    assert main(["bench", "nonsense"]) == 2
+    assert "unknown bench action" in capsys.readouterr().err
+
+
+def test_bench_must_be_first_target(capsys):
+    assert main(["fig3", "bench"]) == 2
+    assert "must be the first target" in capsys.readouterr().err
+
+
+def test_profile_flag_prints_cprofile_report(capsys):
+    assert main(["fig3", "--profile"]) == 0
+    out = capsys.readouterr().out
+    assert "cProfile top 20" in out
+    assert "cumulative" in out
+    assert "Figure 3" in out  # the target's own output still appears
 
 
 @pytest.mark.slow

@@ -104,6 +104,39 @@ def test_parallel_jobs_default_and_validation():
         ParallelExecutor(jobs=0)
 
 
+def _forbid_pool(monkeypatch):
+    """Make any process-pool spawn fail loudly."""
+
+    def boom(*args, **kwargs):  # pragma: no cover - failure reporter
+        raise AssertionError("ProcessPoolExecutor must not be spawned")
+
+    import repro.runtime.executor as executor_module
+
+    monkeypatch.setattr(executor_module, "ProcessPoolExecutor", boom)
+
+
+def test_jobs_1_degrades_to_in_process_serial(monkeypatch):
+    # Pool overhead at jobs=1 was a measured 0.787x slowdown
+    # (BENCH_runtime.json); the executor must not pay it.
+    _forbid_pool(monkeypatch)
+    specs = _fig4_style_specs()
+    results = ParallelExecutor(jobs=1).map(specs)
+    assert results == SerialExecutor().map(specs)
+
+
+def test_single_pending_spec_degrades_to_in_process_serial(monkeypatch, tmp_path):
+    # jobs >= pending batch size == 1: a pool for one spec is pure
+    # overhead, so the un-cached remainder runs in-process too.
+    cache = ResultCache(tmp_path)
+    specs = _fig4_style_specs()
+    ParallelExecutor(jobs=1).run(specs[:-1], cache=cache)
+    _forbid_pool(monkeypatch)
+    outcome = ParallelExecutor(jobs=4).run(specs, cache=cache)
+    assert outcome.cache_hits == len(specs) - 1
+    assert outcome.simulated == 1
+    assert outcome.results == SerialExecutor().map(specs)
+
+
 def test_run_grid_shapes_and_manifest(tmp_path):
     cache = ResultCache(tmp_path)
     grid = run_grid(

@@ -51,6 +51,47 @@ def test_bernoulli_rate_statistics():
     assert 0.27 < hits / 20_000 < 0.33
 
 
+def test_geometric_matches_bernoulli_trial_sequence():
+    # geometric(p) must consume the uniform stream exactly as repeated
+    # bernoulli(p) calls would — that bit-compatibility is what keeps
+    # the activity-tracked engine's packet schedule identical to the
+    # per-cycle-draw reference engine.
+    for probability in (0.004, 0.1, 0.5, 0.97):
+        trial_rng = DeterministicRng(21)
+        geo_rng = DeterministicRng(21)
+        for _ in range(200):
+            trials = 1
+            while not trial_rng.bernoulli(probability):
+                trials += 1
+            assert geo_rng.geometric(probability) == trials
+        # Streams remain aligned after interleaved other draws.
+        assert trial_rng.random() == geo_rng.random()
+
+
+def test_geometric_certain_success_consumes_no_draws():
+    rng = DeterministicRng(8)
+    reference = DeterministicRng(8)
+    assert rng.geometric(1.0) == 1
+    assert rng.geometric(2.0) == 1
+    assert rng.random() == reference.random()
+
+
+def test_geometric_rejects_nonpositive_probability():
+    rng = DeterministicRng(8)
+    with pytest.raises(ValueError):
+        rng.geometric(0.0)
+    with pytest.raises(ValueError):
+        rng.geometric(-0.1)
+
+
+def test_geometric_mean_matches_distribution():
+    rng = DeterministicRng(13)
+    samples = [rng.geometric(0.2) for _ in range(20_000)]
+    mean = sum(samples) / len(samples)
+    assert 4.75 < mean < 5.25  # E[geometric(0.2)] = 5
+    assert min(samples) >= 1
+
+
 def test_choice_index_respects_weights():
     rng = DeterministicRng(5)
     counts = [0, 0]
