@@ -100,10 +100,13 @@ from repro.traffic.workloads import (
 )
 
 # 1.2.0: activity-tracked engine (geometric inter-arrival sampling +
-# cycle skipping).  Results are bit-identical to 1.1.0, but the version
-# bump deliberately invalidates the result cache so every stored blob
-# is regenerated — and therefore re-verified — by the new engine.
-__version__ = "1.2.0"
+# cycle skipping).  1.3.0: saturation hot path — incremental PVC
+# priority/compliance caching (epoch-based lazy flow-table flushes) and
+# allocation-free arbitration over persistent per-port rankings.
+# Results are bit-identical to 1.2.0, but the version bump deliberately
+# invalidates the result cache so every stored blob is regenerated —
+# and therefore re-verified — by the new engine.
+__version__ = "1.3.0"
 
 __all__ = [
     "AllocationError",

@@ -15,6 +15,8 @@ Usage (after installation)::
     repro cache clear                    # drop this version's entries
     repro bench engine                   # engine vs golden-reference timings
     repro bench engine --record B.json   # ... and persist the baseline
+    repro bench engine --regimes saturation --topologies mesh_x1,mecs
+    repro bench guard                    # regression-check BENCH_engine.json
     repro fig4 --profile                 # cProfile top-20 for any target
 
 (or ``python -m repro ...`` without installation).  ``--fast`` shrinks
@@ -217,11 +219,20 @@ def _profiled(fn, *fn_args):
     return result, buffer.getvalue().rstrip()
 
 
+def _csv(value: str | None) -> tuple[str, ...] | None:
+    """Split a comma-separated CLI filter into a tuple (None = no filter)."""
+    if value is None:
+        return None
+    return tuple(part.strip() for part in value.split(",") if part.strip())
+
+
 def _run_bench(args) -> int:
-    """``repro bench engine`` — optimised-vs-golden engine timings."""
+    """``repro bench engine|guard`` — engine timings / baseline guard."""
     action = args.targets[1] if len(args.targets) > 1 else "engine"
+    if action == "guard":
+        return _run_bench_guard(args)
     if action != "engine":
-        print(f"unknown bench action {action!r}; expected engine",
+        print(f"unknown bench action {action!r}; expected engine or guard",
               file=sys.stderr)
         return 2
     from repro.runtime.bench import (
@@ -230,12 +241,20 @@ def _run_bench(args) -> int:
         run_engine_bench,
     )
 
+    regimes = _csv(args.regimes)
+    topologies = _csv(args.topologies)
+    run = lambda: run_engine_bench(  # noqa: E731 - tiny local closure
+        fast=args.fast, regimes=regimes, topologies=topologies,
+    )
     if args.profile:
-        results, report = _profiled(lambda: run_engine_bench(fast=args.fast))
+        results, report = _profiled(run)
         print(report)
         print()
     else:
-        results = run_engine_bench(fast=args.fast)
+        results = run()
+    if not results:
+        print("no benchmark points match the given filters", file=sys.stderr)
+        return 2
     print(format_engine_bench(results))
     if not all(result.stats_equal for result in results):
         print("ERROR: engines diverged — see tests/test_engine_golden.py",
@@ -244,6 +263,37 @@ def _run_bench(args) -> int:
     if args.record:
         record_engine_baseline(results, args.record)
         print(f"baseline recorded to {args.record}")
+    return 0
+
+
+def _run_bench_guard(args) -> int:
+    """``repro bench guard`` — regression-check the committed baseline.
+
+    Prints a markdown speedup table (suitable for a CI job summary) and
+    fails when any recorded point diverged (``stats_equal: false``) or
+    regressed (speedup below 1.0).  ``--record PATH`` points at the
+    baseline file; the default is ``BENCH_engine.json`` in the current
+    directory.
+    """
+    from repro.runtime.bench import (
+        BENCH_ENGINE_FILENAME,
+        format_baseline_markdown,
+        validate_engine_baseline,
+    )
+
+    path = args.record or BENCH_ENGINE_FILENAME
+    try:
+        violations, data = validate_engine_baseline(path)
+    except (OSError, ValueError) as error:
+        print(f"cannot read baseline {path!r}: {error}", file=sys.stderr)
+        return 2
+    print(format_baseline_markdown(data))
+    if violations:
+        print()
+        print("**Regressions detected:**")
+        for violation in violations:
+            print(f"- {violation}")
+        return 1
     return 0
 
 
@@ -286,7 +336,9 @@ COMMANDS: dict[str, tuple[Callable, str]] = {
 #: Listed alongside COMMANDS but dispatched separately (take a
 #: sub-action instead of producing a result table).
 CACHE_COMMAND_HELP = "result cache maintenance: cache info | cache clear"
-BENCH_COMMAND_HELP = "engine benchmark vs golden reference: bench engine"
+BENCH_COMMAND_HELP = (
+    "engine benchmark vs golden reference: bench engine | bench guard"
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -329,7 +381,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--record", default=None, metavar="PATH",
-        help="with 'bench engine': merge timings into the JSON baseline",
+        help="with 'bench engine': merge timings into the JSON baseline; "
+        "with 'bench guard': the baseline file to check",
+    )
+    parser.add_argument(
+        "--regimes", default=None, metavar="R1,R2",
+        help="with 'bench engine': only run points in these regimes "
+        "(low_rate, mid_rate, saturation)",
+    )
+    parser.add_argument(
+        "--topologies", default=None, metavar="T1,T2",
+        help="with 'bench engine': only run points on these topologies "
+        "(mesh_x1, mecs, dps, fbfly, ...)",
     )
     return parser
 

@@ -33,8 +33,10 @@ The engine only *visits* components that can make progress, and only
   :meth:`~repro.util.rng.DeterministicRng.geometric`, which consumes the
   underlying uniform stream exactly as the per-cycle Bernoulli draws
   would — the packet schedule is bit-identical, but idle injectors cost
-  nothing.  Injectors are swept only while they hold queued packets or
-  are due to emit.
+  nothing.  Injectors are visited only when an event could let them
+  make progress (emission due, queued work appearing, the window
+  reopening, a dedicated injection VC freeing); every visit settles
+  the injector again, so no per-cycle sweep exists.
 * Output ports live in an active set while they hold requests, and each
   arbitration pass reports the earliest future cycle at which the port
   could act (VC readiness, crossbar-line and port serialisation
@@ -48,6 +50,19 @@ The engine only *visits* components that can make progress, and only
   have scanned without any state change, which is why the optimised
   engine is bit-equivalent to :mod:`repro.network.golden` (enforced by
   the golden-equivalence test suite).
+
+Saturation hot path
+-------------------
+
+Under load the per-cycle work itself is optimised (see
+``docs/performance.md`` for the invariants): PVC priorities and
+rate-compliance boundaries are cached per (router, flow) in the flow
+table and invalidated only by charges/refunds/flushes; each port keeps
+a persistent sorted candidate ranking maintained incrementally across
+cycles (exact because charges only ever worsen a priority — flushes
+and refunds force a lazy per-node rebuild); blocked ports cache their
+"nothing can advance" verdict with its exact dependency set; busy
+ports skip their scans until serialisation ends.
 
 ``run_until_drained`` tracks an aggregate count of undrained injectors
 (maintained at ACK/creation transitions) instead of scanning every
@@ -180,9 +195,8 @@ class ColumnSimulator:
         # `_port_due` earliest-wake array for staleness checks); due
         # ports are arbitrated in index order because arbitration order
         # is architecturally significant and must match the reference
-        # engine's flat in-order port scan.  Injectors with queued work
-        # live in `_queued`, an incrementally sorted id list, for the
-        # same reason.
+        # engine's flat in-order port scan.  Armed injectors are
+        # likewise visited in flow-id order.
         self._event_heap: list[int] = []
         self._emit_heap: list[tuple[int, int]] = []
         self._port_heap: list[tuple[int, int]] = []
@@ -191,14 +205,66 @@ class ColumnSimulator:
         #: these re-arm every cycle and heap churn would dominate.
         self._hot_ports: list[int] = []
         self._port_due: list[int] = [_FAR] * len(fabric.ports)
-        self._queued: list[int] = []
-        self._queued_set: set[int] = set()
+        #: Injectors armed for a visit at the next injection phase, as a
+        #: sorted flow-id list + membership set (injection order is
+        #: architecturally significant).  An injector is armed when an
+        #: event lets it make progress — queued work appears (creation,
+        #: NACK), its window reopens (ACK), or a dedicated injection VC
+        #: frees — and every visit settles it again, so the per-cycle
+        #: sweep over all backlogged injectors disappears.  The spare
+        #: list double-buffers `_inject` so no list is allocated per
+        #: cycle.
+        self._armed: list[int] = []
+        self._armed_flags = bytearray(len(self.flows))
+        self._armed_spare: list[int] = []
         self._occupied_vcs = 0
         self._undrained = 0
         self._hold = False
+        #: Reusable scratch buffers for the arbitration slow path (the
+        #: full ranked candidate list and the per-pass downstream
+        #: station memo); arbitration is not reentrant.
+        self._ranked: list[tuple[float, int, int, VirtualChannel]] = []
+        self._ns_memo: dict[int, VirtualChannel | None] = {}
+        self._ns_memo2: dict[int, VirtualChannel | None] = {}
 
         n_nodes = 1 + max(station.node for station in fabric.stations)
+        # Blocked-verdict cache backing state (see `_arbitrate_port`):
+        # `_station_gen[s]` advances whenever the VC occupancy of
+        # station ``s`` changes (placement, transfer arrival, tail
+        # free, preemption); per-(router, flow) priority/compliance
+        # changes are tracked exactly by the flow table's `versions`
+        # counters.  `_victim_scan` is the reusable collection buffer
+        # for the (flow-state idx, version) pairs a preemption-victim
+        # scan depended on.
+        self._station_gen = [0] * len(fabric.stations)
+        self._bp_cache: list[tuple | None] = [None] * len(fabric.ports)
+        self._victim_scan: list[tuple[int, int]] = []
+        # Persistent per-port candidate rankings (see
+        # `_arbitrate_port`): `_rank[p]` is the sorted candidate list,
+        # `_pending[p]` a min-heap of not-yet-eligible requests, and
+        # the epoch/refund stamps mark when a rank must be rebuilt
+        # because priorities may have improved.
+        n_ports = len(fabric.ports)
+        self._rank: list[list] = [[] for _ in range(n_ports)]
+        self._pending: list[list] = [[] for _ in range(n_ports)]
+        self._rank_epoch = [0] * n_ports
+        self._rank_refund = [0] * n_ports
+        self._refund_gen = [0] * n_nodes
+        self._salvage: list = []
+        self._pend_seq = 0
+        #: Whether any station lacks flow state (DPS intermediate
+        #: hops).  Only then are source-stamped carried priorities ever
+        #: read, so only then are the per-candidate stamp stores and
+        #: the frame-boundary stamp reset worth doing.
+        self._has_nonqos = any(not station.qos for station in fabric.stations)
         self.policy.bind(n_nodes, self.flows, self.config)
+        #: FlowTable hosting the policy's priority cache (None when the
+        #: policy's priority is cycle-dependent and uncacheable).  The
+        #: arbitration loop reads the cache arrays inline.
+        self._prio_table = self.policy.priority_cache()
+        self._n_flows = (
+            self._prio_table.n_flows if self._prio_table is not None else 0
+        )
 
         if self.policy.allow_overflow_vcs:
             for station in fabric.stations:
@@ -219,6 +285,11 @@ class ColumnSimulator:
             injector = _Injector(
                 flow_id, spec, station, vc_index, self._root_rng.spawn(flow_id)
             )
+            # Backlink the injector's two dedicated slots so a VC free
+            # (tail departure or preemption) re-arms exactly this
+            # injector.
+            station.vcs[vc_index].owner = injector
+            station.vcs[vc_index + 1].owner = injector
             injector.drained = injector.idle()
             if not injector.drained:
                 self._undrained += 1
@@ -277,8 +348,10 @@ class ColumnSimulator:
             # too — otherwise pre-flush stamps look spuriously worse
             # than post-flush traffic and trigger preemption storms.
             # The occupancy counter bounds the scan to frames with
-            # packets actually resident somewhere in the fabric.
-            if self._occupied_vcs:
+            # packets actually resident somewhere in the fabric, and a
+            # fabric whose stations all hold flow state never reads the
+            # stamps at all.
+            if self._has_nonqos and self._occupied_vcs:
                 for station in self.fabric.stations:
                     for vc in station.vcs:
                         if vc.packet is not None:
@@ -335,7 +408,20 @@ class ColumnSimulator:
                 _, vc, pid = event
                 if vc.packet is not None and vc.packet.pid == pid and vc.departing:
                     vc.clear()
+                    self._station_gen[vc.station.index] += 1
                     self._occupied_vcs -= 1
+                    owner = vc.owner
+                    # A freed slot enables a placement only when the
+                    # head of the queue may actually enter it: replays
+                    # bypass the window, new packets need room in it.
+                    if owner is not None and (
+                        owner.replay
+                        or (
+                            owner.pending
+                            and owner.outstanding < self.config.window_packets
+                        )
+                    ):
+                        self._arm(owner.flow_id)
             elif kind == _EV_DELIVER:
                 _, packet, tail_cycle = event
                 latency = tail_cycle - packet.created_at
@@ -351,6 +437,16 @@ class ColumnSimulator:
                 _, flow_id = event
                 injector = self._injectors[flow_id]
                 injector.outstanding -= 1
+                if injector.pending or injector.replay:
+                    # The window just reopened — but a visit can only
+                    # place something if a dedicated slot is free.
+                    vcs = injector.station.vcs
+                    slot = injector.vc_index
+                    if (
+                        vcs[slot].packet is None
+                        or vcs[slot + 1].packet is None
+                    ):
+                        self._arm(flow_id)
                 if (
                     not injector.drained
                     and injector.outstanding == 0
@@ -373,12 +469,19 @@ class ColumnSimulator:
     # ------------------------------------------------------------------
     # injection
 
+    def _arm(self, flow_id: int) -> None:
+        """Schedule an injector visit at the next injection phase."""
+        if not self._armed_flags[flow_id]:
+            self._armed_flags[flow_id] = 1
+            self._armed.append(flow_id)
+
     def _note_live(self, injector: _Injector) -> None:
-        """Mark an injector as holding queued work (and thus undrained)."""
+        """Arm an injector that just gained queued work (undrained too)."""
         flow_id = injector.flow_id
-        if flow_id not in self._queued_set:
-            self._queued_set.add(flow_id)
-            insort(self._queued, flow_id)
+        flags = self._armed_flags
+        if not flags[flow_id]:
+            flags[flow_id] = 1
+            self._armed.append(flow_id)
         if injector.drained:
             injector.drained = False
             self._undrained += 1
@@ -401,20 +504,51 @@ class ColumnSimulator:
             if due is None:
                 due = []
             due.append(heappop(emit_heap)[1])
-        queued = self._queued
-        if due is None:
-            if not queued:
-                return
-            active = queued[:]
-        elif not queued:
-            active = due  # heap pops at equal cycle are flow-id ordered
-        else:
-            active = self._merge_ids(queued, due)
+        armed = self._armed
+        if due is None and not armed:
+            return
+        # Take ownership of the current armed list (double-buffered, so
+        # no list is allocated per cycle).  Arms issued while the loop
+        # runs land in the fresh list; a same-visit arm for a flow being
+        # processed is spurious (the visit settles it) and is swept off
+        # below.  Arms append unsorted; one C-level sort here replaces
+        # a bisect insertion per arm.
+        self._armed = self._armed_spare
+        self._armed_spare = armed
+        armed.sort()
+        flags = self._armed_flags
         window = self.config.window_packets
-        queued_set = self._queued_set
         injectors = self._injectors
         stats = self.stats
-        for flow_id in active:
+        trace = self.trace
+        marked = 0
+        # Inline two-pointer merge of the two sorted id lists (arms
+        # during the loop go to the fresh list, so iterating these in
+        # place is safe).  Injection order is flow-id order, as in the
+        # reference engine.
+        i = j = 0
+        n_armed = len(armed)
+        n_due = 0 if due is None else len(due)
+        while True:
+            if i < n_armed:
+                flow_id = armed[i]
+                if j < n_due:
+                    flow_due = due[j]
+                    if flow_due <= flow_id:
+                        if flow_due == flow_id:
+                            i += 1
+                        flow_id = flow_due
+                        j += 1
+                    else:
+                        i += 1
+                else:
+                    i += 1
+            elif j < n_due:
+                flow_id = due[j]
+                j += 1
+            else:
+                break
+            flags[flow_id] = 0
             injector = injectors[flow_id]
             limit = injector.spec.packet_limit
             if injector.next_emit_cycle == now:
@@ -423,11 +557,22 @@ class ColumnSimulator:
                     self._create_packet(injector, now)
                     if limit is None or injector.created < limit:
                         self._schedule_emission(injector, now + 1)
-            for slot in (injector.vc_index, injector.vc_index + 1):
+            station = injector.station
+            vcs = station.vcs
+            slot = injector.vc_index
+            last_slot = slot + 1
+            if vcs[slot].packet is not None and vcs[last_slot].packet is not None:
+                slot = last_slot + 1  # both staging slots occupied
+            elif not injector.replay and injector.outstanding >= window:
+                # Pending heads are always fresh packets (replays live
+                # in their own queue), so a full window blocks them.
+                slot = last_slot + 1
+            while slot <= last_slot:
                 queue = injector.replay or injector.pending
                 if not queue:
                     break
-                vc = injector.station.vcs[slot]
+                vc = vcs[slot]
+                slot += 1
                 if vc.packet is not None:
                     continue
                 packet = queue[0]
@@ -439,39 +584,28 @@ class ColumnSimulator:
                     injector.outstanding += 1
                     stats.injected_packets += 1
                 self._build_route(injector, packet)
-                self._place(vc, packet, now + injector.station.va_wait)
-                if self.trace is not None:
-                    self.trace.record(
+                self._place(vc, packet, now + station.va_wait)
+                if trace is not None:
+                    trace.record(
                         now, TraceKind.INJECT, packet.pid, packet.flow_id,
-                        injector.station.label,
+                        station.label,
                         f"attempt={packet.attempt}",
                     )
-            if not injector.pending and not injector.replay:
-                if flow_id in queued_set:
-                    queued_set.discard(flow_id)
-                    queued.remove(flow_id)
-
-    @staticmethod
-    def _merge_ids(left: list[int], right: list[int]) -> list[int]:
-        """Merge two sorted id lists, dropping duplicates."""
-        merged: list[int] = []
-        i = j = 0
-        n_left, n_right = len(left), len(right)
-        while i < n_left and j < n_right:
-            a, b = left[i], right[j]
-            if a < b:
-                merged.append(a)
-                i += 1
-            elif b < a:
-                merged.append(b)
-                j += 1
-            else:
-                merged.append(a)
-                i += 1
-                j += 1
-        merged.extend(left[i:])
-        merged.extend(right[j:])
-        return merged
+            # The visit settled this injector: any way it can make
+            # progress again is re-armed by a later event (VC free,
+            # ACK, NACK, emission), so a same-visit arm is spurious.
+            if flags[flow_id]:
+                flags[flow_id] = 0
+                marked += 1
+        if marked:
+            fresh = self._armed
+            write = 0
+            for flow_id in fresh:
+                if flags[flow_id]:
+                    fresh[write] = flow_id
+                    write += 1
+            del fresh[write:]
+        del armed[:]  # consumed; becomes next cycle's spare buffer
 
     def _create_packet(self, injector: _Injector, now: int) -> None:
         spec = injector.spec
@@ -510,6 +644,8 @@ class ColumnSimulator:
         vc.inbound_port = None
         vc.departing = False
         vc.epoch += 1
+        vc.prio_idx = vc.station.node * self._n_flows + packet.flow_id
+        self._station_gen[vc.station.index] += 1
         self._occupied_vcs += 1
         port = self.fabric.ports[packet.current_segment()[0]]
         port.requests.append((vc.epoch, vc))
@@ -531,13 +667,6 @@ class ColumnSimulator:
 
     # ------------------------------------------------------------------
     # arbitration
-
-    def _priority_of(self, station: Station, packet: Packet, now: int) -> float:
-        if station.qos:
-            value = self.policy.priority(station, packet, now)
-            packet.carried_priority = value
-            return value
-        return packet.carried_priority
 
     def _arbitrate(self, now: int) -> None:
         """Arbitrate every port due at ``now``, in port-index order."""
@@ -580,71 +709,547 @@ class ColumnSimulator:
         and rate-compliance must be re-evaluated every cycle), otherwise
         the earliest of the port/crossbar-line serialisation bounds and
         the requests' ``ready_at`` times.
+
+        Policies whose priority is pure (router, flow) flow-table state
+        (PVC, the per-flow baseline) run the incremental path: each
+        port keeps a **persistent sorted candidate ranking** maintained
+        across passes (`port.requests` degenerates to an inbox drained
+        into it), valid because charges only ever *worsen* a priority
+        within a frame — an entry whose (router, flow) state changed
+        (flow-table `versions`) is repositioned when encountered, and
+        the two events that can improve priorities (frame flush,
+        preemption refund) trigger a per-node lazy rebuild.  A pass
+        then validates the front of the ranking instead of re-scoring
+        every request, and the fall-through order for a blocked winner
+        is already in hand without a sort.
+
+        A pass that concludes "ready candidates exist but none can
+        advance" additionally caches that verdict with its exact
+        dependencies (candidate versions, station occupancy
+        generations and tx lines, downstream occupancy, failed
+        victim-scan reads, frame epoch, and the pure time crossings —
+        eligibility, preemption patience, compliance boundaries), so
+        the per-cycle revisit of a saturated blocked port is a few
+        dozen integer compares.
+
+        The no-QoS policy hashes the cycle into its priorities, so
+        nothing is cacheable across cycles: it takes the single-scan
+        path (`_arbitrate_port_scan`).
         """
-        live: list[tuple[int, VirtualChannel]] = []
-        candidates: list[tuple[float, int, int, VirtualChannel]] = []
+        table = self._prio_table
+        if table is None:
+            return self._arbitrate_port_scan(port, now)
+        pidx = port.index
+        cached = self._bp_cache[pidx]
+        if cached is not None:
+            ok = (
+                not port.requests
+                and now < cached[0]
+                and table.epoch == cached[1]
+                and self._refund_gen[port.node] == cached[2]
+            )
+            if ok:
+                versions = table.versions
+                for idx, version in cached[3]:
+                    if versions[idx] != version:
+                        ok = False
+                        break
+            if ok:
+                station_gen = self._station_gen
+                for st, s_gen in cached[4]:
+                    if station_gen[st.index] != s_gen or st.tx_busy_until > now:
+                        ok = False
+                        break
+            if ok:
+                for s_index, s_gen in cached[5]:
+                    if station_gen[s_index] != s_gen:
+                        ok = False
+                        break
+            if ok:
+                for idx, version in cached[6]:
+                    if versions[idx] != version:
+                        ok = False
+                        break
+                if ok:
+                    return now + 1
+            self._bp_cache[pidx] = None
+        busy = port.busy_until
+        if busy > now:
+            # Serialising: nothing can be granted until busy-end.  The
+            # inbox keeps accumulating; the wake-up pass drains it.
+            return busy
+        rank = self._rank[pidx]
+        pending = self._pending[pidx]
+        prio_values = table.prio_values
+        prio_stamps = table.prio_stamps
+        epoch_t = table.epoch
+        versions = table.versions
+        policy_priority = self.policy.priority
+        refund_gen = self._refund_gen[port.node]
+        if (
+            self._rank_epoch[pidx] != epoch_t
+            or self._rank_refund[pidx] != refund_gen
+        ):
+            # Priorities may have *improved* (frame flush zeroed the
+            # counters, or a preemption refunded this node): the stored
+            # order is no longer monotonically repairable — rebuild.
+            self._rank_epoch[pidx] = epoch_t
+            self._rank_refund[pidx] = refund_gen
+            if rank or pending:
+                salvage = self._salvage
+                del salvage[:]
+                for entry in rank:
+                    vc = entry[7]
+                    if (
+                        vc.epoch == entry[5]
+                        and vc.packet is not None
+                        and not vc.departing
+                    ):
+                        salvage.append((entry[5], vc))
+                for item in pending:
+                    vc = item[3]
+                    if (
+                        vc.epoch == item[2]
+                        and vc.packet is not None
+                        and not vc.departing
+                    ):
+                        salvage.append((item[2], vc))
+                del rank[:]
+                del pending[:]
+                for epoch, vc in salvage:
+                    self._rank_admit(rank, pending, epoch, vc, now)
+                del salvage[:]
+        requests = port.requests
+        if requests:
+            for epoch, vc in requests:
+                self._rank_admit(rank, pending, epoch, vc, now)
+            del requests[:]
+        while pending and pending[0][0] <= now:
+            item = heappop(pending)
+            self._rank_admit(rank, pending, item[2], item[3], now)
+        wait_until = pending[0][0] if pending else _FAR
+        config = self.config
+        reserved_vc = config.reserved_vc
+        stations = self.fabric.stations
+        comp_thresholds = table.comp_thresholds
+        comp_sizes = table.comp_sizes
+        comp_stamps = table.comp_stamps
+        comp_cached = self.policy.compliance_cached
+        stamp_carried = self._has_nonqos
+        memo = self._ns_memo
+        memo.clear()
+        memo2 = self._ns_memo2
+        memo2.clear()
+        comp_gate = _FAR
+        best_vc: VirtualChannel | None = None
+        best_ready_at = 0
+        preempt_scanned = False
+        k = 0
+        while k < len(rank):
+            entry = rank[k]
+            vc = entry[7]
+            if vc.epoch != entry[5]:
+                del rank[k]
+                continue
+            packet = vc.packet
+            if packet is None or vc.departing:
+                del rank[k]
+                continue
+            idx = entry[3]
+            if versions[idx] != entry[4]:
+                # The (router, flow) state moved under this entry: its
+                # true priority is no better than the stored one, so
+                # repositioning it before it is considered keeps the
+                # order exact at every point the order is read.
+                del rank[k]
+                station = vc.station
+                if station.qos:
+                    if prio_stamps[idx] == epoch_t:
+                        priority = prio_values[idx]
+                    else:
+                        priority = policy_priority(station, packet, now)
+                else:
+                    priority = packet.carried_priority
+                self._pend_seq += 1
+                insort(
+                    rank,
+                    (priority, entry[1], entry[2], idx, versions[idx],
+                     entry[5], self._pend_seq, vc),
+                )
+                continue
+            line_free = vc.station.tx_busy_until
+            if line_free > now:
+                if line_free < wait_until:
+                    wait_until = line_free
+                k += 1
+                continue
+            k += 1
+            # Eligible, and — by construction — in exact rank order.
+            priority = entry[0]
+            segment = packet.segments[packet.hop_index]
+            nsi = segment[3]
+            is_best = best_vc is None
+            if is_best:
+                best_vc = vc
+                best_ready_at = vc.ready_at
+            if nsi < 0:
+                if stamp_carried:
+                    packet.carried_priority = priority
+                del rank[k - 1]
+                self._transfer(vc, packet, port, segment, None, now)
+                return self._post_transfer_horizon(port, rank, pending)
+            next_station = stations[nsi]
+            if nsi in memo:
+                ff = memo[nsi]
+            else:
+                ff = next_station.free_vc(allow_reserved=True)
+                memo[nsi] = ff
+            if ff is None:
+                target = None
+            elif reserved_vc and ff.reserved:
+                if comp_cached and (
+                    comp_stamps[idx] == epoch_t
+                    and comp_sizes[idx] == packet.size
+                ):
+                    compliant = now >= comp_thresholds[idx]
+                else:
+                    compliant = self.policy.is_rate_compliant(
+                        vc.station, packet, now
+                    )
+                if compliant:
+                    target = ff
+                else:
+                    if nsi in memo2:
+                        target = memo2[nsi]
+                    else:
+                        target = next_station.free_vc(allow_reserved=False)
+                        memo2[nsi] = target
+                    if target is None:
+                        # The compliance check left a fresh boundary.
+                        gate = comp_thresholds[idx]
+                        if gate < comp_gate:
+                            comp_gate = gate
+            else:
+                target = ff
+            if target is None and is_best and (
+                now - vc.ready_at >= config.preemption_patience_cycles
+            ):
+                preempt_scanned = True
+                target = self._try_preempt(next_station, priority, now)
+            if target is not None:
+                if stamp_carried:
+                    packet.carried_priority = priority
+                del rank[k - 1]
+                self._transfer(vc, packet, port, segment, target, now)
+                return self._post_transfer_horizon(port, rank, pending)
+        if best_vc is None:
+            busy = port.busy_until
+            return busy if busy > wait_until else wait_until
+        # Ready candidates exist but none could advance: patience and
+        # compliance windows may change the outcome next cycle, so the
+        # port is revisited every cycle — with the verdict cached, each
+        # revisit costs a few dozen integer compares.  The iteration
+        # above ran the whole ranking, so its surviving entries are the
+        # exact candidate dependencies.
+        station_gen = self._station_gen
+        cand_pairs = []
+        cand_stations = []
+        for entry in rank:
+            vc = entry[7]
+            if vc.station.tx_busy_until > now:
+                continue
+            cand_pairs.append((entry[3], entry[4]))
+            st = vc.station
+            if st not in cand_stations:
+                cand_stations.append(st)
+        time_gate = wait_until
+        if config.preemption_enabled and self.policy.allow_preemption:
+            patience_cross = best_ready_at + config.preemption_patience_cycles
+            if now < patience_cross < time_gate:
+                time_gate = patience_cross
+        if comp_gate < time_gate:
+            time_gate = comp_gate
+        self._bp_cache[pidx] = (
+            time_gate,
+            epoch_t,
+            refund_gen,
+            tuple(cand_pairs),
+            tuple((st, station_gen[st.index]) for st in cand_stations),
+            tuple((s, station_gen[s]) for s in memo),
+            tuple(self._victim_scan) if preempt_scanned else (),
+        )
+        return now + 1
+
+    @staticmethod
+    def _post_transfer_horizon(port: OutputPort, rank, pending) -> int:
+        """Next-activity bound for a port that just granted a packet.
+
+        With the winner's entry removed, an empty ranking and pending
+        heap mean the port has no follow-on work: it need not wake at
+        busy-end at all (new requests wake it explicitly).  Otherwise
+        busy-end (or a later pending eligibility) is the bound.
+        """
+        if rank:
+            return port.busy_until
+        if pending:
+            busy = port.busy_until
+            top = pending[0][0]
+            return busy if busy > top else top
+        return _FAR
+
+    def _rank_admit(self, rank, pending, epoch: int, vc, now: int) -> None:
+        """Score a request into the port's ranking (or park it).
+
+        Requests not yet ready are parked in the pending heap keyed by
+        their earliest-eligibility bound; line-busy entries are ranked
+        anyway (their priority does not depend on the line) and skipped
+        on encounter until the line frees.
+        """
+        packet = vc.packet
+        if vc.epoch != epoch or packet is None or vc.departing:
+            return
+        ready_at = vc.ready_at
+        station = vc.station
+        if ready_at > now:
+            line_free = station.tx_busy_until
+            self._pend_seq += 1
+            heappush(
+                pending,
+                (
+                    ready_at if ready_at >= line_free else line_free,
+                    self._pend_seq, epoch, vc,
+                ),
+            )
+            return
+        table = self._prio_table
+        idx = vc.prio_idx
+        if station.qos:
+            if table.prio_stamps[idx] == table.epoch:
+                priority = table.prio_values[idx]
+            else:
+                priority = self.policy.priority(station, packet, now)
+        else:
+            priority = packet.carried_priority
+        self._pend_seq += 1
+        insort(
+            rank,
+            (priority, packet.created_at, packet.pid, idx,
+             table.versions[idx], epoch, self._pend_seq, vc),
+        )
+
+    def _arbitrate_port_scan(self, port: OutputPort, now: int) -> int:
+        """Single-scan arbitration pass (cycle-dependent priorities).
+
+        Runs only for policies without a priority cache (no-QoS, whose
+        priority hashes the cycle): the same decision procedure as the
+        ranking path, re-scoring every request each pass.  The request
+        list is pruned in place, the best candidate is tracked in one
+        scan, and the full sorted ranking is built only when the winner
+        cannot advance.  Nothing here is cacheable across cycles, so no
+        blocked-verdict state is kept.
+        """
+        busy = port.busy_until
+        if busy > now:
+            # Serialising: nothing can be granted, and the scan's only
+            # products (lazy pruning, the wait horizon) can wait until
+            # the busy-end pass.
+            return busy
+        requests = port.requests
         wait_until = _FAR
-        port_free = port.busy_until <= now
-        port_index = port.index
-        for entry in port.requests:
+        stamp_carried = self._has_nonqos
+        policy_priority = self.policy.priority
+        best_vc: VirtualChannel | None = None
+        best_priority = 0.0
+        best_created = 0
+        best_pid = 0
+        n_candidates = 0
+        write = 0
+        for entry in requests:
             epoch, vc = entry
             if vc.epoch != epoch:
                 continue  # stale: the VC was cleared and reused
             packet = vc.packet
             if packet is None or vc.departing:
                 continue
-            hop = packet.hop_index
-            if packet.stations[hop] != vc.station.index:
-                continue
-            if packet.segments[hop][0] != port_index:
-                continue
-            live.append(entry)
+            # An epoch-current, occupied, non-departing entry is always
+            # a genuine request for this port: entries are appended at
+            # placement for exactly the packet's current segment, a
+            # forwarded packet is fenced by `departing` until its VC
+            # frees, and any reuse of the VC bumps the epoch.
+            station = vc.station
+            requests[write] = entry
+            write += 1
             ready_at = vc.ready_at
-            line_free = vc.station.tx_busy_until
+            line_free = station.tx_busy_until
             if ready_at <= now and line_free <= now:
-                if port_free:
-                    priority = self._priority_of(vc.station, packet, now)
-                    candidates.append(
-                        (priority, packet.created_at, packet.pid, vc)
-                    )
+                if station.qos:
+                    priority = policy_priority(station, packet, now)
+                    if stamp_carried:
+                        packet.carried_priority = priority
                 else:
-                    wait_until = now  # ready; gated only by the port
+                    priority = packet.carried_priority
+                n_candidates += 1
+                created_at = packet.created_at
+                if (
+                    best_vc is None
+                    or priority < best_priority
+                    or (
+                        priority == best_priority
+                        and (
+                            created_at < best_created
+                            or (
+                                created_at == best_created
+                                and packet.pid < best_pid
+                            )
+                        )
+                    )
+                ):
+                    best_vc = vc
+                    best_priority = priority
+                    best_created = created_at
+                    best_pid = packet.pid
             else:
                 eligible_at = ready_at if ready_at >= line_free else line_free
                 if eligible_at < wait_until:
                     wait_until = eligible_at
-        port.requests = live
-        if not port_free or not candidates:
+        if write != len(requests):
+            del requests[write:]
+        if best_vc is None:
             busy = port.busy_until
             return busy if busy > wait_until else wait_until
-        candidates.sort()
-        for rank, (priority, _, _, vc) in enumerate(candidates):
-            packet = vc.packet
-            segment = packet.segments[packet.hop_index]
-            next_station_index = segment[3]
-            if next_station_index < 0:
-                self._transfer(vc, packet, port, segment, None, now)
-                return port.busy_until if len(candidates) > 1 else max(
-                    port.busy_until, wait_until
-                )
-            next_station = self.fabric.stations[next_station_index]
-            allow_reserved = self.config.reserved_vc and self.policy.is_rate_compliant(
-                vc.station, packet, now
+        config = self.config
+        reserved_vc = config.reserved_vc
+        stations = self.fabric.stations
+        # Downstream-station memo for this pass: ``free_vc`` is pure
+        # (except under per-flow overflow, where the first candidate
+        # always advances and the pass ends), so its first-free answer
+        # per station is computed once and shared by every candidate
+        # targeting that station.  Compliance only matters when the
+        # first free VC is the reserved one — the one case where the
+        # admission flag changes which VC (if any) a flow can take.
+        memo = self._ns_memo
+        memo.clear()
+        memo2 = self._ns_memo2
+        memo2.clear()
+        # Rank 0: the single-scan winner, with preemption rights.
+        vc = best_vc
+        packet = vc.packet
+        segment = packet.segments[packet.hop_index]
+        next_station_index = segment[3]
+        if next_station_index < 0:
+            self._transfer(vc, packet, port, segment, None, now)
+            return port.busy_until if n_candidates > 1 else max(
+                port.busy_until, wait_until
             )
-            if not self.config.reserved_vc:
-                allow_reserved = True
-            target = next_station.free_vc(allow_reserved=allow_reserved)
-            if (
-                target is None
-                and rank == 0
-                and now - vc.ready_at >= self.config.preemption_patience_cycles
-            ):
-                target = self._try_preempt(next_station, priority, now)
-            if target is not None:
-                self._transfer(vc, packet, port, segment, target, now)
-                return port.busy_until if len(candidates) > 1 else max(
-                    port.busy_until, wait_until
-                )
+        next_station = stations[next_station_index]
+        first_free = next_station.free_vc(allow_reserved=True)
+        memo[next_station_index] = first_free
+        if first_free is None:
+            target = None
+        elif reserved_vc and first_free.reserved:
+            if self.policy.is_rate_compliant(vc.station, packet, now):
+                target = first_free
+            else:
+                target = next_station.free_vc(allow_reserved=False)
+                memo2[next_station_index] = target
+        else:
+            target = first_free
+        if (
+            target is None
+            and now - vc.ready_at >= config.preemption_patience_cycles
+        ):
+            target = self._try_preempt(next_station, best_priority, now)
+        if target is not None:
+            self._transfer(vc, packet, port, segment, target, now)
+            return port.busy_until if n_candidates > 1 else max(
+                port.busy_until, wait_until
+            )
+        if n_candidates > 1:
+            # Slow path: the winner is blocked, so rank order matters.
+            # Nothing was mutated above (a successful preemption always
+            # transfers and returns), so re-scoring reproduces the same
+            # values; collect ready entries into the reusable ranking
+            # buffer, checking along the way whether anyone can advance
+            # at all.  When nobody can, rank order is irrelevant and
+            # the sort is skipped.
+            ranked = self._ranked
+            del ranked[:]
+            may_advance = False
+            policy_compliant = self.policy.is_rate_compliant
+            for _, cvc in requests:
+                cpacket = cvc.packet
+                if cvc.ready_at <= now and cvc.station.tx_busy_until <= now:
+                    cstation = cvc.station
+                    if cstation.qos:
+                        cpriority = policy_priority(cstation, cpacket, now)
+                    else:
+                        cpriority = cpacket.carried_priority
+                    ranked.append(
+                        (cpriority, cpacket.created_at, cpacket.pid, cvc)
+                    )
+                    if may_advance or cvc is best_vc:
+                        continue
+                    nsi = cpacket.segments[cpacket.hop_index][3]
+                    if nsi < 0:
+                        may_advance = True  # ejection always advances
+                        continue
+                    if nsi in memo:
+                        ff = memo[nsi]
+                    else:
+                        ff = stations[nsi].free_vc(allow_reserved=True)
+                        memo[nsi] = ff
+                    if ff is None:
+                        continue
+                    if not (reserved_vc and ff.reserved):
+                        may_advance = True
+                        continue
+                    # Reserved first-free: a second (non-reserved) free
+                    # VC admits anyone, otherwise compliance decides.
+                    if nsi in memo2:
+                        sf = memo2[nsi]
+                    else:
+                        sf = stations[nsi].free_vc(allow_reserved=False)
+                        memo2[nsi] = sf
+                    if sf is not None or policy_compliant(
+                        cvc.station, cpacket, now
+                    ):
+                        may_advance = True
+            if may_advance:
+                ranked.sort()
+                for priority, _, _, cvc in ranked:
+                    if cvc is best_vc:
+                        continue  # its attempt (with preemption) failed
+                    cpacket = cvc.packet
+                    segment = cpacket.segments[cpacket.hop_index]
+                    nsi = segment[3]
+                    if nsi < 0:
+                        self._transfer(cvc, cpacket, port, segment, None, now)
+                        return port.busy_until
+                    next_station = stations[nsi]
+                    if nsi in memo:
+                        ff = memo[nsi]
+                    else:
+                        ff = next_station.free_vc(allow_reserved=True)
+                        memo[nsi] = ff
+                    if ff is None:
+                        continue
+                    if reserved_vc and ff.reserved:
+                        if policy_compliant(cvc.station, cpacket, now):
+                            target = ff
+                        else:
+                            if nsi in memo2:
+                                target = memo2[nsi]
+                            else:
+                                target = next_station.free_vc(
+                                    allow_reserved=False
+                                )
+                                memo2[nsi] = target
+                        if target is None:
+                            continue
+                    else:
+                        target = ff
+                    self._transfer(cvc, cpacket, port, segment, target, now)
+                    return port.busy_until
         # Ready candidates exist but none could advance (downstream VCs
         # full): patience counters and compliance windows may change the
         # outcome next cycle, so the port must be revisited every cycle.
@@ -658,12 +1263,39 @@ class ColumnSimulator:
             return None
         victim_vc: VirtualChannel | None = None
         victim_priority = candidate_priority
+        policy = self.policy
+        may_preempt = policy.may_preempt
+        table = self._prio_table
+        victim_scan = self._victim_scan
+        del victim_scan[:]
+        qos = station.qos
+        stamp_carried = self._has_nonqos
+        if qos and table is not None:
+            prio_values = table.prio_values
+            prio_stamps = table.prio_stamps
+            prio_epoch = table.epoch
+            versions = table.versions
         for vc in station.vcs:
             packet = vc.packet
             if packet is None or vc.departing or vc.reserved or packet.protected:
                 continue
-            priority = self._priority_of(station, packet, now)
-            if self.policy.may_preempt(candidate_priority, priority) and (
+            if qos:
+                if table is not None:
+                    idx = vc.prio_idx
+                    if prio_stamps[idx] == prio_epoch:
+                        priority = prio_values[idx]
+                    else:
+                        priority = policy.priority(station, packet, now)
+                    # Record what this verdict depended on so a failed
+                    # scan can be revalidated cheaply next cycle.
+                    victim_scan.append((idx, versions[idx]))
+                else:
+                    priority = policy.priority(station, packet, now)
+                if stamp_carried:
+                    packet.carried_priority = priority
+            else:
+                priority = packet.carried_priority
+            if may_preempt(candidate_priority, priority) and (
                 victim_vc is None or priority > victim_priority
             ):
                 victim_vc = vc
@@ -693,11 +1325,24 @@ class ColumnSimulator:
             source_station = self.fabric.stations[packet.stations[0]]
             if source_station.qos:
                 self.policy.on_refund(source_station, packet, now)
+                # A refund is one of the two ways a priority can ever
+                # improve: force the node's port rankings to rebuild.
+                self._refund_gen[source_station.node] += 1
         if vc.arriving_until > now and vc.inbound_port is not None:
             # The victim's tail is still on the wire: kill the transfer.
             vc.inbound_port.busy_until = now
         vc.clear()
+        self._station_gen[vc.station.index] += 1
         self._occupied_vcs -= 1
+        owner = vc.owner
+        if owner is not None and (
+            owner.replay
+            or (
+                owner.pending
+                and owner.outstanding < self.config.window_packets
+            )
+        ):
+            self._arm(owner.flow_id)
         # The freed VC may unblock a transfer or an injection placement
         # on the very next cycle, before any scheduled event fires.
         self._hold = True
@@ -747,6 +1392,8 @@ class ColumnSimulator:
         target.arriving_until = now + wire_delay + packet.size
         target.inbound_port = port
         target.departing = False
+        target.prio_idx = next_station.node * self._n_flows + packet.flow_id
+        self._station_gen[next_station_index] += 1
         self._occupied_vcs += 1
         target.epoch += 1
         next_port = self.fabric.ports[packet.current_segment()[0]]

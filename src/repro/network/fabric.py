@@ -44,6 +44,8 @@ class VirtualChannel:
         "inbound_port",
         "departing",
         "epoch",
+        "owner",
+        "prio_idx",
     )
 
     def __init__(self, station: "Station", index: int, reserved: bool = False) -> None:
@@ -62,6 +64,16 @@ class VirtualChannel:
         #: reused between two port visits) identifies itself as stale
         #: instead of double-counting the VC as a live request.
         self.epoch = 0
+        #: The injector owning this VC as a dedicated injection slot
+        #: (set by the activity-tracked engine; None elsewhere).  When
+        #: the VC frees, the engine re-arms exactly this injector
+        #: instead of sweeping every injector with queued work.
+        self.owner = None
+        #: Flow-table index (``node * n_flows + flow``) of the packet
+        #: currently placed in this VC, precomputed at placement by the
+        #: activity-tracked engine so the arbitration scan reads the
+        #: priority cache with a single attribute load.
+        self.prio_idx = 0
 
     def clear(self) -> None:
         """Empty the VC (after tail departure or a preemption)."""
@@ -152,9 +164,13 @@ class OutputPort:
         self.label = label
         self.is_ejection = is_ejection
         self.busy_until = 0
-        #: Pending arbitration requests.  The activity-tracked engine
-        #: stores ``(vc.epoch, vc)`` pairs (pruned lazily); the golden
-        #: reference engine stores bare VCs (pruned every cycle).
+        #: Pending arbitration requests.  The golden reference engine
+        #: stores bare VCs here (pruned every cycle).  The
+        #: activity-tracked engine appends ``(vc.epoch, vc)`` pairs and
+        #: treats the list as an *inbox*: under cacheable-priority
+        #: policies each pass drains it into the engine's persistent
+        #: per-port ranking, under the no-QoS policy it is pruned
+        #: lazily in place.
         self.requests: list = []
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -22,6 +22,11 @@ class QosPolicy:
     allow_preemption = False
     #: Whether stations may grow extra VCs on demand (per-flow queuing).
     allow_overflow_vcs = False
+    #: Whether the flow table's ``comp_thresholds`` cache (see
+    #: :class:`~repro.qos.flow_table.FlowTable`) answers
+    #: :meth:`is_rate_compliant` exactly, letting the engine skip the
+    #: method call when the cached boundary is fresh.
+    compliance_cached = False
 
     def bind(self, n_nodes: int, flows: list[FlowSpec], config) -> None:
         """Size internal state once the engine knows the flow set."""
@@ -29,6 +34,23 @@ class QosPolicy:
     def priority(self, station: Station, packet: Packet, now: int) -> float:
         """Scheduling key at a QoS station; lower is served first."""
         raise NotImplementedError
+
+    def priority_cache(self):
+        """The :class:`~repro.qos.flow_table.FlowTable` hosting this
+        policy's incremental priority cache, or ``None``.
+
+        A policy may return its flow table only when :meth:`priority`
+        is a pure function of (station node, flow) table state — i.e.
+        independent of the current cycle — and every state change that
+        could alter a priority invalidates the matching cache entry
+        (``charge``/refund void one entry, ``flush`` voids all via the
+        epoch).  The engine then reads ``prio_values``/``prio_stamps``
+        inline on the arbitration hot path, falling back to
+        :meth:`priority` (which fills the entry) on a miss.  Policies
+        whose priority depends on the cycle (no-QoS) must return
+        ``None``; call this after :meth:`bind`.
+        """
+        return None
 
     def on_forward(self, station: Station, packet: Packet, now: int) -> None:
         """Bandwidth accounting when ``packet`` departs ``station``."""

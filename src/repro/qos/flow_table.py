@@ -4,6 +4,21 @@ Each QoS-enabled router tracks every flow's bandwidth consumption within
 the current frame.  The table is the "flow state" component of the area
 model (Figure 3) and the "flow table" energy component (Figure 7); here
 it is the functional counter array the priority function reads.
+
+Implementation notes (the saturation hot path reads this table per
+arbitration request per cycle):
+
+* Counters live in one flat ``node * n_flows + flow`` array with a
+  per-entry epoch stamp.  A frame **flush is lazy**: it bumps the table
+  epoch in O(1) instead of zeroing ``n_nodes x n_flows`` counters, and
+  an entry whose stamp predates the current epoch simply reads as zero.
+* The table also hosts the **priority cache** consulted by the PVC and
+  per-flow-queued policies (and read inline by the engine's arbitration
+  loop): ``prio_values[idx]`` is valid iff ``prio_stamps[idx]`` equals
+  the current ``epoch``.  Every counter write invalidates the entry's
+  cached priority (stamp := -1) and every flush invalidates the whole
+  cache implicitly (epoch moves on), so a cached value can never
+  survive a state change that would alter the priority function.
 """
 
 from __future__ import annotations
@@ -17,29 +32,78 @@ class FlowTable:
     Counters accumulate flits forwarded at the router and are cleared at
     every frame boundary ("all bandwidth counters are periodically
     cleared; the interval between two successive flushes is a frame").
+    The clearing is observationally eager but physically lazy — see the
+    module docstring.
     """
+
+    __slots__ = (
+        "n_nodes",
+        "n_flows",
+        "epoch",
+        "frame_start",
+        "_counters",
+        "_stamps",
+        "prio_values",
+        "prio_stamps",
+        "comp_thresholds",
+        "comp_sizes",
+        "comp_stamps",
+        "versions",
+    )
 
     def __init__(self, n_nodes: int, n_flows: int) -> None:
         if n_nodes <= 0 or n_flows < 0:
             raise ConfigurationError("flow table dimensions must be positive")
         self.n_nodes = n_nodes
         self.n_flows = n_flows
-        self._counters = [[0] * n_flows for _ in range(n_nodes)]
+        #: Current frame epoch; bumped (O(1)) by every flush.
+        self.epoch = 0
         self.frame_start = 0
+        size = n_nodes * n_flows
+        self._counters = [0] * size
+        self._stamps = [-1] * size
+        #: Cached priority per (node, flow); valid iff the matching
+        #: stamp equals ``epoch``.  Policies fill it, charges void it.
+        self.prio_values = [0.0] * size
+        self.prio_stamps = [-1] * size
+        #: Cached rate-compliance boundary per (node, flow): the first
+        #: cycle at which a head packet of ``comp_sizes[idx]`` flits
+        #: becomes compliant (PVC's allowance grows linearly within a
+        #: frame, so the float predicate is monotonic in the cycle and
+        #: collapses to one integer compare).  Same validity rule as
+        #: the priority cache.
+        self.comp_thresholds = [0] * size
+        self.comp_sizes = [0] * size
+        self.comp_stamps = [-1] * size
+        #: Monotonic per-entry write counter (never reset): lets the
+        #: engine's blocked-verdict cache prove that a specific
+        #: (router, flow) priority/compliance state is untouched, which
+        #: a stamp cannot (a stamp returns to "valid" after a refill
+        #: even though the value changed).
+        self.versions = [0] * size
 
     def charge(self, node: int, flow_id: int, flits: int) -> None:
         """Account ``flits`` forwarded for ``flow_id`` at ``node``."""
-        self._counters[node][flow_id] += flits
+        idx = node * self.n_flows + flow_id
+        if self._stamps[idx] == self.epoch:
+            self._counters[idx] += flits
+        else:
+            self._counters[idx] = flits
+            self._stamps[idx] = self.epoch
+        self.prio_stamps[idx] = -1
+        self.comp_stamps[idx] = -1
+        self.versions[idx] += 1
 
     def consumed(self, node: int, flow_id: int) -> int:
         """Flits forwarded for the flow at the router this frame."""
-        return self._counters[node][flow_id]
+        idx = node * self.n_flows + flow_id
+        if self._stamps[idx] == self.epoch:
+            return self._counters[idx]
+        return 0
 
     def flush(self, now: int) -> None:
-        """Frame rollover: clear every counter at every router."""
-        zeros = [0] * self.n_flows
-        for row in self._counters:
-            row[:] = zeros
+        """Frame rollover: clear every counter at every router (O(1))."""
+        self.epoch += 1
         self.frame_start = now
 
     def elapsed_in_frame(self, now: int) -> int:
@@ -48,4 +112,11 @@ class FlowTable:
 
     def snapshot(self, node: int) -> list[int]:
         """Copy of one router's counters (tests and diagnostics)."""
-        return list(self._counters[node])
+        base = node * self.n_flows
+        epoch = self.epoch
+        stamps = self._stamps
+        counters = self._counters
+        return [
+            counters[base + i] if stamps[base + i] == epoch else 0
+            for i in range(self.n_flows)
+        ]

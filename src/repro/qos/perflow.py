@@ -39,9 +39,20 @@ class PerFlowQueuedPolicy(QosPolicy):
         self._weights = [flow.weight for flow in flows]
 
     def priority(self, station: Station, packet: Packet, now: int) -> float:
-        """Same rate-scaled bandwidth priority as PVC."""
-        consumed = self.table.consumed(station.node, packet.flow_id)
-        return consumed / self._weights[packet.flow_id]
+        """Same rate-scaled bandwidth priority as PVC (and same cache)."""
+        table = self.table
+        flow_id = packet.flow_id
+        idx = station.node * table.n_flows + flow_id
+        if table.prio_stamps[idx] == table.epoch:
+            return table.prio_values[idx]
+        value = table.consumed(station.node, flow_id) / self._weights[flow_id]
+        table.prio_values[idx] = value
+        table.prio_stamps[idx] = table.epoch
+        return value
+
+    def priority_cache(self) -> FlowTable:
+        """Pure (router, flow) table state, like PVC — cacheable."""
+        return self.table
 
     def on_forward(self, station: Station, packet: Packet, now: int) -> None:
         """Charge the flow's bandwidth counter at this router."""

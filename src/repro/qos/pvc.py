@@ -41,18 +41,27 @@ PROVISIONED_INJECTORS = 64
 #: provisioned rate before losing reserved-VC access.
 _COMPLIANCE_SLACK_FLITS = 4.0
 
+#: Sentinel compliance boundary for a zero provisioned rate: the
+#: allowance never grows, so an over-quota packet never complies.
+_NEVER_COMPLIANT = 1 << 62
+
 
 class PvcPolicy(QosPolicy):
     """Preemptive Virtual Clock policy bound to one simulation."""
 
     allow_preemption = True
     allow_overflow_vcs = False
+    #: The flow table's compliance-boundary cache is authoritative for
+    #: this policy: the engine may answer `is_rate_compliant` from a
+    #: fresh `comp_thresholds` entry without calling the method.
+    compliance_cached = True
 
     def __init__(self) -> None:
         self.table: FlowTable | None = None
         self._weights: list[float] = []
         self._quota_flits = 0.0
         self._frame_injected: list[int] = []
+        self._zero_quota: list[int] = []
         self._compliance_rate = 0.0
 
     def bind(self, n_nodes: int, flows: list[FlowSpec], config) -> None:
@@ -65,13 +74,30 @@ class PvcPolicy(QosPolicy):
         self._quota_flits = share * config.frame_cycles
         self._compliance_rate = share
         self._frame_injected = [0] * len(flows)
+        self._zero_quota = [0] * len(flows)
 
     # -- priority ----------------------------------------------------
 
     def priority(self, station: Station, packet: Packet, now: int) -> float:
-        """Bandwidth consumed at this router, scaled by assigned rate."""
-        consumed = self.table.consumed(station.node, packet.flow_id)
-        return consumed / self._weights[packet.flow_id]
+        """Bandwidth consumed at this router, scaled by assigned rate.
+
+        Cached per (router, flow) in the flow table; the cache entry is
+        voided by any charge/refund at that router and by frame flushes,
+        so a hit returns exactly what recomputation would.
+        """
+        table = self.table
+        flow_id = packet.flow_id
+        idx = station.node * table.n_flows + flow_id
+        if table.prio_stamps[idx] == table.epoch:
+            return table.prio_values[idx]
+        value = table.consumed(station.node, flow_id) / self._weights[flow_id]
+        table.prio_values[idx] = value
+        table.prio_stamps[idx] = table.epoch
+        return value
+
+    def priority_cache(self) -> FlowTable:
+        """PVC priority is pure (router, flow) table state — cacheable."""
+        return self.table
 
     def on_forward(self, station: Station, packet: Packet, now: int) -> None:
         """Charge the flow's bandwidth counter at this router."""
@@ -91,7 +117,7 @@ class PvcPolicy(QosPolicy):
     def on_frame(self, now: int) -> None:
         """Flush all counters and reset per-frame injection quotas."""
         self.table.flush(now)
-        self._frame_injected[:] = [0] * len(self._frame_injected)
+        self._frame_injected[:] = self._zero_quota
 
     # -- preemption throttles ----------------------------------------
 
@@ -102,13 +128,57 @@ class PvcPolicy(QosPolicy):
         return injected <= self._quota_flits
 
     def is_rate_compliant(self, station: Station, packet: Packet, now: int) -> bool:
-        """Flow is within its provisioned rate at this router."""
-        consumed = self.table.consumed(station.node, packet.flow_id)
-        allowance = (
-            self._compliance_rate * self.table.elapsed_in_frame(now)
-            + _COMPLIANCE_SLACK_FLITS
-        )
-        return consumed + packet.size <= allowance
+        """Flow is within its provisioned rate at this router.
+
+        The allowance grows linearly within a frame while the consumed
+        count only moves on charges, so the predicate is monotonic in
+        the cycle: the exact boundary cycle is computed once and cached
+        in the flow table (voided by charges and flushes, like the
+        priority cache), turning the per-cycle re-evaluation of a
+        blocked head packet into one integer compare.
+        """
+        table = self.table
+        epoch = table.epoch
+        idx = station.node * table.n_flows + packet.flow_id
+        size = packet.size
+        if table.comp_stamps[idx] == epoch and table.comp_sizes[idx] == size:
+            return now >= table.comp_thresholds[idx]
+        consumed = table._counters[idx] if table._stamps[idx] == epoch else 0
+        rate = self._compliance_rate
+        frame_start = table.frame_start
+        total = consumed + size
+        if rate > 0.0:
+            # Pin the smallest cycle satisfying the original float
+            # predicate — in its ORIGINAL association,
+            # `total <= rate * elapsed + slack`, so the cached boundary
+            # reproduces the pre-cache comparison bit for bit (the
+            # seeding division is only a starting guess; float
+            # addition/multiplication are monotonic in `elapsed`, so
+            # the two adjustment loops land on the exact boundary).
+            threshold = frame_start + int(
+                (total - _COMPLIANCE_SLACK_FLITS) / rate
+            )
+            while (
+                total
+                <= rate * (threshold - 1 - frame_start)
+                + _COMPLIANCE_SLACK_FLITS
+            ):
+                threshold -= 1
+            while (
+                total
+                > rate * (threshold - frame_start) + _COMPLIANCE_SLACK_FLITS
+            ):
+                threshold += 1
+        else:
+            threshold = (
+                frame_start
+                if total <= _COMPLIANCE_SLACK_FLITS
+                else _NEVER_COMPLIANT
+            )
+        table.comp_thresholds[idx] = threshold
+        table.comp_sizes[idx] = size
+        table.comp_stamps[idx] = epoch
+        return now >= threshold
 
     def may_preempt(self, candidate_priority: float, victim_priority: float) -> bool:
         """Strict priority inversion only: the victim must be worse."""

@@ -70,19 +70,47 @@ class EngineResult:
 
 
 def default_points(*, fast: bool = False) -> tuple[EnginePoint, ...]:
-    """The committed benchmark matrix (``fast`` shrinks cycle budgets)."""
+    """The committed benchmark matrix (``fast`` shrinks cycle budgets).
+
+    Covers every shared-column topology at saturation (where the
+    figure-4/5/6 sweeps spend most of their wall-clock), the low-rate
+    left edge of the latency curves, and a mid-rate knee point.
+    """
     low_cycles, low_warmup = (1500, 300) if fast else (6000, 1500)
+    mid_cycles, mid_warmup = (1200, 300) if fast else (4000, 1000)
     sat_cycles = 800 if fast else 3000
     return (
         EnginePoint("low_rate_mecs_0p01", "mecs", 0.01, low_cycles, low_warmup,
                     regime="low_rate"),
         EnginePoint("low_rate_mesh_x1_0p01", "mesh_x1", 0.01, low_cycles,
                     low_warmup, regime="low_rate"),
+        EnginePoint("mid_rate_mesh_x1_0p10", "mesh_x1", 0.10, mid_cycles,
+                    mid_warmup, regime="mid_rate"),
         EnginePoint("saturation_mecs_0p30", "mecs", 0.30, sat_cycles,
                     regime="saturation"),
         EnginePoint("saturation_mesh_x1_0p30", "mesh_x1", 0.30, sat_cycles,
                     regime="saturation"),
+        EnginePoint("saturation_dps_0p30", "dps", 0.30, sat_cycles,
+                    regime="saturation"),
+        EnginePoint("saturation_fbfly_0p30", "fbfly", 0.30, sat_cycles,
+                    regime="saturation"),
     )
+
+
+def filter_points(
+    points: tuple[EnginePoint, ...],
+    *,
+    regimes: tuple[str, ...] | None = None,
+    topologies: tuple[str, ...] | None = None,
+) -> tuple[EnginePoint, ...]:
+    """Restrict a point matrix to the given regimes and/or topologies."""
+    selected = tuple(
+        point
+        for point in points
+        if (regimes is None or point.regime in regimes)
+        and (topologies is None or point.topology in topologies)
+    )
+    return selected
 
 
 def _time_one(cls, point: EnginePoint) -> tuple[float, dict]:
@@ -115,12 +143,15 @@ def run_point(point: EnginePoint, *, repeats: int = 2) -> EngineResult:
 def run_engine_bench(
     *, fast: bool = False, repeats: int = 2,
     points: tuple[EnginePoint, ...] | None = None,
+    regimes: tuple[str, ...] | None = None,
+    topologies: tuple[str, ...] | None = None,
 ) -> list[EngineResult]:
-    """Run the whole matrix; see :func:`default_points`."""
-    return [
-        run_point(point, repeats=repeats)
-        for point in (points or default_points(fast=fast))
-    ]
+    """Run the matrix, optionally filtered; see :func:`default_points`."""
+    selected = filter_points(
+        points or default_points(fast=fast),
+        regimes=regimes, topologies=topologies,
+    )
+    return [run_point(point, repeats=repeats) for point in selected]
 
 
 def format_engine_bench(results: list[EngineResult]) -> str:
@@ -136,6 +167,57 @@ def format_engine_bench(results: list[EngineResult]) -> str:
             f"{result.optimized_seconds:9.3f}s {result.golden_seconds:9.3f}s "
             f"{result.speedup:7.2f}x  "
             + ("identical" if result.stats_equal else "DIVERGED!")
+        )
+    return "\n".join(lines)
+
+
+def validate_engine_baseline(path: str | os.PathLike) -> tuple[list[str], dict]:
+    """Regression-check a committed baseline file.
+
+    Every recorded point must have ``stats_equal: true`` (the engines
+    agreed bit-for-bit when it was recorded) and a speedup of at least
+    1.0 (the optimised engine never loses to the reference).  Returns
+    the list of violations (empty = clean) and the parsed baseline.
+    """
+    with open(path, encoding="utf-8") as handle:
+        data = json.load(handle)
+    violations: list[str] = []
+    if not any(not name.startswith("_") for name in data):
+        violations.append(
+            "baseline records no benchmark points — nothing is guarded"
+        )
+    for name, entry in sorted(data.items()):
+        if name.startswith("_"):
+            continue
+        if not entry.get("stats_equal", False):
+            violations.append(f"{name}: stats_equal is false — engines diverged")
+        speedup = entry.get("speedup", 0.0)
+        if speedup < 1.0:
+            violations.append(
+                f"{name}: speedup {speedup} < 1.0 — optimised engine regressed"
+            )
+    return violations, data
+
+
+def format_baseline_markdown(data: dict) -> str:
+    """Markdown speedup table of a baseline (for CI job summaries)."""
+    lines = [
+        "### Engine benchmark baseline",
+        "",
+        "| point | regime | topology | optimised (s) | golden (s) | speedup | stats |",
+        "|---|---|---|---:|---:|---:|---|",
+    ]
+    for name, entry in sorted(data.items()):
+        if name.startswith("_"):
+            continue
+        timings = entry.get("timings_seconds", {})
+        lines.append(
+            f"| {name} | {entry.get('regime', '?')} "
+            f"| {entry.get('topology', '?')} "
+            f"| {timings.get('optimized', float('nan')):.3f} "
+            f"| {timings.get('golden', float('nan')):.3f} "
+            f"| {entry.get('speedup', 0.0):.2f}x "
+            f"| {'identical' if entry.get('stats_equal') else 'DIVERGED'} |"
         )
     return "\n".join(lines)
 

@@ -24,6 +24,14 @@ class DeterministicRng:
     def __init__(self, seed: int = 0) -> None:
         self.seed = seed
         self._random = random.Random(seed)
+        # Bound method handles for the per-packet hot path.  `randint`
+        # reaches `_randbelow` through two layers of argument
+        # validation per call; binding `_randbelow` once lets
+        # `uniform_int` consume the identical underlying draw without
+        # the wrappers.  (CPython's `Random._randbelow` has been stable
+        # API-wise across every supported version; fall back to
+        # `randint` if it ever disappears.)
+        self._randbelow = getattr(self._random, "_randbelow", None)
 
     def spawn(self, salt: int) -> "DeterministicRng":
         """Create an independent child stream keyed by ``salt``.
@@ -79,8 +87,15 @@ class DeterministicRng:
         return len(weights) - 1
 
     def uniform_int(self, low: int, high: int) -> int:
-        """Uniform integer in the inclusive range [low, high]."""
-        return self._random.randint(low, high)
+        """Uniform integer in the inclusive range [low, high].
+
+        Draw-for-draw identical to ``random.Random.randint``: that call
+        resolves to ``low + _randbelow(high - low + 1)``, and this one
+        skips straight to it (drawn once per packet on the hot path).
+        """
+        if self._randbelow is not None and high >= low:
+            return low + self._randbelow(high - low + 1)
+        return self._random.randint(low, high)  # also raises on bad ranges
 
     def random(self) -> float:
         """Uniform float in [0, 1)."""

@@ -1,0 +1,158 @@
+"""Incremental priority cache: invalidation and lazy-flush semantics.
+
+The saturation hot path reads PVC priorities from a per-(router, flow)
+cache in the :class:`~repro.qos.flow_table.FlowTable`, invalidated only
+by charges, refunds and frame flushes.  These tests pin the invalidation
+rules directly, and a property test checks the lazily-flushed table
+against an eagerly-zeroed reference over arbitrary operation sequences.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.config import SimulationConfig
+from repro.network.fabric import Station
+from repro.network.packet import FlowSpec, Packet
+from repro.qos.flow_table import FlowTable
+from repro.qos.perflow import PerFlowQueuedPolicy
+from repro.qos.pvc import PvcPolicy
+
+
+def _station(node: int) -> Station:
+    return Station(
+        index=node, node=node, label=f"s@{node}", kind="mesh",
+        n_vcs=1, va_wait=1, qos=True,
+    )
+
+
+def _packet(flow_id: int, size: int = 4) -> Packet:
+    return Packet(pid=flow_id, flow_id=flow_id, src=0, dst=1,
+                  size=size, created_at=0)
+
+
+def _pvc(n_flows: int = 2, n_nodes: int = 4) -> PvcPolicy:
+    policy = PvcPolicy()
+    flows = [
+        FlowSpec(node=i % n_nodes, rate=0.1) for i in range(n_flows)
+    ]
+    policy.bind(n_nodes, flows, SimulationConfig(frame_cycles=1000))
+    return policy
+
+
+def test_priority_cache_returns_table_for_cacheable_policies():
+    policy = _pvc()
+    assert policy.priority_cache() is policy.table
+    perflow = PerFlowQueuedPolicy()
+    perflow.bind(2, [FlowSpec(node=0, rate=0.1)], SimulationConfig())
+    assert perflow.priority_cache() is perflow.table
+
+
+def test_charge_invalidates_cached_priority():
+    policy = _pvc()
+    station, packet = _station(1), _packet(0)
+    before = policy.priority(station, packet, now=10)
+    # A cached read returns the identical value.
+    assert policy.priority(station, packet, now=11) == before
+    policy.on_forward(station, packet, now=12)  # charge 4 flits
+    after = policy.priority(station, packet, now=13)
+    assert after > before
+    expected = policy.table.consumed(1, 0) / 1.0  # default flow weight
+    assert after == expected
+
+
+def test_refund_after_preemption_restores_priority():
+    policy = _pvc()
+    station, packet = _station(2), _packet(0)
+    baseline = policy.priority(station, packet, now=0)
+    policy.on_forward(station, packet, now=5)
+    charged = policy.priority(station, packet, now=6)
+    assert charged > baseline
+    policy.on_refund(station, packet, now=7)
+    assert policy.priority(station, packet, now=8) == baseline
+    assert policy.table.consumed(2, 0) == 0
+
+
+def test_frame_flush_resets_every_cached_value():
+    policy = _pvc(n_flows=3)
+    stations = [_station(n) for n in range(3)]
+    for node, station in enumerate(stations):
+        for flow_id in range(3):
+            policy.on_forward(station, _packet(flow_id), now=node)
+    primed = [
+        policy.priority(station, _packet(flow_id), now=50)
+        for station in stations
+        for flow_id in range(3)
+    ]
+    assert any(value > 0 for value in primed)
+    policy.on_frame(now=1000)
+    for station in stations:
+        for flow_id in range(3):
+            assert policy.priority(station, _packet(flow_id), now=1001) == 0.0
+
+
+def test_compliance_boundary_cache_matches_direct_predicate():
+    policy = _pvc()
+    station, packet = _station(1), _packet(0, size=6)
+    policy.on_forward(station, packet, now=3)  # consumed = 6
+    # Evaluate (and cache) at several cycles; each answer must equal the
+    # textbook predicate consumed + size <= rate*elapsed + slack.
+    for now in (3, 10, 100, 400, 700):
+        expected = (
+            policy.table.consumed(1, 0) + packet.size
+            <= policy._compliance_rate * policy.table.elapsed_in_frame(now)
+            + 4.0
+        )
+        assert policy.is_rate_compliant(station, packet, now) is expected
+
+
+class _EagerTable:
+    """Reference flow table that zeroes all counters on every flush."""
+
+    def __init__(self, n_nodes: int, n_flows: int) -> None:
+        self.counters = [[0] * n_flows for _ in range(n_nodes)]
+        self.frame_start = 0
+
+    def charge(self, node: int, flow_id: int, flits: int) -> None:
+        self.counters[node][flow_id] += flits
+
+    def consumed(self, node: int, flow_id: int) -> int:
+        return self.counters[node][flow_id]
+
+    def flush(self, now: int) -> None:
+        for row in self.counters:
+            row[:] = [0] * len(row)
+        self.frame_start = now
+
+    def snapshot(self, node: int) -> list[int]:
+        return list(self.counters[node])
+
+
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("charge"), st.integers(0, 3), st.integers(0, 4),
+                  st.integers(-3, 9)),
+        st.tuples(st.just("flush"), st.integers(0, 3), st.integers(0, 4),
+                  st.integers(0, 0)),
+    ),
+    max_size=60,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(ops=_OPS)
+def test_lazy_flush_matches_eager_reference(ops):
+    lazy = FlowTable(n_nodes=4, n_flows=5)
+    eager = _EagerTable(n_nodes=4, n_flows=5)
+    clock = 0
+    for kind, node, flow, flits in ops:
+        clock += 1
+        if kind == "charge":
+            lazy.charge(node, flow, flits)
+            eager.charge(node, flow, flits)
+        else:
+            lazy.flush(clock)
+            eager.flush(clock)
+            assert lazy.frame_start == eager.frame_start
+        assert lazy.consumed(node, flow) == eager.consumed(node, flow)
+    for node in range(4):
+        assert lazy.snapshot(node) == eager.snapshot(node)

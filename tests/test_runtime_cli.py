@@ -100,6 +100,77 @@ def test_bench_engine_runs_and_records(tmp_path, capsys, monkeypatch):
     assert data["smoke_mesh"]["timings_seconds"]["golden"] > 0
 
 
+def test_bench_engine_regime_and_topology_filters(capsys, monkeypatch):
+    from repro.runtime import bench
+
+    points = (
+        bench.EnginePoint("smoke_mesh", "mesh_x1", 0.05, 300, 50,
+                          regime="low_rate"),
+        bench.EnginePoint("smoke_mecs", "mecs", 0.05, 300, 50,
+                          regime="saturation"),
+    )
+    monkeypatch.setattr(bench, "default_points", lambda fast=False: points)
+    argv = ["bench", "engine", "--fast", "--regimes", "saturation",
+            "--topologies", "mecs,dps"]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "smoke_mecs" in out
+    assert "smoke_mesh" not in out
+
+
+def test_bench_engine_empty_filter_is_an_error(capsys):
+    assert main(["bench", "engine", "--regimes", "nonexistent"]) == 2
+    assert "no benchmark points match" in capsys.readouterr().err
+
+
+def test_bench_guard_passes_clean_baseline(tmp_path, capsys):
+    import json
+
+    baseline = tmp_path / "BENCH_engine.json"
+    baseline.write_text(json.dumps({
+        "_meta": {"engine_version": "0.0.0"},
+        "sat_ok": {
+            "regime": "saturation", "topology": "mesh_x1", "speedup": 2.1,
+            "stats_equal": True,
+            "timings_seconds": {"optimized": 0.4, "golden": 0.84},
+        },
+    }))
+    assert main(["bench", "guard", "--record", str(baseline)]) == 0
+    out = capsys.readouterr().out
+    assert "sat_ok" in out
+    assert "2.10x" in out
+    assert "identical" in out
+
+
+def test_bench_guard_fails_on_divergence_or_regression(tmp_path, capsys):
+    import json
+
+    baseline = tmp_path / "BENCH_engine.json"
+    baseline.write_text(json.dumps({
+        "diverged": {
+            "regime": "saturation", "topology": "mecs", "speedup": 2.0,
+            "stats_equal": False,
+            "timings_seconds": {"optimized": 0.5, "golden": 1.0},
+        },
+        "regressed": {
+            "regime": "low_rate", "topology": "mesh_x1", "speedup": 0.8,
+            "stats_equal": True,
+            "timings_seconds": {"optimized": 1.0, "golden": 0.8},
+        },
+    }))
+    assert main(["bench", "guard", "--record", str(baseline)]) == 1
+    out = capsys.readouterr().out
+    assert "Regressions detected" in out
+    assert "diverged" in out
+    assert "regressed" in out
+
+
+def test_bench_guard_missing_baseline_is_an_error(tmp_path, capsys):
+    missing = tmp_path / "nope.json"
+    assert main(["bench", "guard", "--record", str(missing)]) == 2
+    assert "cannot read baseline" in capsys.readouterr().err
+
+
 def test_bench_rejects_unknown_action(capsys):
     assert main(["bench", "nonsense"]) == 2
     assert "unknown bench action" in capsys.readouterr().err
