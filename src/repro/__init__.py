@@ -45,6 +45,32 @@ trips (same seeds ⇒ same stats), and a repeated sweep performs zero
 simulations.  Lower-level control: build :class:`RunSpec` batches by
 hand and pass them to :func:`run_batch` or an executor's ``map``.
 
+Scenario traffic (:mod:`repro.scenarios`) — bursty sources, record and
+replay, closed-loop clients::
+
+    from repro import ColumnSimulator, InjectionCapture, PvcPolicy
+    from repro import SimulationConfig, bursty_workload, get_topology
+    from repro.scenarios import capture_to_trace, replayed_workload
+
+    config = SimulationConfig(frame_cycles=10_000)
+    sim = ColumnSimulator(get_topology("mecs").build(config),
+                          bursty_workload(0.3), PvcPolicy(), config)
+    capture = InjectionCapture()
+    capture.attach(sim)
+    sim.run(6_000, warmup=1_000)
+
+    trace = capture_to_trace(capture, sim.flows)      # record ...
+    replay = ColumnSimulator(get_topology("mecs").build(config),
+                             replayed_workload(trace), PvcPolicy(), config)
+    replay.run(6_000, warmup=1_000)                   # ... and replay
+    assert replay.stats.snapshot() == sim.stats.snapshot()  # bit-exact
+
+Scenario workloads are also registry names (``"bursty"``,
+``"pareto_bursty"``, ``"phased"``, ``"closed_loop"``, ``"replay"``), so
+they flow through :class:`RunSpec` hashing, the result cache and the
+parallel executor like any other workload.  CLI: ``repro scenario
+list|run|record|replay`` and the ``repro burst`` study.
+
 Experiments (one per paper table/figure) live in
 :mod:`repro.analysis.experiments`.
 """
@@ -65,6 +91,7 @@ from repro.errors import (
     ReproError,
     SimulationError,
     TopologyError,
+    TraceOverflowError,
     TrafficError,
 )
 from repro.models.area import RouterAreaModel
@@ -72,7 +99,8 @@ from repro.models.energy import RouterEnergyModel
 from repro.models.technology import TechnologyParameters
 from repro.network.config import SimulationConfig
 from repro.network.engine import ColumnSimulator
-from repro.network.packet import FlowSpec, Packet
+from repro.network.packet import ClosedLoopSpec, FlowSpec, Packet
+from repro.network.trace import InjectionCapture, TraceRecorder
 from repro.qos.base import NoQosPolicy, QosPolicy
 from repro.qos.perflow import PerFlowQueuedPolicy
 from repro.qos.pvc import PvcPolicy
@@ -88,6 +116,21 @@ from repro.runtime import (
     execute_spec,
     run_batch,
     run_grid,
+)
+from repro.scenarios import (
+    InjectionProcess,
+    OnOffProcess,
+    ParetoBurstProcess,
+    Phase,
+    PhasedProcess,
+    ScenarioTrace,
+    bursty_workload,
+    closed_loop_workload,
+    pareto_workload,
+    phased_workload,
+    read_trace,
+    replayed_workload,
+    write_trace,
 )
 from repro.topologies.registry import TOPOLOGY_NAMES, get_topology
 from repro.traffic.workloads import (
@@ -105,14 +148,19 @@ from repro.traffic.workloads import (
 # allocation-free arbitration over persistent per-port rankings.
 # Results are bit-identical to 1.2.0, but the version bump deliberately
 # invalidates the result cache so every stored blob is regenerated —
-# and therefore re-verified — by the new engine.
-__version__ = "1.3.0"
+# and therefore re-verified — by the new engine.  1.4.0: scenarios
+# subsystem — injection processes (on/off, Pareto, phased), JSONL trace
+# record/replay, closed-loop request-reply clients; pre-existing
+# workloads are bit-identical, the bump guards the cache against the
+# engine's new creation path.
+__version__ = "1.4.0"
 
 __all__ = [
     "AllocationError",
     "BatchResult",
     "Chip",
     "ChipConfig",
+    "ClosedLoopSpec",
     "ColumnSimulator",
     "ConfigurationError",
     "ConvexityError",
@@ -120,13 +168,19 @@ __all__ = [
     "FlowSpec",
     "GridResult",
     "Hypervisor",
+    "InjectionCapture",
+    "InjectionProcess",
     "IsolationError",
     "MemoryController",
     "ModelError",
     "NoQosPolicy",
+    "OnOffProcess",
     "Packet",
     "ParallelExecutor",
+    "ParetoBurstProcess",
     "PerFlowQueuedPolicy",
+    "Phase",
+    "PhasedProcess",
     "PvcPolicy",
     "QosPolicy",
     "ReproError",
@@ -136,6 +190,7 @@ __all__ = [
     "RunManifest",
     "RunResult",
     "RunSpec",
+    "ScenarioTrace",
     "SerialExecutor",
     "SimulationConfig",
     "SimulationError",
@@ -143,8 +198,12 @@ __all__ = [
     "TechnologyParameters",
     "TopologyAwareSystem",
     "TopologyError",
+    "TraceOverflowError",
+    "TraceRecorder",
     "TrafficError",
     "VirtualMachine",
+    "bursty_workload",
+    "closed_loop_workload",
     "execute_spec",
     "fairness_report",
     "full_column_workload",
@@ -153,12 +212,17 @@ __all__ = [
     "is_convex",
     "latency_throughput_sweep",
     "max_min_allocation",
+    "pareto_workload",
+    "phased_workload",
+    "read_trace",
+    "replayed_workload",
     "run_batch",
     "run_grid",
     "tornado_workload",
     "uniform_workload",
     "workload1",
     "workload2",
+    "write_trace",
     "xy_path",
     "__version__",
 ]

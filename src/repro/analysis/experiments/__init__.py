@@ -10,9 +10,14 @@ module                 paper result
 ``fig5_preemption``    Figure 5 — adversarial preemption rates
 ``fig6_slowdown``      Figure 6 — slowdown + deviation from max-min
 ``fig7_energy``        Figure 7 — router energy per flit by hop type
+``burst_fairness``     extension — QoS under bursty/replayed traffic
 =====================  =============================================
 """
 
+from repro.analysis.experiments.burst_fairness import (
+    format_burst_fairness,
+    run_burst_fairness,
+)
 from repro.analysis.experiments.fig3_area import format_fig3, run_fig3
 from repro.analysis.experiments.fig4_latency import format_fig4, run_fig4
 from repro.analysis.experiments.fig5_preemption import format_fig5, run_fig5
@@ -22,6 +27,7 @@ from repro.analysis.experiments.saturation import format_saturation, run_saturat
 from repro.analysis.experiments.table2_fairness import format_table2, run_table2
 
 __all__ = [
+    "format_burst_fairness",
     "format_fig3",
     "format_fig4",
     "format_fig5",
@@ -29,6 +35,7 @@ __all__ = [
     "format_fig7",
     "format_saturation",
     "format_table2",
+    "run_burst_fairness",
     "run_fig3",
     "run_fig4",
     "run_fig5",

@@ -13,6 +13,11 @@ Usage (after installation)::
     repro all --fast                     # everything, scaled down
     repro cache info                     # result-cache statistics
     repro cache clear                    # drop this version's entries
+    repro scenario list                  # scenario workloads + processes
+    repro scenario run bursty --rate 0.3 # one scenario through the runtime
+    repro scenario record bursty --rate 0.3 --out t.jsonl   # capture a trace
+    repro scenario replay t.jsonl        # re-inject it; verify bit-equality
+    repro burst                          # bursty-fairness study (extension)
     repro bench engine                   # engine vs golden-reference timings
     repro bench engine --record B.json   # ... and persist the baseline
     repro bench engine --regimes saturation --topologies mesh_x1,mecs
@@ -297,6 +302,211 @@ def _run_bench_guard(args) -> int:
     return 0
 
 
+def _run_burst(args) -> str:
+    from repro.analysis.experiments.burst_fairness import (
+        format_burst_fairness,
+        run_burst_fairness,
+    )
+
+    window = 2500 if args.fast else 6000
+    cache = _cache(args)
+    cells = run_burst_fairness(
+        warmup=window // 4, window=window, config=_config(args, 10_000),
+        executor=_executor(args), cache=cache,
+    )
+    return _with_cache_footer(format_burst_fairness(cells), cache)
+
+
+def _parse_scenario_params(pairs: list[str] | None) -> dict:
+    """Parse repeated ``--param key=value`` flags into JSON scalars."""
+    import json as _json
+
+    params: dict = {}
+    for pair in pairs or []:
+        key, separator, raw = pair.partition("=")
+        if not separator or not key:
+            raise ValueError(f"--param needs key=value, got {pair!r}")
+        try:
+            value = _json.loads(raw)
+        except _json.JSONDecodeError:
+            value = raw  # bare strings (e.g. pattern names) stay strings
+        if not isinstance(value, (str, int, float, bool, type(None))):
+            # Structured values (e.g. the phased workload's phases
+            # array) stay JSON-encoded strings — that is the scalar
+            # form the spec registry hashes.
+            value = raw
+        params[key] = value
+    return params
+
+
+def _scenario_spec(args, workload: str):
+    """Build the RunSpec described by the scenario command-line flags."""
+    from repro.runtime.spec import RunSpec
+
+    return RunSpec(
+        topology=args.topology,
+        workload=workload,
+        rate=args.rate,
+        workload_params=_parse_scenario_params(args.param),
+        policy=args.policy,
+        config=_config(args, 10_000),
+        mode="run",
+        cycles=args.cycles,
+        warmup=args.warmup,
+    )
+
+
+def _run_scenario(args) -> int:
+    """``repro scenario list|run|record|replay`` — scenario traffic."""
+    from repro.errors import ReproError
+
+    action = args.targets[1] if len(args.targets) > 1 else "list"
+    try:
+        if action == "list":
+            return _scenario_list()
+        if action in ("run", "record"):
+            if len(args.targets) < 3:
+                print(f"usage: repro scenario {action} <workload> [flags]",
+                      file=sys.stderr)
+                return 2
+            if action == "run":
+                return _scenario_run(args, args.targets[2])
+            return _scenario_record(args, args.targets[2])
+        if action == "replay":
+            if len(args.targets) < 3:
+                print("usage: repro scenario replay <trace.jsonl>",
+                      file=sys.stderr)
+                return 2
+            return _scenario_replay(args, args.targets[2])
+    except (ReproError, ValueError, OSError, KeyError, TypeError) as error:
+        # KeyError/TypeError cover malformed user input that surfaces
+        # past spec validation (e.g. a trace whose meta lacks a key, a
+        # non-integer hotspot target) — a clean message, not a traceback.
+        print(f"scenario {action}: {error!r}" if isinstance(error, KeyError)
+              else f"scenario {action}: {error}", file=sys.stderr)
+        return 2
+    print(f"unknown scenario action {action!r}; "
+          "expected list, run, record or replay", file=sys.stderr)
+    return 2
+
+
+def _scenario_list() -> int:
+    from repro.runtime.spec import SCENARIO_WORKLOADS, WORKLOAD_BUILDERS
+
+    print("scenario workloads (repro scenario run <name> ...):")
+    for name, description in SCENARIO_WORKLOADS.items():
+        entry = WORKLOAD_BUILDERS[name]
+        knobs = ", ".join(sorted(entry.allowed_params)) or "-"
+        print(f"  {name:14s} {description}")
+        print(f"  {'':14s}   rate: {entry.rate}; params: {knobs}")
+    print("classic workloads (also runnable/recordable):")
+    for name in WORKLOAD_BUILDERS:
+        if name not in SCENARIO_WORKLOADS:
+            print(f"  {name}")
+    print("example: repro scenario run bursty --rate 0.3 "
+          "--param on_cycles=50 --param off_cycles=150")
+    return 0
+
+
+def _format_run_result(result) -> str:
+    return (
+        f"delivered {result.delivered_flits} flits "
+        f"({result.delivered_packets} packets, "
+        f"{result.created_packets} created); "
+        f"mean latency {result.mean_latency:.1f} cyc; "
+        f"{result.preemption_events} preemptions, {result.replays} replays"
+    )
+
+
+def _scenario_run(args, workload: str) -> int:
+    from repro.runtime.runner import run_batch
+
+    spec = _scenario_spec(args, workload)
+    batch = run_batch([spec], executor=_executor(args), cache=_cache(args))
+    print(f"{spec.label()}  [{spec.content_hash[:12]}]")
+    print(_format_run_result(batch.results[0]))
+    print(f"[runtime: {batch.manifest.summary()}]")
+    return 0
+
+
+def _scenario_record(args, workload: str) -> int:
+    """Run one scenario with injection capture; write the JSONL trace."""
+    from repro.network.engine import ColumnSimulator
+    from repro.network.trace import InjectionCapture
+    from repro.runtime.spec import POLICIES, build_flows
+    from repro.scenarios import capture_to_trace, snapshot_digest, write_trace
+    from repro.topologies.registry import get_topology
+
+    if not args.out:
+        print("scenario record needs --out PATH for the trace file",
+              file=sys.stderr)
+        return 2
+    spec = _scenario_spec(args, workload)
+    simulator = ColumnSimulator(
+        get_topology(spec.topology).build(spec.config),
+        build_flows(spec),
+        POLICIES[spec.policy](),
+        spec.config,
+    )
+    capture = InjectionCapture()
+    capture.attach(simulator)
+    simulator.run(spec.cycles, warmup=spec.warmup)
+    trace = capture_to_trace(
+        capture,
+        simulator.flows,
+        meta={
+            "source": spec.to_json(),
+            "snapshot_sha256": snapshot_digest(simulator.stats.snapshot()),
+        },
+    )
+    digest = write_trace(args.out, trace)
+    print(f"recorded {len(trace.emissions)} emissions from "
+          f"{spec.label()} to {args.out}")
+    print(f"trace sha256: {digest}")
+    print("replay with: repro scenario replay " + args.out)
+    return 0
+
+
+def _scenario_replay(args, path: str) -> int:
+    """Re-inject a recorded trace; verify the round trip is bit-exact."""
+    from repro.network.config import SimulationConfig
+    from repro.network.engine import ColumnSimulator
+    from repro.runtime.spec import POLICIES
+    from repro.scenarios import read_trace, replayed_workload, snapshot_digest
+    from repro.topologies.registry import get_topology
+
+    trace = read_trace(path)
+    source = trace.meta.get("source")
+    if not source:
+        print(f"trace {path} has no source metadata; cannot rebuild the run",
+              file=sys.stderr)
+        return 2
+    config = SimulationConfig(**source["config"])
+    simulator = ColumnSimulator(
+        get_topology(source["topology"]).build(config),
+        replayed_workload(trace),
+        POLICIES[source["policy"]](),
+        config,
+    )
+    simulator.run(source["cycles"], warmup=source["warmup"])
+    digest = snapshot_digest(simulator.stats.snapshot())
+    expected = trace.meta.get("snapshot_sha256")
+    print(f"replayed {len(trace.emissions)} emissions on "
+          f"{source['topology']}/{source['policy']}")
+    stats = simulator.stats
+    print(f"delivered {stats.delivered_flits} flits, "
+          f"mean latency {stats.mean_latency:.1f} cyc")
+    if expected is None:
+        print("source snapshot digest missing; round trip not verified")
+        return 0
+    if digest == expected:
+        print(f"round trip bit-identical (snapshot sha256 {digest[:12]}...)")
+        return 0
+    print(f"ROUND TRIP DIVERGED: expected {expected}, got {digest}",
+          file=sys.stderr)
+    return 1
+
+
 def _run_cache(args) -> int:
     """``repro cache [info|clear]`` — inspect or empty the result store."""
     action = args.targets[1] if len(args.targets) > 1 else "info"
@@ -328,6 +538,7 @@ COMMANDS: dict[str, tuple[Callable, str]] = {
     "fig6": (_run_fig6, "Figure 6: slowdown + max-min deviation"),
     "fig7": (_run_fig7, "Figure 7: router energy per flit (analytical)"),
     "saturation": (_run_saturation, "Section 5.2: saturation replay rates"),
+    "burst": (_run_burst, "bursty/replayed traffic fairness study (extension)"),
     "ablations": (_run_ablations, "all design-choice ablation studies"),
     "chip": (_run_chip_study, "shared-column count/placement study (extension)"),
     "report": (_run_report, "write every result into REPORT.md"),
@@ -338,6 +549,9 @@ COMMANDS: dict[str, tuple[Callable, str]] = {
 CACHE_COMMAND_HELP = "result cache maintenance: cache info | cache clear"
 BENCH_COMMAND_HELP = (
     "engine benchmark vs golden reference: bench engine | bench guard"
+)
+SCENARIO_COMMAND_HELP = (
+    "scenario traffic: scenario list | run <wl> | record <wl> | replay <trace>"
 )
 
 
@@ -387,12 +601,43 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--regimes", default=None, metavar="R1,R2",
         help="with 'bench engine': only run points in these regimes "
-        "(low_rate, mid_rate, saturation)",
+        "(low_rate, mid_rate, saturation, bursty)",
     )
     parser.add_argument(
         "--topologies", default=None, metavar="T1,T2",
         help="with 'bench engine': only run points on these topologies "
         "(mesh_x1, mecs, dps, fbfly, ...)",
+    )
+    scenario = parser.add_argument_group("scenario options")
+    scenario.add_argument(
+        "--topology", default="mecs", metavar="NAME",
+        help="with 'scenario run/record': topology to simulate (default mecs)",
+    )
+    scenario.add_argument(
+        "--policy", default="pvc", choices=["pvc", "perflow", "noqos"],
+        help="with 'scenario run/record': QoS policy (default pvc)",
+    )
+    scenario.add_argument(
+        "--rate", type=float, default=None, metavar="R",
+        help="with 'scenario run/record': per-injector rate in flits/cycle "
+        "(peak rate for bursty workloads)",
+    )
+    scenario.add_argument(
+        "--cycles", type=int, default=4000, metavar="N",
+        help="with 'scenario run/record': cycles to simulate (default 4000)",
+    )
+    scenario.add_argument(
+        "--warmup", type=int, default=0, metavar="N",
+        help="with 'scenario run/record': warmup cycles before measuring",
+    )
+    scenario.add_argument(
+        "--param", action="append", metavar="KEY=VALUE",
+        help="with 'scenario run/record': workload parameter (repeatable), "
+        "e.g. --param on_cycles=50 --param pattern=tornado",
+    )
+    scenario.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="with 'scenario record': where to write the JSONL trace",
     )
     return parser
 
@@ -404,11 +649,22 @@ def main(argv: list[str] | None = None) -> int:
     if args.jobs < 0:
         print("--jobs must be >= 0", file=sys.stderr)
         return 2
+    if "scenario" in targets:
+        if targets[0] != "scenario":
+            print("'scenario' must be the first target: "
+                  "repro scenario list|run|record|replay", file=sys.stderr)
+            return 2
+        if len(targets) > 3:
+            print(f"unexpected arguments after scenario action: "
+                  f"{' '.join(targets[3:])}", file=sys.stderr)
+            return 2
+        return _run_scenario(args)
     if "list" in targets:
         for name, (_, description) in COMMANDS.items():
             print(f"  {name:10s} {description}")
         print(f"  {'cache':10s} {CACHE_COMMAND_HELP}")
         print(f"  {'bench':10s} {BENCH_COMMAND_HELP}")
+        print(f"  {'scenario':10s} {SCENARIO_COMMAND_HELP}")
         return 0
     if "cache" in targets:
         if targets[0] != "cache":
@@ -435,8 +691,8 @@ def main(argv: list[str] | None = None) -> int:
     unknown = [t for t in targets if t not in COMMANDS]
     if unknown:
         print(f"unknown target(s): {', '.join(unknown)}", file=sys.stderr)
-        print(f"available: {', '.join(COMMANDS)}, cache, bench, all, list",
-              file=sys.stderr)
+        print(f"available: {', '.join(COMMANDS)}, cache, bench, scenario, "
+              "all, list", file=sys.stderr)
         return 2
     for target in targets:
         runner, _ = COMMANDS[target]

@@ -20,6 +20,10 @@ class SimulationError(ReproError):
     """The simulation engine reached an inconsistent internal state."""
 
 
+class TraceOverflowError(SimulationError):
+    """A trace recorder in ``overflow="raise"`` mode hit its capacity."""
+
+
 class TopologyError(ConfigurationError):
     """A topology was asked to build a structure it cannot express."""
 

@@ -67,6 +67,31 @@ ports skip their scans until serialisation ends.
 ``run_until_drained`` tracks an aggregate count of undrained injectors
 (maintained at ACK/creation transitions) instead of scanning every
 injector every cycle.
+
+Scenario traffic
+----------------
+
+Three emission drivers beyond the rate-driven Bernoulli injector (see
+:mod:`repro.scenarios`), all flowing through one creation point
+(``_admit_packet``) so packet ids, quota charges and capture records
+share a single global creation order:
+
+* **Injection processes** (``FlowSpec.injection``) supply emission
+  cycles through ``next_emission(cycle, rng)`` — armed in the same
+  emission heap as geometric sampling, so cycle skipping is preserved —
+  plus optional per-packet draw overrides and scheduled flow-weight
+  re-programmings (paired with a rank-rebuild fence, since a raised
+  weight can improve priorities).
+* **Scripted replays** (``FlowSpec.emissions``) re-create a recorded
+  run's packets at their recorded cycles in recorded order; the clock
+  never skips past the next scripted emission.
+* **Closed-loop clients** (``FlowSpec.closed_loop``) hold a bounded
+  number of requests in flight; delivery of a request makes the
+  destination's reply flow emit a reply, and the reply's arrival
+  triggers the client's next request after its think time.
+
+An attached :class:`~repro.network.trace.InjectionCapture` records every
+creation for replay; it observes and never perturbs.
 """
 
 from __future__ import annotations
@@ -88,9 +113,27 @@ _EV_FREE = 0
 _EV_DELIVER = 1
 _EV_ACK = 2
 _EV_NACK = 3
+#: Closed-loop client request issue (scenarios): create one request.
+_EV_REQ = 4
+#: Scheduled flow-weight re-programming (multi-phase scenarios).
+_EV_WEIGHT = 5
 
 #: Sentinel cycle meaning "no activity on this component's horizon".
 _FAR = 1 << 62
+
+
+class _StochasticPattern(Exception):
+    """Raised by :data:`_PATTERN_PROBE` when a pattern draws randomness."""
+
+
+class _PatternProbe:
+    """Stand-in rng: any attribute access marks the pattern stochastic."""
+
+    def __getattr__(self, name: str):
+        raise _StochasticPattern(name)
+
+
+_PATTERN_PROBE = _PatternProbe()
 
 
 class _Injector:
@@ -112,6 +155,7 @@ class _Injector:
         "replica_rr",
         "next_emit_cycle",
         "drained",
+        "process",
     )
 
     def __init__(
@@ -142,6 +186,10 @@ class _Injector:
         #: Whether the engine's aggregate drain counter regards this
         #: injector as idle (kept in sync at the few transition points).
         self.drained = False
+        #: Optional injection process (see repro.scenarios.injection)
+        #: replacing the geometric/Bernoulli emission draw; None keeps
+        #: the classic rate-driven path bit-for-bit.
+        self.process = spec.injection
 
     def exhausted(self) -> bool:
         """True once the injector will never produce more work."""
@@ -188,7 +236,20 @@ class ColumnSimulator:
         self._next_pid = 0
         #: Optional TraceRecorder (see repro.network.trace); None = off.
         self.trace = None
+        #: Optional InjectionCapture recording every packet creation in
+        #: creation order (record-and-replay); None = off.
+        self.capture = None
         self._root_rng = DeterministicRng(self.config.seed)
+
+        # Scenario state (repro.scenarios).  `_clients` maps a
+        # closed-loop flow id to its ClosedLoopSpec; `_reply_flow` maps
+        # a node to the flow id of its reply generator; `_script` is
+        # the merged scripted-emission stream (trace replay) in global
+        # creation order.
+        self._clients: dict[int, object] = {}
+        self._reply_flow: dict[int, int] = {}
+        self._script: list[tuple[int, int, int, int]] | None = None
+        self._script_idx = 0
 
         # Activity tracking (see module docstring).  Ports are woken by
         # a due-time heap (`_port_heap` entries paired with the
@@ -294,9 +355,70 @@ class ColumnSimulator:
             if not injector.drained:
                 self._undrained += 1
             limit = spec.packet_limit
-            if injector.emit_probability > 0 and (limit is None or limit > 0):
+            if spec.reply_sink:
+                if spec.node in self._reply_flow:
+                    raise ConfigurationError(
+                        f"two reply flows at node {spec.node}"
+                    )
+                self._reply_flow[spec.node] = flow_id
+            elif spec.closed_loop is not None:
+                self._clients[flow_id] = spec.closed_loop
+                initial = spec.closed_loop.outstanding
+                if limit is not None:
+                    initial = min(initial, limit)
+                for _ in range(initial):
+                    self._schedule(self.cycle, (_EV_REQ, flow_id))
+            elif injector.process is not None:
+                injector.process.reset()
+                if limit is None or limit > 0:
+                    self._schedule_emission(injector, 0)
+            elif injector.emit_probability > 0 and (limit is None or limit > 0):
                 self._schedule_emission(injector, 0)
+            weight_changes = (
+                injector.process.weight_changes()
+                if injector.process is not None
+                else spec.weight_schedule
+            )
+            for when, weight in weight_changes:
+                if when > 0:
+                    self._schedule(when, (_EV_WEIGHT, flow_id, weight))
             self._injectors.append(injector)
+
+        script_entries = []
+        for flow_id, spec in enumerate(self.flows):
+            if spec.emissions:
+                for cycle, seq, dst, size in spec.emissions:
+                    script_entries.append((seq, cycle, flow_id, dst, size))
+        if script_entries:
+            # `seq` is the recorded global creation order — packet ids
+            # and per-flow quota charges replay exactly when creations
+            # happen in this order.
+            script_entries.sort()
+            self._script = [
+                (cycle, flow_id, dst, size)
+                for _, cycle, flow_id, dst, size in script_entries
+            ]
+            for before, after in zip(self._script, self._script[1:]):
+                if after[0] < before[0]:
+                    raise ConfigurationError(
+                        "scripted emissions are not in nondecreasing cycle "
+                        "order across flows — the pump would skip them"
+                    )
+        for flow_id in self._clients:
+            spec = self.flows[flow_id]
+            # Every destination a request can reach needs a reply flow;
+            # fixed-destination patterns (the closed-loop builders use
+            # hotspot) are fully checked here, random ones fail at
+            # delivery time instead.
+            try:
+                probe = spec.pattern(spec.node, _PATTERN_PROBE)
+            except _StochasticPattern:
+                continue
+            if probe not in self._reply_flow:
+                raise ConfigurationError(
+                    f"closed-loop flow {flow_id} targets node {probe} "
+                    "which has no reply flow"
+                )
 
     # ------------------------------------------------------------------
     # public API
@@ -387,6 +509,13 @@ class ColumnSimulator:
             emit_heap = self._emit_heap
             if emit_heap and emit_heap[0][0] < target:
                 target = emit_heap[0][0]
+            script = self._script
+            if (
+                script is not None
+                and self._script_idx < len(script)
+                and script[self._script_idx][0] < target
+            ):
+                target = script[self._script_idx][0]
             if limit < target:
                 target = limit
             if target > advance:
@@ -433,6 +562,10 @@ class ColumnSimulator:
                         now, TraceKind.DELIVER, packet.pid, packet.flow_id,
                         f"node{packet.dst}", f"latency={latency:.0f}",
                     )
+                if packet.reply_to >= 0:
+                    self._on_reply_delivered(packet, now)
+                elif self._clients and packet.flow_id in self._clients:
+                    self._on_request_delivered(packet, now)
             elif kind == _EV_ACK:
                 _, flow_id = event
                 injector = self._injectors[flow_id]
@@ -465,6 +598,26 @@ class ColumnSimulator:
                         now, TraceKind.NACK, packet.pid, packet.flow_id,
                         f"node{packet.src}", f"attempt={packet.attempt}",
                     )
+            elif kind == _EV_REQ:
+                _, flow_id = event
+                injector = self._injectors[flow_id]
+                limit = injector.spec.packet_limit
+                if limit is None or injector.created < limit:
+                    self._create_packet(injector, now)
+            elif kind == _EV_WEIGHT:
+                _, flow_id, weight = event
+                # The live weight moves in the bound policy only; the
+                # FlowSpec stays untouched so a workload list can be
+                # reused across simulators deterministically.
+                self.policy.set_weight(flow_id, weight)
+                # A raised weight improves the flow's priority at every
+                # router, so every node's port rankings (built on the
+                # only-worsens invariant) must be rebuilt lazily; the
+                # refund generation is exactly that fence, and the
+                # blocked-verdict caches key on it too.
+                refund_gen = self._refund_gen
+                for node in range(len(refund_gen)):
+                    refund_gen[node] += 1
 
     # ------------------------------------------------------------------
     # injection
@@ -489,15 +642,40 @@ class ColumnSimulator:
     def _schedule_emission(self, injector: _Injector, start_cycle: int) -> None:
         """Precompute the injector's next emission cycle.
 
-        The geometric draw consumes the injector's RNG stream exactly as
-        per-cycle Bernoulli trials starting at ``start_cycle`` would, so
-        the emission schedule matches the reference engine to the cycle.
+        For rate-driven flows the geometric draw consumes the injector's
+        RNG stream exactly as per-cycle Bernoulli trials starting at
+        ``start_cycle`` would, so the emission schedule matches the
+        reference engine to the cycle.  Flows with an injection process
+        delegate to its ``next_emission(cycle, rng)`` contract instead —
+        called with the same ``start_cycle`` sequence in both engines,
+        which is what keeps them bit-equivalent on scenario traffic.
         """
-        cycle = start_cycle + injector.rng.geometric(injector.emit_probability) - 1
+        process = injector.process
+        if process is None:
+            cycle = (
+                start_cycle + injector.rng.geometric(injector.emit_probability) - 1
+            )
+        else:
+            emission = process.next_emission(start_cycle, injector.rng)
+            if emission is None:
+                injector.next_emit_cycle = None
+                return
+            if emission < start_cycle:
+                raise SimulationError(
+                    f"injection process for flow {injector.flow_id} scheduled "
+                    f"an emission at {emission}, before cycle {start_cycle}"
+                )
+            cycle = emission
         injector.next_emit_cycle = cycle
         heappush(self._emit_heap, (cycle, injector.flow_id))
 
     def _inject(self, now: int) -> None:
+        if self._script is not None:
+            # Scripted (replayed) creations run before the armed-list
+            # swap so the flows they wake are visited this same cycle —
+            # mirroring how the recorded run's event-phase creations
+            # (e.g. closed-loop replies) preceded the injection phase.
+            self._pump_script(now)
         emit_heap = self._emit_heap
         due: list[int] | None = None
         while emit_heap and emit_heap[0][0] == now:
@@ -607,11 +785,51 @@ class ColumnSimulator:
             del fresh[write:]
         del armed[:]  # consumed; becomes next cycle's spare buffer
 
+    def _pump_script(self, now: int) -> None:
+        """Create this cycle's scripted (replayed) packets, in order."""
+        script = self._script
+        index = self._script_idx
+        length = len(script)
+        while index < length and script[index][0] == now:
+            _, flow_id, dst, size = script[index]
+            index += 1
+            self._admit_packet(self._injectors[flow_id], now, dst, size)
+        self._script_idx = index
+
     def _create_packet(self, injector: _Injector, now: int) -> None:
         spec = injector.spec
-        size = injector.sizes[injector.rng.choice_index(injector.size_weights)]
-        dst = spec.pattern(spec.node, injector.rng) if spec.pattern else spec.node
+        process = injector.process
+        drawn = (
+            process.draw_packet(spec, now, injector.rng)
+            if process is not None
+            else None
+        )
+        if drawn is None:
+            size = injector.sizes[injector.rng.choice_index(injector.size_weights)]
+            dst = spec.pattern(spec.node, injector.rng) if spec.pattern else spec.node
+        else:
+            dst, size = drawn
+        self._admit_packet(injector, now, dst, size)
+
+    def _admit_packet(
+        self,
+        injector: _Injector,
+        now: int,
+        dst: int,
+        size: int,
+        reply_to: int = -1,
+    ) -> None:
+        """Materialise one packet into the injector's pending queue.
+
+        The single creation point for every emission driver — rate and
+        process draws, scripted replays, closed-loop requests and
+        destination-generated replies — so packet-id assignment, quota
+        charging and capture recording always happen in one global
+        creation order.
+        """
+        spec = injector.spec
         packet = Packet(self._next_pid, injector.flow_id, spec.node, dst, size, now)
+        packet.reply_to = reply_to
         self._next_pid += 1
         injector.created += 1
         self.stats.created_packets += 1
@@ -619,6 +837,8 @@ class ColumnSimulator:
         packet.protected = self.policy.on_packet_created(injector.flow_id, size, now)
         injector.pending.append(packet)
         self._note_live(injector)
+        if self.capture is not None:
+            self.capture.record_emission(now, injector.flow_id, dst, size)
         if self.trace is not None:
             self.trace.record(
                 now, TraceKind.CREATE, packet.pid, packet.flow_id,
@@ -626,6 +846,39 @@ class ColumnSimulator:
                 f"dst={packet.dst} size={size}"
                 + (" protected" if packet.protected else ""),
             )
+
+    # ------------------------------------------------------------------
+    # closed-loop clients (scenarios)
+
+    def _on_request_delivered(self, packet: Packet, now: int) -> None:
+        """A closed-loop request arrived: the destination emits a reply."""
+        reply_flow = self._reply_flow.get(packet.dst)
+        if reply_flow is None:
+            raise SimulationError(
+                f"closed-loop request delivered to node {packet.dst}, "
+                "which has no reply flow"
+            )
+        loop = self._clients[packet.flow_id]
+        self._admit_packet(
+            self._injectors[reply_flow],
+            now,
+            dst=packet.src,
+            size=loop.reply_flits,
+            reply_to=packet.flow_id,
+        )
+
+    def _on_reply_delivered(self, packet: Packet, now: int) -> None:
+        """A reply reached its client: issue the next request."""
+        flow_id = packet.reply_to
+        injector = self._injectors[flow_id]
+        limit = injector.spec.packet_limit
+        if limit is not None and injector.created >= limit:
+            return
+        think = self._clients[flow_id].think_cycles
+        if think == 0:
+            self._create_packet(injector, now)
+        else:
+            self._schedule(now + think, (_EV_REQ, flow_id))
 
     def _build_route(self, injector: _Injector, packet: Packet) -> None:
         request = RouteRequest(

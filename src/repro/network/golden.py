@@ -15,6 +15,14 @@ Do not add features here and do not "fix" it to match engine changes —
 any intentional behaviour change to the real engine must update this
 file in the same commit, with the equivalence suite re-run, so that
 behavioural drift is always a deliberate, reviewed event.
+
+One such deliberate extension: injection *processes*
+(``FlowSpec.injection``, the scenarios subsystem) are supported with the
+naive per-cycle formulation — the process's ``next_emission`` contract
+is called with the identical ``(0, then now + 1)`` argument sequence the
+optimised engine uses, so bursty workloads remain golden-comparable.
+Closed-loop flows, scripted replays and weight schedules are *not*
+modelled here; constructing this engine with them raises.
 """
 
 from __future__ import annotations
@@ -53,6 +61,8 @@ class _Injector:
         "sizes",
         "size_weights",
         "replica_rr",
+        "process",
+        "next_emit",
     )
 
     def __init__(
@@ -78,6 +88,8 @@ class _Injector:
         self.sizes = [size for size, _ in spec.size_mix]
         self.size_weights = [prob for _, prob in spec.size_mix]
         self.replica_rr = 0
+        self.process = spec.injection
+        self.next_emit: int | None = None
 
     def exhausted(self) -> bool:
         """True once the injector will never produce more work."""
@@ -145,9 +157,31 @@ class GoldenColumnSimulator:
             if slot in used_slots:
                 raise ConfigurationError(f"two flows mapped to injector {key}")
             used_slots.add(slot)
-            self._injectors.append(
-                _Injector(flow_id, spec, station, vc_index, self._root_rng.spawn(flow_id))
+            if (
+                spec.closed_loop is not None
+                or spec.reply_sink
+                or spec.emissions is not None
+                or spec.weight_schedule
+            ):
+                raise ConfigurationError(
+                    "the golden engine does not model closed-loop, "
+                    "scripted-replay or weight-scheduled flows"
+                )
+            injector = _Injector(
+                flow_id, spec, station, vc_index, self._root_rng.spawn(flow_id)
             )
+            if injector.process is not None:
+                if injector.process.weight_changes():
+                    raise ConfigurationError(
+                        "the golden engine does not model weight schedules"
+                    )
+                injector.process.reset()
+                limit = spec.packet_limit
+                if limit is None or limit > 0:
+                    injector.next_emit = injector.process.next_emission(
+                        0, injector.rng
+                    )
+            self._injectors.append(injector)
 
     # ------------------------------------------------------------------
     # public API
@@ -253,7 +287,18 @@ class GoldenColumnSimulator:
         for injector in self._injectors:
             spec = injector.spec
             limit = spec.packet_limit
-            if injector.emit_probability > 0 and (
+            if injector.process is not None:
+                if injector.next_emit == now and (
+                    limit is None or injector.created < limit
+                ):
+                    self._create_packet(injector, now)
+                    if limit is None or injector.created < limit:
+                        injector.next_emit = injector.process.next_emission(
+                            now + 1, injector.rng
+                        )
+                    else:
+                        injector.next_emit = None
+            elif injector.emit_probability > 0 and (
                 limit is None or injector.created < limit
             ):
                 if injector.rng.bernoulli(injector.emit_probability):
@@ -284,8 +329,17 @@ class GoldenColumnSimulator:
 
     def _create_packet(self, injector: _Injector, now: int) -> None:
         spec = injector.spec
-        size = injector.sizes[injector.rng.choice_index(injector.size_weights)]
-        dst = spec.pattern(spec.node, injector.rng) if spec.pattern else spec.node
+        process = injector.process
+        drawn = (
+            process.draw_packet(spec, now, injector.rng)
+            if process is not None
+            else None
+        )
+        if drawn is not None:
+            dst, size = drawn
+        else:
+            size = injector.sizes[injector.rng.choice_index(injector.size_weights)]
+            dst = spec.pattern(spec.node, injector.rng) if spec.pattern else spec.node
         packet = Packet(self._next_pid, injector.flow_id, spec.node, dst, size, now)
         self._next_pid += 1
         injector.created += 1

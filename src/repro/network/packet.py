@@ -27,6 +27,35 @@ ALL_INJECTOR_PORTS = (TERMINAL_PORT, *EAST_PORTS, *WEST_PORTS)
 DestinationChooser = Callable[[int, object], int]
 
 
+@dataclass(frozen=True)
+class ClosedLoopSpec:
+    """Request–reply client behaviour for one closed-loop flow.
+
+    A closed-loop flow does not inject at an open-loop rate: it keeps at
+    most ``outstanding`` requests in flight, and the *destination*
+    terminal generates a ``reply_flits``-sized reply packet when a
+    request is delivered.  A new request is issued ``think_cycles``
+    after the matching reply arrives back at the source, so the offered
+    load self-throttles under congestion (backpressure) instead of
+    queueing without bound.
+
+    The engine requires a companion reply flow
+    (:attr:`FlowSpec.reply_sink`) at every node a request can target.
+    """
+
+    outstanding: int = 4
+    think_cycles: int = 0
+    reply_flits: int = 4
+
+    def __post_init__(self) -> None:
+        if self.outstanding <= 0:
+            raise TrafficError("closed-loop outstanding must be positive")
+        if self.think_cycles < 0:
+            raise TrafficError("closed-loop think_cycles must be non-negative")
+        if self.reply_flits <= 0:
+            raise TrafficError("closed-loop reply_flits must be positive")
+
+
 @dataclass
 class FlowSpec:
     """One injector's traffic contract.
@@ -49,6 +78,33 @@ class FlowSpec:
     packet_limit:
         If set, the injector stops after creating this many packets
         (used for the finite Workload 1/2 slowdown runs of Figure 6).
+    injection:
+        Optional injection process (see :mod:`repro.scenarios.injection`)
+        replacing the Bernoulli process implied by ``rate``.  The engine
+        calls ``reset()`` once at bind, then ``next_emission(cycle,
+        rng)`` to learn each emission cycle and ``draw_packet(spec, now,
+        rng)`` for optional destination/size overrides.  ``rate`` keeps
+        its reporting role (peak offered load of the process).
+    emissions:
+        Scripted emissions for trace replay: ``(cycle, seq, dst, size)``
+        tuples, where ``seq`` is the creation's position in the *global*
+        recorded order (packet ids and policy quota charges depend on
+        it).  A scripted flow draws nothing from its RNG.
+    closed_loop:
+        :class:`ClosedLoopSpec` turning this flow into a request–reply
+        client (requires ``pattern`` and ``rate == 0``).
+    reply_sink:
+        Marks the flow as a closed-loop reply generator: it never emits
+        on its own; the engine creates its packets when requests are
+        delivered at its node.
+    weight_schedule:
+        Scheduled mid-run weight re-programmings as ``(cycle, weight)``
+        pairs (cycles > 0; ``weight`` is the initial value).  Flows
+        with an injection process derive their schedule from the
+        process instead (:meth:`weight_changes`); this field carries it
+        for scripted replays, so a recorded phased run re-applies its
+        weight events.  The engine never mutates the spec: the live
+        weight lives in the bound policy.
     """
 
     node: int
@@ -58,6 +114,11 @@ class FlowSpec:
     pattern: DestinationChooser | None = None
     size_mix: Sequence[tuple[int, float]] = DEFAULT_SIZE_MIX
     packet_limit: int | None = None
+    injection: object | None = None
+    emissions: tuple[tuple[int, int, int, int], ...] | None = None
+    closed_loop: ClosedLoopSpec | None = None
+    reply_sink: bool = False
+    weight_schedule: tuple[tuple[int, float], ...] = ()
 
     def __post_init__(self) -> None:
         if self.port not in ALL_INJECTOR_PORTS:
@@ -73,6 +134,45 @@ class FlowSpec:
             raise TrafficError("size_mix probabilities must sum to 1")
         if any(s <= 0 for s, _ in self.size_mix):
             raise TrafficError("packet sizes must be positive")
+        drivers = sum(
+            1
+            for active in (
+                self.injection is not None,
+                self.emissions is not None,
+                self.closed_loop is not None,
+                self.reply_sink,
+            )
+            if active
+        )
+        if drivers > 1:
+            raise TrafficError(
+                "injection, emissions, closed_loop and reply_sink are "
+                "mutually exclusive emission drivers"
+            )
+        if self.closed_loop is not None:
+            if self.pattern is None:
+                raise TrafficError("closed-loop flows need a destination pattern")
+            if self.rate != 0.0:
+                raise TrafficError("closed-loop flows must declare rate=0")
+        if self.reply_sink and self.rate != 0.0:
+            raise TrafficError("reply-sink flows must declare rate=0")
+        if self.emissions is not None:
+            if self.rate != 0.0:
+                raise TrafficError("scripted flows must declare rate=0")
+            for entry in self.emissions:
+                cycle, seq, dst, size = entry
+                if cycle < 0 or seq < 0 or dst < 0 or size <= 0:
+                    raise TrafficError(f"invalid scripted emission {entry!r}")
+        if self.weight_schedule:
+            if self.injection is not None:
+                raise TrafficError(
+                    "flows with an injection process carry their weight "
+                    "schedule in the process, not on the spec"
+                )
+            for entry in self.weight_schedule:
+                cycle, weight = entry
+                if cycle <= 0 or weight <= 0:
+                    raise TrafficError(f"invalid weight change {entry!r}")
 
     @property
     def mean_packet_size(self) -> float:
@@ -104,6 +204,7 @@ class Packet:
         "protected",
         "tiles_done",
         "carried_priority",
+        "reply_to",
     )
 
     def __init__(
@@ -128,6 +229,9 @@ class Packet:
         self.protected = False
         self.tiles_done = 0
         self.carried_priority = 0.0
+        #: Closed-loop linkage: for reply packets, the client flow id to
+        #: credit on delivery; -1 for everything else.
+        self.reply_to = -1
 
     def reset_for_replay(self) -> None:
         """Prepare a preempted packet for retransmission from the source."""

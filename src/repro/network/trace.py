@@ -23,7 +23,7 @@ import enum
 from collections import deque
 from dataclasses import dataclass
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, TraceOverflowError
 
 
 class TraceKind(enum.Enum):
@@ -58,14 +58,41 @@ class TraceEvent:
         return text
 
 
-class TraceRecorder:
-    """Bounded ring buffer of :class:`TraceEvent`."""
+#: Overflow policies a :class:`TraceRecorder` supports at ``capacity``.
+OVERFLOW_DROP_OLDEST = "drop_oldest"
+OVERFLOW_RAISE = "raise"
+_OVERFLOW_MODES = (OVERFLOW_DROP_OLDEST, OVERFLOW_RAISE)
 
-    def __init__(self, capacity: int = 10_000) -> None:
+
+class TraceRecorder:
+    """Bounded ring buffer of :class:`TraceEvent`.
+
+    Overflow behaviour at ``capacity`` is explicit:
+
+    * ``overflow="drop_oldest"`` (default) — the buffer is a ring: the
+      oldest retained event is evicted, ``dropped`` counts evictions,
+      and :meth:`count` totals still include evicted events.  Long runs
+      stay memory-flat; the tail is always the freshest history.
+    * ``overflow="raise"`` — the recorder raises
+      :class:`~repro.errors.TraceOverflowError` on the first event past
+      capacity, aborting the run.  Use it when losing *any* event would
+      invalidate the analysis (e.g. counting preemptions via a trace).
+    """
+
+    def __init__(
+        self, capacity: int = 10_000, *, overflow: str = OVERFLOW_DROP_OLDEST
+    ) -> None:
         if capacity <= 0:
             raise ConfigurationError("trace capacity must be positive")
+        if overflow not in _OVERFLOW_MODES:
+            raise ConfigurationError(
+                f"unknown overflow mode {overflow!r}; "
+                f"expected one of {_OVERFLOW_MODES}"
+            )
         self.capacity = capacity
-        self.events: deque[TraceEvent] = deque(maxlen=capacity)
+        self.overflow = overflow
+        maxlen = capacity if overflow == OVERFLOW_DROP_OLDEST else None
+        self.events: deque[TraceEvent] = deque(maxlen=maxlen)
         self.dropped = 0
         self._counts: dict[TraceKind, int] = {kind: 0 for kind in TraceKind}
 
@@ -86,8 +113,13 @@ class TraceRecorder:
         where: str,
         detail: str = "",
     ) -> None:
-        """Append one event, evicting the oldest beyond capacity."""
+        """Append one event, applying the configured overflow policy."""
         if len(self.events) == self.capacity:
+            if self.overflow == OVERFLOW_RAISE:
+                raise TraceOverflowError(
+                    f"trace capacity {self.capacity} exhausted at cycle "
+                    f"{cycle} (overflow='raise')"
+                )
             self.dropped += 1
         self.events.append(
             TraceEvent(cycle=cycle, kind=kind, pid=pid, flow_id=flow_id,
@@ -116,3 +148,37 @@ class TraceRecorder:
         if self.dropped:
             lines.insert(0, f"... ({self.dropped} older events dropped)")
         return "\n".join(lines) if lines else "(no events)"
+
+
+class InjectionCapture:
+    """Structured record of every packet creation, in creation order.
+
+    The capture API behind scenario record-and-replay
+    (:mod:`repro.scenarios.tracefmt`): the engine appends ``(cycle,
+    flow_id, dst, size)`` for each packet it creates — open-loop
+    emissions, closed-loop requests and destination-generated replies
+    alike — in exactly the order packet ids are assigned.  Unlike
+    :class:`TraceRecorder` it is unbounded (a truncated capture cannot
+    be replayed) and purely observational: attaching it perturbs
+    nothing about the run.
+    """
+
+    def __init__(self) -> None:
+        self.emissions: list[tuple[int, int, int, int]] = []
+
+    def attach(self, simulator) -> None:
+        """Hook this capture into a simulator that supports capturing."""
+        if not hasattr(simulator, "capture"):
+            raise ConfigurationError(
+                "this simulator does not support injection capture"
+            )
+        simulator.capture = self
+
+    def record_emission(
+        self, cycle: int, flow_id: int, dst: int, size: int
+    ) -> None:
+        """Append one creation (called by the engine)."""
+        self.emissions.append((cycle, flow_id, dst, size))
+
+    def __len__(self) -> int:
+        return len(self.emissions)

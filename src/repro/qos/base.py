@@ -52,6 +52,17 @@ class QosPolicy:
         """
         return None
 
+    def set_weight(self, flow_id: int, weight: float) -> None:
+        """Re-program one flow's service weight mid-run.
+
+        Models the paper's "programming memory-mapped registers" knob,
+        driven by multi-phase scenario schedules.  Policies that key
+        priorities off weights must invalidate every cached value the
+        change could alter; weight-less policies (no-QoS) ignore it.
+        The engine pairs each call with a rank-rebuild fence, because a
+        raised weight can *improve* priorities.
+        """
+
     def on_forward(self, station: Station, packet: Packet, now: int) -> None:
         """Bandwidth accounting when ``packet`` departs ``station``."""
 

@@ -94,6 +94,21 @@ class FlowTable:
         self.comp_stamps[idx] = -1
         self.versions[idx] += 1
 
+    def invalidate_flow(self, flow_id: int) -> None:
+        """Void one flow's cached priority/compliance state everywhere.
+
+        For changes that alter the priority *function* for a flow at
+        every router at once (a weight re-programming): each (node,
+        flow) entry's caches are stamped invalid and its version bumped,
+        exactly as a counter write would do at one router.
+        """
+        n_flows = self.n_flows
+        for node in range(self.n_nodes):
+            idx = node * n_flows + flow_id
+            self.prio_stamps[idx] = -1
+            self.comp_stamps[idx] = -1
+            self.versions[idx] += 1
+
     def consumed(self, node: int, flow_id: int) -> int:
         """Flits forwarded for the flow at the router this frame."""
         idx = node * self.n_flows + flow_id

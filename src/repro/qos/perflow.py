@@ -17,6 +17,7 @@ allocation is identical in intent) but:
 
 from __future__ import annotations
 
+from repro.errors import ConfigurationError
 from repro.network.fabric import Station
 from repro.network.packet import FlowSpec, Packet
 from repro.qos.base import QosPolicy
@@ -53,6 +54,13 @@ class PerFlowQueuedPolicy(QosPolicy):
     def priority_cache(self) -> FlowTable:
         """Pure (router, flow) table state, like PVC — cacheable."""
         return self.table
+
+    def set_weight(self, flow_id: int, weight: float) -> None:
+        """Re-program a flow's weight; void its caches at every router."""
+        if weight <= 0:
+            raise ConfigurationError("flow weight must be positive")
+        self._weights[flow_id] = weight
+        self.table.invalidate_flow(flow_id)
 
     def on_forward(self, station: Station, packet: Packet, now: int) -> None:
         """Charge the flow's bandwidth counter at this router."""

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import math
 
+from repro.errors import ConfigurationError
 from repro.network.fabric import Station
 from repro.network.packet import FlowSpec, Packet
 from repro.qos.base import QosPolicy
@@ -98,6 +99,13 @@ class PvcPolicy(QosPolicy):
     def priority_cache(self) -> FlowTable:
         """PVC priority is pure (router, flow) table state — cacheable."""
         return self.table
+
+    def set_weight(self, flow_id: int, weight: float) -> None:
+        """Re-program a flow's weight; void its caches at every router."""
+        if weight <= 0:
+            raise ConfigurationError("flow weight must be positive")
+        self._weights[flow_id] = weight
+        self.table.invalidate_flow(flow_id)
 
     def on_forward(self, station: Station, packet: Packet, now: int) -> None:
         """Charge the flow's bandwidth counter at this router."""

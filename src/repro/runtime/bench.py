@@ -44,12 +44,21 @@ class EnginePoint:
     rate: float
     cycles: int
     warmup: int = 0
-    regime: str = "low_rate"  # or "saturation"
+    regime: str = "low_rate"  # or "mid_rate", "saturation", "bursty"
+    workload: str = "full_column"  # or "bursty" (scenario on/off sources)
     config: SimulationConfig = field(
         default_factory=lambda: SimulationConfig(frame_cycles=2000, seed=3)
     )
 
     def flows(self):
+        if self.workload == "bursty":
+            from repro.scenarios import bursty_workload
+            from repro.traffic.patterns import hotspot
+
+            # Bursty hotspot: every burst oversubscribes node 0's
+            # ejection port, so the point exercises the saturated
+            # blocked-port machinery *and* the idle-gap skipping.
+            return bursty_workload(self.rate, pattern=hotspot(0))
         return full_column_workload(self.rate)
 
 
@@ -94,6 +103,11 @@ def default_points(*, fast: bool = False) -> tuple[EnginePoint, ...]:
                     regime="saturation"),
         EnginePoint("saturation_fbfly_0p30", "fbfly", 0.30, sat_cycles,
                     regime="saturation"),
+        # Non-stationary regime (scenarios subsystem): on/off sources
+        # that saturate during bursts and go silent between them, so
+        # both the hot path and the cycle skipper matter at once.
+        EnginePoint("bursty_saturation", "mecs", 0.60, sat_cycles * 2,
+                    regime="bursty", workload="bursty"),
     )
 
 
@@ -240,6 +254,7 @@ def record_engine_baseline(
         data[result.point.name] = {
             "regime": result.point.regime,
             "topology": result.point.topology,
+            "workload": result.point.workload,
             "rate": result.point.rate,
             "offered_load_flits_per_cycle": round(
                 offered_load(result.point.flows()), 4

@@ -129,7 +129,103 @@ WORKLOAD_BUILDERS = {
         rate="optional",
         allowed_params=frozenset({"node", "dst", "flits"}),
     ),
+    # -- scenario workloads (repro.scenarios) -------------------------
+    "bursty": WorkloadEntry(
+        lambda rate, p: _scenario_workloads().bursty_workload(
+            rate,
+            pattern=_scenario_pattern(p),
+            on_cycles=p.get("on_cycles", 64),
+            off_cycles=p.get("off_cycles", 192),
+        ),
+        allowed_params=frozenset({"pattern", "target", "on_cycles", "off_cycles"}),
+    ),
+    "pareto_bursty": WorkloadEntry(
+        lambda rate, p: _scenario_workloads().pareto_workload(
+            rate,
+            pattern=_scenario_pattern(p),
+            alpha=p.get("alpha", 1.5),
+            on_scale=p.get("on_scale", 8),
+            off_scale=p.get("off_scale", 24),
+        ),
+        allowed_params=frozenset(
+            {"pattern", "target", "alpha", "on_scale", "off_scale"}
+        ),
+    ),
+    "phased": WorkloadEntry(
+        lambda rate, p: _scenario_workloads().phased_workload(
+            _scenario_workloads().parse_phases(p["phases"])
+        ),
+        rate="forbidden",
+        allowed_params=frozenset({"phases"}),
+        required_params=frozenset({"phases"}),
+    ),
+    "closed_loop": WorkloadEntry(
+        lambda rate, p: _scenario_workloads().closed_loop_workload(
+            server=p.get("server", 0),
+            outstanding=p.get("outstanding", 4),
+            think_cycles=p.get("think_cycles", 0),
+            request_flits=p.get("request_flits", 1),
+            reply_flits=p.get("reply_flits", 4),
+            requests=p.get("requests"),
+        ),
+        rate="forbidden",
+        allowed_params=frozenset(
+            {
+                "server",
+                "outstanding",
+                "think_cycles",
+                "request_flits",
+                "reply_flits",
+                "requests",
+            }
+        ),
+    ),
+    "replay": WorkloadEntry(
+        lambda rate, p: _scenario_workloads().replayed_workload(
+            _read_trace(p["path"], p["sha256"])
+        ),
+        rate="forbidden",
+        allowed_params=frozenset({"path", "sha256"}),
+        required_params=frozenset({"path", "sha256"}),
+    ),
 }
+
+#: The subset of :data:`WORKLOAD_BUILDERS` added by the scenarios
+#: subsystem, with one-line descriptions for ``repro scenario list``.
+SCENARIO_WORKLOADS = {
+    "bursty": "on/off (MMPP) bursts; rate = peak flits/cycle during bursts",
+    "pareto_bursty": "self-similar bursts with Pareto on/off lengths",
+    "phased": "multi-phase schedule (rate/pattern/weights per epoch)",
+    "closed_loop": "request-reply clients with bounded outstanding requests",
+    "replay": "re-inject a recorded JSONL trace (path + sha256)",
+}
+
+
+def _scenario_workloads():
+    # Imported lazily to keep the layering acyclic: repro.scenarios
+    # imports this module for the pattern registry.
+    from repro.scenarios import workloads
+
+    return workloads
+
+
+def _scenario_pattern(params: dict):
+    """Scenario pattern lookup: ``target`` selects a hotspot pattern.
+
+    The target/pattern conflict and hotspot bounds were already checked
+    by :class:`RunSpec` validation; this only materialises the choice.
+    """
+    from repro.traffic.patterns import hotspot
+
+    if "target" in params:
+        return hotspot(params["target"])
+    return _pattern(params)
+
+
+def _read_trace(path: str, sha256: str):
+    from repro.scenarios.tracefmt import read_trace
+
+    return read_trace(path, expect_sha256=sha256)
 
 
 def _policy_registry():
@@ -256,6 +352,18 @@ class RunSpec:
         params = dict(self.workload_params)
         if "pattern" in params:
             _pattern(params)  # validate the name eagerly, not in a worker
+        if "target" in params:
+            # hotspot() bounds-checks the node: a typo'd target fails at
+            # spec construction instead of corrupting a worker's routes.
+            from repro.traffic.patterns import hotspot
+
+            hotspot(params["target"])
+            if "pattern" in params:
+                raise ConfigurationError(
+                    "give either 'pattern' or a hotspot 'target', not both"
+                )
+        if self.workload == "phased":
+            _scenario_workloads().parse_phases(params["phases"])
         if self.policy not in POLICIES:
             raise ConfigurationError(
                 f"unknown policy {self.policy!r}; expected one of {sorted(POLICIES)}"

@@ -1,0 +1,293 @@
+"""Injection processes beyond Bernoulli.
+
+An *injection process* replaces the per-cycle Bernoulli coin implied by
+``FlowSpec.rate`` with an arbitrary (deterministic, seeded) arrival
+process.  The engine contract is small and identical in the optimised
+and golden engines, which is what keeps them bit-equivalent on these
+workloads:
+
+* ``reset()`` is called once when the simulator binds the flow — a
+  process object may be stateful, and resetting at bind makes reusing a
+  workload list across simulators safe;
+* ``next_emission(cycle, rng)`` returns the next cycle at which the
+  injector creates a packet, **no earlier than** ``cycle``, or ``None``
+  when the process will never emit again.  The engine calls it with
+  ``0`` at bind and with ``now + 1`` after each emission, so the call
+  sequence (hence the RNG consumption, hence the schedule) does not
+  depend on which engine runs it or how many idle cycles were skipped;
+* ``draw_packet(spec, now, rng)`` may override the packet's
+  (destination, size) draw; returning ``None`` keeps the default
+  ``size_mix`` + ``spec.pattern`` draws;
+* ``weight_changes()`` lists ``(cycle, weight)`` re-programmings of the
+  flow's PVC weight (phase schedules); empty for most processes.
+
+All randomness flows through the injector's own
+:class:`~repro.util.rng.DeterministicRng`, so two runs with the same
+seed produce identical packets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TrafficError
+from repro.network.packet import DestinationChooser, FlowSpec
+
+
+class InjectionProcess:
+    """Base class: the contract documented in the module docstring."""
+
+    def reset(self) -> None:
+        """Forget any per-run state (called once at simulator bind)."""
+
+    def next_emission(self, cycle: int, rng) -> int | None:
+        """Next emission cycle (>= ``cycle``), or None if exhausted."""
+        raise NotImplementedError
+
+    def draw_packet(
+        self, spec: FlowSpec, now: int, rng
+    ) -> tuple[int, int] | None:
+        """Optional (dst, size) override; None = default spec draws."""
+        return None
+
+    def weight_changes(self) -> tuple[tuple[int, float], ...]:
+        """Scheduled (cycle, weight) re-programmings; empty by default."""
+        return ()
+
+
+class BernoulliProcess(InjectionProcess):
+    """The default open-loop process, as an explicit object.
+
+    Emits with probability ``emit_probability`` per cycle via geometric
+    inter-arrival sampling — the same draws the engine performs for a
+    plain rated :class:`FlowSpec`, packaged so scenario code can treat
+    every process uniformly.
+    """
+
+    def __init__(self, emit_probability: float) -> None:
+        if not 0.0 < emit_probability <= 1.0:
+            raise TrafficError("emit_probability must be in (0, 1]")
+        self.emit_probability = emit_probability
+
+    def next_emission(self, cycle: int, rng) -> int:
+        return cycle + rng.geometric(self.emit_probability) - 1
+
+
+class AlternatingBurstProcess(InjectionProcess):
+    """Shared ON/OFF state machine for bursty sources.
+
+    During an ON period the source emits with ``emit_probability`` per
+    cycle; during OFF it is silent.  Subclasses define the period-length
+    distributions through :meth:`_on_length` / :meth:`_off_length`.  The
+    machine starts a fresh ON period at cycle 0, and an emission draw
+    that overshoots the current burst is discarded at the boundary (the
+    draw is consumed; both engines call :meth:`next_emission` with the
+    same argument sequence, so the schedule is engine-independent).
+    """
+
+    def __init__(self, emit_probability: float) -> None:
+        if not 0.0 < emit_probability <= 1.0:
+            raise TrafficError("emit_probability must be in (0, 1]")
+        self.emit_probability = emit_probability
+        self._on = True
+        self._boundary: int | None = None  # exclusive end of current period
+
+    def reset(self) -> None:
+        self._on = True
+        self._boundary = None
+
+    def _on_length(self, rng) -> int:
+        raise NotImplementedError
+
+    def _off_length(self, rng) -> int:
+        raise NotImplementedError
+
+    def next_emission(self, cycle: int, rng) -> int:
+        if self._boundary is None:
+            self._on = True
+            self._boundary = self._on_length(rng)
+        while True:
+            if self._on:
+                if cycle < self._boundary:
+                    emission = cycle + rng.geometric(self.emit_probability) - 1
+                    if emission < self._boundary:
+                        return emission
+                    cycle = self._boundary
+                self._on = False
+                self._boundary += self._off_length(rng)
+            else:
+                if cycle < self._boundary:
+                    cycle = self._boundary
+                self._on = True
+                self._boundary += self._on_length(rng)
+
+
+class OnOffProcess(AlternatingBurstProcess):
+    """MMPP-style bursty source: geometric ON/OFF period lengths.
+
+    The classic two-state Markov-modulated process.  The peak rate
+    (``rate`` on the owning :class:`FlowSpec`) applies within bursts;
+    the long-run mean rate is ``rate * mean_on / (mean_on + mean_off)``.
+    """
+
+    def __init__(
+        self,
+        emit_probability: float,
+        mean_on: float,
+        mean_off: float,
+    ) -> None:
+        super().__init__(emit_probability)
+        if mean_on < 1.0 or mean_off < 1.0:
+            raise TrafficError("mean_on and mean_off must be >= 1 cycle")
+        self.mean_on = mean_on
+        self.mean_off = mean_off
+
+    def _on_length(self, rng) -> int:
+        return rng.geometric(1.0 / self.mean_on)
+
+    def _off_length(self, rng) -> int:
+        return rng.geometric(1.0 / self.mean_off)
+
+
+class ParetoBurstProcess(AlternatingBurstProcess):
+    """Self-similar bursty source: Pareto-distributed period lengths.
+
+    Heavy-tailed ON/OFF periods (``P[len > x] ~ (scale/x)^alpha``) are
+    the standard generator of self-similar network traffic: aggregating
+    many such sources yields long-range-dependent load that defeats
+    frame-sized averaging, which is exactly the regime where PVC's
+    preemption throttles and GSF-style frame reservations diverge.
+    Period lengths are truncated at ``cap`` multiples of their scale so
+    a single draw cannot swallow an entire run.
+    """
+
+    def __init__(
+        self,
+        emit_probability: float,
+        alpha: float = 1.5,
+        on_scale: float = 8.0,
+        off_scale: float = 24.0,
+        cap: float = 1000.0,
+    ) -> None:
+        super().__init__(emit_probability)
+        if alpha <= 1.0:
+            raise TrafficError("alpha must be > 1 (finite mean burst length)")
+        if on_scale < 1.0 or off_scale < 1.0:
+            raise TrafficError("period scales must be >= 1 cycle")
+        if cap <= 1.0:
+            raise TrafficError("cap must be > 1")
+        self.alpha = alpha
+        self.on_scale = on_scale
+        self.off_scale = off_scale
+        self.cap = cap
+
+    def _pareto_length(self, rng, scale: float) -> int:
+        # Inverse-transform Pareto: scale * U^(-1/alpha), U in (0, 1].
+        uniform = 1.0 - rng.random()  # (0, 1] — avoids a zero divisor
+        length = scale * uniform ** (-1.0 / self.alpha)
+        return max(1, int(min(length, scale * self.cap)))
+
+    def _on_length(self, rng) -> int:
+        return self._pareto_length(rng, self.on_scale)
+
+    def _off_length(self, rng) -> int:
+        return self._pareto_length(rng, self.off_scale)
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One epoch of a multi-phase schedule.
+
+    ``emit_probability`` is the per-cycle emission probability during
+    the phase (0 = silent); ``pattern`` optionally overrides the flow's
+    destination pattern for the epoch (``None`` = the flow's own).
+    ``weight`` sets the flow's PVC weight from this epoch on; ``None``
+    leaves the weight unchanged.  Builders wanting per-epoch weight
+    semantics (revert when an epoch specifies none) normalise every
+    phase to an explicit weight — :func:`repro.scenarios.workloads.
+    phased_workload` does exactly that.
+    """
+
+    cycles: int
+    emit_probability: float
+    pattern: DestinationChooser | None = None
+    weight: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.cycles <= 0:
+            raise TrafficError("phase length must be positive")
+        if not 0.0 <= self.emit_probability <= 1.0:
+            raise TrafficError("phase emit_probability must be in [0, 1]")
+        if self.weight is not None and self.weight <= 0:
+            raise TrafficError("phase weight must be positive")
+
+
+class PhasedProcess(InjectionProcess):
+    """Multi-phase schedule: rate/pattern/weight change at epoch bounds.
+
+    Phases run back to back from cycle 0; the last phase extends
+    forever.  Emission draws are confined to each phase (a geometric
+    draw that overshoots the boundary is re-drawn in the next phase), so
+    rate changes take effect exactly at the boundary cycle.  Weight
+    overrides are surfaced through :meth:`weight_changes` and applied by
+    the engine as scheduled events — the first phase's weight must be
+    programmed on the :class:`FlowSpec` itself (the workload builders do
+    this).
+    """
+
+    def __init__(self, phases: tuple[Phase, ...]) -> None:
+        if not phases:
+            raise TrafficError("a phased process needs at least one phase")
+        self.phases = tuple(phases)
+        starts = []
+        start = 0
+        for phase in self.phases:
+            starts.append(start)
+            start += phase.cycles
+        self._starts = tuple(starts)
+        self._ends = tuple(starts[1:]) + (None,)
+
+    def _locate(self, cycle: int) -> int:
+        index = len(self._starts) - 1
+        while index > 0 and cycle < self._starts[index]:
+            index -= 1
+        return index
+
+    def next_emission(self, cycle: int, rng) -> int | None:
+        index = self._locate(cycle)
+        while True:
+            phase = self.phases[index]
+            end = self._ends[index]
+            if phase.emit_probability > 0.0:
+                emission = cycle + rng.geometric(phase.emit_probability) - 1
+                if end is None or emission < end:
+                    return emission
+            elif end is None:
+                return None  # silent final phase: never emits again
+            cycle = end
+            index += 1
+
+    def draw_packet(
+        self, spec: FlowSpec, now: int, rng
+    ) -> tuple[int, int] | None:
+        phase = self.phases[self._locate(now)]
+        if phase.pattern is None:
+            return None
+        # Mirror the engine's default draw order (size, then dst) with
+        # the phase's pattern substituted for the flow's.
+        sizes = [size for size, _ in spec.size_mix]
+        weights = [prob for _, prob in spec.size_mix]
+        size = sizes[rng.choice_index(weights)]
+        return phase.pattern(spec.node, rng), size
+
+    def weight_changes(self) -> tuple[tuple[int, float], ...]:
+        """Boundary cycles where the effective weight actually moves."""
+        changes = []
+        previous = self.phases[0].weight
+        for start, phase in zip(self._starts[1:], self.phases[1:]):
+            weight = phase.weight
+            if weight is not None:
+                if weight != previous:
+                    changes.append((start, weight))
+                previous = weight
+        return tuple(changes)

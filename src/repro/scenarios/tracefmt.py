@@ -1,0 +1,226 @@
+"""Portable injection-trace format: versioned JSONL, record and replay.
+
+A *scenario trace* is the complete injection history of one run — every
+packet creation, in global creation order — plus the flow table needed
+to re-create the injectors.  Re-injecting a trace (see
+:func:`repro.scenarios.workloads.replayed_workload`) reproduces the
+original run **bit-exactly**: packet ids, preemptions, replays and
+:meth:`NetworkStats.snapshot` all match, because everything downstream
+of injection is deterministic given the seed.
+
+File layout (one JSON document per line)::
+
+    {"format": "repro-scenario-trace", "version": 1,
+     "flows": [{"node": 0, "port": "terminal", "weight": 1.0}, ...],
+     "meta": {...}}                       # header
+    {"c": 12, "f": 3, "d": 0, "s": 4}     # one line per emission:
+    ...                                   # cycle, flow, dst, size
+
+The header's ``meta`` mapping is free-form; the CLI's ``scenario
+record`` stores the topology/policy/config and a SHA-256 digest of the
+source run's stats snapshot there so ``scenario replay`` can verify the
+round trip.  Emission order in the file **is** the creation order —
+consumers must preserve it (packet ids and PVC quota charges depend on
+it).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.network.packet import ALL_INJECTOR_PORTS
+
+TRACE_FORMAT = "repro-scenario-trace"
+TRACE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class TraceFlow:
+    """One injector of the recorded run (enough to rebuild its slot).
+
+    ``weight`` is the flow's *initial* PVC weight; ``weight_changes``
+    carries any mid-run re-programmings (phased schedules) so replaying
+    the trace re-applies them at the same cycles.
+    """
+
+    node: int
+    port: str
+    weight: float = 1.0
+    weight_changes: tuple[tuple[int, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.port not in ALL_INJECTOR_PORTS:
+            raise ConfigurationError(f"unknown injector port {self.port!r}")
+        if self.weight <= 0:
+            raise ConfigurationError("trace flow weight must be positive")
+        for entry in self.weight_changes:
+            cycle, weight = entry
+            if cycle <= 0 or weight <= 0:
+                raise ConfigurationError(f"invalid weight change {entry!r}")
+
+
+@dataclass(frozen=True)
+class ScenarioTrace:
+    """A parsed trace: flow table + emissions in creation order."""
+
+    flows: tuple[TraceFlow, ...]
+    #: ``(cycle, flow_index, dst, size)`` in global creation order.
+    emissions: tuple[tuple[int, int, int, int], ...]
+    meta: dict
+
+    def __post_init__(self) -> None:
+        if not self.flows:
+            raise ConfigurationError("a trace needs at least one flow")
+        last_cycle = 0
+        for entry in self.emissions:
+            cycle, flow, dst, size = entry
+            if not 0 <= flow < len(self.flows):
+                raise ConfigurationError(f"emission {entry!r}: unknown flow")
+            if cycle < last_cycle:
+                raise ConfigurationError(
+                    "emissions must be in nondecreasing cycle order"
+                )
+            if dst < 0 or size <= 0:
+                raise ConfigurationError(f"invalid emission {entry!r}")
+            last_cycle = cycle
+
+
+def snapshot_digest(snapshot: dict) -> str:
+    """Canonical SHA-256 of a :meth:`NetworkStats.snapshot` dump."""
+    payload = json.dumps(snapshot, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def file_sha256(path: str | os.PathLike) -> str:
+    """SHA-256 of a file's bytes — the replay cache-soundness anchor."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 16), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def write_trace(path: str | os.PathLike, trace: ScenarioTrace) -> str:
+    """Serialise a trace to JSONL; returns the file's SHA-256 digest."""
+    header = {
+        "format": TRACE_FORMAT,
+        "version": TRACE_VERSION,
+        "flows": [
+            {
+                "node": flow.node,
+                "port": flow.port,
+                "weight": flow.weight,
+                "weight_changes": [list(change) for change in flow.weight_changes],
+            }
+            for flow in trace.flows
+        ],
+        "meta": trace.meta,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(header, sort_keys=True) + "\n")
+        for cycle, flow, dst, size in trace.emissions:
+            handle.write(
+                json.dumps(
+                    {"c": cycle, "f": flow, "d": dst, "s": size},
+                    sort_keys=True,
+                    separators=(",", ":"),
+                )
+                + "\n"
+            )
+    return file_sha256(path)
+
+
+def read_trace(
+    path: str | os.PathLike, *, expect_sha256: str | None = None
+) -> ScenarioTrace:
+    """Parse a JSONL trace; optionally verify the file digest first.
+
+    ``expect_sha256`` is how replay runs stay sound under the runtime's
+    content-addressed result cache: the spec hashes the digest, and a
+    file whose bytes moved on no longer matches it.
+    """
+    if expect_sha256 is not None:
+        actual = file_sha256(path)
+        if actual != expect_sha256:
+            raise ConfigurationError(
+                f"trace {path!s} digest mismatch: expected {expect_sha256}, "
+                f"got {actual}"
+            )
+    with open(path, encoding="utf-8") as handle:
+        header_line = handle.readline()
+        if not header_line.strip():
+            raise ConfigurationError(f"trace {path!s} is empty")
+        try:
+            header = json.loads(header_line)
+        except json.JSONDecodeError as error:
+            raise ConfigurationError(f"trace {path!s}: bad header") from error
+        if header.get("format") != TRACE_FORMAT:
+            raise ConfigurationError(
+                f"trace {path!s}: not a {TRACE_FORMAT} file"
+            )
+        if header.get("version") != TRACE_VERSION:
+            raise ConfigurationError(
+                f"trace {path!s}: unsupported version {header.get('version')!r} "
+                f"(this build reads version {TRACE_VERSION})"
+            )
+        flows = tuple(
+            TraceFlow(
+                node=entry["node"],
+                port=entry["port"],
+                weight=entry.get("weight", 1.0),
+                weight_changes=tuple(
+                    (cycle, weight)
+                    for cycle, weight in entry.get("weight_changes", [])
+                ),
+            )
+            for entry in header.get("flows", [])
+        )
+        emissions = []
+        for line_no, line in enumerate(handle, start=2):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+                emissions.append(
+                    (record["c"], record["f"], record["d"], record["s"])
+                )
+            except (json.JSONDecodeError, KeyError, TypeError) as error:
+                raise ConfigurationError(
+                    f"trace {path!s}: bad emission on line {line_no}"
+                ) from error
+    return ScenarioTrace(
+        flows=flows, emissions=tuple(emissions), meta=header.get("meta", {})
+    )
+
+
+def capture_to_trace(capture, flows, meta: dict | None = None) -> ScenarioTrace:
+    """Build a :class:`ScenarioTrace` from a finished captured run.
+
+    ``capture`` is the :class:`~repro.network.trace.InjectionCapture`
+    that was attached to the simulator; ``flows`` is the simulator's
+    :class:`FlowSpec` list (slot layout, weights, and any weight
+    schedules — taken from the injection process when the flow has one,
+    so replays re-apply phased weight re-programmings).
+    """
+    def schedule_of(spec) -> tuple[tuple[int, float], ...]:
+        if spec.injection is not None:
+            return tuple(spec.injection.weight_changes())
+        return tuple(spec.weight_schedule)
+
+    return ScenarioTrace(
+        flows=tuple(
+            TraceFlow(
+                node=spec.node,
+                port=spec.port,
+                weight=spec.weight,
+                weight_changes=schedule_of(spec),
+            )
+            for spec in flows
+        ),
+        emissions=tuple(capture.emissions),
+        meta=dict(meta or {}),
+    )

@@ -1,0 +1,330 @@
+"""Scenario workload builders: bursty, phased, closed-loop, replay.
+
+These compose :class:`~repro.network.packet.FlowSpec` lists exactly like
+:mod:`repro.traffic.workloads`, but drive injection with the processes
+of :mod:`repro.scenarios.injection` (or with a recorded trace) instead
+of the open-loop Bernoulli coin.  All of them are registered in
+:mod:`repro.runtime.spec` under JSON-scalar parameters, so scenario runs
+are content-hashable and flow through the result cache and the
+parallel executor unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import TrafficError
+from repro.network.config import COLUMN_NODES
+from repro.network.packet import (
+    DEFAULT_SIZE_MIX,
+    TERMINAL_PORT,
+    ClosedLoopSpec,
+    FlowSpec,
+)
+from repro.scenarios.injection import (
+    OnOffProcess,
+    ParetoBurstProcess,
+    Phase,
+    PhasedProcess,
+)
+from repro.scenarios.tracefmt import ScenarioTrace
+from repro.traffic.patterns import Pattern, hotspot, uniform_random
+
+__all__ = [
+    "bursty_workload",
+    "closed_loop_workload",
+    "pareto_workload",
+    "parse_phases",
+    "phased_workload",
+    "replayed_workload",
+]
+
+#: Expected flits per packet under the default request/reply size mix.
+_DEFAULT_MEAN_PACKET_SIZE = sum(size * prob for size, prob in DEFAULT_SIZE_MIX)
+
+
+def _emit_probability(rate: float) -> float:
+    """Per-cycle packet-emission probability for a peak flit rate."""
+    if rate <= 0:
+        raise TrafficError("rate must be positive")
+    probability = rate / _DEFAULT_MEAN_PACKET_SIZE
+    if probability > 1.0:
+        raise TrafficError(f"rate {rate} exceeds one packet per cycle")
+    return probability
+
+
+def bursty_workload(
+    rate: float,
+    *,
+    pattern: Pattern = uniform_random,
+    on_cycles: float = 64.0,
+    off_cycles: float = 192.0,
+    packet_limit: int | None = None,
+) -> list[FlowSpec]:
+    """On/off (MMPP-style) bursty terminal injectors at every node.
+
+    ``rate`` is the *peak* per-injector rate in flits/cycle during
+    bursts; the long-run mean is ``rate * on / (on + off)``.  Each node
+    gets an independent :class:`OnOffProcess` stream, so bursts
+    decorrelate across sources.
+    """
+    probability = _emit_probability(rate)
+    return [
+        FlowSpec(
+            node=node,
+            port=TERMINAL_PORT,
+            rate=rate,
+            pattern=pattern,
+            packet_limit=packet_limit,
+            injection=OnOffProcess(probability, on_cycles, off_cycles),
+        )
+        for node in range(COLUMN_NODES)
+    ]
+
+
+def pareto_workload(
+    rate: float,
+    *,
+    pattern: Pattern = uniform_random,
+    alpha: float = 1.5,
+    on_scale: float = 8.0,
+    off_scale: float = 24.0,
+    packet_limit: int | None = None,
+) -> list[FlowSpec]:
+    """Self-similar terminal injectors (Pareto burst/idle lengths)."""
+    probability = _emit_probability(rate)
+    return [
+        FlowSpec(
+            node=node,
+            port=TERMINAL_PORT,
+            rate=rate,
+            pattern=pattern,
+            packet_limit=packet_limit,
+            injection=ParetoBurstProcess(
+                probability, alpha=alpha, on_scale=on_scale,
+                off_scale=off_scale,
+            ),
+        )
+        for node in range(COLUMN_NODES)
+    ]
+
+
+def parse_phases(encoded: str) -> list[dict]:
+    """Decode and validate the JSON phase schedule used by ``"phased"``.
+
+    The schedule is a JSON array of phase objects::
+
+        [{"cycles": 2000, "rate": 0.05},
+         {"cycles": 2000, "rate": 0.30, "pattern": "tornado",
+          "weights": [4.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0]}]
+
+    ``rate`` is the phase's per-injector peak rate (0 = silent);
+    ``pattern`` names a destination pattern for the epoch; ``weights``
+    sets each node's PVC weight for the epoch (one entry per node) —
+    the paper's "programming memory-mapped registers" knob exercised
+    mid-run.  Epochs without ``weights`` revert to each flow's base
+    weight.  Everything is validated here, so a bad schedule fails at
+    :class:`RunSpec` construction rather than inside a worker.
+    """
+    # Imported here, not at module top: patterns registry lives in the
+    # runtime layer, which imports this module.
+    from repro.runtime.spec import PATTERNS
+
+    try:
+        phases = json.loads(encoded)
+    except json.JSONDecodeError as error:
+        raise TrafficError(f"phases is not valid JSON: {error}") from error
+    if not isinstance(phases, list) or not phases:
+        raise TrafficError("phases must be a non-empty JSON array")
+    for index, phase in enumerate(phases):
+        if not isinstance(phase, dict):
+            raise TrafficError(f"phase {index} must be an object")
+        unknown = set(phase) - {"cycles", "rate", "pattern", "weights"}
+        if unknown:
+            raise TrafficError(f"phase {index}: unknown keys {sorted(unknown)}")
+        if not isinstance(phase.get("cycles"), int) or phase["cycles"] <= 0:
+            raise TrafficError(f"phase {index}: cycles must be a positive int")
+        rate = phase.get("rate")
+        if not isinstance(rate, (int, float)) or rate < 0:
+            raise TrafficError(f"phase {index}: rate must be >= 0")
+        if rate > 0 and rate / _DEFAULT_MEAN_PACKET_SIZE > 1.0:
+            raise TrafficError(
+                f"phase {index}: rate {rate} exceeds one packet per cycle"
+            )
+        pattern = phase.get("pattern")
+        if pattern is not None and pattern not in PATTERNS:
+            raise TrafficError(
+                f"phase {index}: unknown pattern {pattern!r}; "
+                f"expected one of {sorted(PATTERNS)}"
+            )
+        weights = phase.get("weights")
+        if weights is not None:
+            if (
+                not isinstance(weights, list)
+                or len(weights) != COLUMN_NODES
+                or any(
+                    not isinstance(w, (int, float)) or w <= 0 for w in weights
+                )
+            ):
+                raise TrafficError(
+                    f"phase {index}: weights must be {COLUMN_NODES} positive "
+                    "numbers (one per node)"
+                )
+    if all(phase["rate"] <= 0 for phase in phases):
+        raise TrafficError("at least one phase must have a positive rate")
+    return phases
+
+
+def phased_workload(phases: list[dict]) -> list[FlowSpec]:
+    """Terminal injectors driven by a shared multi-phase schedule.
+
+    ``phases`` is the (already validated) list :func:`parse_phases`
+    returns.  Every node runs the same rate/pattern schedule on an
+    independent RNG stream.  Weight semantics are per-epoch: a phase
+    with ``weights`` programs them for that epoch, a phase without
+    reverts to each flow's base weight (the first phase's entry, or
+    1.0) — normalised here to explicit per-phase weights so
+    :meth:`PhasedProcess.weight_changes` only emits real moves.
+    """
+    from repro.runtime.spec import PATTERNS
+
+    peak = max(phase["rate"] for phase in phases)
+    if peak <= 0:
+        raise TrafficError("at least one phase must have a positive rate")
+    scheduled_weights = any(
+        phase.get("weights") is not None for phase in phases
+    )
+    flows = []
+    for node in range(COLUMN_NODES):
+        first_weights = phases[0].get("weights")
+        base_weight = first_weights[node] if first_weights is not None else 1.0
+        node_phases = tuple(
+            Phase(
+                cycles=phase["cycles"],
+                emit_probability=(
+                    _emit_probability(phase["rate"]) if phase["rate"] > 0
+                    else 0.0
+                ),
+                pattern=(
+                    PATTERNS[phase["pattern"]]
+                    if phase.get("pattern") is not None
+                    else None
+                ),
+                weight=(
+                    (
+                        phase["weights"][node]
+                        if phase.get("weights") is not None
+                        else base_weight
+                    )
+                    if scheduled_weights
+                    else None
+                ),
+            )
+            for phase in phases
+        )
+        flows.append(
+            FlowSpec(
+                node=node,
+                port=TERMINAL_PORT,
+                rate=peak,
+                weight=base_weight,
+                pattern=uniform_random,
+                injection=PhasedProcess(node_phases),
+            )
+        )
+    return flows
+
+
+def closed_loop_workload(
+    *,
+    server: int = 0,
+    outstanding: int = 4,
+    think_cycles: int = 0,
+    request_flits: int = 1,
+    reply_flits: int = 4,
+    requests: int | None = None,
+    clients: tuple[int, ...] | None = None,
+) -> list[FlowSpec]:
+    """Request–reply clients around one server node.
+
+    Every client keeps at most ``outstanding`` requests in flight toward
+    ``server``; the server's terminal generates a ``reply_flits`` reply
+    per delivered request, and a client issues its next request
+    ``think_cycles`` after the reply lands.  ``requests`` bounds each
+    client's total (enabling ``run_until_drained``); ``None`` runs
+    forever.  The returned list is clients first (node order), reply
+    flow last.
+    """
+    if not 0 <= server < COLUMN_NODES:
+        raise TrafficError(f"server node {server} out of range")
+    if clients is None:
+        clients = tuple(n for n in range(COLUMN_NODES) if n != server)
+    if not clients:
+        raise TrafficError("closed-loop workload needs at least one client")
+    if server in clients:
+        raise TrafficError("the server node cannot also be a client")
+    if len(set(clients)) != len(clients):
+        raise TrafficError("duplicate client nodes")
+    if any(not 0 <= node < COLUMN_NODES for node in clients):
+        raise TrafficError("client node out of range")
+    if request_flits <= 0:
+        raise TrafficError("request_flits must be positive")
+    if requests is not None and requests <= 0:
+        raise TrafficError("requests must be positive (or None for open-ended)")
+    loop = ClosedLoopSpec(
+        outstanding=outstanding,
+        think_cycles=think_cycles,
+        reply_flits=reply_flits,
+    )
+    flows = [
+        FlowSpec(
+            node=node,
+            port=TERMINAL_PORT,
+            rate=0.0,
+            pattern=hotspot(server),
+            size_mix=((request_flits, 1.0),),
+            packet_limit=requests,
+            closed_loop=loop,
+        )
+        for node in sorted(clients)
+    ]
+    flows.append(
+        FlowSpec(
+            node=server,
+            port=TERMINAL_PORT,
+            rate=0.0,
+            size_mix=((reply_flits, 1.0),),
+            packet_limit=(
+                requests * len(clients) if requests is not None else None
+            ),
+            reply_sink=True,
+        )
+    )
+    return flows
+
+
+def replayed_workload(trace: ScenarioTrace) -> list[FlowSpec]:
+    """Turn a recorded trace back into an injectable workload.
+
+    Each flow re-emits exactly its recorded packets; the ``seq`` field
+    carried into :attr:`FlowSpec.emissions` preserves the *global*
+    creation order, so replaying under the original topology, policy,
+    config and seed reproduces the source run bit-for-bit.
+    """
+    per_flow: list[list[tuple[int, int, int, int]]] = [
+        [] for _ in trace.flows
+    ]
+    for seq, (cycle, flow, dst, size) in enumerate(trace.emissions):
+        per_flow[flow].append((cycle, seq, dst, size))
+    return [
+        FlowSpec(
+            node=flow.node,
+            port=flow.port,
+            rate=0.0,
+            weight=flow.weight,
+            emissions=tuple(per_flow[index]),
+            packet_limit=len(per_flow[index]),
+            weight_schedule=flow.weight_changes,
+        )
+        for index, flow in enumerate(trace.flows)
+    ]

@@ -17,12 +17,26 @@ from repro.network.config import COLUMN_NODES
 Pattern = Callable[[int, object], int]
 
 
+def _check_source(src: int) -> None:
+    """Reject out-of-column sources before they corrupt a route.
+
+    Every pattern maps a *column* source to a *column* destination; a
+    source outside ``[0, COLUMN_NODES)`` would silently produce a
+    wrapped or widened destination (e.g. a 4-bit "3-bit reversal"),
+    which the route builder then bakes into a bogus path.  Failing here
+    turns that into a :class:`TrafficError` at the first draw.
+    """
+    if not 0 <= src < COLUMN_NODES:
+        raise TrafficError(f"source node {src} outside the {COLUMN_NODES}-node column")
+
+
 def uniform_random(src: int, rng) -> int:
     """Uniformly random destination among the other nodes.
 
     "Different sources stochastically spreading traffic across different
     destinations" — the benign pattern of Figure 4(a).
     """
+    _check_source(src)
     dst = rng.uniform_int(0, COLUMN_NODES - 2)
     return dst if dst < src else dst + 1
 
@@ -34,6 +48,7 @@ def tornado(src: int, rng) -> int:
     source concentrates on one distant destination, loading the centre
     links heavily while MECS/DPS isolate each pair.
     """
+    _check_source(src)
     return (src + COLUMN_NODES // 2) % COLUMN_NODES
 
 
@@ -54,6 +69,7 @@ def hotspot(target: int = 0) -> Pattern:
 
 def nearest_neighbor(src: int, rng) -> int:
     """Random adjacent destination (short-haul stress; favours DPS)."""
+    _check_source(src)
     if src == 0:
         return 1
     if src == COLUMN_NODES - 1:
@@ -63,6 +79,7 @@ def nearest_neighbor(src: int, rng) -> int:
 
 def bit_reversal(src: int, rng) -> int:
     """3-bit bit-reversal permutation (classic NoC benchmark extra)."""
+    _check_source(src)
     reversed_bits = int(f"{src:03b}"[::-1], 2)
     if reversed_bits == src:
         # Fixed points fall back to the benign uniform pattern so the

@@ -121,9 +121,25 @@ def test_invalid_specs_are_rejected(kwargs):
         _spec(**kwargs)
 
 
-def test_every_registered_workload_builds_flows():
+def test_every_registered_workload_builds_flows(tmp_path):
+    from repro.scenarios import ScenarioTrace, TraceFlow, write_trace
+
+    trace_path = tmp_path / "tiny.jsonl"
+    digest = write_trace(
+        trace_path,
+        ScenarioTrace(
+            flows=(TraceFlow(node=0, port="terminal"),),
+            emissions=((0, 0, 1, 1),),
+            meta={},
+        ),
+    )
+    required = {
+        "phased": {"phases": '[{"cycles": 500, "rate": 0.1}]'},
+        "replay": {"path": str(trace_path), "sha256": digest},
+    }
     for name, entry in WORKLOAD_BUILDERS.items():
         params = {"duration": 1000} if name.endswith("_finite") else {}
+        params.update(required.get(name, {}))
         rate = None if entry.rate == "forbidden" else 0.05
         spec = RunSpec(topology="mesh_x1", workload=name, rate=rate,
                        workload_params=params, config=_CFG, cycles=100)

@@ -1,0 +1,331 @@
+"""Injection processes: contracts, determinism, engine equivalence."""
+
+import pytest
+
+from repro.errors import ConfigurationError, TrafficError
+from repro.network.config import COLUMN_NODES, SimulationConfig
+from repro.network.engine import ColumnSimulator
+from repro.network.golden import GoldenColumnSimulator
+from repro.qos.pvc import PvcPolicy
+from repro.scenarios import (
+    BernoulliProcess,
+    OnOffProcess,
+    ParetoBurstProcess,
+    Phase,
+    PhasedProcess,
+    bursty_workload,
+    closed_loop_workload,
+    pareto_workload,
+    phased_workload,
+)
+from repro.topologies.registry import get_topology
+from repro.util.rng import DeterministicRng
+
+from helpers import build_simulator
+
+
+def schedule_of(process, n, seed=11):
+    process.reset()
+    rng = DeterministicRng(seed)
+    emissions = []
+    cycle = 0
+    while len(emissions) < n:
+        emission = process.next_emission(cycle, rng)
+        if emission is None:
+            break
+        emissions.append(emission)
+        cycle = emission + 1
+    return emissions
+
+
+class TestProcessContracts:
+    def test_same_seed_same_schedule(self):
+        for make in (
+            lambda: BernoulliProcess(0.2),
+            lambda: OnOffProcess(0.5, 20, 60),
+            lambda: ParetoBurstProcess(0.5),
+            lambda: PhasedProcess((Phase(100, 0.1), Phase(100, 0.4))),
+        ):
+            assert schedule_of(make(), 50) == schedule_of(make(), 50)
+
+    def test_schedules_strictly_increase(self):
+        for make in (
+            lambda: OnOffProcess(0.9, 10, 30),
+            lambda: ParetoBurstProcess(0.9),
+        ):
+            emissions = schedule_of(make(), 200)
+            assert all(b > a for a, b in zip(emissions, emissions[1:]))
+            assert emissions[0] >= 0
+
+    def test_reset_restores_initial_state(self):
+        process = OnOffProcess(0.5, 20, 60)
+        first = schedule_of(process, 30)
+        second = schedule_of(process, 30)  # schedule_of resets
+        assert first == second
+
+    def test_onoff_has_gaps_longer_than_bernoulli_tail(self):
+        # With p=0.9 inside bursts, any gap >> 1/p must span an OFF
+        # period whose mean is 60 cycles.
+        emissions = schedule_of(OnOffProcess(0.9, 20, 60), 300)
+        gaps = [b - a for a, b in zip(emissions, emissions[1:])]
+        assert max(gaps) > 10
+        assert min(gaps) == 1
+
+    def test_onoff_validation(self):
+        with pytest.raises(TrafficError):
+            OnOffProcess(0.0, 10, 10)
+        with pytest.raises(TrafficError):
+            OnOffProcess(0.5, 0.5, 10)
+
+    def test_pareto_validation(self):
+        with pytest.raises(TrafficError):
+            ParetoBurstProcess(0.5, alpha=1.0)
+        with pytest.raises(TrafficError):
+            ParetoBurstProcess(0.5, cap=1.0)
+
+    def test_phased_emission_density_tracks_phase_rate(self):
+        process = PhasedProcess((Phase(1000, 0.02), Phase(1000, 0.5)))
+        emissions = schedule_of(process, 600)
+        early = sum(1 for e in emissions if e < 1000)
+        late = sum(1 for e in emissions if 1000 <= e < 2000)
+        assert late > early * 5
+
+    def test_phased_silent_final_phase_ends_emission(self):
+        process = PhasedProcess((Phase(100, 0.5), Phase(100, 0.0)))
+        emissions = schedule_of(process, 1000)
+        assert emissions, "first phase should emit"
+        assert all(e < 100 for e in emissions)
+
+    def test_phased_weight_changes_skip_first_phase(self):
+        process = PhasedProcess(
+            (Phase(100, 0.1, weight=2.0), Phase(100, 0.1, weight=5.0))
+        )
+        assert process.weight_changes() == ((100, 5.0),)
+
+    def test_phased_weight_changes_only_on_real_moves(self):
+        process = PhasedProcess((
+            Phase(100, 0.1, weight=2.0),
+            Phase(100, 0.1, weight=2.0),   # unchanged: no event
+            Phase(100, 0.1, weight=5.0),
+            Phase(100, 0.1),               # None: weight stays 5.0
+            Phase(100, 0.1, weight=2.0),
+        ))
+        assert process.weight_changes() == ((200, 5.0), (400, 2.0))
+
+    def test_phased_workload_weights_revert_per_epoch(self):
+        """An epoch without weights reverts to the base weight."""
+        flows = phased_workload([
+            {"cycles": 100, "rate": 0.1},
+            {"cycles": 100, "rate": 0.1,
+             "weights": [6.0] + [1.0] * (COLUMN_NODES - 1)},
+            {"cycles": 100, "rate": 0.1},
+        ])
+        assert flows[0].injection.weight_changes() == ((100, 6.0), (200, 1.0))
+        # Flows whose weight never actually moves schedule no events.
+        assert flows[1].injection.weight_changes() == ()
+
+    def test_parse_phases_is_fully_eager(self):
+        from repro.scenarios import parse_phases
+
+        with pytest.raises(TrafficError, match="exceeds one packet"):
+            parse_phases('[{"cycles": 500, "rate": 50}]')
+        with pytest.raises(TrafficError, match="positive rate"):
+            parse_phases('[{"cycles": 500, "rate": 0}]')
+
+    def test_phase_validation(self):
+        with pytest.raises(TrafficError):
+            Phase(0, 0.1)
+        with pytest.raises(TrafficError):
+            Phase(10, 1.5)
+        with pytest.raises(TrafficError):
+            PhasedProcess(())
+
+
+@pytest.mark.parametrize("topology", ["mecs", "mesh_x1", "dps"])
+def test_bursty_matches_golden(topology):
+    """The activity-tracked engine is bit-equal to golden on bursty load."""
+    config = SimulationConfig(frame_cycles=2000, seed=3)
+    build = get_topology(topology).build
+
+    def flows():
+        return bursty_workload(0.4, on_cycles=40, off_cycles=120)
+
+    optimized = ColumnSimulator(build(config), flows(), PvcPolicy(), config)
+    optimized.run(3000, warmup=500)
+    golden = GoldenColumnSimulator(build(config), flows(), PvcPolicy(), config)
+    golden.run(3000, warmup=500)
+    assert optimized.stats.snapshot() == golden.stats.snapshot()
+
+
+def test_pareto_matches_golden():
+    config = SimulationConfig(frame_cycles=2000, seed=9)
+    build = get_topology("mecs").build
+    optimized = ColumnSimulator(
+        build(config), pareto_workload(0.4), PvcPolicy(), config
+    )
+    optimized.run(2500)
+    golden = GoldenColumnSimulator(
+        build(config), pareto_workload(0.4), PvcPolicy(), config
+    )
+    golden.run(2500)
+    assert optimized.stats.snapshot() == golden.stats.snapshot()
+
+
+class TestPhasedEngine:
+    def phases(self):
+        return [
+            {"cycles": 1000, "rate": 0.05},
+            {
+                "cycles": 1000,
+                "rate": 0.30,
+                "pattern": "tornado",
+                "weights": [8.0] + [1.0] * (COLUMN_NODES - 1),
+            },
+        ]
+
+    def test_phased_workload_runs_and_reprograms_weights(self):
+        flows = phased_workload(self.phases())
+        assert all(spec.weight == 1.0 for spec in flows)
+        sim = build_simulator("mecs", flows)
+        sim.run(2500)
+        assert sim.stats.delivered_packets > 0
+        # The epoch boundary re-programmed node 0's weight in the bound
+        # policy; the spec list stays untouched (reusable).
+        assert sim.policy._weights[0] == 8.0
+        assert sim.flows[0].weight == 1.0
+        assert sim.policy._weights[1] == 1.0
+
+    def test_rate_change_visible_in_delivery_counts(self):
+        flows = phased_workload(
+            [{"cycles": 1500, "rate": 0.02}, {"cycles": 1500, "rate": 0.40}]
+        )
+        sim = build_simulator("mecs", flows)
+        first = sim.run(1500).created_packets
+        total = sim.run(1500).created_packets
+        assert total - first > first * 3
+
+    def test_golden_rejects_weight_schedules(self):
+        config = SimulationConfig(frame_cycles=2000, seed=3)
+        flows = phased_workload(self.phases())
+        with pytest.raises(ConfigurationError):
+            GoldenColumnSimulator(
+                get_topology("mecs").build(config), flows, PvcPolicy(), config
+            )
+
+    def test_run_never_mutates_the_workload_specs(self):
+        """A workload list is reusable across simulators (same stats)."""
+        flows = phased_workload(self.phases())
+        first = build_simulator("mecs", flows)
+        first.run(2500)
+        assert all(spec.weight == 1.0 for spec in flows)
+        second = build_simulator("mecs", flows)
+        second.run(2500)
+        assert second.stats.snapshot() == first.stats.snapshot()
+
+
+class TestClosedLoop:
+    def test_outstanding_bound_holds(self):
+        flows = closed_loop_workload(outstanding=3, think_cycles=0)
+        sim = build_simulator("mecs", flows)
+        sim.run(4000)
+        # A client issues 3 initial requests and exactly one more per
+        # reply that arrives, so total requests created == 3 per client
+        # + replies delivered back.  That identity *is* the closed loop.
+        n_clients = len(flows) - 1
+        reply_flow = len(flows) - 1
+        replies_delivered = sim.stats.delivered_packets_per_flow[reply_flow]
+        created_requests = sum(
+            sim.injector_state(client)["created"] for client in range(n_clients)
+        )
+        assert created_requests == 3 * n_clients + replies_delivered
+        assert replies_delivered > 0
+
+    def test_replies_match_delivered_requests(self):
+        flows = closed_loop_workload(outstanding=2, requests=25)
+        sim = build_simulator("mecs", flows)
+        end = sim.run_until_drained(200_000)
+        n_clients = len(flows) - 1
+        assert end > 0
+        # Every request delivered exactly once, every reply too.
+        assert sim.stats.created_packets == 2 * 25 * n_clients
+        assert sim.stats.delivered_packets == 2 * 25 * n_clients
+
+    def test_think_time_slows_clients(self):
+        fast = build_simulator(
+            "mecs", closed_loop_workload(outstanding=1, think_cycles=0)
+        )
+        slow = build_simulator(
+            "mecs", closed_loop_workload(outstanding=1, think_cycles=200)
+        )
+        fast.run(4000)
+        slow.run(4000)
+        assert fast.stats.created_packets > slow.stats.created_packets * 2
+
+    def test_builder_validation(self):
+        with pytest.raises(TrafficError):
+            closed_loop_workload(server=99)
+        with pytest.raises(TrafficError):
+            closed_loop_workload(clients=(0,), server=0)
+        with pytest.raises(TrafficError):
+            closed_loop_workload(requests=0)
+
+    def test_missing_reply_flow_rejected_at_bind(self):
+        flows = closed_loop_workload()
+        del flows[-1]  # drop the reply sink
+        with pytest.raises(ConfigurationError):
+            build_simulator("mecs", flows)
+
+    def test_golden_rejects_closed_loop(self):
+        config = SimulationConfig(frame_cycles=2000, seed=3)
+        with pytest.raises(ConfigurationError):
+            GoldenColumnSimulator(
+                get_topology("mecs").build(config),
+                closed_loop_workload(),
+                PvcPolicy(),
+                config,
+            )
+
+
+class TestFlowSpecValidation:
+    def test_emission_drivers_mutually_exclusive(self):
+        from repro.network.packet import ClosedLoopSpec, FlowSpec
+        from repro.traffic.patterns import hotspot
+
+        with pytest.raises(TrafficError):
+            FlowSpec(
+                node=0,
+                rate=0.0,
+                pattern=hotspot(1),
+                injection=OnOffProcess(0.5, 10, 10),
+                closed_loop=ClosedLoopSpec(),
+            )
+
+    def test_closed_loop_requires_pattern_and_zero_rate(self):
+        from repro.network.packet import ClosedLoopSpec, FlowSpec
+        from repro.traffic.patterns import hotspot
+
+        with pytest.raises(TrafficError):
+            FlowSpec(node=0, rate=0.0, closed_loop=ClosedLoopSpec())
+        with pytest.raises(TrafficError):
+            FlowSpec(
+                node=0, rate=0.1, pattern=hotspot(1),
+                closed_loop=ClosedLoopSpec(),
+            )
+
+    def test_closed_loop_spec_validation(self):
+        from repro.network.packet import ClosedLoopSpec
+
+        with pytest.raises(TrafficError):
+            ClosedLoopSpec(outstanding=0)
+        with pytest.raises(TrafficError):
+            ClosedLoopSpec(think_cycles=-1)
+        with pytest.raises(TrafficError):
+            ClosedLoopSpec(reply_flits=0)
+
+    def test_scripted_emissions_validated(self):
+        from repro.network.packet import FlowSpec
+
+        with pytest.raises(TrafficError):
+            FlowSpec(node=0, rate=0.0, emissions=((-1, 0, 1, 1),))
+        with pytest.raises(TrafficError):
+            FlowSpec(node=0, rate=0.1, emissions=((0, 0, 1, 1),))

@@ -100,3 +100,36 @@ def test_untraced_runs_unaffected():
     TraceRecorder().attach(traced_sim)
     traced = traced_sim.run(1000).summary()
     assert baseline == traced
+
+
+class TestOverflowPolicy:
+    """TraceRecorder behaviour at capacity is explicit and documented."""
+
+    def fill(self, recorder, n):
+        for i in range(n):
+            recorder.record(i, TraceKind.CREATE, i, 0, "node0")
+
+    def test_drop_oldest_is_the_default(self):
+        recorder = TraceRecorder(capacity=10)
+        assert recorder.overflow == "drop_oldest"
+        self.fill(recorder, 25)
+        assert len(recorder.events) == 10
+        assert recorder.dropped == 15
+        # The tail is the freshest history; totals still count evictions.
+        assert recorder.events[0].pid == 15
+        assert recorder.count(TraceKind.CREATE) == 25
+
+    def test_raise_mode_raises_at_capacity(self):
+        from repro.errors import TraceOverflowError
+
+        recorder = TraceRecorder(capacity=10, overflow="raise")
+        self.fill(recorder, 10)
+        with pytest.raises(TraceOverflowError):
+            recorder.record(10, TraceKind.CREATE, 10, 0, "node0")
+        # Nothing was silently dropped before the raise.
+        assert len(recorder.events) == 10
+        assert recorder.dropped == 0
+
+    def test_unknown_overflow_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TraceRecorder(capacity=10, overflow="wrap")

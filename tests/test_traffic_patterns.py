@@ -72,3 +72,19 @@ def test_bit_reversal_known_values():
     rng = DeterministicRng(0)
     assert bit_reversal(1, rng) == 4  # 001 -> 100
     assert bit_reversal(3, rng) == 6  # 011 -> 110
+
+
+@pytest.mark.parametrize(
+    "pattern", [uniform_random, tornado, nearest_neighbor, bit_reversal]
+)
+@pytest.mark.parametrize("src", [-1, 8, 64])
+def test_patterns_reject_out_of_column_sources(pattern, src):
+    """A bad source must raise, not silently corrupt the destination.
+
+    Before the bounds check, bit_reversal(8) returned node 1 (a 4-bit
+    reversal of a "3-bit" source) and tornado(-1) wrapped around — both
+    would have been baked into bogus routes.
+    """
+    rng = DeterministicRng(0)
+    with pytest.raises(TrafficError):
+        pattern(src, rng)
