@@ -73,10 +73,42 @@ list|run|record|replay`` and the ``repro burst`` study.
 
 Experiments (one per paper table/figure) live in
 :mod:`repro.analysis.experiments`.
+
+Full-paper campaigns (:mod:`repro.campaign`) — every figure, table,
+ablation and scenario study as one resumable, sharded, CI-verifiable
+run::
+
+    from repro import ResultCache, get_campaign, run_campaign
+
+    result = run_campaign(
+        get_campaign("paper"),
+        campaign_dir="campaigns/paper",
+        cache=ResultCache(),
+        baseline_path="CAMPAIGN_baseline.json",
+    )
+    print(result.report.overall)        # "pass" | "drift" | "fail"
+
+Stages checkpoint shard-by-shard into an on-disk manifest with
+sha256-addressed artifacts; interrupting and resuming produces
+byte-identical artifacts to an uninterrupted run, and the report card
+compares every stage's rows against the committed
+``CAMPAIGN_baseline.json``.  CLI: ``repro campaign
+list|run|status|resume|report|diff``.
 """
 
 from repro.analysis.fairness import fairness_report, max_min_allocation
 from repro.analysis.sweep import latency_throughput_sweep
+from repro.campaign import (
+    CAMPAIGNS,
+    CampaignResult,
+    CampaignRunner,
+    CampaignSpec,
+    ReportCard,
+    StageReport,
+    StageSpec,
+    get_campaign,
+    run_campaign,
+)
 from repro.core.chip import Chip, ChipConfig
 from repro.core.domain import Domain, is_convex, xy_path
 from repro.core.hypervisor import Hypervisor, VirtualMachine
@@ -84,6 +116,8 @@ from repro.core.memctrl import MemoryController
 from repro.core.system import TopologyAwareSystem
 from repro.errors import (
     AllocationError,
+    CampaignError,
+    CampaignInterrupted,
     ConfigurationError,
     ConvexityError,
     IsolationError,
@@ -152,12 +186,22 @@ from repro.traffic.workloads import (
 # subsystem — injection processes (on/off, Pareto, phased), JSONL trace
 # record/replay, closed-loop request-reply clients; pre-existing
 # workloads are bit-identical, the bump guards the cache against the
-# engine's new creation path.
-__version__ = "1.4.0"
+# engine's new creation path.  1.5.0: campaign subsystem — resumable,
+# sharded full-paper reproduction runs with manifest checkpoints,
+# sha256-addressed artifacts and a baseline-checked report card; the
+# version participates in every stage hash, so campaign manifests and
+# baselines invalidate together with the result cache.
+__version__ = "1.5.0"
 
 __all__ = [
     "AllocationError",
     "BatchResult",
+    "CAMPAIGNS",
+    "CampaignError",
+    "CampaignInterrupted",
+    "CampaignResult",
+    "CampaignRunner",
+    "CampaignSpec",
     "Chip",
     "ChipConfig",
     "ClosedLoopSpec",
@@ -183,6 +227,7 @@ __all__ = [
     "PhasedProcess",
     "PvcPolicy",
     "QosPolicy",
+    "ReportCard",
     "ReproError",
     "ResultCache",
     "RouterAreaModel",
@@ -194,6 +239,8 @@ __all__ = [
     "SerialExecutor",
     "SimulationConfig",
     "SimulationError",
+    "StageReport",
+    "StageSpec",
     "TOPOLOGY_NAMES",
     "TechnologyParameters",
     "TopologyAwareSystem",
@@ -207,6 +254,7 @@ __all__ = [
     "execute_spec",
     "fairness_report",
     "full_column_workload",
+    "get_campaign",
     "get_topology",
     "hotspot_all_injectors",
     "is_convex",
@@ -217,6 +265,7 @@ __all__ = [
     "read_trace",
     "replayed_workload",
     "run_batch",
+    "run_campaign",
     "run_grid",
     "tornado_workload",
     "uniform_workload",

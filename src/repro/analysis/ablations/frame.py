@@ -17,9 +17,17 @@ from repro.runtime.cache import ResultCache
 from repro.runtime.executor import Executor
 from repro.runtime.runner import run_batch
 from repro.runtime.spec import RunSpec
+from repro.util.params import resolve_stage_params
 from repro.util.tables import format_table
 
 DEFAULT_FRAMES: tuple[int, ...] = (2_000, 5_000, 10_000, 25_000, 50_000)
+
+#: Campaign stage-adapter defaults (see :func:`stage_rows`).
+STAGE_DEFAULTS = {
+    "topology_name": "dps",
+    "frames": DEFAULT_FRAMES,
+    "window": 12_000,
+}
 
 
 @dataclass(frozen=True)
@@ -79,6 +87,29 @@ def run_frame_ablation(
             )
         )
     return points
+
+
+def stage_rows(params: dict | None = None, *, seed: int = 1,
+               executor=None, cache=None) -> list[dict]:
+    """Campaign stage adapter: one row per frame length."""
+    p = resolve_stage_params(params, STAGE_DEFAULTS, "ablation_frame")
+    points = run_frame_ablation(
+        topology_name=p["topology_name"],
+        frames=tuple(p["frames"]),
+        window=p["window"],
+        config=SimulationConfig(seed=seed),
+        executor=executor,
+        cache=cache,
+    )
+    return [
+        {
+            "frame_cycles": point.frame_cycles,
+            "fairness_std": point.fairness_std,
+            "max_deviation": point.max_deviation,
+            "adversarial_preemptions": point.adversarial_preemptions,
+        }
+        for point in points
+    ]
 
 
 def format_frame_ablation(points: list[FramePoint] | None = None) -> str:

@@ -19,9 +19,18 @@ from repro.runtime.cache import ResultCache
 from repro.runtime.executor import Executor
 from repro.runtime.runner import run_batch
 from repro.runtime.spec import RunSpec
+from repro.util.params import resolve_stage_params
 from repro.util.tables import format_table
 
 DEFAULT_PATIENCE: tuple[int, ...] = (0, 4, 8, 16, 32, 64)
+
+#: Campaign stage-adapter defaults (see :func:`stage_rows`).
+STAGE_DEFAULTS = {
+    "topology_name": "mesh_x1",
+    "patience_values": DEFAULT_PATIENCE,
+    "cycles": 20_000,
+    "frame_cycles": 10_000,
+}
 
 
 @dataclass(frozen=True)
@@ -66,6 +75,30 @@ def run_patience_ablation(
             mean_latency=result.mean_latency,
         )
         for patience, result in zip(patience_values, batch.results)
+    ]
+
+
+def stage_rows(params: dict | None = None, *, seed: int = 1,
+               executor=None, cache=None) -> list[dict]:
+    """Campaign stage adapter: one row per patience setting."""
+    p = resolve_stage_params(params, STAGE_DEFAULTS, "ablation_patience")
+    points = run_patience_ablation(
+        topology_name=p["topology_name"],
+        patience_values=tuple(p["patience_values"]),
+        cycles=p["cycles"],
+        config=SimulationConfig(frame_cycles=p["frame_cycles"], seed=seed),
+        executor=executor,
+        cache=cache,
+    )
+    return [
+        {
+            "patience": point.patience,
+            "preemption_events": point.preemption_events,
+            "preempted_packet_fraction": point.preempted_packet_fraction,
+            "wasted_hop_fraction": point.wasted_hop_fraction,
+            "mean_latency": point.mean_latency,
+        }
+        for point in points
     ]
 
 

@@ -16,9 +16,18 @@ from repro.runtime.cache import ResultCache
 from repro.runtime.executor import Executor
 from repro.runtime.runner import run_batch
 from repro.runtime.spec import RunSpec
+from repro.util.params import resolve_stage_params
 from repro.util.tables import format_table
 
 DEFAULT_SHARES: tuple[float, ...] = (0.0, 1.0 / 256, 1.0 / 64, 1.0 / 16, 1.0)
+
+#: Campaign stage-adapter defaults (see :func:`stage_rows`).
+STAGE_DEFAULTS = {
+    "topology_name": "mesh_x1",
+    "shares": DEFAULT_SHARES,
+    "cycles": 20_000,
+    "frame_cycles": 10_000,
+}
 
 
 @dataclass(frozen=True)
@@ -64,6 +73,30 @@ def run_quota_ablation(
             delivered_flits=result.delivered_flits,
         )
         for share, spec, result in zip(shares, specs, batch.results)
+    ]
+
+
+def stage_rows(params: dict | None = None, *, seed: int = 1,
+               executor=None, cache=None) -> list[dict]:
+    """Campaign stage adapter: one row per quota share."""
+    p = resolve_stage_params(params, STAGE_DEFAULTS, "ablation_quota")
+    points = run_quota_ablation(
+        topology_name=p["topology_name"],
+        shares=tuple(p["shares"]),
+        cycles=p["cycles"],
+        config=SimulationConfig(frame_cycles=p["frame_cycles"], seed=seed),
+        executor=executor,
+        cache=cache,
+    )
+    return [
+        {
+            "share": point.share,
+            "quota_flits": point.quota_flits,
+            "preemption_events": point.preemption_events,
+            "wasted_hop_fraction": point.wasted_hop_fraction,
+            "delivered_flits": point.delivered_flits,
+        }
+        for point in points
     ]
 
 

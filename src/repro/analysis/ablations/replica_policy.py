@@ -18,7 +18,15 @@ from repro.runtime.executor import Executor
 from repro.runtime.runner import run_batch
 from repro.runtime.spec import RunSpec
 from repro.topologies.mesh import REPLICA_PACKET_RR, REPLICA_PER_FLOW
+from repro.util.params import resolve_stage_params
 from repro.util.tables import format_table
+
+#: Campaign stage-adapter defaults (see :func:`stage_rows`).
+STAGE_DEFAULTS = {
+    "replications": (2, 4),
+    "cycles": 15_000,
+    "frame_cycles": 10_000,
+}
 
 
 @dataclass(frozen=True)
@@ -84,6 +92,29 @@ def run_replica_ablation(
             )
         )
     return points
+
+
+def stage_rows(params: dict | None = None, *, seed: int = 1,
+               executor=None, cache=None) -> list[dict]:
+    """Campaign stage adapter: one row per (replication, policy)."""
+    p = resolve_stage_params(params, STAGE_DEFAULTS, "ablation_replica")
+    points = run_replica_ablation(
+        replications=tuple(p["replications"]),
+        cycles=p["cycles"],
+        config=SimulationConfig(frame_cycles=p["frame_cycles"], seed=seed),
+        executor=executor,
+        cache=cache,
+    )
+    return [
+        {
+            "replication": point.replication,
+            "policy": point.policy,
+            "w2_preempted_fraction": point.w2_preempted_fraction,
+            "w2_wasted_hop_fraction": point.w2_wasted_hop_fraction,
+            "uniform_latency": point.uniform_latency,
+        }
+        for point in points
+    ]
 
 
 def format_replica_ablation(points: list[ReplicaPoint] | None = None) -> str:

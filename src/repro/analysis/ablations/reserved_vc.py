@@ -17,7 +17,15 @@ from repro.runtime.cache import ResultCache
 from repro.runtime.executor import Executor
 from repro.runtime.runner import run_batch
 from repro.runtime.spec import RunSpec
+from repro.util.params import resolve_stage_params
 from repro.util.tables import format_table
+
+#: Campaign stage-adapter defaults (see :func:`stage_rows`).
+STAGE_DEFAULTS = {
+    "topology_name": "dps",
+    "cycles": 15_000,
+    "frame_cycles": 10_000,
+}
 
 
 @dataclass(frozen=True)
@@ -72,6 +80,29 @@ def run_reserved_vc_ablation(
             )
         )
     return points
+
+
+def stage_rows(params: dict | None = None, *, seed: int = 1,
+               executor=None, cache=None) -> list[dict]:
+    """Campaign stage adapter: one row per (workload, reserved?) cell."""
+    p = resolve_stage_params(params, STAGE_DEFAULTS, "ablation_reserved_vc")
+    points = run_reserved_vc_ablation(
+        topology_name=p["topology_name"],
+        cycles=p["cycles"],
+        config=SimulationConfig(frame_cycles=p["frame_cycles"], seed=seed),
+        executor=executor,
+        cache=cache,
+    )
+    return [
+        {
+            "workload": point.workload,
+            "reserved": point.reserved,
+            "preemption_events": point.preemption_events,
+            "fairness_std": point.fairness_std,
+            "delivered_flits": point.delivered_flits,
+        }
+        for point in points
+    ]
 
 
 def format_reserved_vc_ablation(points: list[ReservedVcPoint] | None = None) -> str:

@@ -19,7 +19,16 @@ from repro.runtime.executor import Executor
 from repro.runtime.runner import run_batch
 from repro.runtime.spec import RunSpec
 from repro.topologies.registry import get_topology
+from repro.util.params import resolve_stage_params
 from repro.util.tables import format_table
+
+#: Campaign stage-adapter defaults (see :func:`stage_rows`).
+STAGE_DEFAULTS = {
+    "low_rate": 0.03,
+    "high_rate": 0.12,
+    "cycles": 4000,
+    "frame_cycles": 10_000,
+}
 
 STUDY_TOPOLOGIES: tuple[str, ...] = ("mecs", "dps", "fbfly")
 
@@ -88,6 +97,31 @@ def run_fbfly_study(
             )
         )
     return rows
+
+
+def stage_rows(params: dict | None = None, *, seed: int = 1,
+               executor=None, cache=None) -> list[dict]:
+    """Campaign stage adapter: one row per studied topology."""
+    p = resolve_stage_params(params, STAGE_DEFAULTS, "ablation_fbfly")
+    rows = run_fbfly_study(
+        low_rate=p["low_rate"],
+        high_rate=p["high_rate"],
+        cycles=p["cycles"],
+        config=SimulationConfig(frame_cycles=p["frame_cycles"], seed=seed),
+        executor=executor,
+        cache=cache,
+    )
+    return [
+        {
+            "topology": row.topology,
+            "uniform_latency": row.uniform_latency,
+            "tornado_latency": row.tornado_latency,
+            "saturated_tornado_latency": row.saturated_tornado_latency,
+            "router_area_mm2": row.router_area_mm2,
+            "three_hop_energy_pj": row.three_hop_energy_pj,
+        }
+        for row in rows
+    ]
 
 
 def format_fbfly_study(rows: list[FbflyRow] | None = None) -> str:

@@ -16,9 +16,18 @@ from repro.runtime.cache import ResultCache
 from repro.runtime.executor import Executor
 from repro.runtime.runner import run_batch
 from repro.runtime.spec import RunSpec
+from repro.util.params import resolve_stage_params
 from repro.util.tables import format_table
 
 DEFAULT_WINDOWS: tuple[int, ...] = (1, 2, 4, 8, 16, 32)
+
+#: Campaign stage-adapter defaults (see :func:`stage_rows`).
+STAGE_DEFAULTS = {
+    "topology_name": "mesh_x1",
+    "windows": DEFAULT_WINDOWS,
+    "cycles": 6_000,
+    "frame_cycles": 10_000,
+}
 
 
 @dataclass(frozen=True)
@@ -61,6 +70,28 @@ def run_window_ablation(
             mean_latency=result.mean_latency,
         )
         for window, result in zip(windows, batch.results)
+    ]
+
+
+def stage_rows(params: dict | None = None, *, seed: int = 1,
+               executor=None, cache=None) -> list[dict]:
+    """Campaign stage adapter: one row per retransmission-window size."""
+    p = resolve_stage_params(params, STAGE_DEFAULTS, "ablation_window")
+    points = run_window_ablation(
+        topology_name=p["topology_name"],
+        windows=tuple(p["windows"]),
+        cycles=p["cycles"],
+        config=SimulationConfig(frame_cycles=p["frame_cycles"], seed=seed),
+        executor=executor,
+        cache=cache,
+    )
+    return [
+        {
+            "window_packets": point.window_packets,
+            "delivered_flits": point.delivered_flits,
+            "mean_latency": point.mean_latency,
+        }
+        for point in points
     ]
 
 

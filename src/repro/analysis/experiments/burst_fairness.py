@@ -41,6 +41,7 @@ from repro.scenarios import capture_to_trace, replayed_workload
 from repro.scenarios.workloads import bursty_workload
 from repro.topologies.registry import get_topology
 from repro.traffic.patterns import hotspot
+from repro.util.params import resolve_stage_params
 from repro.util.tables import format_table
 
 #: Peak per-injector rate during bursts (flits/cycle).  With eight
@@ -51,6 +52,18 @@ from repro.util.tables import format_table
 BURST_PEAK_RATE = 0.60
 
 POLICY_ORDER = ("pvc", "perflow", "noqos")
+
+#: Campaign stage-adapter defaults (see :func:`stage_rows`).
+STAGE_DEFAULTS = {
+    "rate": BURST_PEAK_RATE,
+    "target": 0,
+    "on_cycles": 64,
+    "off_cycles": 192,
+    "warmup": 1000,
+    "window": 6000,
+    "topology": "mecs",
+    "frame_cycles": 10_000,
+}
 
 
 @dataclass(frozen=True)
@@ -149,6 +162,36 @@ def run_burst_fairness(
             )
         )
     return cells
+
+
+def stage_rows(params: dict | None = None, *, seed: int = 1,
+               executor=None, cache=None) -> list[dict]:
+    """Campaign stage adapter: one row per (traffic leg, policy)."""
+    p = resolve_stage_params(params, STAGE_DEFAULTS, "burst_fairness")
+    cells = run_burst_fairness(
+        rate=p["rate"],
+        target=p["target"],
+        on_cycles=p["on_cycles"],
+        off_cycles=p["off_cycles"],
+        warmup=p["warmup"],
+        window=p["window"],
+        topology=p["topology"],
+        config=SimulationConfig(frame_cycles=p["frame_cycles"], seed=seed),
+        executor=executor,
+        cache=cache,
+    )
+    return [
+        {
+            "traffic": cell.traffic,
+            "policy": cell.policy,
+            "min_relative": cell.min_relative,
+            "max_relative": cell.max_relative,
+            "mean_latency": cell.mean_latency,
+            "preemption_events": cell.preemption_events,
+            "delivered_flits": cell.delivered_flits,
+        }
+        for cell in cells
+    ]
 
 
 def format_burst_fairness(cells: list[BurstFairnessCell] | None = None) -> str:

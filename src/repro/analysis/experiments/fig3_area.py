@@ -10,7 +10,11 @@ from __future__ import annotations
 from repro.models.area import AreaBreakdown, RouterAreaModel
 from repro.models.technology import DEFAULT_TECHNOLOGY, TechnologyParameters
 from repro.topologies.registry import TOPOLOGY_NAMES, get_topology
+from repro.util.params import resolve_stage_params
 from repro.util.tables import format_table
+
+#: Campaign stage-adapter defaults (see :func:`stage_rows`).
+STAGE_DEFAULTS = {"topology_names": TOPOLOGY_NAMES}
 
 
 def run_fig3(
@@ -23,6 +27,29 @@ def run_fig3(
         name: model.breakdown(get_topology(name).geometry())
         for name in topology_names
     }
+
+
+def stage_rows(params: dict | None = None, *, seed: int = 1,
+               executor=None, cache=None) -> list[dict]:
+    """Campaign stage adapter: one comparable summary row per topology.
+
+    Analytical — ``seed``/``executor``/``cache`` are accepted for
+    signature uniformity with the simulation-backed stages and ignored.
+    """
+    del seed, executor, cache
+    p = resolve_stage_params(params, STAGE_DEFAULTS, "fig3")
+    results = run_fig3(topology_names=tuple(p["topology_names"]))
+    return [
+        {
+            "topology": name,
+            "buffers_mm2": breakdown.buffers_mm2,
+            "crossbar_mm2": breakdown.crossbar_mm2,
+            "flow_state_mm2": breakdown.flow_state_mm2,
+            "total_mm2": breakdown.total_mm2,
+            "row_buffers_mm2": breakdown.row_buffers_mm2,
+        }
+        for name, breakdown in results.items()
+    ]
 
 
 def format_fig3(results: dict[str, AreaBreakdown] | None = None) -> str:

@@ -22,6 +22,7 @@ from repro.runtime.executor import Executor
 from repro.runtime.runner import RunManifest, run_batch
 from repro.runtime.spec import RunSpec
 from repro.topologies.registry import TOPOLOGY_NAMES
+from repro.util.params import resolve_stage_params
 from repro.util.tables import format_table
 
 #: Default swept injection rates (flits/cycle per injector).
@@ -29,6 +30,15 @@ DEFAULT_RATES: tuple[float, ...] = (0.01, 0.03, 0.05, 0.07, 0.09, 0.11, 0.13)
 
 #: The two panels: Figure 4(a) benign, Figure 4(b) adversarial.
 _PANEL_PATTERNS: tuple[str, ...] = ("uniform_random", "tornado")
+
+#: Campaign stage-adapter defaults (see :func:`stage_rows`).
+STAGE_DEFAULTS = {
+    "rates": DEFAULT_RATES,
+    "cycles": 5000,
+    "warmup": 1500,
+    "frame_cycles": 10_000,
+    "topology_names": TOPOLOGY_NAMES,
+}
 
 
 @dataclass(frozen=True)
@@ -85,6 +95,37 @@ def run_fig4(
         rates=rates,
         manifest=batch.manifest,
     )
+
+
+def stage_rows(params: dict | None = None, *, seed: int = 1,
+               executor=None, cache=None) -> list[dict]:
+    """Campaign stage adapter: one row per (panel, topology, rate)."""
+    p = resolve_stage_params(params, STAGE_DEFAULTS, "fig4")
+    result = run_fig4(
+        rates=tuple(p["rates"]),
+        cycles=p["cycles"],
+        warmup=p["warmup"],
+        topology_names=tuple(p["topology_names"]),
+        config=SimulationConfig(frame_cycles=p["frame_cycles"], seed=seed),
+        executor=executor,
+        cache=cache,
+    )
+    rows = []
+    for panel, curves in (("uniform", result.uniform), ("tornado", result.tornado)):
+        for name, points in curves.items():
+            for point in points:
+                rows.append(
+                    {
+                        "panel": panel,
+                        "topology": name,
+                        "rate": point.rate,
+                        "mean_latency": point.mean_latency,
+                        "delivered_flits": point.delivered_flits,
+                        "accepted_ratio": point.accepted_ratio,
+                        "preemption_events": point.preemption_events,
+                    }
+                )
+    return rows
 
 
 def _panel(curves: dict[str, list[LatencyPoint]], rates, title: str) -> str:

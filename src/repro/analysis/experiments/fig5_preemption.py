@@ -21,7 +21,15 @@ from repro.runtime.executor import Executor
 from repro.runtime.runner import run_batch
 from repro.runtime.spec import RunSpec
 from repro.topologies.registry import TOPOLOGY_NAMES
+from repro.util.params import resolve_stage_params
 from repro.util.tables import format_table
+
+#: Campaign stage-adapter defaults (see :func:`stage_rows`).
+STAGE_DEFAULTS = {
+    "cycles": 25_000,
+    "frame_cycles": 10_000,
+    "topology_names": TOPOLOGY_NAMES,
+}
 
 
 @dataclass(frozen=True)
@@ -76,6 +84,30 @@ def run_fig5(
             delivered_packets=result.delivered_packets,
         )
         for (workload_name, topology_name), result in zip(cells, batch.results)
+    ]
+
+
+def stage_rows(params: dict | None = None, *, seed: int = 1,
+               executor=None, cache=None) -> list[dict]:
+    """Campaign stage adapter: one row per (workload, topology)."""
+    p = resolve_stage_params(params, STAGE_DEFAULTS, "fig5")
+    rows = run_fig5(
+        cycles=p["cycles"],
+        topology_names=tuple(p["topology_names"]),
+        config=SimulationConfig(frame_cycles=p["frame_cycles"], seed=seed),
+        executor=executor,
+        cache=cache,
+    )
+    return [
+        {
+            "workload": row.workload,
+            "topology": row.topology,
+            "preempted_packet_fraction": row.preempted_packet_fraction,
+            "wasted_hop_fraction": row.wasted_hop_fraction,
+            "preemption_events": row.preemption_events,
+            "delivered_packets": row.delivered_packets,
+        }
+        for row in rows
     ]
 
 

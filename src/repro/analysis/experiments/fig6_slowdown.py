@@ -30,9 +30,19 @@ from repro.runtime.runner import run_batch
 from repro.runtime.spec import RunSpec
 from repro.topologies.registry import TOPOLOGY_NAMES
 from repro.traffic.workloads import workload1, workload2
+from repro.util.params import resolve_stage_params
 from repro.util.tables import format_table
 
 _WORKLOADS = {"workload1": workload1, "workload2": workload2}
+
+#: Campaign stage-adapter defaults (see :func:`stage_rows`).
+STAGE_DEFAULTS = {
+    "duration": 12_000,
+    "window": 15_000,
+    "warmup": 3000,
+    "frame_cycles": 10_000,
+    "topology_names": TOPOLOGY_NAMES,
+}
 
 
 @dataclass(frozen=True)
@@ -120,6 +130,34 @@ def run_fig6(
             )
         )
     return rows
+
+
+def stage_rows(params: dict | None = None, *, seed: int = 1,
+               executor=None, cache=None) -> list[dict]:
+    """Campaign stage adapter: one row per (workload, topology)."""
+    p = resolve_stage_params(params, STAGE_DEFAULTS, "fig6")
+    rows = run_fig6(
+        duration=p["duration"],
+        window=p["window"],
+        warmup=p["warmup"],
+        topology_names=tuple(p["topology_names"]),
+        config=SimulationConfig(frame_cycles=p["frame_cycles"], seed=seed),
+        executor=executor,
+        cache=cache,
+    )
+    return [
+        {
+            "workload": row.workload,
+            "topology": row.topology,
+            "slowdown": row.slowdown,
+            "avg_deviation": row.avg_deviation,
+            "min_deviation": row.min_deviation,
+            "max_deviation": row.max_deviation,
+            "pvc_completion": row.pvc_completion,
+            "baseline_completion": row.baseline_completion,
+        }
+        for row in rows
+    ]
 
 
 def format_fig6(rows: list[Fig6Row] | None = None) -> str:

@@ -15,10 +15,14 @@ from dataclasses import dataclass
 from repro.models.energy import EnergyBreakdown, HopType, RouterEnergyModel
 from repro.models.technology import DEFAULT_TECHNOLOGY, TechnologyParameters
 from repro.topologies.registry import TOPOLOGY_NAMES, get_topology
+from repro.util.params import resolve_stage_params
 from repro.util.tables import format_table
 
 #: Figure 7's composite route length in hops.
 COMPOSITE_HOPS = 3
+
+#: Campaign stage-adapter defaults (see :func:`stage_rows`).
+STAGE_DEFAULTS = {"topology_names": TOPOLOGY_NAMES}
 
 
 @dataclass(frozen=True)
@@ -53,6 +57,36 @@ def run_fig7(
                 ),
             )
         )
+    return rows
+
+
+def stage_rows(params: dict | None = None, *, seed: int = 1,
+               executor=None, cache=None) -> list[dict]:
+    """Campaign stage adapter: one row per (topology, hop type).
+
+    Analytical — ``seed``/``executor``/``cache`` are accepted for
+    signature uniformity with the simulation-backed stages and ignored.
+    """
+    del seed, executor, cache
+    p = resolve_stage_params(params, STAGE_DEFAULTS, "fig7")
+    rows = []
+    for row in run_fig7(topology_names=tuple(p["topology_names"])):
+        for hop_name, energy in (
+            ("source", row.source),
+            ("intermediate", row.intermediate),
+            ("destination", row.destination),
+            ("three_hops", row.three_hops),
+        ):
+            rows.append(
+                {
+                    "topology": row.topology,
+                    "hop": hop_name,
+                    "buffers_pj": energy.buffers_pj,
+                    "crossbar_pj": energy.crossbar_pj,
+                    "flow_table_pj": energy.flow_table_pj,
+                    "total_pj": energy.total_pj,
+                }
+            )
     return rows
 
 

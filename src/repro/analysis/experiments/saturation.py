@@ -17,10 +17,19 @@ from repro.runtime.executor import Executor
 from repro.runtime.runner import run_batch
 from repro.runtime.spec import RunSpec
 from repro.topologies.registry import TOPOLOGY_NAMES
+from repro.util.params import resolve_stage_params
 from repro.util.tables import format_table
 
 #: Per-injector rate that saturates every topology (64 injectors).
 SATURATION_RATE = 0.15
+
+#: Campaign stage-adapter defaults (see :func:`stage_rows`).
+STAGE_DEFAULTS = {
+    "rate": SATURATION_RATE,
+    "cycles": 8000,
+    "frame_cycles": 10_000,
+    "topology_names": TOPOLOGY_NAMES,
+}
 
 
 @dataclass(frozen=True)
@@ -71,6 +80,30 @@ def run_saturation(
             delivered_flits=result.delivered_flits,
         )
         for (label, _, name), result in zip(cells, batch.results)
+    ]
+
+
+def stage_rows(params: dict | None = None, *, seed: int = 1,
+               executor=None, cache=None) -> list[dict]:
+    """Campaign stage adapter: one row per (pattern, topology)."""
+    p = resolve_stage_params(params, STAGE_DEFAULTS, "saturation")
+    points = run_saturation(
+        rate=p["rate"],
+        cycles=p["cycles"],
+        topology_names=tuple(p["topology_names"]),
+        config=SimulationConfig(frame_cycles=p["frame_cycles"], seed=seed),
+        executor=executor,
+        cache=cache,
+    )
+    return [
+        {
+            "pattern": point.pattern,
+            "topology": point.topology,
+            "replayed_packet_fraction": point.replayed_packet_fraction,
+            "preemption_events": point.preemption_events,
+            "delivered_flits": point.delivered_flits,
+        }
+        for point in points
     ]
 
 

@@ -18,7 +18,17 @@ from repro.runtime.executor import Executor
 from repro.runtime.runner import run_batch
 from repro.runtime.spec import RunSpec
 from repro.topologies.registry import TOPOLOGY_NAMES
+from repro.util.params import resolve_stage_params
 from repro.util.tables import format_table
+
+#: Campaign stage-adapter defaults (see :func:`stage_rows`).
+STAGE_DEFAULTS = {
+    "rate": 0.05,
+    "warmup": 3000,
+    "window": 20_000,
+    "frame_cycles": 50_000,
+    "topology_names": TOPOLOGY_NAMES,
+}
 
 
 @dataclass(frozen=True)
@@ -67,6 +77,32 @@ def run_table2(
             preemption_events=result.preemption_events,
         )
         for name, result in zip(topology_names, batch.results)
+    ]
+
+
+def stage_rows(params: dict | None = None, *, seed: int = 1,
+               executor=None, cache=None) -> list[dict]:
+    """Campaign stage adapter: one fairness summary row per topology."""
+    p = resolve_stage_params(params, STAGE_DEFAULTS, "table2")
+    rows = run_table2(
+        rate=p["rate"],
+        warmup=p["warmup"],
+        window=p["window"],
+        topology_names=tuple(p["topology_names"]),
+        config=SimulationConfig(frame_cycles=p["frame_cycles"], seed=seed),
+        executor=executor,
+        cache=cache,
+    )
+    return [
+        {
+            "topology": row.topology,
+            "mean_flits": row.report.mean_flits,
+            "min_relative": row.report.min_relative,
+            "max_relative": row.report.max_relative,
+            "std_relative": row.report.std_relative,
+            "preemption_events": row.preemption_events,
+        }
+        for row in rows
     ]
 
 

@@ -1,0 +1,516 @@
+"""Resumable campaign execution with an on-disk manifest.
+
+The runner turns a :class:`~repro.campaign.spec.CampaignSpec` into an
+**artifact store** under a campaign directory::
+
+    <campaign_dir>/
+        manifest.json            stage status, hashes, timings, digests
+        artifacts/<stage>.json   merged comparable rows, sha256-addressed
+        artifacts/shards/<stage>.<i>.json   per-shard checkpoints
+        report.json / report.md  report card vs the committed baseline
+
+Execution is checkpointed at shard granularity: after every shard the
+rows are persisted and the manifest is atomically rewritten, so a
+killed campaign resumes from its last checkpoint.  Completed stages
+are *served from the manifest* — the runner verifies the recorded
+artifact digest against the file on disk and never touches the
+executor for them — and a partially-complete stage re-runs only its
+missing shards, with the spec-level :class:`~repro.runtime.ResultCache`
+absorbing any simulation the interrupted shard had already finished.
+Artifact bytes contain no timestamps, so an interrupted-and-resumed
+campaign produces byte-identical artifacts (and digests) to an
+uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.campaign.report import ReportCard, build_report_card, load_baseline
+from repro.campaign.spec import (
+    CAMPAIGN_SCHEMA_VERSION,
+    CampaignSpec,
+    StageSpec,
+    canonical_artifact_bytes,
+    sha256_bytes,
+    stage_hash,
+)
+from repro.campaign.stages import get_adapter
+from repro.errors import CampaignError, CampaignInterrupted
+from repro.runtime.cache import ResultCache
+from repro.runtime.executor import Executor, SerialExecutor
+
+#: Filenames inside a campaign directory.
+MANIFEST_NAME = "manifest.json"
+ARTIFACT_DIR = "artifacts"
+SHARD_DIR = "shards"
+REPORT_JSON_NAME = "report.json"
+REPORT_MD_NAME = "report.md"
+
+#: ``progress(stage_name, shard_index, shard_count, event)`` with event
+#: one of ``"reused"``, ``"shard"``, ``"complete"``, ``"failed"``.
+CampaignProgress = Callable[[str, int, int, str], None]
+
+#: ``stop_after(stage_name, shard_index) -> bool`` — test/interrupt
+#: hook evaluated after every shard checkpoint.
+StopHook = Callable[[str, int], bool]
+
+
+def _engine_version() -> str:
+    import repro
+
+    return repro.__version__
+
+
+class _RecordingExecutor(Executor):
+    """Pass-through executor that logs what a shard actually ran.
+
+    Records the content hashes of every spec submitted plus the
+    simulated/cache-hit counters, giving the manifest its "compiled
+    RunSpecs" provenance without duplicating spec construction.
+    """
+
+    def __init__(self, inner: Executor) -> None:
+        self.inner = inner
+        self.jobs = inner.jobs
+        self.spec_hashes: list[str] = []
+        self.simulated = 0
+        self.cache_hits = 0
+
+    def describe(self) -> str:
+        return self.inner.describe()
+
+    def run(self, specs, *, cache=None, progress=None):
+        outcome = self.inner.run(specs, cache=cache, progress=progress)
+        self.spec_hashes.extend(spec.content_hash for spec in specs)
+        self.simulated += outcome.simulated
+        self.cache_hits += outcome.cache_hits
+        return outcome
+
+    def reset(self) -> None:
+        self.spec_hashes = []
+        self.simulated = 0
+        self.cache_hits = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "spec_hashes": list(self.spec_hashes),
+            "simulated": self.simulated,
+            "cache_hits": self.cache_hits,
+        }
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of one ``run_campaign`` invocation."""
+
+    campaign: str
+    campaign_dir: str
+    manifest: dict
+    report: ReportCard | None = None
+    executed_stages: list[str] = field(default_factory=list)
+    reused_stages: list[str] = field(default_factory=list)
+    failed_stages: list[str] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        return all(
+            entry.get("status") == "complete"
+            for entry in self.manifest["stages"].values()
+        )
+
+
+class CampaignRunner:
+    """Executes (and resumes) one campaign inside one directory."""
+
+    def __init__(
+        self,
+        campaign: CampaignSpec,
+        *,
+        campaign_dir: str | os.PathLike,
+        executor: Executor | None = None,
+        cache: ResultCache | None = None,
+        baseline_path: str | os.PathLike | None = None,
+    ) -> None:
+        self.campaign = campaign
+        self.dir = Path(campaign_dir)
+        self.executor = executor or SerialExecutor()
+        self.cache = cache
+        self.baseline_path = Path(baseline_path) if baseline_path else None
+        self.engine = _engine_version()
+        # Validate every stage kind eagerly: an unknown kind should fail
+        # `campaign run` before any simulation, not mid-campaign.
+        self._hashes = {
+            stage.name: stage_hash(
+                campaign,
+                stage,
+                adapter_version=get_adapter(stage.kind).version,
+                engine_version=self.engine,
+            )
+            for stage in campaign.stages
+        }
+
+    # -- paths --------------------------------------------------------
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.dir / MANIFEST_NAME
+
+    def artifact_path(self, stage_name: str) -> Path:
+        return self.dir / ARTIFACT_DIR / f"{stage_name}.json"
+
+    def shard_path(self, stage_name: str, shard: int) -> Path:
+        return self.dir / ARTIFACT_DIR / SHARD_DIR / f"{stage_name}.{shard}.json"
+
+    # -- manifest persistence ----------------------------------------
+
+    def load_manifest(self) -> dict | None:
+        """The on-disk manifest, or ``None`` if this is a fresh campaign."""
+        try:
+            with open(self.manifest_path, encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError) as error:
+            raise CampaignError(
+                f"unreadable campaign manifest {self.manifest_path}: {error}"
+            ) from error
+        if manifest.get("campaign") != self.campaign.name:
+            raise CampaignError(
+                f"{self.manifest_path} belongs to campaign "
+                f"{manifest.get('campaign')!r}, not {self.campaign.name!r}"
+            )
+        return manifest
+
+    def _save_manifest(self, manifest: dict) -> None:
+        manifest["updated_at"] = time.time()
+        self.dir.mkdir(parents=True, exist_ok=True)
+        data = json.dumps(manifest, sort_keys=True, indent=2) + "\n"
+        tmp = self.manifest_path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(data, encoding="utf-8")
+        os.replace(tmp, self.manifest_path)
+
+    def _fresh_manifest(self) -> dict:
+        return {
+            "schema": CAMPAIGN_SCHEMA_VERSION,
+            "campaign": self.campaign.name,
+            "engine": self.engine,
+            "seed": self.campaign.seed,
+            "created_at": time.time(),
+            "updated_at": time.time(),
+            "stages": {},
+        }
+
+    def _fresh_stage_entry(self, stage: StageSpec) -> dict:
+        return {
+            "kind": stage.kind,
+            "stage_hash": self._hashes[stage.name],
+            "status": "pending",
+            "shards": [None] * stage.shard_count,
+            "artifact": f"{ARTIFACT_DIR}/{stage.name}.json",
+            "artifact_sha256": None,
+            "elapsed_seconds": 0.0,
+            "rows": 0,
+        }
+
+    # -- artifact helpers --------------------------------------------
+
+    def _write_artifact(self, path: Path, payload: dict) -> str:
+        data = canonical_artifact_bytes(payload)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_bytes(data)
+        os.replace(tmp, path)
+        return sha256_bytes(data)
+
+    def _verify_artifact(self, path: Path, expected_sha256: str | None) -> bool:
+        if not expected_sha256:
+            return False
+        try:
+            return sha256_bytes(path.read_bytes()) == expected_sha256
+        except OSError:
+            return False
+
+    def _read_rows(self, path: Path) -> list[dict]:
+        with open(path, encoding="utf-8") as handle:
+            return json.load(handle)["rows"]
+
+    # -- execution ----------------------------------------------------
+
+    def run(
+        self,
+        *,
+        progress: CampaignProgress | None = None,
+        stop_after: StopHook | None = None,
+        require_manifest: bool = False,
+    ) -> CampaignResult:
+        """Run the campaign to completion (or to the first stop/failure).
+
+        Safe to invoke repeatedly: each invocation continues from the
+        on-disk manifest.  ``require_manifest`` is the ``campaign
+        resume`` contract — refuse to *start* a campaign, only continue
+        one.
+        """
+        manifest = self.load_manifest()
+        if manifest is None:
+            if require_manifest:
+                raise CampaignError(
+                    f"nothing to resume: no manifest at {self.manifest_path}"
+                )
+            manifest = self._fresh_manifest()
+        manifest["engine"] = self.engine
+        result = CampaignResult(
+            campaign=self.campaign.name,
+            campaign_dir=str(self.dir),
+            manifest=manifest,
+        )
+
+        stages = manifest["stages"]
+        done: set[str] = set()
+        failed_or_blocked: set[str] = set()
+        try:
+            for stage in self.campaign.execution_order():
+                entry = stages.get(stage.name)
+                if entry is None or entry.get("stage_hash") != self._hashes[stage.name]:
+                    entry = self._fresh_stage_entry(stage)
+                    stages[stage.name] = entry
+                if any(dep in failed_or_blocked for dep in stage.depends_on):
+                    entry["status"] = "blocked"
+                    failed_or_blocked.add(stage.name)
+                    continue
+                if entry["status"] == "complete" and self._verify_artifact(
+                    self.artifact_path(stage.name), entry.get("artifact_sha256")
+                ):
+                    done.add(stage.name)
+                    result.reused_stages.append(stage.name)
+                    if progress is not None:
+                        progress(
+                            stage.name,
+                            stage.shard_count,
+                            stage.shard_count,
+                            "reused",
+                        )
+                    continue
+                try:
+                    self._run_stage(stage, entry, manifest, progress, stop_after)
+                except CampaignInterrupted:
+                    raise
+                except Exception as error:  # adapter failure: record, go on
+                    entry["status"] = "failed"
+                    entry["error"] = f"{type(error).__name__}: {error}"
+                    failed_or_blocked.add(stage.name)
+                    result.failed_stages.append(stage.name)
+                    self._save_manifest(manifest)
+                    if progress is not None:
+                        progress(stage.name, 0, stage.shard_count, "failed")
+                    continue
+                done.add(stage.name)
+                result.executed_stages.append(stage.name)
+        finally:
+            # Any stages not reached this run keep their prior status;
+            # brand-new ones must still appear in the manifest.
+            for stage in self.campaign.stages:
+                if stage.name not in stages:
+                    stages[stage.name] = self._fresh_stage_entry(stage)
+            self._save_manifest(manifest)
+            result.report = self._write_report(manifest)
+        return result
+
+    def _run_stage(
+        self,
+        stage: StageSpec,
+        entry: dict,
+        manifest: dict,
+        progress: CampaignProgress | None,
+        stop_after: StopHook | None,
+    ) -> None:
+        adapter = get_adapter(stage.kind)
+        entry["status"] = "running"
+        entry.pop("error", None)
+        recorder = _RecordingExecutor(self.executor)
+        shard_rows: list[list[dict]] = []
+        for index, params in enumerate(stage.shard_params):
+            shard_entry = entry["shards"][index]
+            path = self.shard_path(stage.name, index)
+            if (
+                shard_entry
+                and shard_entry.get("status") == "complete"
+                and self._verify_artifact(path, shard_entry.get("sha256"))
+            ):
+                shard_rows.append(self._read_rows(path))
+                continue
+            started = time.perf_counter()
+            recorder.reset()
+            rows = adapter.run(
+                params,
+                seed=self.campaign.seed,
+                executor=recorder,
+                cache=self.cache,
+            )
+            digest = self._write_artifact(
+                path,
+                {
+                    "schema": CAMPAIGN_SCHEMA_VERSION,
+                    "campaign": self.campaign.name,
+                    "stage": stage.name,
+                    "stage_hash": self._hashes[stage.name],
+                    "shard": index,
+                    "params": params,
+                    "rows": rows,
+                },
+            )
+            entry["shards"][index] = {
+                "status": "complete",
+                "sha256": digest,
+                "path": f"{ARTIFACT_DIR}/{SHARD_DIR}/{stage.name}.{index}.json",
+                "elapsed_seconds": time.perf_counter() - started,
+                "rows": len(rows),
+                **recorder.snapshot(),
+            }
+            shard_rows.append(rows)
+            self._save_manifest(manifest)
+            if progress is not None:
+                progress(stage.name, index + 1, stage.shard_count, "shard")
+            if stop_after is not None and stop_after(stage.name, index):
+                raise CampaignInterrupted(
+                    f"campaign {self.campaign.name!r} stopped after "
+                    f"{stage.name} shard {index}; manifest checkpointed at "
+                    f"{self.manifest_path}"
+                )
+        merged = [row for rows in shard_rows for row in rows]
+        digest = self._write_artifact(
+            self.artifact_path(stage.name),
+            {
+                "schema": CAMPAIGN_SCHEMA_VERSION,
+                "campaign": self.campaign.name,
+                "stage": stage.name,
+                "kind": stage.kind,
+                "stage_hash": self._hashes[stage.name],
+                "rows": merged,
+            },
+        )
+        entry["status"] = "complete"
+        entry["artifact_sha256"] = digest
+        entry["rows"] = len(merged)
+        entry["elapsed_seconds"] = sum(
+            shard["elapsed_seconds"] for shard in entry["shards"] if shard
+        )
+        self._save_manifest(manifest)
+        if progress is not None:
+            progress(stage.name, stage.shard_count, stage.shard_count, "complete")
+
+    # -- reporting ----------------------------------------------------
+
+    def _stage_rows_from_disk(self, manifest: dict) -> dict[str, list[dict] | None]:
+        rows: dict[str, list[dict] | None] = {}
+        for stage in self.campaign.stages:
+            entry = manifest["stages"].get(stage.name)
+            path = self.artifact_path(stage.name)
+            if (
+                entry
+                and entry.get("status") == "complete"
+                and self._verify_artifact(path, entry.get("artifact_sha256"))
+            ):
+                rows[stage.name] = self._read_rows(path)
+            else:
+                rows[stage.name] = None
+        return rows
+
+    def _write_report(self, manifest: dict) -> ReportCard:
+        baseline = load_baseline(self.baseline_path) if self.baseline_path else None
+        report = build_report_card(
+            self.campaign,
+            manifest,
+            self._stage_rows_from_disk(manifest),
+            self._hashes,
+            baseline=baseline,
+            engine=self.engine,
+        )
+        self.dir.mkdir(parents=True, exist_ok=True)
+        (self.dir / REPORT_JSON_NAME).write_text(
+            json.dumps(report.to_json(), sort_keys=True, indent=2) + "\n",
+            encoding="utf-8",
+        )
+        (self.dir / REPORT_MD_NAME).write_text(
+            report.to_markdown() + "\n", encoding="utf-8"
+        )
+        return report
+
+    def baseline_entries(self) -> dict[str, dict]:
+        """``{stage: {stage_hash, rows}}`` for baseline (re)recording.
+
+        Requires every stage to be complete — a partial campaign must
+        not overwrite the committed reference.
+        """
+        manifest = self.load_manifest()
+        if manifest is None:
+            raise CampaignError(
+                f"no campaign state at {self.dir}; run the campaign first"
+            )
+        rows_by_stage = self._stage_rows_from_disk(manifest)
+        incomplete = sorted(
+            name for name, rows in rows_by_stage.items() if rows is None
+        )
+        if incomplete:
+            raise CampaignError(
+                f"cannot record a baseline: stages {incomplete} are not "
+                "complete (or their artifacts fail digest verification)"
+            )
+        return {
+            name: {"stage_hash": self._hashes[name], "rows": rows}
+            for name, rows in rows_by_stage.items()
+        }
+
+    def report(self) -> ReportCard:
+        """Rebuild the report card from the on-disk state (no execution)."""
+        manifest = self.load_manifest()
+        if manifest is None:
+            raise CampaignError(
+                f"no campaign state at {self.dir}; run the campaign first"
+            )
+        return self._write_report(manifest)
+
+    def status(self) -> dict | None:
+        """The manifest, or ``None`` when the campaign never ran."""
+        return self.load_manifest()
+
+
+def run_campaign(
+    campaign: CampaignSpec,
+    *,
+    campaign_dir: str | os.PathLike,
+    executor: Executor | None = None,
+    cache: ResultCache | None = None,
+    baseline_path: str | os.PathLike | None = None,
+    progress: CampaignProgress | None = None,
+    stop_after: StopHook | None = None,
+    require_manifest: bool = False,
+) -> CampaignResult:
+    """Run (or resume) ``campaign`` inside ``campaign_dir``."""
+    runner = CampaignRunner(
+        campaign,
+        campaign_dir=campaign_dir,
+        executor=executor,
+        cache=cache,
+        baseline_path=baseline_path,
+    )
+    return runner.run(
+        progress=progress, stop_after=stop_after, require_manifest=require_manifest
+    )
+
+
+def stage_digests(manifest: dict) -> dict[str, str | None]:
+    """``{stage: artifact_sha256}`` — the resume-equivalence fingerprint.
+
+    Two campaign runs that executed the same stage hashes must agree on
+    every digest, whether or not either run was interrupted.
+    """
+    return {
+        name: entry.get("artifact_sha256")
+        for name, entry in manifest["stages"].items()
+    }

@@ -1,0 +1,211 @@
+"""Declarative campaign specifications.
+
+A :class:`CampaignSpec` names an ordered set of *stages* — one per
+experiment, figure, ablation or scenario study — each with a parameter
+grid (budgets, topology subsets, sweep axes), explicit dependencies on
+other stages, and an optional shard decomposition.  The spec is pure
+data: what executes it (:mod:`repro.campaign.runner`) and what each
+stage kind means (:mod:`repro.campaign.stages`) live elsewhere.
+
+Sharding model: a stage's ``shards`` tuple holds parameter *overlays*.
+Each overlay is merged over the stage's base ``params`` and executed —
+and checkpointed — as an independent unit; the stage's rows are the
+concatenation of its shards' rows in declaration order.  A stage with
+no overlays is a single shard running the base params.  Splitting a
+sweep by its ``topology_names`` axis is the canonical decomposition:
+every simulation-backed experiment accepts it.
+
+Every stage has a deterministic **stage hash**: SHA-256 over the
+canonical JSON of everything that could change its rows — the adapter
+kind and version, base params, shard overlays, the campaign seed, and
+the package version (results depend on the engine, exactly like the
+result cache's version-keyed blobs).  The hash is what makes campaign
+manifests resumable and baselines checkable: a stage re-runs iff its
+hash changed, and a baseline entry only vouches for the hash it was
+recorded against.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+from repro.errors import CampaignError
+
+#: Bumped whenever the hashed stage payload or the manifest/artifact
+#: layout changes incompatibly.
+CAMPAIGN_SCHEMA_VERSION = 1
+
+
+def _as_plain_json(value, label: str):
+    """Deep-copy ``value`` into plain JSON data; reject non-JSON types."""
+    if isinstance(value, Mapping):
+        out = {}
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise CampaignError(f"{label}: mapping keys must be strings")
+            out[key] = _as_plain_json(item, f"{label}.{key}")
+        return out
+    if isinstance(value, (list, tuple)):
+        return [_as_plain_json(item, label) for item in value]
+    if isinstance(value, bool) or value is None or isinstance(value, (str, int, float)):
+        return value
+    raise CampaignError(f"{label}: {type(value).__name__} is not JSON-serialisable")
+
+
+@dataclass(frozen=True)
+class StageSpec:
+    """One named unit of a campaign.
+
+    Attributes
+    ----------
+    name:
+        Unique within the campaign; doubles as the artifact file stem.
+    kind:
+        Adapter registry key (:data:`repro.campaign.stages.STAGE_KINDS`).
+    params:
+        Base parameter mapping handed to the stage adapter (budgets,
+        sweep axes), JSON data only.
+    depends_on:
+        Stage names that must complete first.
+    shards:
+        Parameter overlays, each executed and checkpointed separately;
+        empty means one shard running ``params`` unchanged.
+    """
+
+    name: str
+    kind: str
+    params: Mapping = field(default_factory=dict)
+    depends_on: tuple[str, ...] = ()
+    shards: tuple[Mapping, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name or "/" in self.name or self.name != self.name.strip():
+            raise CampaignError(f"invalid stage name {self.name!r}")
+        object.__setattr__(self, "params", _as_plain_json(self.params, self.name))
+        object.__setattr__(self, "depends_on", tuple(self.depends_on))
+        object.__setattr__(
+            self,
+            "shards",
+            tuple(
+                _as_plain_json(shard, f"{self.name}.shards[{i}]")
+                for i, shard in enumerate(self.shards)
+            ),
+        )
+
+    @property
+    def shard_params(self) -> tuple[dict, ...]:
+        """The effective parameter mapping of every shard, in order."""
+        if not self.shards:
+            return (dict(self.params),)
+        return tuple({**self.params, **overlay} for overlay in self.shards)
+
+    @property
+    def shard_count(self) -> int:
+        return max(1, len(self.shards))
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A named, dependency-ordered set of stages.
+
+    ``drift_tolerance`` bounds the relative numeric deviation the
+    report card classifies as *drift* rather than *fail* when a stage's
+    rows do not match the baseline exactly.
+    """
+
+    name: str
+    description: str
+    stages: tuple[StageSpec, ...]
+    seed: int = 1
+    drift_tolerance: float = 0.05
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "stages", tuple(self.stages))
+        if not self.name or self.name != self.name.strip():
+            raise CampaignError(f"invalid campaign name {self.name!r}")
+        if self.drift_tolerance < 0:
+            raise CampaignError("drift_tolerance must be non-negative")
+        names = [stage.name for stage in self.stages]
+        duplicates = {name for name in names if names.count(name) > 1}
+        if duplicates:
+            raise CampaignError(
+                f"duplicate stage names in campaign {self.name!r}: "
+                f"{sorted(duplicates)}"
+            )
+        known = set(names)
+        for stage in self.stages:
+            missing = [dep for dep in stage.depends_on if dep not in known]
+            if missing:
+                raise CampaignError(
+                    f"stage {stage.name!r} depends on unknown stages {missing}"
+                )
+            if stage.name in stage.depends_on:
+                raise CampaignError(f"stage {stage.name!r} depends on itself")
+        self.execution_order()  # raises on dependency cycles
+
+    def stage(self, name: str) -> StageSpec:
+        for stage in self.stages:
+            if stage.name == name:
+                return stage
+        raise CampaignError(f"campaign {self.name!r} has no stage {name!r}")
+
+    def execution_order(self) -> tuple[StageSpec, ...]:
+        """Stages in dependency order (declaration order among ready ones)."""
+        remaining = list(self.stages)
+        done: set[str] = set()
+        ordered: list[StageSpec] = []
+        while remaining:
+            ready = [
+                stage
+                for stage in remaining
+                if all(dep in done for dep in stage.depends_on)
+            ]
+            if not ready:
+                cycle = sorted(stage.name for stage in remaining)
+                raise CampaignError(
+                    f"dependency cycle among stages {cycle} "
+                    f"in campaign {self.name!r}"
+                )
+            for stage in ready:
+                ordered.append(stage)
+                done.add(stage.name)
+                remaining.remove(stage)
+        return tuple(ordered)
+
+
+def stage_hash(
+    campaign: CampaignSpec,
+    stage: StageSpec,
+    *,
+    adapter_version: int,
+    engine_version: str,
+) -> str:
+    """Content hash of everything that determines a stage's rows."""
+    payload = {
+        "schema": CAMPAIGN_SCHEMA_VERSION,
+        "kind": stage.kind,
+        "adapter_version": adapter_version,
+        "params": _as_plain_json(stage.params, stage.name),
+        "shards": [_as_plain_json(s, stage.name) for s in stage.shards],
+        "seed": campaign.seed,
+        "engine": engine_version,
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def canonical_artifact_bytes(payload: Mapping) -> bytes:
+    """The byte-exact serialisation used for every campaign artifact.
+
+    Sorted keys, two-space indent, trailing newline — fixed so that a
+    resumed campaign writes byte-identical files to an uninterrupted
+    one and digests are stable across platforms.
+    """
+    return (json.dumps(payload, sort_keys=True, indent=2) + "\n").encode("utf-8")
+
+
+def sha256_bytes(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()

@@ -1,0 +1,144 @@
+"""Stage-kind registry: what each campaign stage *kind* executes.
+
+Every experiment and ablation module exposes a ``stage_rows`` adapter
+(``stage_rows(params, *, seed, executor, cache) -> list[dict]``) that
+runs the study through the runtime and projects the result onto plain,
+comparable summary rows.  This registry maps the campaign-facing kind
+names onto those adapters and versions them: bumping an adapter's
+``version`` changes every dependent stage hash, invalidating manifests
+and baselines recorded against the old row shape.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.analysis.ablations import frame as _frame
+from repro.analysis.ablations import patience as _patience
+from repro.analysis.ablations import quota as _quota
+from repro.analysis.ablations import replica_policy as _replica
+from repro.analysis.ablations import reserved_vc as _reserved_vc
+from repro.analysis.ablations import topology_extension as _fbfly
+from repro.analysis.ablations import window as _window
+from repro.analysis.experiments import burst_fairness as _burst
+from repro.analysis.experiments import fig3_area as _fig3
+from repro.analysis.experiments import fig4_latency as _fig4
+from repro.analysis.experiments import fig5_preemption as _fig5
+from repro.analysis.experiments import fig6_slowdown as _fig6
+from repro.analysis.experiments import fig7_energy as _fig7
+from repro.analysis.experiments import saturation as _saturation
+from repro.analysis.experiments import table2_fairness as _table2
+from repro.errors import CampaignError
+
+#: ``stage_rows(params, *, seed, executor, cache) -> list[dict]``.
+StageRunner = Callable[..., "list[dict]"]
+
+
+@dataclass(frozen=True)
+class StageAdapter:
+    """One executable stage kind."""
+
+    kind: str
+    run: StageRunner
+    description: str
+    version: int = 1
+    simulated: bool = True
+
+
+_ADAPTERS: tuple[StageAdapter, ...] = (
+    StageAdapter(
+        "fig3",
+        _fig3.stage_rows,
+        "Figure 3: router area overhead (analytical)",
+        simulated=False,
+    ),
+    StageAdapter(
+        "fig4",
+        _fig4.stage_rows,
+        "Figure 4: latency/throughput, uniform + tornado",
+    ),
+    StageAdapter(
+        "table2",
+        _table2.stage_rows,
+        "Table 2: hotspot throughput fairness",
+    ),
+    StageAdapter(
+        "fig5",
+        _fig5.stage_rows,
+        "Figure 5: adversarial preemption rates",
+    ),
+    StageAdapter(
+        "fig6",
+        _fig6.stage_rows,
+        "Figure 6: slowdown + max-min deviation",
+    ),
+    StageAdapter(
+        "fig7",
+        _fig7.stage_rows,
+        "Figure 7: router energy per flit (analytical)",
+        simulated=False,
+    ),
+    StageAdapter(
+        "saturation",
+        _saturation.stage_rows,
+        "Section 5.2: saturation replay rates",
+    ),
+    StageAdapter(
+        "burst_fairness",
+        _burst.stage_rows,
+        "extension: QoS under bursty/replayed traffic",
+    ),
+    StageAdapter(
+        "ablation_quota",
+        _quota.stage_rows,
+        "ablation: reserved per-frame quota",
+    ),
+    StageAdapter(
+        "ablation_reserved_vc",
+        _reserved_vc.stage_rows,
+        "ablation: rate-compliant reserved VC",
+    ),
+    StageAdapter(
+        "ablation_patience",
+        _patience.stage_rows,
+        "ablation: preemption patience window",
+    ),
+    StageAdapter(
+        "ablation_frame",
+        _frame.stage_rows,
+        "ablation: PVC frame length",
+    ),
+    StageAdapter(
+        "ablation_window",
+        _window.stage_rows,
+        "ablation: source retransmission window",
+    ),
+    StageAdapter(
+        "ablation_replica",
+        _replica.stage_rows,
+        "ablation: replica arbitration policy",
+    ),
+    StageAdapter(
+        "ablation_fbfly",
+        _fbfly.stage_rows,
+        "ablation: flattened-butterfly extension",
+    ),
+)
+
+STAGE_ADAPTERS: dict[str, StageAdapter] = {
+    adapter.kind: adapter for adapter in _ADAPTERS
+}
+
+#: All registered stage kinds, sorted for display.
+STAGE_KINDS: tuple[str, ...] = tuple(sorted(STAGE_ADAPTERS))
+
+
+def get_adapter(kind: str) -> StageAdapter:
+    """Adapter for ``kind``; raises :class:`CampaignError` if unknown."""
+    adapter = STAGE_ADAPTERS.get(kind)
+    if adapter is None:
+        raise CampaignError(
+            f"unknown stage kind {kind!r}; expected one of {list(STAGE_KINDS)}"
+        )
+    return adapter

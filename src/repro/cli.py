@@ -23,6 +23,12 @@ Usage (after installation)::
     repro bench engine --regimes saturation --topologies mesh_x1,mecs
     repro bench guard                    # regression-check BENCH_engine.json
     repro fig4 --profile                 # cProfile top-20 for any target
+    repro campaign list                  # declared reproduction campaigns
+    repro campaign run paper --jobs 4    # the whole paper, resumably
+    repro campaign resume paper          # continue after an interruption
+    repro campaign status paper          # per-stage manifest state
+    repro campaign report smoke --check  # report card; exit 1 unless pass
+    repro campaign diff smoke            # row-level deltas vs the baseline
 
 (or ``python -m repro ...`` without installation).  ``--fast`` shrinks
 simulation windows for a quick smoke pass; ``--seed`` changes the
@@ -507,6 +513,179 @@ def _scenario_replay(args, path: str) -> int:
     return 1
 
 
+def _campaign_dir(args, name: str) -> str:
+    """``--campaign-dir`` override, else ``$REPRO_CAMPAIGN_DIR``/name,
+    else ``campaigns/<name>`` under the working directory."""
+    import os
+
+    if args.campaign_dir:
+        return args.campaign_dir
+    base = os.environ.get("REPRO_CAMPAIGN_DIR", "campaigns")
+    return os.path.join(base, name)
+
+
+def _campaign_runner(args, name: str):
+    from repro.campaign import CampaignRunner, get_campaign
+
+    return CampaignRunner(
+        get_campaign(name),
+        campaign_dir=_campaign_dir(args, name),
+        executor=_executor(args),
+        cache=_cache(args),
+        baseline_path=args.baseline,
+    )
+
+
+def _run_campaign(args) -> int:
+    """``repro campaign list|run|status|resume|report|diff``."""
+    from repro.errors import ReproError
+
+    action = args.targets[1] if len(args.targets) > 1 else "list"
+    if args.seed != 1 or args.fast:
+        # Seeds and budgets participate in every stage hash and in the
+        # committed baseline; accepting them here would silently run a
+        # different campaign than the one the baseline vouches for.
+        print("campaign: --seed/--fast do not apply; seeds and budgets "
+              "are pinned in the campaign spec (see repro campaign list)",
+              file=sys.stderr)
+        return 2
+    try:
+        if action == "list":
+            return _campaign_list()
+        if action not in ("run", "status", "resume", "report", "diff"):
+            print(f"unknown campaign action {action!r}; expected list, run, "
+                  "status, resume, report or diff", file=sys.stderr)
+            return 2
+        if len(args.targets) < 3:
+            print(f"usage: repro campaign {action} <name> [flags]",
+                  file=sys.stderr)
+            return 2
+        name = args.targets[2]
+        if action in ("run", "resume"):
+            return _campaign_run(args, name, resume=action == "resume")
+        if action == "status":
+            return _campaign_status(args, name)
+        if action == "report":
+            return _campaign_report(args, name)
+        return _campaign_diff(args, name)
+    except (ReproError, OSError, ValueError) as error:
+        print(f"campaign {action}: {error}", file=sys.stderr)
+        return 2
+
+
+def _campaign_list() -> int:
+    from repro.campaign import CAMPAIGNS, get_adapter
+
+    for name, campaign in CAMPAIGNS.items():
+        print(f"{name}: {campaign.description}")
+        print(f"  seed {campaign.seed}, drift tolerance "
+              f"{campaign.drift_tolerance:g}, {len(campaign.stages)} stages:")
+        for stage in campaign.stages:
+            adapter = get_adapter(stage.kind)
+            deps = f" <- {', '.join(stage.depends_on)}" if stage.depends_on else ""
+            shards = f" [{stage.shard_count} shards]" if stage.shard_count > 1 else ""
+            print(f"    {stage.name:22s} {adapter.description}{shards}{deps}")
+    print("run with: repro campaign run <name> [--jobs N] [--check]")
+    return 0
+
+
+def _campaign_run(args, name: str, *, resume: bool) -> int:
+    from repro.errors import CampaignInterrupted
+
+    runner = _campaign_runner(args, name)
+
+    def progress(stage: str, done: int, total: int, event: str) -> None:
+        if event == "reused":
+            print(f"  {stage}: complete (served from manifest)")
+        elif event == "shard":
+            print(f"  {stage}: shard {done}/{total} checkpointed")
+        elif event == "complete":
+            print(f"  {stage}: complete")
+        else:
+            print(f"  {stage}: FAILED")
+
+    print(f"campaign {name} -> {runner.dir}")
+    try:
+        result = runner.run(progress=progress, require_manifest=resume)
+    except CampaignInterrupted as stop:
+        print(f"interrupted: {stop}")
+        return 3
+    report = result.report
+    print(f"report card: {runner.dir / 'report.md'}")
+    print(f"overall: {report.overall} "
+          + " ".join(f"{k}={v}" for k, v in sorted(report.counts().items())))
+    if result.failed_stages:
+        print(f"failed stages: {', '.join(result.failed_stages)}",
+              file=sys.stderr)
+        return 1
+    if args.check and not report.passed:
+        print("--check: report-card verdicts are not all 'pass'",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def _campaign_status(args, name: str) -> int:
+    runner = _campaign_runner(args, name)
+    manifest = runner.status()
+    if manifest is None:
+        print(f"campaign {name}: never run (no manifest in {runner.dir})")
+        return 0
+    print(f"campaign {name} in {runner.dir} "
+          f"(engine {manifest.get('engine')}, seed {manifest.get('seed')})")
+    for stage in runner.campaign.stages:
+        entry = manifest["stages"].get(stage.name)
+        if entry is None:
+            print(f"  {stage.name:22s} pending")
+            continue
+        shards = entry.get("shards") or []
+        done = sum(1 for shard in shards
+                   if shard and shard.get("status") == "complete")
+        digest = entry.get("artifact_sha256") or ""
+        print(f"  {stage.name:22s} {entry.get('status', 'pending'):9s} "
+              f"shards {done}/{len(shards)}  rows {entry.get('rows', 0):4d}  "
+              f"{entry.get('elapsed_seconds', 0.0):6.1f}s  {digest[:12]}")
+    return 0
+
+
+def _campaign_report(args, name: str) -> int:
+    import json as _json
+
+    from repro.campaign import update_baseline
+
+    runner = _campaign_runner(args, name)
+    if args.update_baseline:
+        entries = runner.baseline_entries()
+        update_baseline(args.baseline, name, entries)
+        print(f"baseline for campaign {name!r} ({len(entries)} stages) "
+              f"written to {args.baseline}")
+    report = runner.report()
+    if args.json:
+        print(_json.dumps(report.to_json(), sort_keys=True, indent=2))
+    else:
+        print(report.to_markdown())
+    if args.check and not report.passed:
+        return 1
+    return 0
+
+
+def _campaign_diff(args, name: str) -> int:
+    runner = _campaign_runner(args, name)
+    report = runner.report()
+    clean = True
+    for stage in report.stages:
+        if stage.verdict == "pass":
+            continue
+        clean = False
+        print(f"{stage.name}: {stage.verdict} — {stage.detail}")
+        for mismatch in stage.mismatches:
+            print(f"  {mismatch}")
+    if clean:
+        print(f"campaign {name}: every stage matches the baseline")
+        return 0
+    return 1
+
+
 def _run_cache(args) -> int:
     """``repro cache [info|clear]`` — inspect or empty the result store."""
     action = args.targets[1] if len(args.targets) > 1 else "info"
@@ -547,6 +726,10 @@ COMMANDS: dict[str, tuple[Callable, str]] = {
 #: Listed alongside COMMANDS but dispatched separately (take a
 #: sub-action instead of producing a result table).
 CACHE_COMMAND_HELP = "result cache maintenance: cache info | cache clear"
+CAMPAIGN_COMMAND_HELP = (
+    "resumable reproduction campaigns: campaign list | run <name> | "
+    "status <name> | resume <name> | report <name> | diff <name>"
+)
 BENCH_COMMAND_HELP = (
     "engine benchmark vs golden reference: bench engine | bench guard"
 )
@@ -592,6 +775,31 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--profile", action="store_true",
         help="run the target under cProfile and print the top 20 entries",
+    )
+    campaign = parser.add_argument_group("campaign options")
+    campaign.add_argument(
+        "--campaign-dir", default=None, metavar="PATH",
+        help="with 'campaign run/...': campaign state directory "
+        "(default $REPRO_CAMPAIGN_DIR/<name> or campaigns/<name>)",
+    )
+    campaign.add_argument(
+        "--baseline", default="CAMPAIGN_baseline.json", metavar="PATH",
+        help="with 'campaign ...': committed baseline for the report card",
+    )
+    campaign.add_argument(
+        "--check", action="store_true",
+        help="with 'campaign run/report': exit non-zero unless every "
+        "stage's report-card verdict is 'pass'",
+    )
+    campaign.add_argument(
+        "--json", action="store_true",
+        help="with 'campaign report': print the JSON report card "
+        "instead of markdown",
+    )
+    campaign.add_argument(
+        "--update-baseline", action="store_true",
+        help="with 'campaign report': record the completed campaign's "
+        "rows as the new baseline entries",
     )
     parser.add_argument(
         "--record", default=None, metavar="PATH",
@@ -659,12 +867,23 @@ def main(argv: list[str] | None = None) -> int:
                   f"{' '.join(targets[3:])}", file=sys.stderr)
             return 2
         return _run_scenario(args)
+    if "campaign" in targets:
+        if targets[0] != "campaign":
+            print("'campaign' must be the first target: repro campaign "
+                  "list|run|status|resume|report|diff", file=sys.stderr)
+            return 2
+        if len(targets) > 3:
+            print(f"unexpected arguments after campaign action: "
+                  f"{' '.join(targets[3:])}", file=sys.stderr)
+            return 2
+        return _run_campaign(args)
     if "list" in targets:
         for name, (_, description) in COMMANDS.items():
             print(f"  {name:10s} {description}")
         print(f"  {'cache':10s} {CACHE_COMMAND_HELP}")
         print(f"  {'bench':10s} {BENCH_COMMAND_HELP}")
         print(f"  {'scenario':10s} {SCENARIO_COMMAND_HELP}")
+        print(f"  {'campaign':10s} {CAMPAIGN_COMMAND_HELP}")
         return 0
     if "cache" in targets:
         if targets[0] != "cache":
@@ -692,7 +911,7 @@ def main(argv: list[str] | None = None) -> int:
     if unknown:
         print(f"unknown target(s): {', '.join(unknown)}", file=sys.stderr)
         print(f"available: {', '.join(COMMANDS)}, cache, bench, scenario, "
-              "all, list", file=sys.stderr)
+              "campaign, all, list", file=sys.stderr)
         return 2
     for target in targets:
         runner, _ = COMMANDS[target]

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.chip import Chip, Coord
-from repro.core.domain import Domain, DomainSet
+from repro.core.domain import DomainSet
 from repro.core.routing import RouterPath, route_inter_vm, route_intra_domain, route_to_shared
 
 

@@ -32,6 +32,18 @@ class TrafficError(ConfigurationError):
     """A traffic pattern or workload specification is invalid."""
 
 
+class CampaignError(ReproError):
+    """A campaign spec, manifest, or baseline is invalid or inconsistent."""
+
+
+class CampaignInterrupted(CampaignError):
+    """A campaign run stopped at a checkpoint before completing.
+
+    The on-disk manifest records everything finished so far; re-running
+    (or ``repro campaign resume``) continues from the checkpoint.
+    """
+
+
 class AllocationError(ReproError):
     """The chip-level domain allocator could not satisfy a request."""
 

@@ -1,4 +1,10 @@
-"""Shared fixtures: fast simulator builders and canonical configs."""
+"""Shared fixtures: fast simulator builders and canonical configs.
+
+Also registers hypothesis profiles.  CI exports
+``HYPOTHESIS_PROFILE=ci`` to get a pinned, derandomized profile (fixed
+seed derivation, no deadline) so property tests cannot flake on slow
+shared runners; locally the default profile keeps random exploration.
+"""
 
 from __future__ import annotations
 
@@ -6,12 +12,23 @@ import os
 import sys
 
 import pytest
+from hypothesis import HealthCheck, settings
 
 sys.path.insert(0, os.path.dirname(__file__))
 
 from helpers import build_simulator  # noqa: E402
 from repro.network.config import SimulationConfig  # noqa: E402
 from repro.topologies.registry import TOPOLOGY_NAMES  # noqa: E402
+
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    deadline=None,
+    print_blob=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile("dev", deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 
 @pytest.fixture

@@ -1,0 +1,219 @@
+"""Resume semantics: interrupt mid-run, resume, byte-identical artifacts.
+
+The acceptance contract: a ParallelExecutor-backed campaign killed at
+an arbitrary checkpoint and then resumed must produce a manifest whose
+artifact digests — and the artifact bytes themselves — are identical
+to an uninterrupted run, with completed stages served from the
+manifest (zero executor batches) and the interrupted stage's finished
+simulations served from the result cache (zero re-executions).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import CampaignSpec, StageSpec, run_campaign, stage_digests
+from repro.errors import CampaignInterrupted
+from repro.runtime.cache import ResultCache
+from repro.runtime.executor import ParallelExecutor
+
+
+def resumable_campaign():
+    """Three stages, one sharded, with a dependency edge."""
+    return CampaignSpec(
+        name="resume-test",
+        description="interrupt/resume semantics",
+        stages=(
+            StageSpec("area", "fig3"),
+            StageSpec(
+                "sat",
+                "saturation",
+                params={"cycles": 300, "topology_names": ["mesh_x1", "mecs"]},
+                shards=(
+                    {"topology_names": ["mesh_x1"]},
+                    {"topology_names": ["mecs"]},
+                ),
+            ),
+            StageSpec(
+                "window",
+                "ablation_window",
+                params={"windows": [1, 4], "cycles": 400},
+                depends_on=("sat",),
+            ),
+        ),
+    )
+
+
+class CountingParallelExecutor(ParallelExecutor):
+    """ParallelExecutor that records every batch handed to it."""
+
+    def __init__(self, jobs=2):
+        super().__init__(jobs=jobs)
+        self.batches = 0
+        self.specs_seen = []
+        self.simulated = 0
+
+    def run(self, specs, *, cache=None, progress=None):
+        self.batches += 1
+        self.specs_seen.extend(specs)
+        outcome = super().run(specs, cache=cache, progress=progress)
+        self.simulated += outcome.simulated
+        return outcome
+
+
+def _artifact_bytes(root: Path) -> dict[str, bytes]:
+    return {
+        path.relative_to(root).as_posix(): path.read_bytes()
+        for path in sorted((root / "artifacts").rglob("*.json"))
+    }
+
+
+@pytest.mark.parametrize(
+    "stop_stage,stop_shard",
+    [("sat", 0), ("sat", 1)],
+    ids=["mid-stage", "stage-boundary"],
+)
+def test_interrupted_resume_matches_uninterrupted_run(
+    tmp_path, stop_stage, stop_shard
+):
+    campaign = resumable_campaign()
+
+    # Reference: uninterrupted run with its own cache.
+    ref_cache = ResultCache(tmp_path / "cache-ref")
+    reference = run_campaign(
+        campaign,
+        campaign_dir=tmp_path / "ref",
+        executor=ParallelExecutor(jobs=2),
+        cache=ref_cache,
+    )
+    assert reference.complete
+
+    # Interrupted run: kill at the requested checkpoint...
+    cache = ResultCache(tmp_path / "cache")
+    with pytest.raises(CampaignInterrupted):
+        run_campaign(
+            campaign,
+            campaign_dir=tmp_path / "run",
+            executor=ParallelExecutor(jobs=2),
+            cache=cache,
+            stop_after=lambda stage, shard: (stage, shard)
+            == (stop_stage, stop_shard),
+        )
+    manifest = json.loads((tmp_path / "run" / "manifest.json").read_text())
+    assert manifest["stages"][stop_stage]["status"] != "complete"
+
+    # ... and resume with a counting executor.
+    counting = CountingParallelExecutor(jobs=2)
+    resumed = run_campaign(
+        campaign,
+        campaign_dir=tmp_path / "run",
+        executor=counting,
+        cache=cache,
+        require_manifest=True,
+    )
+    assert resumed.complete
+
+    # Completed stages were served from the manifest (zero executor
+    # batches for them), and completed *shards* of the interrupted
+    # stage were served from their checkpoints: the only saturation
+    # specs the resume executor may see belong to shards at or after
+    # the stop point.
+    assert "area" in resumed.reused_stages
+    seen = {(spec.workload, spec.topology) for spec in counting.specs_seen}
+    if stop_shard == 0:
+        # sat shard 0 (mesh_x1) finished before the kill; only shard 1
+        # (mecs) and the dependent window stage execute on resume.
+        assert ("full_column", "mesh_x1") not in seen
+        assert ("full_column", "mecs") in seen
+    else:
+        # Both sat shards finished; only the window stage executes.
+        assert all(workload == "single_flow" for workload, _ in seen)
+
+    # Nothing completed was simulated twice: the interrupted run's
+    # simulations plus the resume's actual simulations add up to
+    # exactly the uninterrupted run's unique-spec count.
+    def simulated(manifest_dict):
+        return sum(
+            shard["simulated"]
+            for entry in manifest_dict["stages"].values()
+            for shard in entry.get("shards", [])
+            if shard
+        )
+
+    assert simulated(manifest) + counting.simulated == simulated(
+        reference.manifest
+    )
+
+    # Byte-identical artifacts and identical digests.  (The report
+    # card carries wall-clock timings, so compare it with those
+    # stripped.)
+    assert stage_digests(resumed.manifest) == stage_digests(reference.manifest)
+    assert _artifact_bytes(tmp_path / "run") == _artifact_bytes(tmp_path / "ref")
+
+    def timeless(path):
+        report = json.loads(path.read_text())
+        for stage in report["stages"]:
+            stage.pop("elapsed_seconds")
+        return report
+
+    assert timeless(tmp_path / "run" / "report.json") == timeless(
+        tmp_path / "ref" / "report.json"
+    )
+
+
+def test_resume_after_stage_boundary_reexecutes_nothing_completed(tmp_path):
+    """Stop exactly between stages: every completed stage resumes for free."""
+    campaign = resumable_campaign()
+    cache = ResultCache(tmp_path / "cache")
+    with pytest.raises(CampaignInterrupted):
+        run_campaign(
+            campaign,
+            campaign_dir=tmp_path / "run",
+            executor=ParallelExecutor(jobs=2),
+            cache=cache,
+            stop_after=lambda stage, shard: (stage, shard) == ("sat", 1),
+        )
+    counting = CountingParallelExecutor(jobs=2)
+    resumed = run_campaign(
+        campaign,
+        campaign_dir=tmp_path / "run",
+        executor=counting,
+        cache=cache,
+        require_manifest=True,
+    )
+    # area and sat completed before the interrupt (sat's final shard
+    # checkpoint lands before the stop hook fires, but the merged stage
+    # artifact does not — so sat re-merges from shard checkpoints with
+    # zero simulations, and only `window` actually executes).
+    assert resumed.reused_stages == ["area"]
+    sat_shards = resumed.manifest["stages"]["sat"]["shards"]
+    assert all(shard["status"] == "complete" for shard in sat_shards)
+    window_specs = {spec.workload for spec in counting.specs_seen}
+    assert "full_column" not in window_specs  # no saturation spec re-ran
+    # All simulated work on resume belongs to `window`.
+    assert window_specs <= {"single_flow"}
+
+
+def test_cache_shared_across_directories_gives_zero_simulation_resume(tmp_path):
+    """A fresh campaign dir with a warm cache simulates nothing."""
+    campaign = resumable_campaign()
+    cache = ResultCache(tmp_path / "cache")
+    run_campaign(
+        campaign,
+        campaign_dir=tmp_path / "a",
+        executor=ParallelExecutor(jobs=2),
+        cache=cache,
+    )
+    second = run_campaign(
+        campaign,
+        campaign_dir=tmp_path / "b",
+        executor=ParallelExecutor(jobs=2),
+        cache=cache,
+    )
+    for entry in second.manifest["stages"].values():
+        for shard in entry["shards"]:
+            assert shard["simulated"] == 0
+    assert stage_digests(second.manifest) == stage_digests(
+        json.loads((tmp_path / "a" / "manifest.json").read_text())
+    )

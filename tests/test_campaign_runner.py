@@ -1,0 +1,237 @@
+"""Campaign runner: artifact store, manifest lifecycle, reuse, failure."""
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    CampaignRunner,
+    CampaignSpec,
+    StageSpec,
+    run_campaign,
+    stage_digests,
+    update_baseline,
+)
+from repro.campaign.spec import canonical_artifact_bytes, sha256_bytes
+from repro.errors import CampaignError
+from repro.runtime.executor import SerialExecutor
+
+
+def tiny_campaign(**kwargs):
+    """Two instant analytical stages plus one short simulated stage."""
+    return CampaignSpec(
+        name="tiny",
+        description="test campaign",
+        stages=(
+            StageSpec("area", "fig3"),
+            StageSpec(
+                "sat",
+                "saturation",
+                params={"cycles": 300, "topology_names": ["mesh_x1"]},
+                depends_on=("area",),
+            ),
+        ),
+        **kwargs,
+    )
+
+
+class SpyExecutor(SerialExecutor):
+    """Counts batches and specs so tests can assert zero re-execution."""
+
+    def __init__(self):
+        self.batches = 0
+        self.specs_seen = []
+
+    def run(self, specs, *, cache=None, progress=None):
+        self.batches += 1
+        self.specs_seen.extend(specs)
+        return super().run(specs, cache=cache, progress=progress)
+
+
+def test_run_produces_manifest_artifacts_and_report(tmp_path):
+    result = run_campaign(
+        tiny_campaign(),
+        campaign_dir=tmp_path / "c",
+        baseline_path=tmp_path / "b.json",
+    )
+    assert result.executed_stages == ["area", "sat"]
+    assert result.complete
+    manifest = json.loads((tmp_path / "c" / "manifest.json").read_text())
+    assert manifest["campaign"] == "tiny"
+    assert set(manifest["stages"]) == {"area", "sat"}
+    for name in ("area", "sat"):
+        entry = manifest["stages"][name]
+        assert entry["status"] == "complete"
+        blob = (tmp_path / "c" / "artifacts" / f"{name}.json").read_bytes()
+        assert sha256_bytes(blob) == entry["artifact_sha256"]
+        payload = json.loads(blob)
+        assert payload["stage"] == name
+        assert payload["rows"]
+    assert (tmp_path / "c" / "report.json").exists()
+    assert (tmp_path / "c" / "report.md").exists()
+
+
+def test_artifact_bytes_are_canonical():
+    payload = {"b": 1, "a": [1.5, None, True]}
+    data = canonical_artifact_bytes(payload)
+    assert data == canonical_artifact_bytes(dict(reversed(payload.items())))
+    assert data.endswith(b"\n")
+
+
+def test_second_run_reuses_every_stage(tmp_path):
+    campaign = tiny_campaign()
+    first = run_campaign(campaign, campaign_dir=tmp_path / "c")
+    spy = SpyExecutor()
+    second = run_campaign(campaign, campaign_dir=tmp_path / "c", executor=spy)
+    assert second.reused_stages == ["area", "sat"]
+    assert second.executed_stages == []
+    assert spy.batches == 0
+    assert stage_digests(second.manifest) == stage_digests(first.manifest)
+
+
+def test_shard_records_compiled_spec_hashes(tmp_path):
+    result = run_campaign(tiny_campaign(), campaign_dir=tmp_path / "c")
+    shard = result.manifest["stages"]["sat"]["shards"][0]
+    # 2 patterns x 1 topology.
+    assert len(shard["spec_hashes"]) == 2
+    assert shard["simulated"] + shard["cache_hits"] == 2
+    assert all(len(h) == 64 for h in shard["spec_hashes"])
+
+
+def test_stage_hash_change_resets_only_that_stage(tmp_path):
+    run_campaign(tiny_campaign(), campaign_dir=tmp_path / "c")
+    changed = CampaignSpec(
+        name="tiny",
+        description="test campaign",
+        stages=(
+            StageSpec("area", "fig3"),
+            StageSpec(
+                "sat",
+                "saturation",
+                params={"cycles": 350, "topology_names": ["mesh_x1"]},
+                depends_on=("area",),
+            ),
+        ),
+    )
+    spy = SpyExecutor()
+    result = run_campaign(changed, campaign_dir=tmp_path / "c", executor=spy)
+    assert result.reused_stages == ["area"]
+    assert result.executed_stages == ["sat"]
+    assert spy.batches > 0
+
+
+def test_manifest_campaign_name_mismatch_rejected(tmp_path):
+    run_campaign(tiny_campaign(), campaign_dir=tmp_path / "c")
+    other = CampaignSpec(
+        name="other", description="x", stages=(StageSpec("area", "fig3"),)
+    )
+    with pytest.raises(CampaignError, match="belongs to campaign"):
+        run_campaign(other, campaign_dir=tmp_path / "c")
+
+
+def test_resume_without_manifest_refuses(tmp_path):
+    with pytest.raises(CampaignError, match="nothing to resume"):
+        run_campaign(
+            tiny_campaign(), campaign_dir=tmp_path / "c", require_manifest=True
+        )
+
+
+def test_failed_stage_blocks_dependents_and_is_reported(tmp_path):
+    campaign = CampaignSpec(
+        name="failing",
+        description="x",
+        stages=(
+            StageSpec("boom", "saturation", params={"cycles": -5}),
+            StageSpec("after", "fig3", depends_on=("boom",)),
+            StageSpec("independent", "fig7"),
+        ),
+    )
+    result = run_campaign(campaign, campaign_dir=tmp_path / "c")
+    assert result.failed_stages == ["boom"]
+    assert "independent" in result.executed_stages
+    manifest = result.manifest
+    assert manifest["stages"]["boom"]["status"] == "failed"
+    assert "error" in manifest["stages"]["boom"]
+    assert manifest["stages"]["after"]["status"] == "blocked"
+    verdicts = {s.name: s.verdict for s in result.report.stages}
+    assert verdicts["boom"] == "failed"
+    assert verdicts["after"] == "blocked"
+    assert result.report.overall == "fail"
+
+
+def test_corrupted_artifact_forces_reexecution(tmp_path):
+    campaign = tiny_campaign()
+    run_campaign(campaign, campaign_dir=tmp_path / "c")
+    artifact = tmp_path / "c" / "artifacts" / "sat.json"
+    artifact.write_text("{}")
+    spy = SpyExecutor()
+    result = run_campaign(campaign, campaign_dir=tmp_path / "c", executor=spy)
+    assert "sat" in result.executed_stages
+    # The re-written artifact verifies again.
+    entry = result.manifest["stages"]["sat"]
+    assert sha256_bytes(artifact.read_bytes()) == entry["artifact_sha256"]
+
+
+def test_baseline_entries_require_complete_campaign(tmp_path):
+    campaign = CampaignSpec(
+        name="failing",
+        description="x",
+        stages=(StageSpec("boom", "saturation", params={"cycles": -5}),),
+    )
+    run_campaign(campaign, campaign_dir=tmp_path / "c")
+    runner = CampaignRunner(campaign, campaign_dir=tmp_path / "c")
+    with pytest.raises(CampaignError, match="cannot record a baseline"):
+        runner.baseline_entries()
+
+
+def test_baseline_round_trip_gives_pass_verdicts(tmp_path):
+    campaign = tiny_campaign()
+    baseline = tmp_path / "b.json"
+    run_campaign(campaign, campaign_dir=tmp_path / "c", baseline_path=baseline)
+    runner = CampaignRunner(
+        campaign, campaign_dir=tmp_path / "c", baseline_path=baseline
+    )
+    update_baseline(baseline, "tiny", runner.baseline_entries())
+    report = runner.report()
+    assert report.overall == "pass"
+    assert all(stage.verdict == "pass" for stage in report.stages)
+    # report.md reflects the new verdicts on disk.
+    assert "PASS" in (tmp_path / "c" / "report.md").read_text()
+
+
+def test_report_without_state_raises(tmp_path):
+    runner = CampaignRunner(tiny_campaign(), campaign_dir=tmp_path / "nope")
+    with pytest.raises(CampaignError, match="no campaign state"):
+        runner.report()
+
+
+def test_progress_callback_sees_lifecycle_events(tmp_path):
+    events = []
+    run_campaign(
+        tiny_campaign(),
+        campaign_dir=tmp_path / "c",
+        progress=lambda stage, done, total, event: events.append((stage, event)),
+    )
+    assert ("area", "complete") in events
+    assert ("sat", "shard") in events
+    run_campaign(
+        tiny_campaign(),
+        campaign_dir=tmp_path / "c",
+        progress=lambda stage, done, total, event: events.append((stage, event)),
+    )
+    assert ("sat", "reused") in events
+
+
+def test_unknown_stage_param_fails_the_stage_not_the_campaign(tmp_path):
+    campaign = CampaignSpec(
+        name="typo",
+        description="x",
+        stages=(
+            StageSpec("sat", "saturation", params={"cycless": 300}),
+            StageSpec("ok", "fig3"),
+        ),
+    )
+    result = run_campaign(campaign, campaign_dir=tmp_path / "c")
+    assert result.failed_stages == ["sat"]
+    assert result.executed_stages == ["ok"]
+    assert "unknown stage params" in result.manifest["stages"]["sat"]["error"]

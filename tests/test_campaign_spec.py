@@ -1,0 +1,128 @@
+"""Campaign/stage spec validation, ordering, and hashing."""
+
+import pytest
+
+from repro.campaign import CAMPAIGNS, CampaignSpec, StageSpec, get_campaign
+from repro.campaign.spec import stage_hash
+from repro.campaign.stages import STAGE_ADAPTERS, STAGE_KINDS, get_adapter
+from repro.errors import CampaignError
+
+
+def _campaign(stages, **kwargs):
+    return CampaignSpec(name="t", description="test", stages=tuple(stages), **kwargs)
+
+
+def test_stage_defaults_are_single_shard():
+    stage = StageSpec("fig3", "fig3")
+    assert stage.shard_count == 1
+    assert stage.shard_params == ({},)
+
+
+def test_shard_params_merge_overlays_over_base():
+    stage = StageSpec(
+        "s",
+        "saturation",
+        params={"cycles": 500, "topology_names": ["mesh_x1", "mecs"]},
+        shards=({"topology_names": ["mesh_x1"]}, {"topology_names": ["mecs"]}),
+    )
+    assert stage.shard_count == 2
+    first, second = stage.shard_params
+    assert first == {"cycles": 500, "topology_names": ["mesh_x1"]}
+    assert second == {"cycles": 500, "topology_names": ["mecs"]}
+
+
+def test_non_json_params_rejected():
+    with pytest.raises(CampaignError, match="not JSON-serialisable"):
+        StageSpec("s", "fig3", params={"model": object()})
+
+
+def test_duplicate_stage_names_rejected():
+    with pytest.raises(CampaignError, match="duplicate stage names"):
+        _campaign([StageSpec("a", "fig3"), StageSpec("a", "fig7")])
+
+
+def test_unknown_dependency_rejected():
+    with pytest.raises(CampaignError, match="unknown stages"):
+        _campaign([StageSpec("a", "fig3", depends_on=("ghost",))])
+
+
+def test_self_dependency_rejected():
+    with pytest.raises(CampaignError, match="depends on itself"):
+        _campaign([StageSpec("a", "fig3", depends_on=("a",))])
+
+
+def test_dependency_cycle_rejected():
+    with pytest.raises(CampaignError, match="dependency cycle"):
+        _campaign(
+            [
+                StageSpec("a", "fig3", depends_on=("b",)),
+                StageSpec("b", "fig7", depends_on=("a",)),
+            ]
+        )
+
+
+def test_execution_order_respects_dependencies():
+    campaign = _campaign(
+        [
+            StageSpec("late", "fig3", depends_on=("early",)),
+            StageSpec("early", "fig7"),
+        ]
+    )
+    names = [stage.name for stage in campaign.execution_order()]
+    assert names == ["early", "late"]
+
+
+def test_negative_drift_tolerance_rejected():
+    with pytest.raises(CampaignError, match="drift_tolerance"):
+        _campaign([StageSpec("a", "fig3")], drift_tolerance=-0.1)
+
+
+def test_stage_hash_is_stable_and_param_sensitive():
+    campaign = _campaign([StageSpec("a", "saturation", params={"cycles": 500})])
+    changed = _campaign([StageSpec("a", "saturation", params={"cycles": 501})])
+    kwargs = dict(adapter_version=1, engine_version="1.5.0")
+    base = stage_hash(campaign, campaign.stage("a"), **kwargs)
+    assert base == stage_hash(campaign, campaign.stage("a"), **kwargs)
+    assert base != stage_hash(changed, changed.stage("a"), **kwargs)
+
+
+def test_stage_hash_tracks_seed_engine_and_adapter_version():
+    stage = StageSpec("a", "saturation")
+    campaign = _campaign([stage])
+    reseeded = _campaign([stage], seed=2)
+    base = stage_hash(campaign, stage, adapter_version=1, engine_version="1.5.0")
+    assert base != stage_hash(
+        reseeded, reseeded.stage("a"), adapter_version=1, engine_version="1.5.0"
+    )
+    assert base != stage_hash(
+        campaign, stage, adapter_version=2, engine_version="1.5.0"
+    )
+    assert base != stage_hash(
+        campaign, stage, adapter_version=1, engine_version="9.9.9"
+    )
+
+
+def test_adapter_registry_covers_every_builtin_stage():
+    for campaign in CAMPAIGNS.values():
+        for stage in campaign.stages:
+            adapter = get_adapter(stage.kind)
+            assert adapter.kind == stage.kind
+
+
+def test_unknown_adapter_kind_raises():
+    with pytest.raises(CampaignError, match="unknown stage kind"):
+        get_adapter("nope")
+
+
+def test_builtin_campaigns_share_the_stage_graph():
+    paper = get_campaign("paper")
+    smoke = get_campaign("smoke")
+    assert [s.name for s in paper.stages] == [s.name for s in smoke.stages]
+    assert [s.kind for s in paper.stages] == [s.kind for s in smoke.stages]
+    assert [s.depends_on for s in paper.stages] == [
+        s.depends_on for s in smoke.stages
+    ]
+
+
+def test_stage_kinds_sorted_registry():
+    assert list(STAGE_KINDS) == sorted(STAGE_ADAPTERS)

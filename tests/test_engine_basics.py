@@ -8,7 +8,6 @@ from repro.network.engine import ColumnSimulator
 from repro.network.packet import FlowSpec
 from repro.qos.pvc import PvcPolicy
 from repro.topologies.registry import TOPOLOGY_NAMES, get_topology
-from repro.traffic.patterns import uniform_random
 from repro.traffic.workloads import uniform_workload
 
 from helpers import build_simulator

@@ -6,7 +6,6 @@ from repro.errors import SimulationError
 from repro.network.config import SimulationConfig
 from repro.network.packet import FlowSpec
 from repro.qos.perflow import PerFlowQueuedPolicy
-from repro.qos.pvc import PvcPolicy
 from repro.traffic.patterns import hotspot
 
 from helpers import build_simulator

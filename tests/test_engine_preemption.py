@@ -1,11 +1,8 @@
 """Preemption mechanics: inversion resolution, throttles, replays."""
 
-import pytest
 
 from repro.network.config import SimulationConfig
-from repro.network.packet import FlowSpec
 from repro.qos.perflow import PerFlowQueuedPolicy
-from repro.qos.pvc import PvcPolicy
 from repro.traffic.workloads import workload1, workload2
 
 from helpers import build_simulator

@@ -18,7 +18,6 @@ import pytest
 from repro.network.config import SimulationConfig
 from repro.network.packet import FlowSpec
 from repro.qos.base import NoQosPolicy
-from repro.qos.pvc import PvcPolicy
 from repro.traffic.patterns import hotspot
 from repro.traffic.workloads import hotspot_all_injectors
 

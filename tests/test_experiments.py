@@ -4,7 +4,6 @@ Heavy qualitative claims live in test_paper_claims.py; these verify the
 harness mechanics at miniature scale.
 """
 
-import pytest
 
 from repro.analysis.experiments import (
     format_fig3,

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.chip import ChipConfig
-from repro.core.domain import Domain
 from repro.core.hypervisor import VirtualMachine
 from repro.core.system import TopologyAwareSystem
 from repro.errors import AllocationError
