@@ -71,6 +71,26 @@ they flow through :class:`RunSpec` hashing, the result cache and the
 parallel executor like any other workload.  CLI: ``repro scenario
 list|run|record|replay`` and the ``repro burst`` study.
 
+Observability (:mod:`repro.obs`) — engine probes that cost nothing
+when off, windowed time-series, packet-lifecycle Chrome traces and
+runtime telemetry::
+
+    from repro import ObsSession, RunSpec, execute_spec
+
+    spec = RunSpec(topology="mecs", workload="bursty", rate=0.3,
+                   cycles=6_000,
+                   obs={"window": 500, "timeline": True, "out_dir": "obs"})
+    execute_spec(spec)       # writes <hash>.metrics.jsonl / .trace.json
+                             # / .run.json into obs/
+
+The ``obs`` mapping never changes results and never enters the spec's
+content hash when empty, so existing caches and campaign baselines are
+untouched.  Or attach by hand: construct an :class:`ObsSession`,
+``attach(sim)`` before running, ``finalize()`` after.  CLI: ``repro
+obs record|report|timeline``, ``--obs DIR`` on any target, ``repro
+bench obs`` for the probe-overhead guard.  See
+``docs/observability.md``.
+
 Experiments (one per paper table/figure) live in
 :mod:`repro.analysis.experiments`.
 
@@ -135,6 +155,14 @@ from repro.network.config import SimulationConfig
 from repro.network.engine import ColumnSimulator
 from repro.network.packet import ClosedLoopSpec, FlowSpec, Packet
 from repro.network.trace import InjectionCapture, TraceRecorder
+from repro.obs import (
+    ObsSession,
+    ProbeBus,
+    TelemetryExecutor,
+    WindowedMetrics,
+    read_metrics,
+    render_report,
+)
 from repro.qos.base import NoQosPolicy, QosPolicy
 from repro.qos.perflow import PerFlowQueuedPolicy
 from repro.qos.pvc import PvcPolicy
@@ -190,8 +218,13 @@ from repro.traffic.workloads import (
 # sharded full-paper reproduction runs with manifest checkpoints,
 # sha256-addressed artifacts and a baseline-checked report card; the
 # version participates in every stage hash, so campaign manifests and
-# baselines invalidate together with the result cache.
-__version__ = "1.5.0"
+# baselines invalidate together with the result cache.  1.6.0:
+# observability — probe bus in both engines (allocation-free when
+# detached), windowed JSONL metrics, Chrome-trace packet lifecycles,
+# campaign/runtime telemetry.  Results are bit-identical with probes
+# on or off; the bump re-verifies every cached blob through the
+# probe-hooked engine.
+__version__ = "1.6.0"
 
 __all__ = [
     "AllocationError",
@@ -218,6 +251,7 @@ __all__ = [
     "MemoryController",
     "ModelError",
     "NoQosPolicy",
+    "ObsSession",
     "OnOffProcess",
     "Packet",
     "ParallelExecutor",
@@ -225,6 +259,7 @@ __all__ = [
     "PerFlowQueuedPolicy",
     "Phase",
     "PhasedProcess",
+    "ProbeBus",
     "PvcPolicy",
     "QosPolicy",
     "ReportCard",
@@ -243,12 +278,14 @@ __all__ = [
     "StageSpec",
     "TOPOLOGY_NAMES",
     "TechnologyParameters",
+    "TelemetryExecutor",
     "TopologyAwareSystem",
     "TopologyError",
     "TraceOverflowError",
     "TraceRecorder",
     "TrafficError",
     "VirtualMachine",
+    "WindowedMetrics",
     "bursty_workload",
     "closed_loop_workload",
     "execute_spec",
@@ -262,7 +299,9 @@ __all__ = [
     "max_min_allocation",
     "pareto_workload",
     "phased_workload",
+    "read_metrics",
     "read_trace",
+    "render_report",
     "replayed_workload",
     "run_batch",
     "run_campaign",

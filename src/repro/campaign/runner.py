@@ -60,6 +60,11 @@ CampaignProgress = Callable[[str, int, int, str], None]
 #: hook evaluated after every shard checkpoint.
 StopHook = Callable[[str, int], bool]
 
+#: ``heartbeat(stage_name, done, total, spec_label, cached)`` — called
+#: once per completed simulation inside a shard (``repro campaign run
+#: --progress``); see :func:`repro.obs.heartbeat_printer`.
+CampaignHeartbeat = Callable[[str, int, int, str, bool], None]
+
 
 def _engine_version() -> str:
     import repro
@@ -75,9 +80,13 @@ class _RecordingExecutor(Executor):
     RunSpecs" provenance without duplicating spec construction.
     """
 
-    def __init__(self, inner: Executor) -> None:
+    def __init__(
+        self, inner: Executor, *, heartbeat: CampaignHeartbeat | None = None
+    ) -> None:
         self.inner = inner
         self.jobs = inner.jobs
+        self.heartbeat = heartbeat
+        self.stage = ""
         self.spec_hashes: list[str] = []
         self.simulated = 0
         self.cache_hits = 0
@@ -86,6 +95,15 @@ class _RecordingExecutor(Executor):
         return self.inner.describe()
 
     def run(self, specs, *, cache=None, progress=None):
+        heartbeat = self.heartbeat
+        if heartbeat is not None:
+            stage, inner_progress = self.stage, progress
+
+            def progress(done, total, spec, cached):  # noqa: F811
+                heartbeat(stage, done, total, spec.label(), cached)
+                if inner_progress is not None:
+                    inner_progress(done, total, spec, cached)
+
         outcome = self.inner.run(specs, cache=cache, progress=progress)
         self.spec_hashes.extend(spec.content_hash for spec in specs)
         self.simulated += outcome.simulated
@@ -248,14 +266,18 @@ class CampaignRunner:
         progress: CampaignProgress | None = None,
         stop_after: StopHook | None = None,
         require_manifest: bool = False,
+        heartbeat: CampaignHeartbeat | None = None,
     ) -> CampaignResult:
         """Run the campaign to completion (or to the first stop/failure).
 
         Safe to invoke repeatedly: each invocation continues from the
         on-disk manifest.  ``require_manifest`` is the ``campaign
         resume`` contract — refuse to *start* a campaign, only continue
-        one.
+        one.  ``heartbeat`` gets one call per completed simulation
+        (stage, done, total, spec label, cached) — pure logging, no
+        effect on artifacts or the manifest rows.
         """
+        invocation_started = time.perf_counter()
         manifest = self.load_manifest()
         if manifest is None:
             if require_manifest:
@@ -297,7 +319,9 @@ class CampaignRunner:
                         )
                     continue
                 try:
-                    self._run_stage(stage, entry, manifest, progress, stop_after)
+                    self._run_stage(
+                        stage, entry, manifest, progress, stop_after, heartbeat
+                    )
                 except CampaignInterrupted:
                     raise
                 except Exception as error:  # adapter failure: record, go on
@@ -317,9 +341,48 @@ class CampaignRunner:
             for stage in self.campaign.stages:
                 if stage.name not in stages:
                     stages[stage.name] = self._fresh_stage_entry(stage)
+            manifest["telemetry"] = self._telemetry(
+                manifest, time.perf_counter() - invocation_started
+            )
             self._save_manifest(manifest)
             result.report = self._write_report(manifest)
         return result
+
+    def _telemetry(self, manifest: dict, wall_seconds: float) -> dict:
+        """Executor/runtime counters rolled up from the shard entries.
+
+        Purely observational: lives under its own manifest key, never
+        participates in stage hashes, artifacts or the report card.
+        """
+        simulated = cache_hits = specs = 0
+        per_stage = {}
+        for name, entry in manifest["stages"].items():
+            stage_simulated = stage_hits = stage_specs = 0
+            for shard in entry.get("shards") or []:
+                if not shard:
+                    continue
+                stage_simulated += shard.get("simulated", 0)
+                stage_hits += shard.get("cache_hits", 0)
+                stage_specs += len(shard.get("spec_hashes", []))
+            simulated += stage_simulated
+            cache_hits += stage_hits
+            specs += stage_specs
+            per_stage[name] = {
+                "status": entry.get("status"),
+                "elapsed_seconds": round(entry.get("elapsed_seconds", 0.0), 6),
+                "specs": stage_specs,
+                "simulated": stage_simulated,
+                "cache_hits": stage_hits,
+            }
+        return {
+            "executor": self.executor.describe(),
+            "jobs": getattr(self.executor, "jobs", 1),
+            "wall_seconds": round(wall_seconds, 6),
+            "specs": specs,
+            "simulated": simulated,
+            "cache_hits": cache_hits,
+            "stages": per_stage,
+        }
 
     def _run_stage(
         self,
@@ -328,11 +391,13 @@ class CampaignRunner:
         manifest: dict,
         progress: CampaignProgress | None,
         stop_after: StopHook | None,
+        heartbeat: CampaignHeartbeat | None = None,
     ) -> None:
         adapter = get_adapter(stage.kind)
         entry["status"] = "running"
         entry.pop("error", None)
-        recorder = _RecordingExecutor(self.executor)
+        recorder = _RecordingExecutor(self.executor, heartbeat=heartbeat)
+        recorder.stage = stage.name
         shard_rows: list[list[dict]] = []
         for index, params in enumerate(stage.shard_params):
             shard_entry = entry["shards"][index]
@@ -490,6 +555,7 @@ def run_campaign(
     progress: CampaignProgress | None = None,
     stop_after: StopHook | None = None,
     require_manifest: bool = False,
+    heartbeat: CampaignHeartbeat | None = None,
 ) -> CampaignResult:
     """Run (or resume) ``campaign`` inside ``campaign_dir``."""
     runner = CampaignRunner(
@@ -500,7 +566,10 @@ def run_campaign(
         baseline_path=baseline_path,
     )
     return runner.run(
-        progress=progress, stop_after=stop_after, require_manifest=require_manifest
+        progress=progress,
+        stop_after=stop_after,
+        require_manifest=require_manifest,
+        heartbeat=heartbeat,
     )
 
 

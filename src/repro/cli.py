@@ -29,6 +29,14 @@ Usage (after installation)::
     repro campaign status paper          # per-stage manifest state
     repro campaign report smoke --check  # report card; exit 1 unless pass
     repro campaign diff smoke            # row-level deltas vs the baseline
+    repro campaign run paper --progress  # ... with a per-simulation heartbeat
+    repro obs record bursty --rate 0.3 --out obs/   # run + record metrics
+    repro obs record bursty --out obs/ --timeline   # ... plus Chrome trace
+    repro obs report obs/                # windowed throughput/latency report
+    repro obs timeline obs/              # regenerate + verify the trace
+    repro bench obs                      # probe overhead: off vs on vs golden
+    repro fig4 --obs obs/                # any target: runtime telemetry JSON
+    repro scenario run bursty --obs obs/ # any scenario: record obs artifacts
 
 (or ``python -m repro ...`` without installation).  ``--fast`` shrinks
 simulation windows for a quick smoke pass; ``--seed`` changes the
@@ -59,10 +67,36 @@ def _config(args, frame: int) -> SimulationConfig:
 
 
 def _executor(args) -> Executor:
-    """``--jobs 1`` → serial; ``--jobs 0`` → all cores; else N workers."""
+    """``--jobs 1`` → serial; ``--jobs 0`` → all cores; else N workers.
+
+    With ``--obs`` the executor is wrapped in a recording
+    :class:`~repro.obs.TelemetryExecutor` (one wrapper per target, so
+    every ``_executor`` call inside one command shares its counters);
+    the collected snapshot is written as JSON when the target finishes.
+    """
     if args.jobs == 1:
-        return SerialExecutor()
-    return ParallelExecutor(jobs=None if args.jobs == 0 else args.jobs)
+        inner: Executor = SerialExecutor()
+    else:
+        inner = ParallelExecutor(jobs=None if args.jobs == 0 else args.jobs)
+    if getattr(args, "obs", None):
+        from repro.obs import TelemetryExecutor
+
+        if getattr(args, "_telemetry", None) is None:
+            args._telemetry = TelemetryExecutor(inner)
+        return args._telemetry
+    return inner
+
+
+def _write_telemetry(args, path: str, **meta) -> None:
+    """Flush the ``--obs`` telemetry wrapper (if any runs happened)."""
+    telemetry = getattr(args, "_telemetry", None)
+    if telemetry is None:
+        return
+    from repro.obs import write_runtime_telemetry
+
+    write_runtime_telemetry(path, telemetry.snapshot(), meta=meta)
+    print(f"runtime telemetry written to {path}")
+    args._telemetry = None
 
 
 def _cache(args) -> ResultCache | None:
@@ -214,8 +248,12 @@ def _run_ablations(args) -> str:
     return _with_cache_footer("\n\n".join(parts), cache)
 
 
-def _profiled(fn, *fn_args):
-    """Run ``fn`` under cProfile; return (result, top-20 report)."""
+def _profiled(fn, *fn_args, dump_path=None):
+    """Run ``fn`` under cProfile; return (result, top-20 report).
+
+    ``dump_path`` additionally saves the raw profile for offline
+    analysis (``python -m pstats <path>``, snakeviz, gprof2dot, ...).
+    """
     import cProfile
     import io
     import pstats
@@ -226,6 +264,8 @@ def _profiled(fn, *fn_args):
     profiler.disable()
     buffer = io.StringIO()
     stats = pstats.Stats(profiler, stream=buffer)
+    if dump_path:
+        stats.dump_stats(dump_path)
     stats.strip_dirs().sort_stats("cumulative").print_stats(20)
     return result, buffer.getvalue().rstrip()
 
@@ -238,13 +278,15 @@ def _csv(value: str | None) -> tuple[str, ...] | None:
 
 
 def _run_bench(args) -> int:
-    """``repro bench engine|guard`` — engine timings / baseline guard."""
+    """``repro bench engine|guard|obs`` — timings / baseline guards."""
     action = args.targets[1] if len(args.targets) > 1 else "engine"
     if action == "guard":
         return _run_bench_guard(args)
+    if action == "obs":
+        return _run_bench_obs(args)
     if action != "engine":
-        print(f"unknown bench action {action!r}; expected engine or guard",
-              file=sys.stderr)
+        print(f"unknown bench action {action!r}; expected engine, guard "
+              "or obs", file=sys.stderr)
         return 2
     from repro.runtime.bench import (
         format_engine_bench,
@@ -258,8 +300,9 @@ def _run_bench(args) -> int:
         fast=args.fast, regimes=regimes, topologies=topologies,
     )
     if args.profile:
-        results, report = _profiled(run)
+        results, report = _profiled(run, dump_path="profile_bench.pstats")
         print(report)
+        print("pstats dump written to profile_bench.pstats")
         print()
     else:
         results = run()
@@ -308,6 +351,45 @@ def _run_bench_guard(args) -> int:
     return 0
 
 
+def _run_bench_obs(args) -> int:
+    """``repro bench obs`` — probe overhead: off vs on vs golden.
+
+    Verifies that attaching a full ObsSession changes no results
+    (``stats_equal``), that the probes-*disabled* engine keeps beating
+    the golden reference, and that probes-*enabled* overhead stays
+    under the ceiling.  ``--record PATH`` merges an ``_obs`` section
+    into the engine baseline for ``repro bench guard`` to re-check.
+    """
+    from repro.runtime.bench import (
+        MAX_ENABLED_OVERHEAD,
+        format_obs_overhead,
+        record_obs_baseline,
+        run_obs_overhead,
+    )
+
+    results = run_obs_overhead(fast=args.fast)
+    print(format_obs_overhead(results))
+    failures = []
+    for result in results:
+        if not result.stats_equal:
+            failures.append(f"{result.point.name}: probes perturbed results")
+        if result.enabled_overhead > MAX_ENABLED_OVERHEAD:
+            failures.append(
+                f"{result.point.name}: enabled overhead "
+                f"{result.enabled_overhead:.1%} exceeds "
+                f"{MAX_ENABLED_OVERHEAD:.0%}"
+            )
+    if failures:
+        print()
+        for failure in failures:
+            print(f"ERROR: {failure}", file=sys.stderr)
+        return 1
+    if args.record:
+        record_obs_baseline(results, args.record)
+        print(f"obs baseline section recorded to {args.record}")
+    return 0
+
+
 def _run_burst(args) -> str:
     from repro.analysis.experiments.burst_fairness import (
         format_burst_fairness,
@@ -345,7 +427,18 @@ def _parse_scenario_params(pairs: list[str] | None) -> dict:
     return params
 
 
-def _scenario_spec(args, workload: str):
+def _obs_params(args, out_dir: str) -> dict:
+    """The spec-level obs mapping for ``--obs DIR``/``--window``/``--timeline``."""
+    from repro.obs import DEFAULT_WINDOW
+
+    return {
+        "window": args.window or DEFAULT_WINDOW,
+        "timeline": bool(args.timeline),
+        "out_dir": out_dir,
+    }
+
+
+def _scenario_spec(args, workload: str, *, obs_dir: str | None = None):
     """Build the RunSpec described by the scenario command-line flags."""
     from repro.runtime.spec import RunSpec
 
@@ -359,6 +452,7 @@ def _scenario_spec(args, workload: str):
         mode="run",
         cycles=args.cycles,
         warmup=args.warmup,
+        obs=_obs_params(args, obs_dir) if obs_dir else (),
     )
 
 
@@ -427,11 +521,18 @@ def _format_run_result(result) -> str:
 def _scenario_run(args, workload: str) -> int:
     from repro.runtime.runner import run_batch
 
-    spec = _scenario_spec(args, workload)
-    batch = run_batch([spec], executor=_executor(args), cache=_cache(args))
+    spec = _scenario_spec(args, workload, obs_dir=args.obs)
+    # Obs runs bypass the cache: a cache hit would skip the simulation
+    # and leave no artifacts behind.
+    cache = None if args.obs else _cache(args)
+    batch = run_batch([spec], executor=_executor(args), cache=cache)
     print(f"{spec.label()}  [{spec.content_hash[:12]}]")
     print(_format_run_result(batch.results[0]))
     print(f"[runtime: {batch.manifest.summary()}]")
+    if args.obs:
+        print(f"obs artifacts in {args.obs} (stem {spec.base_hash[:12]}); "
+              f"view with: repro obs report {args.obs}")
+        args._telemetry = None  # single spec: the batch log adds nothing
     return 0
 
 
@@ -511,6 +612,124 @@ def _scenario_replay(args, path: str) -> int:
     print(f"ROUND TRIP DIVERGED: expected {expected}, got {digest}",
           file=sys.stderr)
     return 1
+
+
+def _run_obs(args) -> int:
+    """``repro obs record|report|timeline`` — observability artifacts."""
+    from repro.errors import ReproError
+
+    action = args.targets[1] if len(args.targets) > 1 else None
+    try:
+        if action == "record":
+            if len(args.targets) < 3:
+                print("usage: repro obs record <workload> --out DIR "
+                      "[--window N] [--timeline] [scenario flags]",
+                      file=sys.stderr)
+                return 2
+            return _obs_record(args, args.targets[2])
+        if action in ("report", "timeline"):
+            if len(args.targets) < 3:
+                print(f"usage: repro obs {action} <dir-or-file>",
+                      file=sys.stderr)
+                return 2
+            if action == "report":
+                return _obs_report(args.targets[2])
+            return _obs_timeline(args.targets[2])
+    except (ReproError, OSError, ValueError, KeyError) as error:
+        print(f"obs {action}: {error!r}" if isinstance(error, KeyError)
+              else f"obs {action}: {error}", file=sys.stderr)
+        return 2
+    print(f"unknown obs action {action!r}; expected record, report or "
+          "timeline", file=sys.stderr)
+    return 2
+
+
+def _obs_record(args, workload: str) -> int:
+    """Run one scenario with full observability; write the artifact set."""
+    from repro.runtime.spec import execute_spec
+
+    out_dir = args.out or args.obs
+    if not out_dir:
+        print("obs record needs --out DIR (or --obs DIR) for the artifacts",
+              file=sys.stderr)
+        return 2
+    spec = _scenario_spec(args, workload, obs_dir=out_dir)
+    result = execute_spec(spec)
+    print(f"{spec.label()}  [{spec.base_hash[:12]}]")
+    print(_format_run_result(result))
+    stem = spec.base_hash[:12]
+    recorded = [f"{stem}.metrics.jsonl", f"{stem}.run.json"]
+    if args.timeline:
+        recorded.insert(1, f"{stem}.trace.json")
+    print(f"recorded to {out_dir}: " + ", ".join(recorded))
+    print(f"view with: repro obs report {out_dir}")
+    if args.timeline:
+        print("trace loads in https://ui.perfetto.dev or chrome://tracing")
+    return 0
+
+
+def _obs_report(path: str) -> int:
+    from repro.obs import render_report
+
+    print(render_report(path))
+    return 0
+
+
+def _obs_timeline(path: str) -> int:
+    """Regenerate the Chrome trace for recorded runs; verify bit-equality.
+
+    ``path`` is an obs artifact directory (every ``*.run.json`` in it)
+    or one run manifest.  Each run is re-executed from its embedded
+    spec with the timeline forced on; the refreshed artifacts land on
+    the same ``base_hash`` stem, and the new stats-snapshot digest must
+    match the recorded one — a divergence means the engine no longer
+    reproduces the run the metrics describe.
+    """
+    import glob as _glob
+    import os
+
+    from repro.errors import ConfigurationError
+    from repro.obs import read_run, validate_chrome_trace
+    from repro.runtime.spec import RunSpec, execute_spec
+
+    if os.path.isdir(path):
+        manifests = sorted(_glob.glob(os.path.join(path, "*run.json")))
+        if not manifests:
+            raise ConfigurationError(f"no *run.json manifests under {path!r}")
+    elif os.path.isfile(path):
+        manifests = [path]
+    else:
+        raise ConfigurationError(f"no such file or directory: {path!r}")
+    diverged = False
+    for run_path in manifests:
+        recorded = read_run(run_path)
+        out_dir = os.path.dirname(run_path) or "."
+        payload = dict(recorded["spec"])
+        obs = dict(payload.get("obs") or {})
+        obs.setdefault("window", recorded["window_cycles"])
+        obs["timeline"] = True
+        obs["out_dir"] = out_dir
+        payload["obs"] = obs
+        spec = RunSpec.from_json(payload)
+        execute_spec(spec)
+        refreshed = read_run(run_path)
+        trace_name = next(
+            name for name in refreshed["files"] if name.endswith("trace.json")
+        )
+        trace_path = os.path.join(out_dir, trace_name)
+        events = len(validate_chrome_trace(trace_path)["traceEvents"])
+        if refreshed["snapshot_sha256"] == recorded["snapshot_sha256"]:
+            print(f"{trace_name}: {events} events, snapshot digest verified "
+                  f"({recorded['snapshot_sha256'][:12]}...)")
+        else:
+            diverged = True
+            print(f"{trace_name}: SNAPSHOT DIVERGED — recorded "
+                  f"{recorded['snapshot_sha256'][:12]}..., regenerated "
+                  f"{refreshed['snapshot_sha256'][:12]}...", file=sys.stderr)
+    if diverged:
+        return 1
+    print("open in https://ui.perfetto.dev or chrome://tracing")
+    return 0
 
 
 def _campaign_dir(args, name: str) -> str:
@@ -604,12 +823,23 @@ def _campaign_run(args, name: str, *, resume: bool) -> int:
         else:
             print(f"  {stage}: FAILED")
 
+    heartbeat = None
+    if args.progress:
+        from repro.obs import heartbeat_printer
+
+        heartbeat = heartbeat_printer()
+
     print(f"campaign {name} -> {runner.dir}")
     try:
-        result = runner.run(progress=progress, require_manifest=resume)
+        result = runner.run(
+            progress=progress, require_manifest=resume, heartbeat=heartbeat
+        )
     except CampaignInterrupted as stop:
         print(f"interrupted: {stop}")
         return 3
+    if args.obs:
+        _write_telemetry(args, str(runner.dir / "telemetry.json"),
+                         campaign=name)
     report = result.report
     print(f"report card: {runner.dir / 'report.md'}")
     print(f"overall: {report.overall} "
@@ -731,10 +961,14 @@ CAMPAIGN_COMMAND_HELP = (
     "status <name> | resume <name> | report <name> | diff <name>"
 )
 BENCH_COMMAND_HELP = (
-    "engine benchmark vs golden reference: bench engine | bench guard"
+    "engine benchmark vs golden reference: bench engine | guard | obs"
 )
 SCENARIO_COMMAND_HELP = (
     "scenario traffic: scenario list | run <wl> | record <wl> | replay <trace>"
+)
+OBS_COMMAND_HELP = (
+    "observability artifacts: obs record <wl> | report <path> | "
+    "timeline <path>"
 )
 
 
@@ -845,7 +1079,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scenario.add_argument(
         "--out", default=None, metavar="PATH",
-        help="with 'scenario record': where to write the JSONL trace",
+        help="with 'scenario record': where to write the JSONL trace; "
+        "with 'obs record': the artifact directory",
+    )
+    obs = parser.add_argument_group("observability options")
+    obs.add_argument(
+        "--obs", default=None, metavar="DIR",
+        help="record observability data: scenario runs write windowed "
+        "metrics (and --timeline traces) to DIR; experiment targets "
+        "write runtime telemetry JSON to DIR; 'campaign run' writes "
+        "telemetry.json into the campaign directory",
+    )
+    obs.add_argument(
+        "--window", type=int, default=None, metavar="N",
+        help="with --obs/'obs record': metrics window width in cycles "
+        "(default 1000)",
+    )
+    obs.add_argument(
+        "--timeline", action="store_true",
+        help="with --obs/'obs record': also export the Chrome trace "
+        "(packet lifecycles + engine spans; open in Perfetto)",
+    )
+    obs.add_argument(
+        "--progress", action="store_true",
+        help="with 'campaign run/resume': print a heartbeat line per "
+        "completed simulation",
     )
     return parser
 
@@ -877,6 +1135,14 @@ def main(argv: list[str] | None = None) -> int:
                   f"{' '.join(targets[3:])}", file=sys.stderr)
             return 2
         return _run_campaign(args)
+    # Keyed on the first target only: "obs" is also a valid *second*
+    # target of bench ("repro bench obs").
+    if targets[0] == "obs":
+        if len(targets) > 3:
+            print(f"unexpected arguments after obs action: "
+                  f"{' '.join(targets[3:])}", file=sys.stderr)
+            return 2
+        return _run_obs(args)
     if "list" in targets:
         for name, (_, description) in COMMANDS.items():
             print(f"  {name:10s} {description}")
@@ -884,6 +1150,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"  {'bench':10s} {BENCH_COMMAND_HELP}")
         print(f"  {'scenario':10s} {SCENARIO_COMMAND_HELP}")
         print(f"  {'campaign':10s} {CAMPAIGN_COMMAND_HELP}")
+        print(f"  {'obs':10s} {OBS_COMMAND_HELP}")
         return 0
     if "cache" in targets:
         if targets[0] != "cache":
@@ -911,19 +1178,28 @@ def main(argv: list[str] | None = None) -> int:
     if unknown:
         print(f"unknown target(s): {', '.join(unknown)}", file=sys.stderr)
         print(f"available: {', '.join(COMMANDS)}, cache, bench, scenario, "
-              "campaign, all, list", file=sys.stderr)
+              "campaign, obs, all, list", file=sys.stderr)
         return 2
     for target in targets:
         runner, _ = COMMANDS[target]
         started = time.time()
         if args.profile:
-            output, report = _profiled(runner, args)
+            dump_path = f"profile_{target}.pstats"
+            output, report = _profiled(runner, args, dump_path=dump_path)
             print(output)
             print()
             print(f"--- cProfile top 20 (cumulative) for {target} ---")
             print(report)
+            print(f"pstats dump written to {dump_path}")
         else:
             print(runner(args))
+        if args.obs:
+            import os as _os
+
+            _write_telemetry(
+                args, _os.path.join(args.obs, f"telemetry_{target}.json"),
+                target=target,
+            )
         print(f"[{target}: {time.time() - started:.1f}s]\n")
     return 0
 

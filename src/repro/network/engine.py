@@ -239,6 +239,12 @@ class ColumnSimulator:
         #: Optional InjectionCapture recording every packet creation in
         #: creation order (record-and-replay); None = off.
         self.capture = None
+        #: Optional ProbeBus (see repro.obs.probes); None = off.  Every
+        #: hook site is guarded by a single `is not None` check, so the
+        #: disabled path costs one attribute load per site and
+        #: allocates nothing; probes observe after state changes and
+        #: never perturb (enforced by tests/test_obs_probes.py).
+        self._probes = None
         self._root_rng = DeterministicRng(self.config.seed)
 
         # Scenario state (repro.scenarios).  `_clients` maps a
@@ -464,6 +470,8 @@ class ColumnSimulator:
         frame = self.config.frame_cycles
         if now > 0 and now % frame == 0:
             self.policy.on_frame(now)
+            if self._probes is not None:
+                self._probes.frame(now)
             # A frame flush clears every bandwidth counter, so priority
             # stamps carried by in-flight packets (used at stations with
             # no flow state, e.g. DPS intermediate hops) must be cleared
@@ -519,6 +527,8 @@ class ColumnSimulator:
             if limit < target:
                 target = limit
             if target > advance:
+                if self._probes is not None:
+                    self._probes.skip(now, target)
                 advance = target
         self.cycle = advance
 
@@ -562,6 +572,11 @@ class ColumnSimulator:
                         now, TraceKind.DELIVER, packet.pid, packet.flow_id,
                         f"node{packet.dst}", f"latency={latency:.0f}",
                     )
+                if self._probes is not None:
+                    self._probes.deliver(
+                        now, packet.pid, packet.flow_id, packet.dst,
+                        packet.size, latency,
+                    )
                 if packet.reply_to >= 0:
                     self._on_reply_delivered(packet, now)
                 elif self._clients and packet.flow_id in self._clients:
@@ -598,6 +613,10 @@ class ColumnSimulator:
                         now, TraceKind.NACK, packet.pid, packet.flow_id,
                         f"node{packet.src}", f"attempt={packet.attempt}",
                     )
+                if self._probes is not None:
+                    self._probes.nack(
+                        now, packet.pid, packet.flow_id, packet.attempt
+                    )
             elif kind == _EV_REQ:
                 _, flow_id = event
                 injector = self._injectors[flow_id]
@@ -627,6 +646,8 @@ class ColumnSimulator:
         if not self._armed_flags[flow_id]:
             self._armed_flags[flow_id] = 1
             self._armed.append(flow_id)
+            if self._probes is not None:
+                self._probes.arm(self.cycle, flow_id)
 
     def _note_live(self, injector: _Injector) -> None:
         """Arm an injector that just gained queued work (undrained too)."""
@@ -635,6 +656,8 @@ class ColumnSimulator:
         if not flags[flow_id]:
             flags[flow_id] = 1
             self._armed.append(flow_id)
+            if self._probes is not None:
+                self._probes.arm(self.cycle, flow_id)
         if injector.drained:
             injector.drained = False
             self._undrained += 1
@@ -699,6 +722,7 @@ class ColumnSimulator:
         injectors = self._injectors
         stats = self.stats
         trace = self.trace
+        probes = self._probes
         marked = 0
         # Inline two-pointer merge of the two sorted id lists (arms
         # during the loop go to the fresh list, so iterating these in
@@ -769,6 +793,13 @@ class ColumnSimulator:
                         station.label,
                         f"attempt={packet.attempt}",
                     )
+                if probes is not None:
+                    probes.inject(
+                        now, packet.pid, packet.flow_id, station.label,
+                        packet.attempt,
+                    )
+            if probes is not None:
+                probes.sleep(now, flow_id)
             # The visit settled this injector: any way it can make
             # progress again is re-armed by a later event (VC free,
             # ACK, NACK, emission), so a same-visit arm is spurious.
@@ -845,6 +876,10 @@ class ColumnSimulator:
                 f"node{packet.src}",
                 f"dst={packet.dst} size={size}"
                 + (" protected" if packet.protected else ""),
+            )
+        if self._probes is not None:
+            self._probes.admit(
+                now, packet.pid, packet.flow_id, packet.src, packet.dst, size
             )
 
     # ------------------------------------------------------------------
@@ -1024,6 +1059,8 @@ class ColumnSimulator:
                         ok = False
                         break
                 if ok:
+                    if self._probes is not None:
+                        self._probes.arb_block(now, pidx, len(cached[3]))
                     return now + 1
             self._bp_cache[pidx] = None
         busy = port.busy_until
@@ -1231,6 +1268,8 @@ class ColumnSimulator:
             tuple((s, station_gen[s]) for s in memo),
             tuple(self._victim_scan) if preempt_scanned else (),
         )
+        if self._probes is not None:
+            self._probes.arb_block(now, pidx, len(cand_pairs))
         return now + 1
 
     @staticmethod
@@ -1506,6 +1545,8 @@ class ColumnSimulator:
         # Ready candidates exist but none could advance (downstream VCs
         # full): patience counters and compliance windows may change the
         # outcome next cycle, so the port must be revisited every cycle.
+        if self._probes is not None:
+            self._probes.arb_block(now, port.index, n_candidates)
         return now + 1
 
     def _try_preempt(
@@ -1566,6 +1607,11 @@ class ColumnSimulator:
             self.trace.record(
                 now, TraceKind.PREEMPT, packet.pid, packet.flow_id,
                 vc.station.label, f"wasted_tiles={packet.tiles_done}",
+            )
+        if self._probes is not None:
+            self._probes.preempt(
+                now, packet.pid, packet.flow_id, vc.station.label,
+                packet.tiles_done,
             )
         # Refund the bandwidth charged at the packet's source router:
         # the flits never delivered, and since source-stamped priority
@@ -1628,6 +1674,11 @@ class ColumnSimulator:
             self.trace.record(
                 now, TraceKind.WIN, packet.pid, packet.flow_id,
                 port.label, f"hop={packet.hop_index}",
+            )
+        if self._probes is not None:
+            self._probes.hop(
+                now, packet.pid, packet.flow_id, port.index, port.label,
+                packet.size, next_station_index < 0,
             )
         if next_station_index < 0:
             header_at = now + 1 + wire_delay

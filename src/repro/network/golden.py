@@ -23,6 +23,15 @@ is called with the identical ``(0, then now + 1)`` argument sequence the
 optimised engine uses, so bursty workloads remain golden-comparable.
 Closed-loop flows, scripted replays and weight schedules are *not*
 modelled here; constructing this engine with them raises.
+
+A second deliberate extension: the *packet-level* probe events of
+:mod:`repro.obs.probes` (admit/inject/hop/deliver/preempt/nack/frame)
+are emitted behind the same ``if self._probes is not None`` guard as
+the optimised engine, with identical arguments at the equivalent state
+transitions, so probe-driven collectors can be cross-checked between
+engines.  The optimised engine's *internal* events (arb_block, arm,
+sleep, skip) describe machinery this engine does not have and are
+deliberately absent.
 """
 
 from __future__ import annotations
@@ -136,6 +145,8 @@ class GoldenColumnSimulator:
         self._next_pid = 0
         #: Optional TraceRecorder (see repro.network.trace); None = off.
         self.trace = None
+        #: Optional ProbeBus (packet-level events only); None = off.
+        self._probes = None
         self._root_rng = DeterministicRng(self.config.seed)
 
         n_nodes = 1 + max(station.node for station in fabric.stations)
@@ -226,6 +237,8 @@ class GoldenColumnSimulator:
         now = self.cycle
         if now > 0 and now % self.config.frame_cycles == 0:
             self.policy.on_frame(now)
+            if self._probes is not None:
+                self._probes.frame(now)
             # A frame flush clears every bandwidth counter, so priority
             # stamps carried by in-flight packets (used at stations with
             # no flow state, e.g. DPS intermediate hops) must be cleared
@@ -267,6 +280,11 @@ class GoldenColumnSimulator:
                         now, TraceKind.DELIVER, packet.pid, packet.flow_id,
                         f"node{packet.dst}", f"latency={latency:.0f}",
                     )
+                if self._probes is not None:
+                    self._probes.deliver(
+                        now, packet.pid, packet.flow_id, packet.dst,
+                        packet.size, latency,
+                    )
             elif kind == _EV_ACK:
                 _, flow_id = event
                 self._injectors[flow_id].outstanding -= 1
@@ -278,6 +296,10 @@ class GoldenColumnSimulator:
                     self.trace.record(
                         now, TraceKind.NACK, packet.pid, packet.flow_id,
                         f"node{packet.src}", f"attempt={packet.attempt}",
+                    )
+                if self._probes is not None:
+                    self._probes.nack(
+                        now, packet.pid, packet.flow_id, packet.attempt
                     )
 
     # ------------------------------------------------------------------
@@ -326,6 +348,11 @@ class GoldenColumnSimulator:
                         injector.station.label,
                         f"attempt={packet.attempt}",
                     )
+                if self._probes is not None:
+                    self._probes.inject(
+                        now, packet.pid, packet.flow_id,
+                        injector.station.label, packet.attempt,
+                    )
 
     def _create_packet(self, injector: _Injector, now: int) -> None:
         spec = injector.spec
@@ -353,6 +380,10 @@ class GoldenColumnSimulator:
                 f"node{packet.src}",
                 f"dst={packet.dst} size={size}"
                 + (" protected" if packet.protected else ""),
+            )
+        if self._probes is not None:
+            self._probes.admit(
+                now, packet.pid, packet.flow_id, packet.src, packet.dst, size
             )
 
     def _build_route(self, injector: _Injector, packet: Packet) -> None:
@@ -464,6 +495,11 @@ class GoldenColumnSimulator:
                 now, TraceKind.PREEMPT, packet.pid, packet.flow_id,
                 vc.station.label, f"wasted_tiles={packet.tiles_done}",
             )
+        if self._probes is not None:
+            self._probes.preempt(
+                now, packet.pid, packet.flow_id, vc.station.label,
+                packet.tiles_done,
+            )
         # Refund the bandwidth charged at the packet's source router:
         # the flits never delivered, and since source-stamped priority
         # travels with the packet (DPS intermediate hops have no flow
@@ -508,6 +544,11 @@ class GoldenColumnSimulator:
             self.trace.record(
                 now, TraceKind.WIN, packet.pid, packet.flow_id,
                 port.label, f"hop={packet.hop_index}",
+            )
+        if self._probes is not None:
+            self._probes.hop(
+                now, packet.pid, packet.flow_id, port.index, port.label,
+                packet.size, next_station_index < 0,
             )
         if next_station_index < 0:
             header_at = now + 1 + wire_delay

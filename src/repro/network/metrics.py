@@ -9,6 +9,7 @@ the integrated energy ablation).
 
 from __future__ import annotations
 
+import math
 from collections import defaultdict
 
 from repro.util.stats import RunningStats
@@ -93,7 +94,7 @@ class NetworkStats:
             "delivered_packets_per_flow": list(self.delivered_packets_per_flow),
             "latency_count": self.latency.count,
             "latency_mean": self.latency.mean,
-            "latency_m2": self.latency._m2,
+            "latency_m2": self.latency.second_moment,
             "latency_samples": list(self.latency_samples),
             "preemption_events": self.preemption_events,
             "preempted_pids": sorted(self.preempted_pids),
@@ -131,6 +132,12 @@ class NetworkStats:
 
         QoS analyses care about tails, not just means: a scheme can have
         a healthy average while starving someone at p99.
+
+        Uses the nearest-rank definition: the value at sorted index
+        ``ceil(fraction * n) - 1``.  Unlike truncation this returns the
+        *smallest* sample that is >= ``fraction`` of the distribution,
+        so p50 of an even-sized sample set is the lower median and p100
+        is always the maximum.
         """
         if not 0.0 <= fraction <= 1.0:
             raise ValueError("percentile fraction must be in [0, 1]")
@@ -142,7 +149,7 @@ class NetworkStats:
         if not self.latency_samples:
             return 0.0
         ordered = sorted(self.latency_samples)
-        index = min(len(ordered) - 1, int(fraction * len(ordered)))
+        index = max(0, math.ceil(fraction * len(ordered)) - 1)
         return ordered[index]
 
     @property

@@ -1,0 +1,81 @@
+"""Observability: probes, windowed metrics, timelines, run telemetry.
+
+The layer has four parts, all off by default and free when off:
+
+* :mod:`repro.obs.probes` — the :class:`ProbeBus` the engines emit
+  into, guarded by one ``is not None`` check per hook site;
+* :mod:`repro.obs.collect` — collectors over the bus
+  (:class:`WindowedMetrics`, :class:`LifecycleCollector`,
+  :class:`EngineActivityCollector`) and the :class:`ObsSession`
+  bundle the runtime attaches when a spec carries obs config;
+* :mod:`repro.obs.metricsfmt` / :mod:`repro.obs.chrometrace` — the
+  versioned JSONL metrics format and the Perfetto-loadable Chrome
+  trace exporter;
+* :mod:`repro.obs.telemetry` — :class:`TelemetryExecutor` and the
+  campaign ``--progress`` heartbeat.
+
+See ``docs/observability.md`` for the probe catalogue and schemas.
+"""
+
+from repro.obs.chrometrace import (
+    build_trace_events,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.collect import (
+    DEFAULT_WINDOW,
+    EngineActivityCollector,
+    LifecycleCollector,
+    ObsSession,
+    WindowedMetrics,
+)
+from repro.obs.metricsfmt import (
+    DEFAULT_LATENCY_BUCKETS,
+    METRICS_FORMAT,
+    METRICS_VERSION,
+    MetricsDoc,
+    read_metrics,
+    read_run,
+    write_metrics,
+    write_run,
+)
+from repro.obs.probes import ENGINE_EVENTS, PACKET_EVENTS, PROBE_EVENTS, ProbeBus
+from repro.obs.report import discover_metrics, render_metrics_report, render_report
+from repro.obs.telemetry import (
+    TELEMETRY_FORMAT,
+    TELEMETRY_VERSION,
+    TelemetryExecutor,
+    heartbeat_printer,
+    write_runtime_telemetry,
+)
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_WINDOW",
+    "ENGINE_EVENTS",
+    "METRICS_FORMAT",
+    "METRICS_VERSION",
+    "MetricsDoc",
+    "ObsSession",
+    "PACKET_EVENTS",
+    "PROBE_EVENTS",
+    "TELEMETRY_FORMAT",
+    "TELEMETRY_VERSION",
+    "ProbeBus",
+    "EngineActivityCollector",
+    "LifecycleCollector",
+    "TelemetryExecutor",
+    "WindowedMetrics",
+    "build_trace_events",
+    "discover_metrics",
+    "heartbeat_printer",
+    "read_metrics",
+    "read_run",
+    "render_metrics_report",
+    "render_report",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_metrics",
+    "write_run",
+    "write_runtime_telemetry",
+]

@@ -1,0 +1,261 @@
+"""Chrome trace-event exporter (loadable in Perfetto / about:tracing).
+
+Renders an observed run as a Trace Event Format JSON object
+(``{"traceEvents": [...]}``) with two processes:
+
+* **pid 1 "packets"** — one thread per flow.  Each packet's lifecycle
+  is an *async* span (``ph: "b"`` at admission, ``ph: "e"`` at
+  delivery or last-seen event) so overlapping packets on one flow get
+  their own rows instead of corrupting a synchronous B/E stack, with
+  instant events (``ph: "i"``) marking injections, hops, preemptions
+  and NACKs along the way.
+* **pid 2 "engine"** — cycle-skip spans (``ph: "X"`` complete events:
+  the activity tracker jumping over idle cycles) on one thread and
+  frame-rollover instants on another.
+
+Timestamps map **1 cycle = 1 µs** (the trace format's native unit), so
+Perfetto's time axis reads directly in cycles.  Open the file at
+https://ui.perfetto.dev (drag and drop) or ``chrome://tracing``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.errors import ConfigurationError
+from repro.scenarios.tracefmt import file_sha256
+
+#: Process ids used in the exported trace.
+PACKETS_PID = 1
+ENGINE_PID = 2
+
+#: Engine-process thread ids.
+SKIP_TID = 0
+FRAME_TID = 1
+
+
+def _meta(name: str, pid: int, args: dict, tid: int = 0) -> dict:
+    return {
+        "name": name,
+        "ph": "M",
+        "pid": pid,
+        "tid": tid,
+        "ts": 0,
+        "args": args,
+    }
+
+
+def build_trace_events(lifecycle, activity, *, flow_labels) -> list[dict]:
+    """Build the event list from collector state (see module docstring).
+
+    ``lifecycle`` is a :class:`~repro.obs.collect.LifecycleCollector`,
+    ``activity`` an :class:`~repro.obs.collect.EngineActivityCollector`
+    (``None`` skips the engine process).  Events are emitted in
+    deterministic order (packets by pid, engine spans in record order);
+    viewers sort by timestamp themselves.
+    """
+    events: list[dict] = [
+        _meta("process_name", PACKETS_PID, {"name": "packets"}),
+        _meta("process_sort_index", PACKETS_PID, {"sort_index": 0}),
+    ]
+    for flow, label in enumerate(flow_labels):
+        events.append(
+            _meta("thread_name", PACKETS_PID, {"name": label}, tid=flow)
+        )
+    for record in sorted(lifecycle.records.values(), key=lambda r: r["pid"]):
+        pid, flow = record["pid"], record["flow"]
+        span_id = str(pid)
+        name = f"pkt{pid}→n{record['dst']}"
+        events.append(
+            {
+                "name": name,
+                "cat": "packet",
+                "ph": "b",
+                "id": span_id,
+                "pid": PACKETS_PID,
+                "tid": flow,
+                "ts": record["created"],
+                "args": {
+                    "src": record["src"],
+                    "dst": record["dst"],
+                    "size": record["size"],
+                },
+            }
+        )
+        last = record["created"]
+        for cycle, station_label, attempt in record["injects"]:
+            events.append(
+                {
+                    "name": f"inject@{station_label}",
+                    "cat": "packet",
+                    "ph": "i",
+                    "s": "t",
+                    "pid": PACKETS_PID,
+                    "tid": flow,
+                    "ts": cycle,
+                    "args": {"pid": pid, "attempt": attempt},
+                }
+            )
+            last = max(last, cycle)
+        for cycle, port_label in record["hops"]:
+            events.append(
+                {
+                    "name": f"hop@{port_label}",
+                    "cat": "packet",
+                    "ph": "i",
+                    "s": "t",
+                    "pid": PACKETS_PID,
+                    "tid": flow,
+                    "ts": cycle,
+                    "args": {"pid": pid},
+                }
+            )
+            last = max(last, cycle)
+        for cycle, station_label, tiles_done in record["preempts"]:
+            events.append(
+                {
+                    "name": f"preempt@{station_label}",
+                    "cat": "packet",
+                    "ph": "i",
+                    "s": "t",
+                    "pid": PACKETS_PID,
+                    "tid": flow,
+                    "ts": cycle,
+                    "args": {"pid": pid, "tiles_done": tiles_done},
+                }
+            )
+            last = max(last, cycle)
+        for cycle, attempt in record["nacks"]:
+            events.append(
+                {
+                    "name": "nack",
+                    "cat": "packet",
+                    "ph": "i",
+                    "s": "t",
+                    "pid": PACKETS_PID,
+                    "tid": flow,
+                    "ts": cycle,
+                    "args": {"pid": pid, "attempt": attempt},
+                }
+            )
+            last = max(last, cycle)
+        delivered = record["delivered"]
+        end_args = {}
+        if delivered is not None:
+            end_ts = delivered
+            end_args["latency"] = record["latency"]
+        else:
+            end_ts = last + 1  # still in flight at run end
+            end_args["in_flight"] = True
+        events.append(
+            {
+                "name": name,
+                "cat": "packet",
+                "ph": "e",
+                "id": span_id,
+                "pid": PACKETS_PID,
+                "tid": flow,
+                "ts": end_ts,
+                "args": end_args,
+            }
+        )
+    if activity is not None:
+        events.append(_meta("process_name", ENGINE_PID, {"name": "engine"}))
+        events.append(_meta("process_sort_index", ENGINE_PID, {"sort_index": 1}))
+        events.append(
+            _meta("thread_name", ENGINE_PID, {"name": "cycle skips"}, SKIP_TID)
+        )
+        events.append(
+            _meta("thread_name", ENGINE_PID, {"name": "frames"}, FRAME_TID)
+        )
+        for cycle, target in activity.skips:
+            events.append(
+                {
+                    "name": "skip",
+                    "cat": "engine",
+                    "ph": "X",
+                    "pid": ENGINE_PID,
+                    "tid": SKIP_TID,
+                    "ts": cycle,
+                    "dur": target - cycle,
+                    "args": {"to": target},
+                }
+            )
+        for cycle in activity.frames:
+            events.append(
+                {
+                    "name": "frame",
+                    "cat": "engine",
+                    "ph": "i",
+                    "s": "p",
+                    "pid": ENGINE_PID,
+                    "tid": FRAME_TID,
+                    "ts": cycle,
+                    "args": {},
+                }
+            )
+    return events
+
+
+def write_chrome_trace(path: str | os.PathLike, events: list[dict]) -> str:
+    """Write ``{"traceEvents": ...}``; returns the file's SHA-256."""
+    document = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"time_unit": "1 cycle = 1us"},
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, separators=(",", ":"), sort_keys=True)
+    return file_sha256(path)
+
+
+def validate_chrome_trace(path: str | os.PathLike) -> dict:
+    """Structural validation of an exported trace; returns the document.
+
+    Checks what Perfetto's importer requires of each event: a phase, a
+    numeric timestamp, pid/tid, and for async events an id.  Raises
+    :class:`ConfigurationError` on the first violation.
+    """
+    try:
+        with open(path, encoding="utf-8") as handle:
+            document = json.load(handle)
+    except json.JSONDecodeError as error:
+        raise ConfigurationError(f"trace {path!s}: bad JSON") from error
+    events = document.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        raise ConfigurationError(f"trace {path!s}: no traceEvents")
+    begins: dict[tuple, int] = {}
+    for index, event in enumerate(events):
+        for key in ("ph", "pid", "tid", "name"):
+            if key not in event:
+                raise ConfigurationError(
+                    f"trace {path!s}: event {index} is missing {key!r}"
+                )
+        phase = event["ph"]
+        if phase != "M" and not isinstance(event.get("ts"), (int, float)):
+            raise ConfigurationError(
+                f"trace {path!s}: event {index} has no numeric ts"
+            )
+        if phase in ("b", "e"):
+            if "id" not in event:
+                raise ConfigurationError(
+                    f"trace {path!s}: async event {index} has no id"
+                )
+            key = (event.get("cat"), event["id"])
+            begins[key] = begins.get(key, 0) + (1 if phase == "b" else -1)
+            if begins[key] < 0:
+                raise ConfigurationError(
+                    f"trace {path!s}: async end before begin at event {index}"
+                )
+        if phase == "X" and not isinstance(event.get("dur"), (int, float)):
+            raise ConfigurationError(
+                f"trace {path!s}: complete event {index} has no dur"
+            )
+    dangling = sorted(key for key, count in begins.items() if count != 0)
+    if dangling:
+        raise ConfigurationError(
+            f"trace {path!s}: {len(dangling)} unbalanced async span(s), "
+            f"first {dangling[0]!r}"
+        )
+    return document

@@ -1,0 +1,223 @@
+"""Versioned JSONL format for windowed engine metrics.
+
+Companion to :mod:`repro.scenarios.tracefmt` (the injection-trace
+format): one JSON document per line, a header first, then one record
+per window.  Layout::
+
+    {"format": "repro-obs-metrics", "version": 1,
+     "window_cycles": 1000, "n_flows": 8, "n_ports": 40,
+     "ports": ["n0/link", ...], "latency_buckets": [8, 16, ...],
+     "meta": {...}}                                # header
+    {"w": 0, "start": 0, "end": 1000,
+     "created": [...], "packets": [...], "flits": [...],   # per flow
+     "injected": 31, "hops": 118,
+     "port_busy": {"3": 220, ...},                 # flits, sparse
+     "lat_hist": [...], "lat_sum": 812.0, "lat_n": 29,
+     "preempts": 0, "nacks": 0, "occupancy": 2.1375}
+    ...
+
+``latency_buckets`` are the *upper bounds* of the fixed histogram
+buckets; ``lat_hist`` has ``len(latency_buckets) + 1`` entries, the
+last one counting deliveries slower than every bound.  ``occupancy`` is
+the time-weighted mean number of packets resident in the fabric over
+the window (a VC-occupancy proxy).  All counters are per-window, not
+cumulative; every window in ``[0, end_cycle)`` is present, including
+empty ones, so consumers can difference and plot without gap handling.
+
+The header's ``meta`` mapping is free-form; ``repro obs record`` stores
+the originating :class:`RunSpec` hash and label there.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.scenarios.tracefmt import file_sha256
+
+METRICS_FORMAT = "repro-obs-metrics"
+METRICS_VERSION = 1
+
+#: Upper bounds (cycles) of the fixed latency histogram buckets; the
+#: serialized histogram has one extra overflow bucket at the end.
+DEFAULT_LATENCY_BUCKETS = (8, 16, 32, 64, 128, 256, 512, 1024)
+
+#: Keys every window record must carry (validated on read).
+_WINDOW_KEYS = frozenset(
+    {
+        "w",
+        "start",
+        "end",
+        "created",
+        "packets",
+        "flits",
+        "injected",
+        "hops",
+        "port_busy",
+        "lat_hist",
+        "lat_sum",
+        "lat_n",
+        "preempts",
+        "nacks",
+        "occupancy",
+    }
+)
+
+
+@dataclass(frozen=True)
+class MetricsDoc:
+    """A parsed metrics file: header mapping + window records."""
+
+    header: dict
+    windows: tuple[dict, ...]
+
+    @property
+    def window_cycles(self) -> int:
+        return self.header["window_cycles"]
+
+    @property
+    def n_flows(self) -> int:
+        return self.header["n_flows"]
+
+    @property
+    def ports(self) -> list[str]:
+        return list(self.header.get("ports", []))
+
+    @property
+    def latency_buckets(self) -> list[int]:
+        return list(self.header["latency_buckets"])
+
+    @property
+    def meta(self) -> dict:
+        return dict(self.header.get("meta", {}))
+
+
+def write_metrics(
+    path: str | os.PathLike,
+    *,
+    window_cycles: int,
+    n_flows: int,
+    ports: list[str],
+    latency_buckets,
+    rows,
+    meta: dict | None = None,
+) -> str:
+    """Serialise window rows to JSONL; returns the file's SHA-256."""
+    header = {
+        "format": METRICS_FORMAT,
+        "version": METRICS_VERSION,
+        "window_cycles": window_cycles,
+        "n_flows": n_flows,
+        "n_ports": len(ports),
+        "ports": list(ports),
+        "latency_buckets": list(latency_buckets),
+        "meta": dict(meta or {}),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(header, sort_keys=True) + "\n")
+        for row in rows:
+            handle.write(
+                json.dumps(row, sort_keys=True, separators=(",", ":")) + "\n"
+            )
+    return file_sha256(path)
+
+
+def read_metrics(path: str | os.PathLike) -> MetricsDoc:
+    """Parse and validate a JSONL metrics file."""
+    with open(path, encoding="utf-8") as handle:
+        header_line = handle.readline()
+        if not header_line.strip():
+            raise ConfigurationError(f"metrics {path!s} is empty")
+        try:
+            header = json.loads(header_line)
+        except json.JSONDecodeError as error:
+            raise ConfigurationError(f"metrics {path!s}: bad header") from error
+        if header.get("format") != METRICS_FORMAT:
+            raise ConfigurationError(
+                f"metrics {path!s}: not a {METRICS_FORMAT} file"
+            )
+        if header.get("version") != METRICS_VERSION:
+            raise ConfigurationError(
+                f"metrics {path!s}: unsupported version "
+                f"{header.get('version')!r} (this build reads version "
+                f"{METRICS_VERSION})"
+            )
+        for key in ("window_cycles", "n_flows", "latency_buckets"):
+            if key not in header:
+                raise ConfigurationError(
+                    f"metrics {path!s}: header is missing {key!r}"
+                )
+        n_flows = header["n_flows"]
+        n_buckets = len(header["latency_buckets"]) + 1
+        windows = []
+        for line_no, line in enumerate(handle, start=2):
+            if not line.strip():
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ConfigurationError(
+                    f"metrics {path!s}: bad record on line {line_no}"
+                ) from error
+            missing = _WINDOW_KEYS - set(row)
+            if missing:
+                raise ConfigurationError(
+                    f"metrics {path!s}: line {line_no} is missing "
+                    f"{', '.join(sorted(missing))}"
+                )
+            if row["w"] != len(windows):
+                raise ConfigurationError(
+                    f"metrics {path!s}: line {line_no} has window index "
+                    f"{row['w']}, expected {len(windows)}"
+                )
+            for key in ("created", "packets", "flits"):
+                if len(row[key]) != n_flows:
+                    raise ConfigurationError(
+                        f"metrics {path!s}: line {line_no}: {key!r} has "
+                        f"{len(row[key])} entries, expected {n_flows} flows"
+                    )
+            if len(row["lat_hist"]) != n_buckets:
+                raise ConfigurationError(
+                    f"metrics {path!s}: line {line_no}: lat_hist has "
+                    f"{len(row['lat_hist'])} buckets, expected {n_buckets}"
+                )
+            windows.append(row)
+    return MetricsDoc(header=header, windows=tuple(windows))
+
+
+# -- run manifests (one per observed run) ----------------------------
+
+RUN_FORMAT = "repro-obs-run"
+RUN_VERSION = 1
+
+
+def write_run(path: str | os.PathLike, payload: dict) -> str:
+    """Write an obs run manifest (adds format/version); returns SHA-256."""
+    document = {"format": RUN_FORMAT, "version": RUN_VERSION, **payload}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return file_sha256(path)
+
+
+def read_run(path: str | os.PathLike) -> dict:
+    """Parse and validate an obs run manifest."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            document = json.load(handle)
+    except json.JSONDecodeError as error:
+        raise ConfigurationError(f"run manifest {path!s}: bad JSON") from error
+    if not isinstance(document, dict) or document.get("format") != RUN_FORMAT:
+        raise ConfigurationError(
+            f"run manifest {path!s}: not a {RUN_FORMAT} file"
+        )
+    if document.get("version") != RUN_VERSION:
+        raise ConfigurationError(
+            f"run manifest {path!s}: unsupported version "
+            f"{document.get('version')!r}"
+        )
+    if "spec" not in document:
+        raise ConfigurationError(f"run manifest {path!s}: missing spec")
+    return document

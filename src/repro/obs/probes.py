@@ -1,0 +1,158 @@
+"""Probe bus: zero-overhead-when-off engine instrumentation.
+
+The simulator carries a ``_probes`` attribute that is ``None`` by
+default.  Every hook point in the engine is guarded by a single ``if
+self._probes is not None`` check, so with probes disabled the cost per
+site is one attribute load and one identity test — no allocation, no
+call.  :meth:`ProbeBus.attach` flips the attribute; collectors
+subscribe callbacks per event and the bus fans each emission out in
+subscription order.
+
+Probes are **observational**: they must never mutate simulator state,
+and the engine emits them *after* the corresponding state change and
+trace record, so enabling any combination of probes leaves
+:meth:`NetworkStats.snapshot` and event traces bit-identical (enforced
+by ``tests/test_obs_probes.py`` and the ``repro bench obs`` guard).
+
+Probe catalogue (see ``docs/observability.md`` for the prose version):
+
+========== ============================================== ==============
+event      callback signature                             emitted by
+========== ============================================== ==============
+admit      (cycle, pid, flow, src, dst, size)             both engines
+inject     (cycle, pid, flow, station_label, attempt)     both engines
+hop        (cycle, pid, flow, port_index, port_label,     both engines
+            size, is_ejection)
+deliver    (cycle, pid, flow, dst, size, latency)         both engines
+preempt    (cycle, pid, flow, station_label, tiles_done)  both engines
+nack       (cycle, pid, flow, attempt)                    both engines
+frame      (cycle,)                                       both engines
+arb_block  (cycle, port_index, candidates)                optimised only
+arm        (cycle, flow)                                  optimised only
+sleep      (cycle, flow)                                  optimised only
+skip       (cycle, target)                                optimised only
+========== ============================================== ==============
+
+``admit`` fires when a packet is materialised into its injector's
+pending queue (global creation order); ``inject`` when it is placed
+into a dedicated injection VC (once per attempt); ``hop`` when it wins
+output-port arbitration and starts a link/ejection traversal (the WIN
+trace event); ``deliver`` at tail delivery; ``preempt``/``nack`` on the
+PVC preemption path; ``frame`` at each frame rollover.  The last four
+events expose optimised-engine internals — a port pass that concluded
+blocked, injector bookkeeping arming/settling, and the activity
+tracker's idle-cycle jumps (``skip`` means the clock is about to jump
+from ``cycle`` straight to ``target``) — the frozen golden engine has
+no such machinery, so those events are deliberately absent there.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.errors import ConfigurationError
+
+#: Events emitted by both engines — identical arguments, identical
+#: order, so packet-level collectors are engine-agnostic.
+PACKET_EVENTS = ("admit", "inject", "hop", "deliver", "preempt", "nack", "frame")
+
+#: Optimised-engine internals (absent in the golden reference).
+ENGINE_EVENTS = ("arb_block", "arm", "sleep", "skip")
+
+PROBE_EVENTS = PACKET_EVENTS + ENGINE_EVENTS
+
+
+class ProbeBus:
+    """Fan-out point between engine hook sites and collectors.
+
+    Emit methods are named after the events and called directly by the
+    engine (``self._probes.hop(...)``); each loops over its subscriber
+    list, which is empty by default, so an attached-but-unsubscribed
+    event costs one method call.
+    """
+
+    __slots__ = (
+        "_admit",
+        "_inject",
+        "_hop",
+        "_deliver",
+        "_preempt",
+        "_nack",
+        "_frame",
+        "_arb_block",
+        "_arm",
+        "_sleep",
+        "_skip",
+    )
+
+    def __init__(self) -> None:
+        for event in PROBE_EVENTS:
+            setattr(self, "_" + event, [])
+
+    def subscribe(self, event: str, callback: Callable) -> None:
+        """Register ``callback`` for ``event`` (see the catalogue)."""
+        if event not in PROBE_EVENTS:
+            raise ConfigurationError(
+                f"unknown probe event {event!r}; expected one of "
+                f"{', '.join(PROBE_EVENTS)}"
+            )
+        getattr(self, "_" + event).append(callback)
+
+    def attach(self, simulator) -> None:
+        """Enable this bus on ``simulator`` (either engine)."""
+        if not hasattr(simulator, "_probes"):
+            raise ConfigurationError(
+                f"{type(simulator).__name__} has no probe support"
+            )
+        simulator._probes = self
+
+    @staticmethod
+    def detach(simulator) -> None:
+        """Disable probing on ``simulator`` (back to the free path)."""
+        simulator._probes = None
+
+    # -- emission (called from engine hook sites) --------------------
+
+    def admit(self, cycle, pid, flow, src, dst, size):
+        for callback in self._admit:
+            callback(cycle, pid, flow, src, dst, size)
+
+    def inject(self, cycle, pid, flow, station_label, attempt):
+        for callback in self._inject:
+            callback(cycle, pid, flow, station_label, attempt)
+
+    def hop(self, cycle, pid, flow, port_index, port_label, size, is_ejection):
+        for callback in self._hop:
+            callback(cycle, pid, flow, port_index, port_label, size, is_ejection)
+
+    def deliver(self, cycle, pid, flow, dst, size, latency):
+        for callback in self._deliver:
+            callback(cycle, pid, flow, dst, size, latency)
+
+    def preempt(self, cycle, pid, flow, station_label, tiles_done):
+        for callback in self._preempt:
+            callback(cycle, pid, flow, station_label, tiles_done)
+
+    def nack(self, cycle, pid, flow, attempt):
+        for callback in self._nack:
+            callback(cycle, pid, flow, attempt)
+
+    def frame(self, cycle):
+        for callback in self._frame:
+            callback(cycle)
+
+    def arb_block(self, cycle, port_index, candidates):
+        for callback in self._arb_block:
+            callback(cycle, port_index, candidates)
+
+    def arm(self, cycle, flow):
+        for callback in self._arm:
+            callback(cycle, flow)
+
+    def sleep(self, cycle, flow):
+        for callback in self._sleep:
+            callback(cycle, flow)
+
+    def skip(self, cycle, target):
+        for callback in self._skip:
+            callback(cycle, target)

@@ -1,0 +1,130 @@
+"""Text rendering for recorded obs artifacts (``repro obs report``).
+
+Renders one metrics file as: a per-window per-flow throughput table
+(flits per window; wide flow sets are cut to the busiest flows), the
+aggregate latency histogram, per-window preemption/NACK/occupancy
+summary, and the busiest output ports.  Everything is computed from the
+JSONL rows — no simulator needed — so reports work on any machine the
+files were copied to.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+
+from repro.errors import ConfigurationError
+from repro.obs.metricsfmt import MetricsDoc, read_metrics
+
+#: Most flows shown in the throughput table before cutting to busiest.
+MAX_FLOW_COLUMNS = 12
+
+
+def discover_metrics(path: str | os.PathLike) -> list[str]:
+    """Metrics files under ``path`` (a file, or a directory to scan)."""
+    path = os.fspath(path)
+    if os.path.isfile(path):
+        return [path]
+    if os.path.isdir(path):
+        found = sorted(glob.glob(os.path.join(path, "*metrics.jsonl")))
+        if found:
+            return found
+        raise ConfigurationError(f"no *metrics.jsonl files under {path!r}")
+    raise ConfigurationError(f"no such file or directory: {path!r}")
+
+
+def _flow_columns(doc: MetricsDoc) -> list[int]:
+    totals = [0] * doc.n_flows
+    for row in doc.windows:
+        for flow, flits in enumerate(row["flits"]):
+            totals[flow] += flits
+    if doc.n_flows <= MAX_FLOW_COLUMNS:
+        return list(range(doc.n_flows))
+    busiest = sorted(range(doc.n_flows), key=lambda f: -totals[f])
+    return sorted(busiest[:MAX_FLOW_COLUMNS])
+
+
+def render_metrics_report(doc: MetricsDoc, *, source: str = "") -> str:
+    """One metrics document as a plain-text report."""
+    lines: list[str] = []
+    label = doc.meta.get("label") or source or "recorded run"
+    lines.append(f"obs report: {label}")
+    lines.append(
+        f"  {len(doc.windows)} windows x {doc.window_cycles} cycles, "
+        f"{doc.n_flows} flows, {len(doc.ports)} ports"
+    )
+    spec_hash = doc.meta.get("spec_hash")
+    if spec_hash:
+        lines.append(f"  spec {spec_hash}")
+
+    flows = _flow_columns(doc)
+    lines.append("")
+    shown = (
+        f"busiest {len(flows)} of {doc.n_flows} flows"
+        if len(flows) < doc.n_flows
+        else "all flows"
+    )
+    lines.append(f"per-window delivered flits ({shown}):")
+    header = "  window      " + "".join(f"f{flow:<7}" for flow in flows)
+    lines.append(header)
+    for row in doc.windows:
+        cells = "".join(f"{row['flits'][flow]:<8}" for flow in flows)
+        lines.append(f"  [{row['start']:>6},{row['end']:>6})  {cells}")
+
+    lines.append("")
+    lines.append("per-window dynamics:")
+    lines.append(
+        "  window          injected  hops    preempts  nacks   occupancy  "
+        "mean_lat"
+    )
+    for row in doc.windows:
+        mean_lat = row["lat_sum"] / row["lat_n"] if row["lat_n"] else 0.0
+        lines.append(
+            f"  [{row['start']:>6},{row['end']:>6})  "
+            f"{row['injected']:<9}{row['hops']:<8}{row['preempts']:<10}"
+            f"{row['nacks']:<8}{row['occupancy']:<11.2f}{mean_lat:.1f}"
+        )
+
+    hist = [0] * (len(doc.latency_buckets) + 1)
+    total_deliveries = 0
+    for row in doc.windows:
+        total_deliveries += row["lat_n"]
+        for bucket, count in enumerate(row["lat_hist"]):
+            hist[bucket] += count
+    lines.append("")
+    lines.append(f"latency histogram ({total_deliveries} in-window deliveries):")
+    bounds = [f"<={bound}" for bound in doc.latency_buckets] + [
+        f">{doc.latency_buckets[-1]}" if doc.latency_buckets else ">0"
+    ]
+    width = max(hist) if hist else 0
+    for bound, count in zip(bounds, hist):
+        bar = "#" * (round(40 * count / width) if width else 0)
+        lines.append(f"  {bound:>7}  {count:>8}  {bar}")
+
+    port_busy: dict[int, int] = {}
+    for row in doc.windows:
+        for port, busy in row["port_busy"].items():
+            port = int(port)
+            port_busy[port] = port_busy.get(port, 0) + busy
+    lines.append("")
+    lines.append("busiest output ports (total flits across run):")
+    span = len(doc.windows) * doc.window_cycles or 1
+    for port, busy in sorted(port_busy.items(), key=lambda kv: -kv[1])[:10]:
+        name = doc.ports[port] if port < len(doc.ports) else f"port{port}"
+        lines.append(
+            f"  {name:<24} {busy:>8} flits  ({busy / span:.1%} utilisation)"
+        )
+    if not port_busy:
+        lines.append("  (no traffic)")
+    return "\n".join(lines)
+
+
+def render_report(path: str | os.PathLike) -> str:
+    """Render every metrics file found at ``path``."""
+    sections = []
+    for metrics_path in discover_metrics(path):
+        doc = read_metrics(metrics_path)
+        sections.append(
+            render_metrics_report(doc, source=os.path.basename(metrics_path))
+        )
+    return "\n\n".join(sections)

@@ -1,0 +1,134 @@
+"""Runtime telemetry: executor wrapping and campaign heartbeats.
+
+:class:`TelemetryExecutor` wraps any :class:`~repro.runtime.executor.
+Executor` and records, per batch, what the runtime actually did —
+simulated vs cache-hit counts, wall time, and a per-spec completion log
+with offsets from batch start.  Results pass through untouched, so the
+wrapped executor stays bit-compatible with the bare one; the collected
+snapshot is written next to reports by the CLI's ``--obs`` flag.
+
+:func:`heartbeat_printer` builds the per-simulation progress callback
+behind ``repro campaign run --progress``: campaign stages batch dozens
+of specs per shard, and with parallel workers a stage can be silent for
+minutes — the heartbeat prints one line per completed spec (rate-capped
+by ``min_interval_seconds``) without touching the manifest or
+artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from collections.abc import Callable
+
+from repro.runtime.executor import Executor
+
+TELEMETRY_FORMAT = "repro-obs-telemetry"
+TELEMETRY_VERSION = 1
+
+
+class TelemetryExecutor(Executor):
+    """Pass-through executor wrapper that records batch telemetry."""
+
+    def __init__(self, inner: Executor) -> None:
+        self.inner = inner
+        self.jobs = inner.jobs
+        self.batches: list[dict] = []
+        self.completions: list[dict] = []
+        self._created = time.perf_counter()
+
+    def describe(self) -> str:
+        return f"telemetry({self.inner.describe()})"
+
+    def run(self, specs, *, cache=None, progress=None):
+        batch_index = len(self.batches)
+        started = time.perf_counter()
+
+        def observe(done, total, spec, cached):
+            self.completions.append(
+                {
+                    "batch": batch_index,
+                    "label": spec.label(),
+                    "spec_hash": spec.content_hash[:12],
+                    "cached": cached,
+                    "at_seconds": round(time.perf_counter() - started, 6),
+                }
+            )
+            if progress is not None:
+                progress(done, total, spec, cached)
+
+        outcome = self.inner.run(specs, cache=cache, progress=observe)
+        self.batches.append(
+            {
+                "specs": len(specs),
+                "unique": outcome.simulated + outcome.cache_hits,
+                "simulated": outcome.simulated,
+                "cache_hits": outcome.cache_hits,
+                "elapsed_seconds": round(outcome.elapsed_seconds, 6),
+            }
+        )
+        return outcome
+
+    def snapshot(self) -> dict:
+        """Aggregated counters plus the raw batch/completion logs."""
+        return {
+            "executor": self.inner.describe(),
+            "jobs": self.jobs,
+            "batches": list(self.batches),
+            "completions": list(self.completions),
+            "totals": {
+                "batches": len(self.batches),
+                "specs": sum(batch["specs"] for batch in self.batches),
+                "simulated": sum(batch["simulated"] for batch in self.batches),
+                "cache_hits": sum(batch["cache_hits"] for batch in self.batches),
+                "elapsed_seconds": round(
+                    sum(batch["elapsed_seconds"] for batch in self.batches), 6
+                ),
+            },
+        }
+
+
+def write_runtime_telemetry(
+    path: str | os.PathLike, snapshot: dict, *, meta: dict | None = None
+) -> None:
+    """Write one telemetry snapshot as versioned JSON."""
+    document = {
+        "format": TELEMETRY_FORMAT,
+        "version": TELEMETRY_VERSION,
+        "meta": dict(meta or {}),
+        **snapshot,
+    }
+    directory = os.path.dirname(os.fspath(path))
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def heartbeat_printer(
+    emit: Callable[[str], None] = print, *, min_interval_seconds: float = 0.0
+) -> Callable[[str, int, int, str, bool], None]:
+    """Build a ``(stage, done, total, label, cached)`` heartbeat callback.
+
+    The first heartbeat and the final spec of a batch always print even
+    under rate capping, so the visible log starts immediately and ends
+    on ``N/N``.
+    """
+    last_emit: list[float | None] = [None]
+
+    def heartbeat(stage: str, done: int, total: int, label: str, cached: bool):
+        now = time.monotonic()
+        if (
+            done < total
+            and min_interval_seconds > 0
+            and last_emit[0] is not None
+            and now - last_emit[0] < min_interval_seconds
+        ):
+            return
+        last_emit[0] = now
+        source = "cache" if cached else "sim"
+        emit(f"      [{stage}] {done}/{total} {source:>5}  {label}")
+
+    return heartbeat

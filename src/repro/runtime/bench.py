@@ -185,13 +185,188 @@ def format_engine_bench(results: list[EngineResult]) -> str:
     return "\n".join(lines)
 
 
+#: Points timed by ``repro bench obs`` (a bracket of the full matrix:
+#: idle-dominated, saturated, and non-stationary bursty traffic).
+OBS_POINT_NAMES = (
+    "low_rate_mecs_0p01",
+    "saturation_mecs_0p30",
+    "bursty_saturation",
+)
+
+#: Default ceiling for probes-*enabled* overhead (on/off - 1).  The
+#: enabled path pays a Python callback per packet event plus windowed
+#: accumulation, so it is expected to cost real time; the guard only
+#: keeps it bounded.  The *disabled* path is guarded much harder: it
+#: must keep beating the golden reference (``speedup_off >= 1.0``).
+MAX_ENABLED_OVERHEAD = 1.5
+
+
+@dataclass(frozen=True)
+class ObsOverheadResult:
+    """Probe-overhead timings for one point (seconds, best of repeats).
+
+    ``off`` is the default engine (``_probes is None``), ``on`` the same
+    engine with a full :class:`~repro.obs.ObsSession` (timeline
+    included) attached, ``golden`` the frozen reference with the same
+    session.  ``stats_equal`` requires all three snapshots identical —
+    probes are observational and must never perturb results.
+    """
+
+    point: EnginePoint
+    off_seconds: float
+    on_seconds: float
+    golden_seconds: float
+    stats_equal: bool
+
+    @property
+    def speedup_off(self) -> float:
+        """Golden / probes-off: the disabled-probe performance floor."""
+        if self.off_seconds <= 0:
+            return float("inf")
+        return self.golden_seconds / self.off_seconds
+
+    @property
+    def enabled_overhead(self) -> float:
+        """Fractional slowdown of probes-on vs probes-off (0.1 = +10%)."""
+        if self.off_seconds <= 0:
+            return 0.0
+        return self.on_seconds / self.off_seconds - 1.0
+
+
+def _time_one_obs(cls, point: EnginePoint) -> tuple[float, dict]:
+    """Like :func:`_time_one` but with a full ObsSession attached."""
+    from repro.obs import ObsSession
+    from repro.qos.pvc import PvcPolicy
+
+    build = get_topology(point.topology).build(point.config)
+    simulator = cls(build, point.flows(), PvcPolicy(), point.config)
+    session = ObsSession(timeline=True)
+    session.attach(simulator)
+    started = time.perf_counter()
+    simulator.run(point.cycles, warmup=point.warmup)
+    elapsed = time.perf_counter() - started
+    session.finalize(simulator.cycle)
+    return elapsed, simulator.stats.snapshot()
+
+
+def run_obs_overhead(
+    *, fast: bool = False, repeats: int = 2,
+    points: tuple[EnginePoint, ...] | None = None,
+) -> list[ObsOverheadResult]:
+    """Time probes-off vs probes-on vs golden on the obs point subset."""
+    selected = points or tuple(
+        point for point in default_points(fast=fast)
+        if point.name in OBS_POINT_NAMES
+    )
+    results = []
+    for point in selected:
+        best_off = best_on = best_golden = float("inf")
+        snap_off = snap_on = snap_golden = None
+        for _ in range(max(1, repeats)):
+            seconds, snap_off = _time_one(ColumnSimulator, point)
+            best_off = min(best_off, seconds)
+            seconds, snap_on = _time_one_obs(ColumnSimulator, point)
+            best_on = min(best_on, seconds)
+            seconds, snap_golden = _time_one_obs(GoldenColumnSimulator, point)
+            best_golden = min(best_golden, seconds)
+        results.append(
+            ObsOverheadResult(
+                point=point,
+                off_seconds=round(best_off, 4),
+                on_seconds=round(best_on, 4),
+                golden_seconds=round(best_golden, 4),
+                stats_equal=snap_off == snap_on == snap_golden,
+            )
+        )
+    return results
+
+
+def format_obs_overhead(results: list[ObsOverheadResult]) -> str:
+    """Human-readable probe-overhead table for the CLI."""
+    lines = [
+        "probe overhead (probes off vs full ObsSession vs golden reference)",
+        f"{'point':26s} {'off':>9s} {'on':>9s} {'golden':>9s} "
+        f"{'overhead':>9s} {'floor':>7s}  stats",
+    ]
+    for result in results:
+        lines.append(
+            f"{result.point.name:26s} {result.off_seconds:8.3f}s "
+            f"{result.on_seconds:8.3f}s {result.golden_seconds:8.3f}s "
+            f"{result.enabled_overhead:8.1%} {result.speedup_off:6.2f}x  "
+            + ("identical" if result.stats_equal else "DIVERGED!")
+        )
+    return "\n".join(lines)
+
+
+def record_obs_baseline(
+    results: list[ObsOverheadResult], path: str | os.PathLike,
+    *, max_enabled_overhead: float = MAX_ENABLED_OVERHEAD,
+) -> None:
+    """Merge obs-overhead results into the ``_obs`` baseline section."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        data = {}
+    section = data.setdefault("_obs", {})
+    section["max_enabled_overhead"] = max_enabled_overhead
+    points = section.setdefault("points", {})
+    for result in results:
+        points[result.point.name] = {
+            "regime": result.point.regime,
+            "timings_seconds": {
+                "off": result.off_seconds,
+                "on": result.on_seconds,
+                "golden": result.golden_seconds,
+            },
+            "speedup_off": round(result.speedup_off, 3),
+            "enabled_overhead": round(result.enabled_overhead, 4),
+            "stats_equal": result.stats_equal,
+        }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def _validate_obs_section(data: dict) -> list[str]:
+    """Violations in a baseline's ``_obs`` probe-overhead section."""
+    section = data.get("_obs")
+    if not section:
+        return []
+    violations: list[str] = []
+    ceiling = section.get("max_enabled_overhead", MAX_ENABLED_OVERHEAD)
+    for name, entry in sorted(section.get("points", {}).items()):
+        if not entry.get("stats_equal", False):
+            violations.append(
+                f"obs:{name}: stats_equal is false — probes perturbed results"
+            )
+        speedup = entry.get("speedup_off", 0.0)
+        if speedup < 1.0:
+            violations.append(
+                f"obs:{name}: disabled-probe speedup {speedup} < 1.0 — "
+                "probe hooks cost the engine its lead over golden"
+            )
+        overhead = entry.get("enabled_overhead", 0.0)
+        if overhead > ceiling:
+            violations.append(
+                f"obs:{name}: enabled overhead {overhead:.1%} exceeds the "
+                f"{ceiling:.0%} ceiling"
+            )
+    return violations
+
+
 def validate_engine_baseline(path: str | os.PathLike) -> tuple[list[str], dict]:
     """Regression-check a committed baseline file.
 
     Every recorded point must have ``stats_equal: true`` (the engines
     agreed bit-for-bit when it was recorded) and a speedup of at least
-    1.0 (the optimised engine never loses to the reference).  Returns
-    the list of violations (empty = clean) and the parsed baseline.
+    1.0 (the optimised engine never loses to the reference).  A
+    baseline with an ``_obs`` section (``repro bench obs --record``)
+    additionally guards the probe layer: probes must not perturb
+    snapshots, the probes-*disabled* engine must keep its speedup floor,
+    and probes-*enabled* overhead must stay under the recorded ceiling.
+    Returns the list of violations (empty = clean) and the parsed
+    baseline.
     """
     with open(path, encoding="utf-8") as handle:
         data = json.load(handle)
@@ -210,6 +385,7 @@ def validate_engine_baseline(path: str | os.PathLike) -> tuple[list[str], dict]:
             violations.append(
                 f"{name}: speedup {speedup} < 1.0 — optimised engine regressed"
             )
+    violations.extend(_validate_obs_section(data))
     return violations, data
 
 
@@ -233,6 +409,27 @@ def format_baseline_markdown(data: dict) -> str:
             f"| {entry.get('speedup', 0.0):.2f}x "
             f"| {'identical' if entry.get('stats_equal') else 'DIVERGED'} |"
         )
+    section = data.get("_obs")
+    if section and section.get("points"):
+        ceiling = section.get("max_enabled_overhead", MAX_ENABLED_OVERHEAD)
+        lines += [
+            "",
+            f"### Probe overhead (enabled ceiling {ceiling:.0%})",
+            "",
+            "| point | off (s) | on (s) | golden (s) | overhead | floor | stats |",
+            "|---|---:|---:|---:|---:|---:|---|",
+        ]
+        for name, entry in sorted(section["points"].items()):
+            timings = entry.get("timings_seconds", {})
+            lines.append(
+                f"| {name} "
+                f"| {timings.get('off', float('nan')):.3f} "
+                f"| {timings.get('on', float('nan')):.3f} "
+                f"| {timings.get('golden', float('nan')):.3f} "
+                f"| {entry.get('enabled_overhead', 0.0):.1%} "
+                f"| {entry.get('speedup_off', 0.0):.2f}x "
+                f"| {'identical' if entry.get('stats_equal') else 'DIVERGED'} |"
+            )
     return "\n".join(lines)
 
 

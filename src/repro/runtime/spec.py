@@ -38,6 +38,9 @@ SPEC_SCHEMA_VERSION = 1
 #: Run modes understood by :func:`execute_spec`.
 RUN_MODES = ("run", "window", "drain")
 
+#: Keys accepted in :attr:`RunSpec.obs` (see the class docstring).
+OBS_PARAMS = frozenset({"window", "timeline", "out_dir"})
+
 #: Destination patterns addressable from ``workload_params["pattern"]``.
 PATTERNS = {
     "uniform_random": _patterns.uniform_random,
@@ -297,6 +300,17 @@ class RunSpec:
         ``"window"`` → ``run_window(warmup, cycles)`` (``cycles`` is the
         measured window length);
         ``"drain"`` → ``run_until_drained(max_cycles=cycles)``.
+    obs:
+        Observability config (:data:`OBS_PARAMS`): ``window`` (cycle
+        width of the metrics windows), ``timeline`` (also collect the
+        packet-lifecycle Chrome trace) and ``out_dir`` (where
+        :func:`execute_spec` writes the artifacts).  Empty (the
+        default) means probes stay off — and the key is then *omitted*
+        from :meth:`to_json`, so existing content hashes, cache entries
+        and campaign stage hashes are untouched.  Probes never change
+        results (they are observational, enforced by the golden suite),
+        but obs config does select different run *artifacts*, so when
+        set it participates in the hash like any other field.
     """
 
     topology: str
@@ -309,6 +323,7 @@ class RunSpec:
     mode: str = "run"
     cycles: int = 5000
     warmup: int = 0
+    obs: tuple[tuple[str, object], ...] = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -319,6 +334,24 @@ class RunSpec:
             self, "topology_params",
             _freeze_params(self.topology_params, "topology_params"),
         )
+        object.__setattr__(self, "obs", _freeze_params(self.obs, "obs"))
+        obs = dict(self.obs)
+        unknown = set(obs) - OBS_PARAMS
+        if unknown:
+            raise ConfigurationError(
+                f"unknown obs params {sorted(unknown)}; "
+                f"allowed: {sorted(OBS_PARAMS)}"
+            )
+        if "window" in obs and (
+            not isinstance(obs["window"], int)
+            or isinstance(obs["window"], bool)
+            or obs["window"] <= 0
+        ):
+            raise ConfigurationError("obs 'window' must be a positive integer")
+        if "timeline" in obs and not isinstance(obs["timeline"], bool):
+            raise ConfigurationError("obs 'timeline' must be a boolean")
+        if "out_dir" in obs and not isinstance(obs["out_dir"], str):
+            raise ConfigurationError("obs 'out_dir' must be a string path")
         if self.topology not in EXTENDED_TOPOLOGY_NAMES:
             raise ConfigurationError(
                 f"unknown topology {self.topology!r}; "
@@ -380,8 +413,14 @@ class RunSpec:
     # -- serialisation ------------------------------------------------
 
     def to_json(self) -> dict:
-        """Plain-data form; key order is irrelevant (hashing sorts)."""
-        return {
+        """Plain-data form; key order is irrelevant (hashing sorts).
+
+        ``obs`` appears only when set: a spec without observability
+        serialises (and therefore hashes) exactly as it did before the
+        field existed, keeping every pre-obs cache entry and campaign
+        stage hash valid.
+        """
+        data = {
             "schema": SPEC_SCHEMA_VERSION,
             "topology": self.topology,
             "topology_params": dict(self.topology_params),
@@ -394,6 +433,9 @@ class RunSpec:
             "cycles": self.cycles,
             "warmup": self.warmup,
         }
+        if self.obs:
+            data["obs"] = dict(self.obs)
+        return data
 
     @classmethod
     def from_json(cls, data: dict) -> "RunSpec":
@@ -413,6 +455,7 @@ class RunSpec:
             mode=data["mode"],
             cycles=data["cycles"],
             warmup=data["warmup"],
+            obs=_freeze_params(data.get("obs", {}), "obs"),
         )
 
     def canonical_json(self) -> str:
@@ -423,6 +466,21 @@ class RunSpec:
     def content_hash(self) -> str:
         """SHA-256 over the canonical JSON — the cache key."""
         return hashlib.sha256(self.canonical_json().encode("utf-8")).hexdigest()
+
+    @cached_property
+    def base_hash(self) -> str:
+        """Content hash with the ``obs`` config stripped.
+
+        The identity of the *simulated run* — obs config selects what
+        gets recorded, never what happens.  Obs artifact files are
+        named by this hash, so ``repro obs timeline`` can regenerate a
+        recorded run's trace (with different obs params) into the same
+        file stem, and the names match the probe-free run's cache key.
+        """
+        payload = self.to_json()
+        payload.pop("obs", None)
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
     def label(self) -> str:
         """Short human-readable tag for progress displays."""
@@ -478,6 +536,12 @@ def execute_spec(spec: RunSpec) -> RunResult:
 
     Module-level (hence picklable) so :class:`ProcessPoolExecutor`
     workers can receive it directly.
+
+    When the spec carries obs config, an
+    :class:`~repro.obs.collect.ObsSession` is attached before the run
+    and its artifacts are written to ``obs["out_dir"]`` afterwards,
+    named by the spec's :attr:`~RunSpec.base_hash` — the result itself
+    is bit-identical either way (probes are observational).
     """
     from repro.network.engine import ColumnSimulator
 
@@ -486,6 +550,16 @@ def execute_spec(spec: RunSpec) -> RunResult:
     simulator = ColumnSimulator(
         topology.build(config), build_flows(spec), POLICIES[spec.policy](), config
     )
+    obs_session = None
+    obs_params = dict(spec.obs)
+    if obs_params:
+        from repro.obs.collect import DEFAULT_WINDOW, ObsSession
+
+        obs_session = ObsSession(
+            window=obs_params.get("window", DEFAULT_WINDOW),
+            timeline=obs_params.get("timeline", False),
+        )
+        obs_session.attach(simulator)
     completion = 0
     if spec.mode == "run":
         stats = simulator.run(spec.cycles, warmup=spec.warmup)
@@ -494,6 +568,18 @@ def execute_spec(spec: RunSpec) -> RunResult:
     else:  # drain
         completion = simulator.run_until_drained(max_cycles=spec.cycles)
         stats = simulator.stats
+    if obs_session is not None:
+        obs_session.finalize(simulator.cycle)
+        out_dir = obs_params.get("out_dir")
+        if out_dir:
+            obs_session.write(
+                out_dir,
+                stem=f"{spec.base_hash[:12]}.",
+                spec_json=spec.to_json(),
+                label=spec.label(),
+                snapshot=stats.snapshot(),
+                spec_hash=spec.base_hash,
+            )
     return RunResult(
         spec_hash=spec.content_hash,
         mode=spec.mode,

@@ -62,6 +62,16 @@ class RunningStats:
         return self._mean if self.count else 0.0
 
     @property
+    def second_moment(self) -> float:
+        """Sum of squared deviations from the mean (Welford's M2).
+
+        Exposed so snapshot/merge consumers never reach into ``_m2``;
+        together with ``count`` and ``mean`` it fully determines the
+        accumulator state.
+        """
+        return self._m2
+
+    @property
     def variance(self) -> float:
         """Population variance of the samples seen so far."""
         if self.count < 2:

@@ -15,12 +15,35 @@ def test_percentiles_require_opt_in():
 
 
 def test_percentile_math():
+    # Nearest-rank: index ceil(f*n)-1, so p50 over an even-sized set is
+    # the lower median (not the upper, as the old truncation gave).
     stats = NetworkStats(n_flows=1, collect_latencies=True)
     for value in (10.0, 20.0, 30.0, 40.0):
         stats.record_delivery(0, 1, value, cycle=5)
     assert stats.latency_percentile(0.0) == 10.0
-    assert stats.latency_percentile(0.5) == 30.0
+    assert stats.latency_percentile(0.25) == 10.0
+    assert stats.latency_percentile(0.5) == 20.0
+    assert stats.latency_percentile(0.75) == 30.0
     assert stats.latency_percentile(1.0) == 40.0
+
+
+def test_percentile_nearest_rank_pinned():
+    # Regression pin on 1..100: nearest-rank pXX is exactly the XXth
+    # sample, with no off-by-one drift at the tail.
+    stats = NetworkStats(n_flows=1, collect_latencies=True)
+    for value in range(100, 0, -1):  # insertion order must not matter
+        stats.record_delivery(0, 1, float(value), cycle=5)
+    assert stats.latency_percentile(0.50) == 50.0
+    assert stats.latency_percentile(0.90) == 90.0
+    assert stats.latency_percentile(0.99) == 99.0
+    assert stats.latency_percentile(0.999) == 100.0
+
+
+def test_percentile_single_sample():
+    stats = NetworkStats(n_flows=1, collect_latencies=True)
+    stats.record_delivery(0, 1, 42.0, cycle=5)
+    for fraction in (0.0, 0.5, 1.0):
+        assert stats.latency_percentile(fraction) == 42.0
 
 
 def test_percentile_rejects_bad_fraction():

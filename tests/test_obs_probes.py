@@ -1,0 +1,167 @@
+"""Probe neutrality: observability must never change results.
+
+With every probe enabled — a full :class:`ObsSession`, timeline
+included — both engines must produce byte-identical stats snapshots
+and event traces across topologies × policies, and the windowed
+metrics rows and packet lifecycles must agree between engines despite
+their different intra-cycle event orderings.  The optimised engine
+must also be bit-identical to itself with probes detached: probes are
+observational, full stop.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network.config import SimulationConfig
+from repro.network.engine import ColumnSimulator
+from repro.network.golden import GoldenColumnSimulator
+from repro.network.trace import TraceRecorder
+from repro.obs import ENGINE_EVENTS, PACKET_EVENTS, PROBE_EVENTS, ObsSession, ProbeBus
+from repro.qos.base import NoQosPolicy
+from repro.qos.pvc import PvcPolicy
+from repro.scenarios import snapshot_digest
+from repro.topologies.registry import get_topology
+from repro.traffic.workloads import (
+    full_column_workload,
+    workload1,
+    workload1_finite,
+)
+
+POLICIES = {"pvc": PvcPolicy, "noqos": NoQosPolicy}
+TOPOLOGIES = ("mesh_x1", "mecs", "dps")
+
+
+def _observed(cls, topology, flows_factory, policy_name, config):
+    """One simulator of ``cls`` with a full ObsSession attached."""
+    build = get_topology(topology).build(config)
+    simulator = cls(build, flows_factory(), POLICIES[policy_name](), config)
+    session = ObsSession(window=500, timeline=True)
+    session.attach(simulator)
+    return simulator, session
+
+
+@pytest.mark.parametrize("topology", TOPOLOGIES)
+@pytest.mark.parametrize("policy", ("pvc", "noqos"))
+@pytest.mark.parametrize("rate", (0.02, 0.30))
+def test_probes_enabled_engines_bit_identical(topology, policy, rate):
+    config = SimulationConfig(frame_cycles=1500, seed=5)
+    cycles = 2000 if rate >= 0.1 else 3000
+    pairs = []
+    for cls in (ColumnSimulator, GoldenColumnSimulator):
+        simulator, session = _observed(
+            cls, topology, lambda: full_column_workload(rate), policy, config
+        )
+        simulator.run(cycles, warmup=cycles // 4)
+        session.finalize(simulator.cycle)
+        pairs.append((simulator, session))
+    (optimised, opt_obs), (golden, gold_obs) = pairs
+    assert snapshot_digest(optimised.stats.snapshot()) == snapshot_digest(
+        golden.stats.snapshot()
+    )
+    assert opt_obs.metrics.rows == gold_obs.metrics.rows
+    assert opt_obs.lifecycle.records == gold_obs.lifecycle.records
+
+
+def test_probes_enabled_traces_identical_under_preemption():
+    # workload1 past saturation on PVC exercises preempt/NACK/replay —
+    # the trace must stay bit-identical with probes enabled on both
+    # engines (probes fire *after* the trace records at every site).
+    config = SimulationConfig(frame_cycles=400, seed=11)
+    traces = []
+    snapshots = []
+    for cls in (ColumnSimulator, GoldenColumnSimulator):
+        simulator, session = _observed(
+            cls, "mesh_x1", workload1, "pvc", config
+        )
+        recorder = TraceRecorder()
+        recorder.attach(simulator)
+        simulator.run(1500)
+        session.finalize(simulator.cycle)
+        traces.append([str(event) for event in recorder.events])
+        snapshots.append(simulator.stats.snapshot())
+        assert session.metrics.rows[-1]["preempts"] >= 0
+    assert snapshots[0] == snapshots[1]
+    assert traces[0] == traces[1]
+
+
+@pytest.mark.parametrize("mode", ("run", "window", "drain"))
+def test_probes_do_not_perturb_optimised_engine(mode):
+    config = SimulationConfig(frame_cycles=1500, seed=5)
+    snapshots = []
+    for attach in (False, True):
+        build = get_topology("mecs").build(config)
+        flows = (
+            workload1_finite(duration=800) if mode == "drain"
+            else full_column_workload(0.3)
+        )
+        simulator = ColumnSimulator(build, flows, PvcPolicy(), config)
+        if attach:
+            session = ObsSession(window=400, timeline=True)
+            session.attach(simulator)
+        if mode == "run":
+            simulator.run(2000, warmup=500)
+        elif mode == "window":
+            simulator.run_window(warmup=400, window=1600)
+        else:
+            simulator.run_until_drained(max_cycles=20_000)
+        snapshots.append(simulator.stats.snapshot())
+    assert snapshots[0] == snapshots[1]
+
+
+def test_golden_emits_packet_events_only():
+    # The golden engine carries the packet-level probe subset; engine
+    # internals (skip/arm/sleep/arb_block) are optimised-engine-only.
+    config = SimulationConfig(frame_cycles=1000, seed=3)
+    counts = {}
+    for cls in (ColumnSimulator, GoldenColumnSimulator):
+        build = get_topology("mecs").build(config)
+        simulator = cls(build, full_column_workload(0.05), PvcPolicy(), config)
+        session = ObsSession(window=500)
+        session.attach(simulator)
+        simulator.run(1500)
+        counts[cls.__name__] = session.activity.counters()
+    golden = counts["GoldenColumnSimulator"]
+    assert golden["skips"] == golden["arms"] == golden["arb_blocks"] == 0
+    optimised = counts["ColumnSimulator"]
+    assert optimised["arms"] > 0
+    # Both engines see the same frame rollovers (a packet-level event).
+    assert optimised["frames"] == golden["frames"] > 0
+
+
+def test_probe_catalogue_partition():
+    assert set(PACKET_EVENTS) | set(ENGINE_EVENTS) == set(PROBE_EVENTS)
+    assert not set(PACKET_EVENTS) & set(ENGINE_EVENTS)
+
+
+def test_bus_rejects_unknown_event():
+    with pytest.raises(ConfigurationError):
+        ProbeBus().subscribe("teleport", lambda *a: None)
+
+
+def test_bus_requires_probe_capable_simulator():
+    with pytest.raises(ConfigurationError):
+        ProbeBus().attach(object())
+
+
+def test_detach_stops_delivery(make_simulator):
+    simulator = make_simulator("mesh_x1", full_column_workload(0.1))
+    seen = []
+    bus = ProbeBus()
+    bus.subscribe("deliver", lambda *args: seen.append(args))
+    bus.attach(simulator)
+    simulator.run(500)
+    delivered_while_attached = len(seen)
+    assert delivered_while_attached > 0
+    ProbeBus.detach(simulator)
+    assert simulator._probes is None
+    simulator.run(500)
+    assert len(seen) == delivered_while_attached
+
+
+def test_session_cannot_attach_twice(make_simulator):
+    session = ObsSession()
+    session.attach(make_simulator("mesh_x1"))
+    with pytest.raises(ConfigurationError):
+        session.attach(make_simulator("mesh_x1"))
+    with pytest.raises(ConfigurationError):
+        ObsSession().finalize(0)

@@ -1,0 +1,134 @@
+"""Runtime telemetry: executor wrapping, heartbeats, campaign rollups."""
+
+import json
+
+from repro.campaign import CampaignSpec, StageSpec, run_campaign
+from repro.network.config import SimulationConfig
+from repro.obs import (
+    TELEMETRY_FORMAT,
+    TELEMETRY_VERSION,
+    TelemetryExecutor,
+    heartbeat_printer,
+    write_runtime_telemetry,
+)
+from repro.runtime.executor import SerialExecutor
+from repro.runtime.runner import run_batch
+from repro.runtime.spec import RunSpec
+
+
+def tiny_specs(n=3):
+    return [
+        RunSpec(topology="mesh_x1", workload="uniform", rate=0.02 + 0.01 * i,
+                config=SimulationConfig(frame_cycles=500, seed=2), cycles=400)
+        for i in range(n)
+    ]
+
+
+def test_wrapped_executor_is_pass_through():
+    specs = tiny_specs()
+    bare = run_batch(specs, executor=SerialExecutor(), cache=None)
+    wrapper = TelemetryExecutor(SerialExecutor())
+    wrapped = run_batch(specs, executor=wrapper, cache=None)
+    assert wrapped.results == bare.results
+    assert wrapper.describe() == "telemetry(serial)"
+    assert wrapper.jobs == 1
+
+
+def test_snapshot_totals_and_completion_log():
+    wrapper = TelemetryExecutor(SerialExecutor())
+    run_batch(tiny_specs(2), executor=wrapper, cache=None)
+    run_batch(tiny_specs(3), executor=wrapper, cache=None)
+    snapshot = wrapper.snapshot()
+    assert snapshot["totals"]["batches"] == 2
+    assert snapshot["totals"]["specs"] == 5
+    assert snapshot["totals"]["simulated"] == 5
+    assert snapshot["totals"]["cache_hits"] == 0
+    assert [c["batch"] for c in snapshot["completions"]] == [0, 0, 1, 1, 1]
+    assert all(c["at_seconds"] >= 0 for c in snapshot["completions"])
+    labels = {c["label"] for c in snapshot["completions"]}
+    assert len(labels) == 3  # batch 2 repeats batch 1's two specs
+
+
+def test_telemetry_progress_still_forwarded():
+    seen = []
+    wrapper = TelemetryExecutor(SerialExecutor())
+    run_batch(
+        tiny_specs(2), executor=wrapper, cache=None,
+        progress=lambda done, total, spec, cached:
+            seen.append((done, total, cached)),
+    )
+    assert seen == [(1, 2, False), (2, 2, False)]
+
+
+def test_write_runtime_telemetry_document(tmp_path):
+    wrapper = TelemetryExecutor(SerialExecutor())
+    run_batch(tiny_specs(1), executor=wrapper, cache=None)
+    path = tmp_path / "nested" / "telemetry.json"
+    write_runtime_telemetry(path, wrapper.snapshot(), meta={"target": "t"})
+    document = json.loads(path.read_text())
+    assert document["format"] == TELEMETRY_FORMAT
+    assert document["version"] == TELEMETRY_VERSION
+    assert document["meta"] == {"target": "t"}
+    assert document["totals"]["specs"] == 1
+
+
+def test_heartbeat_prints_every_spec_by_default():
+    lines = []
+    heartbeat = heartbeat_printer(emit=lines.append)
+    heartbeat("sat", 1, 3, "a", False)
+    heartbeat("sat", 2, 3, "b", True)
+    heartbeat("sat", 3, 3, "c", False)
+    assert lines == [
+        "      [sat] 1/3   sim  a",
+        "      [sat] 2/3 cache  b",
+        "      [sat] 3/3   sim  c",
+    ]
+
+
+def test_heartbeat_rate_cap_always_prints_final():
+    lines = []
+    heartbeat = heartbeat_printer(emit=lines.append,
+                                  min_interval_seconds=3600.0)
+    heartbeat("sat", 1, 3, "a", False)  # first: interval satisfied at t=0
+    heartbeat("sat", 2, 3, "b", False)  # capped
+    heartbeat("sat", 3, 3, "c", False)  # final always prints
+    assert [line.split("]")[1].strip() for line in lines] == [
+        "1/3   sim  a", "3/3   sim  c",
+    ]
+
+
+def test_campaign_heartbeat_and_manifest_telemetry(tmp_path):
+    campaign = CampaignSpec(
+        name="tiny",
+        description="test campaign",
+        stages=(
+            StageSpec("area", "fig3"),
+            StageSpec(
+                "sat", "saturation",
+                params={"cycles": 300, "topology_names": ["mesh_x1"]},
+                depends_on=("area",),
+            ),
+        ),
+    )
+    beats = []
+    result = run_campaign(
+        campaign, campaign_dir=tmp_path / "c",
+        heartbeat=lambda stage, done, total, label, cached:
+            beats.append((stage, done, total, cached)),
+    )
+    assert result.complete
+    # The analytical stage runs no specs; the simulated stage beats once
+    # per spec and ends on total/total.
+    stages = {stage for stage, *_ in beats}
+    assert stages == {"sat"}
+    done, total = beats[-1][1], beats[-1][2]
+    assert done == total == len(beats)
+    manifest = json.loads((tmp_path / "c" / "manifest.json").read_text())
+    telemetry = manifest["telemetry"]
+    assert telemetry["executor"] == "serial"
+    assert telemetry["specs"] == len(beats)
+    assert telemetry["simulated"] + telemetry["cache_hits"] == len(beats)
+    assert telemetry["wall_seconds"] > 0
+    assert set(telemetry["stages"]) == {"area", "sat"}
+    assert telemetry["stages"]["sat"]["specs"] == len(beats)
+    assert telemetry["stages"]["area"]["status"] == "complete"
