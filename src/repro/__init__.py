@@ -114,6 +114,30 @@ byte-identical artifacts to an uninterrupted run, and the report card
 compares every stage's rows against the committed
 ``CAMPAIGN_baseline.json``.  CLI: ``repro campaign
 list|run|status|resume|report|diff``.
+
+Resilience (:mod:`repro.resilience`) — supervised parallel execution
+and reproducible chaos::
+
+    from repro import ParallelExecutor, RetryPolicy, run_chaos
+
+    executor = ParallelExecutor(jobs=4, retry=RetryPolicy(max_attempts=3),
+                                timeout=60.0)   # per-spec watchdog
+    results = executor.map(specs)   # crashes/hangs retried, not fatal
+
+    report = run_chaos("smoke", chaos_dir="chaos/smoke")
+    assert report.converged         # disturbed run == clean run, bit-exact
+
+The parallel executor runs on persistent supervised workers: crashed
+or hung workers are detected and their specs deterministically retried
+(seeded backoff, no wall-clock randomness); specs that exhaust the
+budget raise :class:`ExecutionFailed` with structured
+:class:`~repro.resilience.FailureRecord`\\ s *after* the rest of the
+batch completed.  Cache blobs are sha256-sealed and quarantined when
+corrupt; campaign manifests survive torn writes via a last-good
+backup.  :func:`run_chaos` proves it end to end under a seeded
+:class:`~repro.resilience.FaultPlan`.  CLI: ``repro chaos run|plan``,
+``repro doctor``, ``--retries/--timeout/--chaos`` on any parallel
+target.  See ``docs/resilience.md``.
 """
 
 from repro.analysis.fairness import fairness_report, max_min_allocation
@@ -140,6 +164,7 @@ from repro.errors import (
     CampaignInterrupted,
     ConfigurationError,
     ConvexityError,
+    ExecutionFailed,
     IsolationError,
     ModelError,
     ReproError,
@@ -164,6 +189,16 @@ from repro.obs import (
     render_report,
 )
 from repro.qos.base import NoQosPolicy, QosPolicy
+from repro.resilience import (
+    ChaosReport,
+    FailureRecord,
+    Fault,
+    FaultInjector,
+    FaultPlan,
+    RetryPolicy,
+    load_plan,
+    run_chaos,
+)
 from repro.qos.perflow import PerFlowQueuedPolicy
 from repro.qos.pvc import PvcPolicy
 from repro.runtime import (
@@ -223,8 +258,14 @@ from repro.traffic.workloads import (
 # detached), windowed JSONL metrics, Chrome-trace packet lifecycles,
 # campaign/runtime telemetry.  Results are bit-identical with probes
 # on or off; the bump re-verifies every cached blob through the
-# probe-hooked engine.
-__version__ = "1.6.0"
+# probe-hooked engine.  1.7.0: resilience — supervised persistent
+# worker pool (crash/hang detection, deterministic retries, graceful
+# degradation), sha256-sealed cache blobs with quarantine-on-read,
+# torn-manifest recovery, and the deterministic chaos harness.  Blobs
+# written by 1.6.0 carry no payload seal, so the bump regenerates the
+# cache under the sealed format; campaign stage hashes (which embed the
+# version) and the baseline roll forward with it.
+__version__ = "1.7.0"
 
 __all__ = [
     "AllocationError",
@@ -239,9 +280,15 @@ __all__ = [
     "ChipConfig",
     "ClosedLoopSpec",
     "ColumnSimulator",
+    "ChaosReport",
     "ConfigurationError",
     "ConvexityError",
     "Domain",
+    "ExecutionFailed",
+    "FailureRecord",
+    "Fault",
+    "FaultInjector",
+    "FaultPlan",
     "FlowSpec",
     "GridResult",
     "Hypervisor",
@@ -265,6 +312,7 @@ __all__ = [
     "ReportCard",
     "ReproError",
     "ResultCache",
+    "RetryPolicy",
     "RouterAreaModel",
     "RouterEnergyModel",
     "RunManifest",
@@ -296,6 +344,7 @@ __all__ = [
     "hotspot_all_injectors",
     "is_convex",
     "latency_throughput_sweep",
+    "load_plan",
     "max_min_allocation",
     "pareto_workload",
     "phased_workload",
@@ -305,6 +354,7 @@ __all__ = [
     "replayed_workload",
     "run_batch",
     "run_campaign",
+    "run_chaos",
     "run_grid",
     "tornado_workload",
     "uniform_workload",

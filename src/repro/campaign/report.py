@@ -179,6 +179,7 @@ class StageReport:
     elapsed_seconds: float
     artifact_sha256: str | None
     mismatches: tuple[str, ...] = ()
+    retries: int = 0
 
     def to_json(self) -> dict:
         return {
@@ -190,6 +191,7 @@ class StageReport:
             "elapsed_seconds": self.elapsed_seconds,
             "artifact_sha256": self.artifact_sha256,
             "mismatches": list(self.mismatches),
+            "retries": self.retries,
         }
 
 
@@ -250,10 +252,15 @@ class ReportCard:
             mark = {"pass": "✅"}.get(
                 stage.verdict, "🟡" if stage.verdict == "drift" else "❌"
             )
+            detail = stage.detail
+            if stage.retries:
+                detail = f"{detail} · {stage.retries} retr" + (
+                    "y" if stage.retries == 1 else "ies"
+                )
             lines.append(
                 f"| `{stage.name}` | {stage.kind} | {mark} {stage.verdict} "
                 f"| {stage.rows} | {stage.elapsed_seconds:.1f} "
-                f"| {stage.detail} |"
+                f"| {detail} |"
             )
         problem_stages = [
             stage for stage in self.stages if stage.verdict not in ("pass",)
@@ -291,6 +298,9 @@ def build_report_card(
         rows = stage_rows.get(stage.name)
         elapsed = float(entry.get("elapsed_seconds") or 0.0)
         digest = entry.get("artifact_sha256")
+        retries = entry.get("retries", 0) + sum(
+            shard.get("retries", 0) for shard in entry.get("shards") or [] if shard
+        )
         if status != "complete" or rows is None:
             if status in ("failed", "blocked"):
                 verdict = status
@@ -313,6 +323,7 @@ def build_report_card(
                     rows=0,
                     elapsed_seconds=elapsed,
                     artifact_sha256=digest,
+                    retries=retries,
                 )
             )
             continue
@@ -351,6 +362,7 @@ def build_report_card(
                 elapsed_seconds=elapsed,
                 artifact_sha256=digest,
                 mismatches=mismatches,
+                retries=retries,
             )
         )
     return ReportCard(

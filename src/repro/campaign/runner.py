@@ -20,6 +20,17 @@ absorbing any simulation the interrupted shard had already finished.
 Artifact bytes contain no timestamps, so an interrupted-and-resumed
 campaign produces byte-identical artifacts (and digests) to an
 uninterrupted one.
+
+Resilience: every manifest save first promotes the previous good file
+to ``manifest.json.bak``, so a *torn* write (power loss, full disk,
+injected fault) costs at most one shard checkpoint — ``load_manifest``
+quarantines the torn file and falls back to the backup instead of
+refusing to resume.  Failed shards are retried per stage
+(``shard_retries``), a failing stage marks only its true dependents
+``blocked`` while independent stages complete, and executor-level
+retry/crash/timeout counters roll up into ``manifest["telemetry"]
+["resilience"]``.  Chaos runs thread a
+:class:`~repro.resilience.FaultInjector` through ``faults=``.
 """
 
 from __future__ import annotations
@@ -41,19 +52,25 @@ from repro.campaign.spec import (
     stage_hash,
 )
 from repro.campaign.stages import get_adapter
-from repro.errors import CampaignError, CampaignInterrupted
+from repro.errors import CampaignError, CampaignInterrupted, ExecutionFailed
 from repro.runtime.cache import ResultCache
 from repro.runtime.executor import Executor, SerialExecutor
 
 #: Filenames inside a campaign directory.
 MANIFEST_NAME = "manifest.json"
+MANIFEST_BACKUP_NAME = "manifest.json.bak"
+QUARANTINE_DIR = "quarantine"
 ARTIFACT_DIR = "artifacts"
 SHARD_DIR = "shards"
 REPORT_JSON_NAME = "report.json"
 REPORT_MD_NAME = "report.md"
 
+#: ``load_manifest`` sentinel: the file exists but does not parse.
+_CORRUPT = object()
+
 #: ``progress(stage_name, shard_index, shard_count, event)`` with event
-#: one of ``"reused"``, ``"shard"``, ``"complete"``, ``"failed"``.
+#: one of ``"reused"``, ``"shard"``, ``"retry"``, ``"complete"``,
+#: ``"failed"``.
 CampaignProgress = Callable[[str, int, int, str], None]
 
 #: ``stop_after(stage_name, shard_index) -> bool`` — test/interrupt
@@ -87,9 +104,7 @@ class _RecordingExecutor(Executor):
         self.jobs = inner.jobs
         self.heartbeat = heartbeat
         self.stage = ""
-        self.spec_hashes: list[str] = []
-        self.simulated = 0
-        self.cache_hits = 0
+        self.reset()
 
     def describe(self) -> str:
         return self.inner.describe()
@@ -104,22 +119,47 @@ class _RecordingExecutor(Executor):
                 if inner_progress is not None:
                     inner_progress(done, total, spec, cached)
 
-        outcome = self.inner.run(specs, cache=cache, progress=progress)
+        try:
+            outcome = self.inner.run(specs, cache=cache, progress=progress)
+        except ExecutionFailed as error:
+            # Keep the partial batch's counters honest before the
+            # failure propagates into the shard retry loop.
+            if error.outcome is not None:
+                self._absorb(error.outcome)
+            self.spec_failures += len(error.failures)
+            raise
         self.spec_hashes.extend(spec.content_hash for spec in specs)
-        self.simulated += outcome.simulated
-        self.cache_hits += outcome.cache_hits
+        self._absorb(outcome)
         return outcome
 
+    def _absorb(self, outcome) -> None:
+        self.simulated += outcome.simulated
+        self.cache_hits += outcome.cache_hits
+        self.retries += getattr(outcome, "retries", 0)
+        self.worker_deaths += getattr(outcome, "worker_deaths", 0)
+        self.timeouts += getattr(outcome, "timeouts", 0)
+        self.degraded = self.degraded or getattr(outcome, "degraded", False)
+
     def reset(self) -> None:
-        self.spec_hashes = []
+        self.spec_hashes: list[str] = []
         self.simulated = 0
         self.cache_hits = 0
+        self.retries = 0
+        self.worker_deaths = 0
+        self.timeouts = 0
+        self.spec_failures = 0
+        self.degraded = False
 
     def snapshot(self) -> dict:
         return {
             "spec_hashes": list(self.spec_hashes),
             "simulated": self.simulated,
             "cache_hits": self.cache_hits,
+            "retries": self.retries,
+            "worker_deaths": self.worker_deaths,
+            "timeouts": self.timeouts,
+            "spec_failures": self.spec_failures,
+            "degraded": self.degraded,
         }
 
 
@@ -154,12 +194,20 @@ class CampaignRunner:
         executor: Executor | None = None,
         cache: ResultCache | None = None,
         baseline_path: str | os.PathLike | None = None,
+        shard_retries: int = 0,
+        faults=None,
     ) -> None:
+        if shard_retries < 0:
+            raise CampaignError("shard_retries must be >= 0")
         self.campaign = campaign
         self.dir = Path(campaign_dir)
         self.executor = executor or SerialExecutor()
         self.cache = cache
         self.baseline_path = Path(baseline_path) if baseline_path else None
+        self.shard_retries = shard_retries
+        #: Optional :class:`~repro.resilience.FaultInjector` — the
+        #: chaos seam for adapter-error and torn-manifest faults.
+        self.faults = faults
         self.engine = _engine_version()
         # Validate every stage kind eagerly: an unknown kind should fail
         # `campaign run` before any simulation, not mid-campaign.
@@ -179,6 +227,10 @@ class CampaignRunner:
     def manifest_path(self) -> Path:
         return self.dir / MANIFEST_NAME
 
+    @property
+    def manifest_backup_path(self) -> Path:
+        return self.dir / MANIFEST_BACKUP_NAME
+
     def artifact_path(self, stage_name: str) -> Path:
         return self.dir / ARTIFACT_DIR / f"{stage_name}.json"
 
@@ -187,31 +239,65 @@ class CampaignRunner:
 
     # -- manifest persistence ----------------------------------------
 
-    def load_manifest(self) -> dict | None:
-        """The on-disk manifest, or ``None`` if this is a fresh campaign."""
+    def _read_manifest_file(self, path: Path):
+        """The parsed manifest, ``None`` if missing, ``_CORRUPT`` if torn."""
         try:
-            with open(self.manifest_path, encoding="utf-8") as handle:
-                manifest = json.load(handle)
+            with open(path, encoding="utf-8") as handle:
+                return json.load(handle)
         except FileNotFoundError:
             return None
-        except (OSError, json.JSONDecodeError) as error:
-            raise CampaignError(
-                f"unreadable campaign manifest {self.manifest_path}: {error}"
-            ) from error
+        except (OSError, ValueError):
+            return _CORRUPT
+
+    def _quarantine_manifest(self, path: Path) -> None:
+        quarantine = self.dir / QUARANTINE_DIR
+        quarantine.mkdir(parents=True, exist_ok=True)
+        try:
+            os.replace(path, quarantine / path.name)
+        except OSError:
+            path.unlink(missing_ok=True)
+
+    def _validate_manifest(self, manifest: dict, path: Path) -> dict:
         if manifest.get("campaign") != self.campaign.name:
             raise CampaignError(
-                f"{self.manifest_path} belongs to campaign "
+                f"{path} belongs to campaign "
                 f"{manifest.get('campaign')!r}, not {self.campaign.name!r}"
             )
         return manifest
+
+    def load_manifest(self) -> dict | None:
+        """The on-disk manifest, or ``None`` if this is a fresh campaign.
+
+        A torn (unparseable) manifest is quarantined and the last-good
+        backup takes over — the cost of a torn write is bounded by one
+        shard checkpoint, never the campaign.  A wrong-campaign
+        manifest still raises: that is a user error, not corruption.
+        """
+        primary = self._read_manifest_file(self.manifest_path)
+        if isinstance(primary, dict):
+            return self._validate_manifest(primary, self.manifest_path)
+        if primary is _CORRUPT:
+            self._quarantine_manifest(self.manifest_path)
+        backup = self._read_manifest_file(self.manifest_backup_path)
+        if isinstance(backup, dict):
+            return self._validate_manifest(backup, self.manifest_backup_path)
+        if backup is _CORRUPT:
+            self._quarantine_manifest(self.manifest_backup_path)
+        return None
 
     def _save_manifest(self, manifest: dict) -> None:
         manifest["updated_at"] = time.time()
         self.dir.mkdir(parents=True, exist_ok=True)
         data = json.dumps(manifest, sort_keys=True, indent=2) + "\n"
+        # Promote the previous checkpoint to the backup slot first: if
+        # the write below tears, the campaign falls back one shard.
+        if self.manifest_path.exists():
+            os.replace(self.manifest_path, self.manifest_backup_path)
         tmp = self.manifest_path.with_suffix(f".tmp.{os.getpid()}")
         tmp.write_text(data, encoding="utf-8")
         os.replace(tmp, self.manifest_path)
+        if self.faults is not None:
+            self.faults.on_manifest_save(self.manifest_path)
 
     def _fresh_manifest(self) -> dict:
         return {
@@ -355,25 +441,46 @@ class CampaignRunner:
         participates in stage hashes, artifacts or the report card.
         """
         simulated = cache_hits = specs = 0
+        retries = worker_deaths = timeouts = spec_failures = stage_retries = 0
+        degraded = False
         per_stage = {}
         for name, entry in manifest["stages"].items():
-            stage_simulated = stage_hits = stage_specs = 0
+            stage_simulated = stage_hits = stage_specs = shard_retries = 0
             for shard in entry.get("shards") or []:
                 if not shard:
                     continue
                 stage_simulated += shard.get("simulated", 0)
                 stage_hits += shard.get("cache_hits", 0)
                 stage_specs += len(shard.get("spec_hashes", []))
+                shard_retries += shard.get("retries", 0)
+                worker_deaths += shard.get("worker_deaths", 0)
+                timeouts += shard.get("timeouts", 0)
+                spec_failures += shard.get("spec_failures", 0)
+                degraded = degraded or shard.get("degraded", False)
             simulated += stage_simulated
             cache_hits += stage_hits
             specs += stage_specs
+            retries += shard_retries
+            stage_retries += entry.get("retries", 0)
             per_stage[name] = {
                 "status": entry.get("status"),
                 "elapsed_seconds": round(entry.get("elapsed_seconds", 0.0), 6),
                 "specs": stage_specs,
                 "simulated": stage_simulated,
                 "cache_hits": stage_hits,
+                "retries": shard_retries + entry.get("retries", 0),
             }
+        resilience = {
+            "retries": retries,
+            "stage_retries": stage_retries,
+            "spec_failures": spec_failures,
+            "worker_deaths": worker_deaths,
+            "timeouts": timeouts,
+            "degraded": degraded,
+            "quarantined": self.cache.quarantined if self.cache is not None else 0,
+        }
+        if self.faults is not None:
+            resilience["faults_fired"] = self.faults.summary()
         return {
             "executor": self.executor.describe(),
             "jobs": getattr(self.executor, "jobs", 1),
@@ -381,6 +488,7 @@ class CampaignRunner:
             "specs": specs,
             "simulated": simulated,
             "cache_hits": cache_hits,
+            "resilience": resilience,
             "stages": per_stage,
         }
 
@@ -410,13 +518,31 @@ class CampaignRunner:
                 shard_rows.append(self._read_rows(path))
                 continue
             started = time.perf_counter()
-            recorder.reset()
-            rows = adapter.run(
-                params,
-                seed=self.campaign.seed,
-                executor=recorder,
-                cache=self.cache,
-            )
+            attempt = 0
+            while True:
+                recorder.reset()
+                try:
+                    if self.faults is not None:
+                        self.faults.fire_adapter_error(stage.name, index, attempt)
+                    rows = adapter.run(
+                        params,
+                        seed=self.campaign.seed,
+                        executor=recorder,
+                        cache=self.cache,
+                    )
+                    break
+                except CampaignInterrupted:
+                    raise
+                except Exception:
+                    # Shard-level retry: spec-level retries already ran
+                    # inside the executor, so this only re-covers
+                    # adapter faults and permanently failed batches.
+                    if attempt >= self.shard_retries:
+                        raise
+                    attempt += 1
+                    entry["retries"] = entry.get("retries", 0) + 1
+                    if progress is not None:
+                        progress(stage.name, index, stage.shard_count, "retry")
             digest = self._write_artifact(
                 path,
                 {
@@ -556,6 +682,8 @@ def run_campaign(
     stop_after: StopHook | None = None,
     require_manifest: bool = False,
     heartbeat: CampaignHeartbeat | None = None,
+    shard_retries: int = 0,
+    faults=None,
 ) -> CampaignResult:
     """Run (or resume) ``campaign`` inside ``campaign_dir``."""
     runner = CampaignRunner(
@@ -564,6 +692,8 @@ def run_campaign(
         executor=executor,
         cache=cache,
         baseline_path=baseline_path,
+        shard_retries=shard_retries,
+        faults=faults,
     )
     return runner.run(
         progress=progress,

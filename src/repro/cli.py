@@ -21,7 +21,8 @@ Usage (after installation)::
     repro bench engine                   # engine vs golden-reference timings
     repro bench engine --record B.json   # ... and persist the baseline
     repro bench engine --regimes saturation --topologies mesh_x1,mecs
-    repro bench guard                    # regression-check BENCH_engine.json
+    repro bench guard                    # regression-check BENCH_*.json
+    repro bench runtime                  # serial vs pooled executor timings
     repro fig4 --profile                 # cProfile top-20 for any target
     repro campaign list                  # declared reproduction campaigns
     repro campaign run paper --jobs 4    # the whole paper, resumably
@@ -37,6 +38,12 @@ Usage (after installation)::
     repro bench obs                      # probe overhead: off vs on vs golden
     repro fig4 --obs obs/                # any target: runtime telemetry JSON
     repro scenario run bursty --obs obs/ # any scenario: record obs artifacts
+    repro fig4 --jobs 4 --retries 2      # retry crashed/hung worker specs
+    repro fig4 --jobs 4 --timeout 60     # per-simulation wall-clock budget
+    repro campaign run paper --retries 2 # also retries failing shards
+    repro chaos run smoke                # fault-injected campaign, verified
+    repro chaos plan smoke               # print a fault plan as JSON
+    repro doctor                         # cache integrity check (fsck)
 
 (or ``python -m repro ...`` without installation).  ``--fast`` shrinks
 simulation windows for a quick smoke pass; ``--seed`` changes the
@@ -66,8 +73,30 @@ def _config(args, frame: int) -> SimulationConfig:
     return SimulationConfig(frame_cycles=frame, seed=args.seed)
 
 
+def _fault_injector(args):
+    """The shared ``--chaos PLAN`` injector, built once per invocation.
+
+    One injector must see every counter (cache puts, shard runs,
+    manifest saves) of the whole command, so the instance is cached on
+    ``args`` and handed to the executor, the cache and the campaign
+    runner alike.
+    """
+    if not getattr(args, "chaos", None):
+        return None
+    if getattr(args, "_injector", None) is None:
+        from repro.resilience import FaultInjector, load_plan
+
+        args._injector = FaultInjector(load_plan(args.chaos))
+    return args._injector
+
+
 def _executor(args) -> Executor:
     """``--jobs 1`` → serial; ``--jobs 0`` → all cores; else N workers.
+
+    ``--retries``/``--timeout``/``--chaos`` configure the parallel
+    executor's supervision (deterministic retry policy, per-spec
+    watchdog, fault plan); they are inert under ``--jobs 1``, which
+    must stay the honest serial baseline.
 
     With ``--obs`` the executor is wrapped in a recording
     :class:`~repro.obs.TelemetryExecutor` (one wrapper per target, so
@@ -77,7 +106,18 @@ def _executor(args) -> Executor:
     if args.jobs == 1:
         inner: Executor = SerialExecutor()
     else:
-        inner = ParallelExecutor(jobs=None if args.jobs == 0 else args.jobs)
+        retry = None
+        if getattr(args, "retries", None):
+            from repro.resilience import RetryPolicy
+
+            retry = RetryPolicy(max_attempts=args.retries + 1)
+        injector = _fault_injector(args)
+        inner = ParallelExecutor(
+            jobs=None if args.jobs == 0 else args.jobs,
+            retry=retry,
+            timeout=getattr(args, "timeout", None),
+            fault_plan=injector.plan if injector is not None else None,
+        )
     if getattr(args, "obs", None):
         from repro.obs import TelemetryExecutor
 
@@ -102,7 +142,11 @@ def _write_telemetry(args, path: str, **meta) -> None:
 def _cache(args) -> ResultCache | None:
     if args.no_cache:
         return None
-    return ResultCache(args.cache_dir)
+    cache = ResultCache(args.cache_dir)
+    injector = _fault_injector(args)
+    if injector is not None:
+        cache.put_hook = injector.on_cache_put
+    return cache
 
 
 def _with_manifest(text: str, manifests: list[RunManifest]) -> str:
@@ -278,15 +322,17 @@ def _csv(value: str | None) -> tuple[str, ...] | None:
 
 
 def _run_bench(args) -> int:
-    """``repro bench engine|guard|obs`` — timings / baseline guards."""
+    """``repro bench engine|guard|obs|runtime`` — timings / baseline guards."""
     action = args.targets[1] if len(args.targets) > 1 else "engine"
     if action == "guard":
         return _run_bench_guard(args)
     if action == "obs":
         return _run_bench_obs(args)
+    if action == "runtime":
+        return _run_bench_runtime(args)
     if action != "engine":
-        print(f"unknown bench action {action!r}; expected engine, guard "
-              "or obs", file=sys.stderr)
+        print(f"unknown bench action {action!r}; expected engine, guard, "
+              "obs or runtime", file=sys.stderr)
         return 2
     from repro.runtime.bench import (
         format_engine_bench,
@@ -326,13 +372,20 @@ def _run_bench_guard(args) -> int:
     Prints a markdown speedup table (suitable for a CI job summary) and
     fails when any recorded point diverged (``stats_equal: false``) or
     regressed (speedup below 1.0).  ``--record PATH`` points at the
-    baseline file; the default is ``BENCH_engine.json`` in the current
-    directory.
+    engine baseline file; the default is ``BENCH_engine.json`` in the
+    current directory.  When ``BENCH_runtime.json`` is present it is
+    validated too: the persistent worker pool must beat per-batch pool
+    spawning, and parallel execution must hold its floor over serial.
     """
+    import os as _os
+
     from repro.runtime.bench import (
         BENCH_ENGINE_FILENAME,
+        RUNTIME_BENCH_FILENAME,
         format_baseline_markdown,
+        format_runtime_markdown,
         validate_engine_baseline,
+        validate_runtime_baseline,
     )
 
     path = args.record or BENCH_ENGINE_FILENAME
@@ -342,12 +395,53 @@ def _run_bench_guard(args) -> int:
         print(f"cannot read baseline {path!r}: {error}", file=sys.stderr)
         return 2
     print(format_baseline_markdown(data))
+    if _os.path.exists(RUNTIME_BENCH_FILENAME):
+        try:
+            runtime_violations, runtime_data = validate_runtime_baseline(
+                RUNTIME_BENCH_FILENAME
+            )
+        except (OSError, ValueError) as error:
+            print(f"cannot read baseline {RUNTIME_BENCH_FILENAME!r}: {error}",
+                  file=sys.stderr)
+            return 2
+        print()
+        print(format_runtime_markdown(runtime_data))
+        violations.extend(runtime_violations)
     if violations:
         print()
         print("**Regressions detected:**")
         for violation in violations:
             print(f"- {violation}")
         return 1
+    return 0
+
+
+def _run_bench_runtime(args) -> int:
+    """``repro bench runtime`` — serial vs pooled executor comparison.
+
+    Verifies all three variants (serial, persistent pool, fresh pool
+    per batch) return identical results, prints the timing table, and
+    with ``--record PATH`` merges the comparison (plus the ``_floors``
+    section ``repro bench guard`` enforces) into the runtime baseline.
+    """
+    from repro.runtime.bench import (
+        RUNTIME_BENCH_FILENAME,
+        format_runtime_bench,
+        record_runtime_bench,
+        run_runtime_bench,
+    )
+
+    jobs = args.jobs if args.jobs > 1 else 2
+    result = run_runtime_bench(fast=args.fast, jobs=jobs)
+    print(format_runtime_bench(result))
+    if not result.results_equal:
+        print("ERROR: executor variants returned different results",
+              file=sys.stderr)
+        return 1
+    if args.record:
+        path = args.record if args.record != "-" else RUNTIME_BENCH_FILENAME
+        record_runtime_bench(result, path)
+        print(f"runtime baseline recorded to {path}")
     return 0
 
 
@@ -752,6 +846,8 @@ def _campaign_runner(args, name: str):
         executor=_executor(args),
         cache=_cache(args),
         baseline_path=args.baseline,
+        shard_retries=args.retries or 0,
+        faults=_fault_injector(args),
     )
 
 
@@ -818,6 +914,8 @@ def _campaign_run(args, name: str, *, resume: bool) -> int:
             print(f"  {stage}: complete (served from manifest)")
         elif event == "shard":
             print(f"  {stage}: shard {done}/{total} checkpointed")
+        elif event == "retry":
+            print(f"  {stage}: shard {done}/{total} failed; retrying")
         elif event == "complete":
             print(f"  {stage}: complete")
         else:
@@ -829,10 +927,13 @@ def _campaign_run(args, name: str, *, resume: bool) -> int:
 
         heartbeat = heartbeat_printer()
 
+    injector = _fault_injector(args)
+    stop_after = injector.stop_hook() if injector is not None else None
     print(f"campaign {name} -> {runner.dir}")
     try:
         result = runner.run(
-            progress=progress, require_manifest=resume, heartbeat=heartbeat
+            progress=progress, require_manifest=resume, heartbeat=heartbeat,
+            stop_after=stop_after,
         )
     except CampaignInterrupted as stop:
         print(f"interrupted: {stop}")
@@ -916,6 +1017,117 @@ def _campaign_diff(args, name: str) -> int:
     return 1
 
 
+def _run_chaos(args) -> int:
+    """``repro chaos run <campaign> | plan [name]`` — reproducible chaos."""
+    from repro.errors import ReproError
+
+    action = args.targets[1] if len(args.targets) > 1 else None
+    try:
+        if action == "plan":
+            return _chaos_plan(args)
+        if action == "run":
+            if len(args.targets) < 3:
+                print("usage: repro chaos run <campaign> [--chaos PLAN] "
+                      "[--jobs N] [--retries N] [--timeout S] [--out DIR]",
+                      file=sys.stderr)
+                return 2
+            return _chaos_run(args, args.targets[2])
+    except (ReproError, OSError, ValueError) as error:
+        print(f"chaos {action}: {error}", file=sys.stderr)
+        return 2
+    print(f"unknown chaos action {action!r}; expected run or plan",
+          file=sys.stderr)
+    return 2
+
+
+def _chaos_plan(args) -> int:
+    """Print a fault plan as JSON (or list the built-in plans)."""
+    from repro.resilience import BUILTIN_PLANS, load_plan
+
+    name = args.targets[2] if len(args.targets) > 2 else (args.chaos or "smoke")
+    if name == "list":
+        for plan_name, plan in sorted(BUILTIN_PLANS.items()):
+            interrupt = plan.interrupt_after_shards
+            print(f"{plan_name}: {len(plan.faults)} fault(s), "
+                  f"interrupt_after_shards={interrupt}")
+        return 0
+    print(load_plan(name).dumps(), end="")
+    return 0
+
+
+def _chaos_run(args, name: str) -> int:
+    """Run the three-leg chaos harness; exit 0 only on convergence.
+
+    The chaos campaign runs in ``--out DIR`` (default
+    ``chaos/<campaign>``), entirely separate from the regular campaign
+    and cache directories — a chaos run must never corrupt real state.
+    """
+    import os as _os
+
+    from repro.resilience import run_chaos
+
+    jobs = args.jobs
+    if jobs == 0:
+        jobs = _os.cpu_count() or 2
+    if jobs < 2:
+        jobs = 2  # worker kill/hang faults need a real pool
+    chaos_dir = args.out or _os.path.join("chaos", name)
+    progress = None
+    if args.progress:
+        def progress(stage: str, done: int, total: int, event: str) -> None:
+            print(f"  {stage}: {event} ({done}/{total})")
+    report = run_chaos(
+        name,
+        chaos_dir=chaos_dir,
+        plan=args.chaos,
+        jobs=jobs,
+        retries=2 if args.retries is None else args.retries,
+        timeout=3.0 if args.timeout is None else args.timeout,
+        progress=progress,
+    )
+    print(report.summary())
+    print(f"report: {_os.path.join(chaos_dir, 'chaos_report.json')}")
+    return 0 if report.converged else 1
+
+
+def _run_doctor(args) -> int:
+    """``repro doctor`` — verify every cache blob; sweep write debris.
+
+    Corrupt blobs are moved to the quarantine directory (the evidence
+    survives for inspection; the results recompute on demand).  With
+    ``--check`` the exit code is 1 whenever anything is, or already
+    was, quarantined.
+    """
+    cache = ResultCache(args.cache_dir)
+    report = cache.fsck()
+    print(f"cache root: {cache.root} (v{cache.version})")
+    print(f"checked {report.checked} blob(s): {report.ok} ok, "
+          f"{len(report.quarantined)} quarantined, "
+          f"{report.orphan_tmp_removed} orphaned tmp file(s) removed")
+    for blob_name in report.quarantined:
+        print(f"  quarantined: {blob_name}")
+    held = (
+        sorted(cache.quarantine_dir.glob("*.json"))
+        if cache.quarantine_dir.is_dir()
+        else []
+    )
+    if held:
+        print(f"quarantine holds {len(held)} blob(s) under "
+              f"{cache.quarantine_dir}:")
+        for path in held[:20]:
+            print(f"  {path.name}")
+        if len(held) > 20:
+            print(f"  ... and {len(held) - 20} more")
+        print("quarantined results recompute on demand; delete the "
+              "directory once inspected")
+    else:
+        print("cache is healthy")
+    if args.check and (report.quarantined or held):
+        print("--check: corrupt blobs were found", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _run_cache(args) -> int:
     """``repro cache [info|clear]`` — inspect or empty the result store."""
     action = args.targets[1] if len(args.targets) > 1 else "info"
@@ -961,7 +1173,14 @@ CAMPAIGN_COMMAND_HELP = (
     "status <name> | resume <name> | report <name> | diff <name>"
 )
 BENCH_COMMAND_HELP = (
-    "engine benchmark vs golden reference: bench engine | guard | obs"
+    "engine benchmark vs golden reference: bench engine | guard | obs "
+    "| runtime"
+)
+CHAOS_COMMAND_HELP = (
+    "deterministic fault injection: chaos run <campaign> | plan [name|list]"
+)
+DOCTOR_COMMAND_HELP = (
+    "cache integrity check: verify every blob, quarantine the corrupt"
 )
 SCENARIO_COMMAND_HELP = (
     "scenario traffic: scenario list | run <wl> | record <wl> | replay <trace>"
@@ -1105,6 +1324,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="with 'campaign run/resume': print a heartbeat line per "
         "completed simulation",
     )
+    resilience = parser.add_argument_group("resilience options")
+    resilience.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="retry budget: parallel runs retry crashed/hung/erroring "
+        "specs up to N times (deterministic seeded backoff); campaign "
+        "runs additionally retry failing shards N times (default 0; "
+        "'chaos run' defaults to 2)",
+    )
+    resilience.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-simulation wall-clock budget for parallel runs: a "
+        "worker running past it is killed and the spec retried "
+        "(default: no timeout; 'chaos run' defaults to 3.0)",
+    )
+    resilience.add_argument(
+        "--chaos", default=None, metavar="PLAN",
+        help="activate a fault plan (built-in name or JSON file; see "
+        "'repro chaos plan list') — injects deterministic worker "
+        "kills/hangs, spec/adapter errors, cache corruption and torn "
+        "manifest writes into the run",
+    )
     return parser
 
 
@@ -1114,6 +1354,12 @@ def main(argv: list[str] | None = None) -> int:
     targets = list(args.targets)
     if args.jobs < 0:
         print("--jobs must be >= 0", file=sys.stderr)
+        return 2
+    if args.retries is not None and args.retries < 0:
+        print("--retries must be >= 0", file=sys.stderr)
+        return 2
+    if args.timeout is not None and args.timeout <= 0:
+        print("--timeout must be > 0 seconds", file=sys.stderr)
         return 2
     if "scenario" in targets:
         if targets[0] != "scenario":
@@ -1143,6 +1389,18 @@ def main(argv: list[str] | None = None) -> int:
                   f"{' '.join(targets[3:])}", file=sys.stderr)
             return 2
         return _run_obs(args)
+    if targets[0] == "chaos":
+        if len(targets) > 3:
+            print(f"unexpected arguments after chaos action: "
+                  f"{' '.join(targets[3:])}", file=sys.stderr)
+            return 2
+        return _run_chaos(args)
+    if targets[0] == "doctor":
+        if len(targets) > 1:
+            print(f"unexpected arguments after doctor: "
+                  f"{' '.join(targets[1:])}", file=sys.stderr)
+            return 2
+        return _run_doctor(args)
     if "list" in targets:
         for name, (_, description) in COMMANDS.items():
             print(f"  {name:10s} {description}")
@@ -1151,6 +1409,8 @@ def main(argv: list[str] | None = None) -> int:
         print(f"  {'scenario':10s} {SCENARIO_COMMAND_HELP}")
         print(f"  {'campaign':10s} {CAMPAIGN_COMMAND_HELP}")
         print(f"  {'obs':10s} {OBS_COMMAND_HELP}")
+        print(f"  {'chaos':10s} {CHAOS_COMMAND_HELP}")
+        print(f"  {'doctor':10s} {DOCTOR_COMMAND_HELP}")
         return 0
     if "cache" in targets:
         if targets[0] != "cache":
@@ -1178,7 +1438,7 @@ def main(argv: list[str] | None = None) -> int:
     if unknown:
         print(f"unknown target(s): {', '.join(unknown)}", file=sys.stderr)
         print(f"available: {', '.join(COMMANDS)}, cache, bench, scenario, "
-              "campaign, obs, all, list", file=sys.stderr)
+              "campaign, obs, chaos, doctor, all, list", file=sys.stderr)
         return 2
     for target in targets:
         runner, _ = COMMANDS[target]

@@ -24,6 +24,23 @@ class TraceOverflowError(SimulationError):
     """A trace recorder in ``overflow="raise"`` mode hit its capacity."""
 
 
+class ExecutionFailed(SimulationError):
+    """One or more specs in a batch exhausted their retry budget.
+
+    Raised by :class:`~repro.runtime.executor.ParallelExecutor` *after*
+    the rest of the batch has completed (no batch abort): ``failures``
+    holds one :class:`~repro.resilience.FailureRecord` per permanently
+    failed spec, and ``outcome`` the partial
+    :class:`~repro.runtime.executor.ExecutionOutcome` covering
+    everything that did succeed.
+    """
+
+    def __init__(self, message: str, *, failures=(), outcome=None) -> None:
+        super().__init__(message)
+        self.failures = list(failures)
+        self.outcome = outcome
+
+
 class TopologyError(ConfigurationError):
     """A topology was asked to build a structure it cannot express."""
 

@@ -66,6 +66,11 @@ class TelemetryExecutor(Executor):
                 "simulated": outcome.simulated,
                 "cache_hits": outcome.cache_hits,
                 "elapsed_seconds": round(outcome.elapsed_seconds, 6),
+                "retries": getattr(outcome, "retries", 0),
+                "failures": len(getattr(outcome, "failures", ())),
+                "worker_deaths": getattr(outcome, "worker_deaths", 0),
+                "timeouts": getattr(outcome, "timeouts", 0),
+                "degraded": getattr(outcome, "degraded", False),
             }
         )
         return outcome
@@ -85,6 +90,12 @@ class TelemetryExecutor(Executor):
                 "elapsed_seconds": round(
                     sum(batch["elapsed_seconds"] for batch in self.batches), 6
                 ),
+                "retries": sum(batch.get("retries", 0) for batch in self.batches),
+                "failures": sum(batch.get("failures", 0) for batch in self.batches),
+                "worker_deaths": sum(
+                    batch.get("worker_deaths", 0) for batch in self.batches
+                ),
+                "timeouts": sum(batch.get("timeouts", 0) for batch in self.batches),
             },
         }
 

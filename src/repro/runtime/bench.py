@@ -433,6 +433,291 @@ def format_baseline_markdown(data: dict) -> str:
     return "\n".join(lines)
 
 
+# -- runtime pool benchmark -------------------------------------------
+
+#: File name of the committed runtime baseline at the repository root.
+RUNTIME_BENCH_FILENAME = "BENCH_runtime.json"
+
+#: Speedup floors ``repro bench guard`` enforces on the runtime
+#: baseline: the persistent pool must beat spawning a fresh pool per
+#: batch, and parallel execution must not lose to the serial reference.
+DEFAULT_RUNTIME_FLOORS = {"pool_vs_spawn": 1.0, "parallel_vs_serial": 1.0}
+
+#: On a single-core machine two workers cannot beat one process — the
+#: parallel-vs-serial floor is clamped to this allowance (a bound on
+#: pure orchestration overhead) when ``_meta.cpu_count`` is 1.
+SINGLE_CORE_ALLOWANCE = 0.85
+
+
+@dataclass(frozen=True)
+class RuntimeBenchResult:
+    """Serial vs persistent-pool vs fresh-pool-per-batch timings.
+
+    ``pool`` runs every batch through one :class:`ParallelExecutor`
+    whose workers persist across batches; ``spawn`` creates and closes
+    a fresh executor per batch, paying the pool spawn that used to be
+    per-batch overhead.  ``results_equal`` asserts all three variants
+    produced identical result rows — a benchmark that changed answers
+    would be worse than useless.
+    """
+
+    jobs: int
+    batches: int
+    specs_per_batch: int
+    serial_seconds: float
+    pool_seconds: float
+    spawn_seconds: float
+    results_equal: bool
+
+    @property
+    def pool_vs_spawn(self) -> float:
+        """Persistent-pool speedup over spawning a pool per batch."""
+        if self.pool_seconds <= 0:
+            return float("inf")
+        return self.spawn_seconds / self.pool_seconds
+
+    @property
+    def parallel_vs_serial(self) -> float:
+        """Persistent-pool speedup over the serial reference."""
+        if self.pool_seconds <= 0:
+            return float("inf")
+        return self.serial_seconds / self.pool_seconds
+
+
+def _runtime_batches(*, fast: bool, batches: int, specs_per_batch: int):
+    """Deterministic multi-batch workload for the executor comparison."""
+    from repro.runtime.spec import RunSpec
+
+    cycles = 800 if fast else 2500
+    batch_list = []
+    for batch_index in range(batches):
+        batch_list.append(
+            [
+                RunSpec(
+                    topology="mesh_x1",
+                    workload="uniform",
+                    rate=0.03 + 0.01 * spec_index,
+                    config=SimulationConfig(
+                        frame_cycles=2000, seed=11 + batch_index
+                    ),
+                    cycles=cycles,
+                    warmup=cycles // 4,
+                )
+                for spec_index in range(specs_per_batch)
+            ]
+        )
+    return batch_list
+
+
+def run_runtime_bench(
+    *, fast: bool = False, jobs: int = 2, batches: int = 8,
+    specs_per_batch: int = 2, repeats: int = 2,
+) -> RuntimeBenchResult:
+    """Time the three executor variants over the same batches (best-of)."""
+    from repro.runtime.executor import ParallelExecutor, SerialExecutor
+
+    batch_list = _runtime_batches(
+        fast=fast, batches=batches, specs_per_batch=specs_per_batch
+    )
+
+    def _serial():
+        executor = SerialExecutor()
+        return [executor.run(batch).results for batch in batch_list]
+
+    def _pool():
+        executor = ParallelExecutor(jobs=jobs)
+        try:
+            return [executor.run(batch).results for batch in batch_list]
+        finally:
+            executor.close()
+
+    def _spawn():
+        collected = []
+        for batch in batch_list:
+            executor = ParallelExecutor(jobs=jobs)
+            try:
+                collected.append(executor.run(batch).results)
+            finally:
+                executor.close()
+        return collected
+
+    timings = {"serial": float("inf"), "pool": float("inf"),
+               "spawn": float("inf")}
+    snapshots: dict[str, list] = {}
+    for _ in range(max(1, repeats)):
+        for name, variant in (("serial", _serial), ("pool", _pool),
+                              ("spawn", _spawn)):
+            started = time.perf_counter()
+            results = variant()
+            timings[name] = min(timings[name], time.perf_counter() - started)
+            snapshots[name] = [
+                result.to_json() for batch in results for result in batch
+            ]
+    return RuntimeBenchResult(
+        jobs=jobs,
+        batches=batches,
+        specs_per_batch=specs_per_batch,
+        serial_seconds=round(timings["serial"], 4),
+        pool_seconds=round(timings["pool"], 4),
+        spawn_seconds=round(timings["spawn"], 4),
+        results_equal=(
+            snapshots["serial"] == snapshots["pool"] == snapshots["spawn"]
+        ),
+    )
+
+
+def format_runtime_bench(result: RuntimeBenchResult) -> str:
+    """Human-readable executor-comparison table for the CLI."""
+    return "\n".join([
+        "runtime executor benchmark "
+        f"({result.batches} batches x {result.specs_per_batch} specs, "
+        f"jobs={result.jobs})",
+        f"  serial reference:        {result.serial_seconds:8.3f}s",
+        f"  persistent pool:         {result.pool_seconds:8.3f}s "
+        f"({result.parallel_vs_serial:.2f}x vs serial)",
+        f"  fresh pool per batch:    {result.spawn_seconds:8.3f}s "
+        f"(pool is {result.pool_vs_spawn:.2f}x faster)",
+        "  results: " + ("identical across all three variants"
+                         if result.results_equal else "DIVERGED!"),
+    ])
+
+
+def record_runtime_bench(
+    result: RuntimeBenchResult, path: str | os.PathLike
+) -> None:
+    """Merge the executor comparison into the runtime baseline file."""
+    import repro
+
+    try:
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        data = {}
+    data.setdefault("_floors", dict(DEFAULT_RUNTIME_FLOORS))
+    data["_floors"].setdefault("single_core_allowance", SINGLE_CORE_ALLOWANCE)
+    data.setdefault("_meta", {})
+    data["_meta"]["cpu_count"] = os.cpu_count()
+    data["_meta"]["engine_version"] = repro.__version__
+    data["runtime_pool"] = {
+        "jobs": result.jobs,
+        "batches": result.batches,
+        "specs_per_batch": result.specs_per_batch,
+        "timings_seconds": {
+            "serial": result.serial_seconds,
+            "pool": result.pool_seconds,
+            "spawn_per_batch": result.spawn_seconds,
+        },
+        "pool_vs_spawn": round(result.pool_vs_spawn, 3),
+        "parallel_vs_serial": round(result.parallel_vs_serial, 3),
+        "results_equal": result.results_equal,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def _runtime_floors(data: dict) -> tuple[float, float]:
+    """(pool_vs_spawn floor, parallel_vs_serial floor) for a baseline.
+
+    The parallel floor is clamped to the single-core allowance when the
+    baseline was recorded on one CPU — there, two workers time-slicing
+    one core cannot beat the serial reference, and the floor only
+    bounds orchestration overhead.
+    """
+    floors = {**DEFAULT_RUNTIME_FLOORS, **(data.get("_floors") or {})}
+    allowance = floors.get("single_core_allowance", SINGLE_CORE_ALLOWANCE)
+    cpu_count = (data.get("_meta") or {}).get("cpu_count") or 1
+    parallel_floor = floors["parallel_vs_serial"]
+    if cpu_count <= 1:
+        parallel_floor = min(parallel_floor, allowance)
+    return floors["pool_vs_spawn"], parallel_floor
+
+
+def validate_runtime_baseline(path: str | os.PathLike) -> tuple[list[str], dict]:
+    """Regression-check the committed runtime baseline.
+
+    The ``runtime_pool`` section must show bit-identical results, the
+    persistent pool beating per-batch pool spawning, and parallel
+    execution holding its floor against serial (clamped on single-core
+    recorders).  Legacy per-benchmark ``speedup`` entries are held to
+    the same parallel floor.  Returns (violations, parsed baseline).
+    """
+    with open(path, encoding="utf-8") as handle:
+        data = json.load(handle)
+    violations: list[str] = []
+    pool_floor, parallel_floor = _runtime_floors(data)
+    entry = data.get("runtime_pool")
+    if not entry:
+        violations.append(
+            "no runtime_pool section — record one with "
+            "`repro bench runtime --record BENCH_runtime.json`"
+        )
+    else:
+        if not entry.get("results_equal", False):
+            violations.append(
+                "runtime_pool: results_equal is false — executor variants "
+                "diverged"
+            )
+        pool_vs_spawn = entry.get("pool_vs_spawn", 0.0)
+        if pool_vs_spawn < pool_floor:
+            violations.append(
+                f"runtime_pool: pool_vs_spawn {pool_vs_spawn} < "
+                f"{pool_floor:g} — persistent pool lost to per-batch "
+                "spawning"
+            )
+        parallel_vs_serial = entry.get("parallel_vs_serial", 0.0)
+        if parallel_vs_serial < parallel_floor:
+            violations.append(
+                f"runtime_pool: parallel_vs_serial {parallel_vs_serial} < "
+                f"{parallel_floor:g} — pooled execution regressed vs serial"
+            )
+    for name, legacy in sorted(data.items()):
+        if name.startswith("_") or name == "runtime_pool":
+            continue
+        speedup = legacy.get("speedup")
+        if speedup is not None and speedup < parallel_floor:
+            violations.append(
+                f"{name}: parallel speedup {speedup} < {parallel_floor:g}"
+            )
+    return violations, data
+
+
+def format_runtime_markdown(data: dict) -> str:
+    """Markdown summary of the runtime baseline (for CI job summaries)."""
+    pool_floor, parallel_floor = _runtime_floors(data)
+    meta = data.get("_meta") or {}
+    lines = [
+        "### Runtime executor baseline",
+        "",
+        f"Recorded on {meta.get('cpu_count', '?')} CPU(s); floors: "
+        f"pool_vs_spawn ≥ {pool_floor:g}, parallel_vs_serial ≥ "
+        f"{parallel_floor:g}",
+        "",
+        "| entry | serial (s) | pool (s) | spawn (s) | pool/spawn | par/serial |",
+        "|---|---:|---:|---:|---:|---:|",
+    ]
+    entry = data.get("runtime_pool")
+    if entry:
+        timings = entry.get("timings_seconds", {})
+        lines.append(
+            f"| runtime_pool | {timings.get('serial', float('nan')):.3f} "
+            f"| {timings.get('pool', float('nan')):.3f} "
+            f"| {timings.get('spawn_per_batch', float('nan')):.3f} "
+            f"| {entry.get('pool_vs_spawn', 0.0):.2f}x "
+            f"| {entry.get('parallel_vs_serial', 0.0):.2f}x |"
+        )
+    for name, legacy in sorted(data.items()):
+        if name.startswith("_") or name == "runtime_pool":
+            continue
+        timings = legacy.get("timings_seconds", {})
+        serial = timings.get("serial")
+        lines.append(
+            f"| {name} | {serial if serial is not None else float('nan'):.3f} "
+            f"| — | — | — | {legacy.get('speedup', 0.0):.2f}x |"
+        )
+    return "\n".join(lines)
+
+
 def record_engine_baseline(
     results: list[EngineResult], path: str | os.PathLike
 ) -> None:

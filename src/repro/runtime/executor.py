@@ -10,10 +10,21 @@ Both executors share the same contract:
   results, because :func:`execute_spec` is deterministic given the spec.
 
 :class:`ParallelExecutor` fans the un-cached work out over a
-``concurrent.futures.ProcessPoolExecutor`` with ``os.cpu_count()``
-workers by default.  Specs are plain frozen dataclasses of scalars, so
-they pickle cheaply; results flow back to the parent, which owns all
-cache writes (workers never touch the store).
+:class:`~repro.resilience.pool.SupervisedWorkerPool`: persistent
+worker processes (spawned once, reused across batches — pool spawn was
+the dominant per-batch overhead before), one spec in flight per worker
+so a watchdog can attribute hangs, crash detection via pipe EOF, a
+deterministic :class:`~repro.resilience.RetryPolicy`, and degradation
+to in-process serial execution when workers keep dying.  Specs are
+plain frozen dataclasses of scalars, so they pickle cheaply; results
+flow back to the parent, which owns all cache writes (workers never
+touch the store).
+
+Failures no longer abort the batch: every crash/timeout/error becomes
+a structured :class:`~repro.resilience.FailureRecord`; only after the
+rest of the batch has completed does the executor raise
+:class:`~repro.errors.ExecutionFailed` carrying the records and the
+partial outcome.
 """
 
 from __future__ import annotations
@@ -21,10 +32,12 @@ from __future__ import annotations
 import os
 import time
 from collections.abc import Callable, Sequence
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
-from repro.errors import SimulationError
+from repro.errors import ExecutionFailed
+from repro.resilience.faults import FaultPlan
+from repro.resilience.policy import FailureRecord, RetryPolicy
+from repro.resilience.pool import SupervisedWorkerPool
 from repro.runtime.cache import ResultCache
 from repro.runtime.spec import RunResult, RunSpec, execute_spec
 
@@ -32,15 +45,28 @@ from repro.runtime.spec import RunResult, RunSpec, execute_spec
 #: its result becomes available (cache hits first, then simulations).
 ProgressCallback = Callable[[int, int, RunSpec, bool], None]
 
+#: ``failure_listener(record)`` — optional executor attribute observed
+#: for every :class:`FailureRecord` (retried or permanent).
+FailureListener = Callable[[FailureRecord], None]
+
 
 @dataclass
 class ExecutionOutcome:
-    """A batch's results plus the counters the run manifest reports."""
+    """A batch's results plus the counters the run manifest reports.
+
+    The resilience fields default to "nothing went wrong", so callers
+    written against the original four fields keep working unchanged.
+    """
 
     results: list[RunResult]
     cache_hits: int
     simulated: int
     elapsed_seconds: float
+    failures: list[FailureRecord] = field(default_factory=list)
+    retries: int = 0
+    worker_deaths: int = 0
+    timeouts: int = 0
+    degraded: bool = False
 
 
 class Executor:
@@ -153,56 +179,153 @@ class SerialExecutor(Executor):
 
 
 class ParallelExecutor(Executor):
-    """Process-pool fan-out over the un-cached portion of a batch.
+    """Supervised worker-pool fan-out over the un-cached part of a batch.
 
     ``jobs=None`` (the default) sizes the pool to ``os.cpu_count()``.
-    The pool is only spawned when it can actually help: with ``jobs=1``,
-    or when the un-cached portion of the batch is a single spec, the
-    batch degenerates to serial in-process execution.  Pool spawn and
-    pickling overhead on a one-worker/one-spec batch was measured as a
-    0.787x *slowdown* in BENCH_runtime.json — degenerating keeps
-    ``--jobs 1`` (and trivially small batches) honest.
+    The pool is persistent: the first batch spawns the workers, later
+    batches reuse them (``close()`` or garbage collection stops them).
+    Supervision knobs — all deterministic:
+
+    ``retry``
+        :class:`~repro.resilience.RetryPolicy` applied to crashes,
+        timeouts and spec errors (default: 3 attempts, seeded backoff).
+    ``timeout``
+        Per-spec wall-clock budget in seconds; a worker running past
+        it is killed and the spec retried elsewhere.
+    ``fault_plan``
+        A :class:`~repro.resilience.FaultPlan` for chaos runs.
+
+    With ``jobs=1`` (or a single pending spec and no supervision
+    configured) the batch degenerates to plain in-process execution —
+    pool and pickling overhead on a one-worker batch was measured as a
+    0.787x *slowdown* before the pool became persistent, and ``--jobs
+    1`` must stay an honest serial baseline.
+
+    Specs that exhaust their retry budget do **not** abort the batch:
+    the rest completes first, then :class:`ExecutionFailed` is raised
+    carrying every :class:`FailureRecord` plus the partial outcome.
+    An optional ``failure_listener`` attribute observes records as
+    they happen.
     """
 
-    def __init__(self, jobs: int | None = None) -> None:
+    def __init__(
+        self,
+        jobs: int | None = None,
+        *,
+        retry: RetryPolicy | None = None,
+        timeout: float | None = None,
+        fault_plan: FaultPlan | None = None,
+        max_worker_deaths: int | None = None,
+    ) -> None:
         if jobs is not None and jobs < 1:
             raise ValueError("jobs must be >= 1 (or None for cpu_count)")
         self.jobs = jobs or os.cpu_count() or 1
+        self.retry = retry or RetryPolicy()
+        self.timeout = timeout
+        self.fault_plan = fault_plan
+        self.max_worker_deaths = max_worker_deaths
+        self.failure_listener: FailureListener | None = None
+        self._pool: SupervisedWorkerPool | None = None
 
     def describe(self) -> str:
         return f"parallel[jobs={self.jobs}]"
+
+    # -- pool lifecycle -----------------------------------------------
+
+    @property
+    def pool(self) -> SupervisedWorkerPool:
+        """The persistent pool, created on first use."""
+        if self._pool is None:
+            self._pool = SupervisedWorkerPool(
+                self.jobs,
+                retry=self.retry,
+                timeout=self.timeout,
+                fault_plan=self.fault_plan,
+                max_worker_deaths=self.max_worker_deaths,
+            )
+        return self._pool
+
+    def close(self, *, force: bool = False) -> None:
+        """Stop the worker pool (idempotent; a later run respawns it)."""
+        if self._pool is not None:
+            self._pool.shutdown(force=force)
+            self._pool = None
+
+    def __enter__(self) -> ParallelExecutor:
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close(force=exc_type is not None)
+
+    # -- execution -----------------------------------------------------
+
+    def _supervised(self, pending: Sequence[RunSpec]) -> bool:
+        """Whether this batch needs the pool rather than plain serial."""
+        if self.jobs <= 1 or not pending:
+            return False
+        if len(pending) > 1:
+            return True
+        # A single pending spec still goes through the pool when any
+        # supervision is configured — a watchdog or fault plan must see
+        # every task, and task indices must stay deterministic.
+        return self.timeout is not None or self.fault_plan is not None
 
     def run(self, specs, *, cache=None, progress=None):
         started = time.perf_counter()
         resolved, pending, hits, done, total = self._resolve_cached(
             specs, cache, progress
         )
-        if len(pending) > 1 and self.jobs > 1:
-            workers = min(self.jobs, len(pending))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {pool.submit(execute_spec, spec): spec for spec in pending}
-                outstanding = set(futures)
-                while outstanding:
-                    finished, outstanding = wait(
-                        outstanding, return_when=FIRST_COMPLETED
-                    )
-                    for future in finished:
-                        spec = futures[future]
-                        try:
-                            result = future.result()
-                        except Exception as exc:  # surface which spec died
-                            for other in outstanding:
-                                other.cancel()
-                            raise SimulationError(
-                                f"worker failed on {spec.label()} "
-                                f"({spec.content_hash[:12]}): {exc}"
-                            ) from exc
-                        resolved[spec.content_hash] = result
-                        if cache is not None:
-                            cache.put(spec, result)
-                        done += 1
-                        if progress is not None:
-                            progress(done, total, spec, False)
+        failures: list[FailureRecord] = []
+        retries = worker_deaths = timeouts = 0
+        degraded = False
+        if self._supervised(pending):
+            state = {"done": done}
+
+            def on_result(spec: RunSpec, result: RunResult) -> None:
+                resolved[spec.content_hash] = result
+                if cache is not None:
+                    cache.put(spec, result)
+                state["done"] += 1
+                if progress is not None:
+                    progress(state["done"], total, spec, False)
+
+            try:
+                pool_outcome = self.pool.execute(
+                    pending, on_result=on_result, on_failure=self.failure_listener
+                )
+            except KeyboardInterrupt:
+                # Kill outstanding work rather than waiting on running
+                # workers — then surface the interrupt untouched.
+                self.close(force=True)
+                raise
+            failures = pool_outcome.failures
+            retries = pool_outcome.retries
+            worker_deaths = pool_outcome.worker_deaths
+            timeouts = pool_outcome.timeouts
+            degraded = pool_outcome.degraded
+            permanent = pool_outcome.permanent_failures
+            if permanent:
+                outcome = ExecutionOutcome(
+                    results=[],  # order unsatisfiable with holes
+                    cache_hits=hits,
+                    simulated=len(pool_outcome.results),
+                    elapsed_seconds=time.perf_counter() - started,
+                    failures=failures,
+                    retries=retries,
+                    worker_deaths=worker_deaths,
+                    timeouts=timeouts,
+                    degraded=degraded,
+                )
+                names = ", ".join(
+                    f"{record.label} ({record.kind})" for record in permanent[:4]
+                )
+                more = len(permanent) - 4
+                raise ExecutionFailed(
+                    f"{len(permanent)} spec(s) failed permanently after "
+                    f"retries: {names}{f' (+{more} more)' if more > 0 else ''}",
+                    failures=permanent,
+                    outcome=outcome,
+                )
         else:
             self._simulate_serially(pending, resolved, cache, progress, done, total)
         return ExecutionOutcome(
@@ -210,4 +333,9 @@ class ParallelExecutor(Executor):
             cache_hits=hits,
             simulated=len(pending),
             elapsed_seconds=time.perf_counter() - started,
+            failures=failures,
+            retries=retries,
+            worker_deaths=worker_deaths,
+            timeouts=timeouts,
+            degraded=degraded,
         )

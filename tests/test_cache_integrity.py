@@ -1,0 +1,106 @@
+"""Cache integrity: sealed blobs, quarantine, fsck, the put_hook seam."""
+
+import json
+
+from repro.network.config import SimulationConfig
+from repro.resilience import Fault, FaultInjector, FaultPlan
+from repro.runtime.cache import ResultCache
+from repro.runtime.spec import RunSpec, execute_spec
+
+_CFG = SimulationConfig(frame_cycles=2000, seed=4)
+
+
+def _spec(rate=0.05):
+    return RunSpec(topology="mesh_x1", workload="uniform", rate=rate,
+                   config=_CFG, cycles=400, warmup=100)
+
+
+def _seed(cache, rate=0.05):
+    spec = _spec(rate)
+    cache.put(spec, execute_spec(spec))
+    return spec
+
+
+def test_undecodable_blob_is_quarantined_not_deleted(tmp_path):
+    cache = ResultCache(tmp_path)
+    spec = _seed(cache)
+    path = cache.path_for(spec.content_hash)
+    path.write_bytes(b"not json at all")
+    assert cache.get(spec) is None
+    assert not path.exists()  # out of the lookup path...
+    held = cache.quarantine_dir / path.name
+    assert held.read_bytes() == b"not json at all"  # ...evidence intact
+    assert cache.quarantined == 1
+    assert cache.info().quarantined == 1
+    # The slot is reusable: recompute, re-put, hit again.
+    cache.put(spec, execute_spec(spec))
+    assert cache.get(spec) is not None
+
+
+def test_tampered_payload_fails_the_sha256_seal(tmp_path):
+    cache = ResultCache(tmp_path)
+    spec = _seed(cache)
+    path = cache.path_for(spec.content_hash)
+    blob = json.loads(path.read_text())
+    blob["payload_sha256"] = "0" * 64
+    path.write_text(json.dumps(blob), encoding="utf-8")
+    assert cache.get(spec) is None
+    assert cache.quarantined == 1
+
+
+def test_blob_under_the_wrong_hash_is_rejected(tmp_path):
+    cache = ResultCache(tmp_path)
+    spec = _seed(cache)
+    other = _spec(rate=0.07)
+    wrong = cache.path_for(other.content_hash)
+    wrong.parent.mkdir(parents=True, exist_ok=True)
+    wrong.write_bytes(cache.path_for(spec.content_hash).read_bytes())
+    assert cache.get(other) is None  # spec_hash mismatch, quarantined
+    assert cache.get(spec) is not None  # the honest blob still serves
+
+
+def test_fsck_quarantines_corruption_and_sweeps_orphans(tmp_path):
+    cache = ResultCache(tmp_path)
+    specs = [_seed(cache, rate) for rate in (0.03, 0.05, 0.07)]
+    bad, torn = cache.path_for(specs[0].content_hash), cache.path_for(
+        specs[1].content_hash
+    )
+    bad.write_bytes(b"\x00garbage")
+    torn.write_bytes(torn.read_bytes()[:40])
+    orphan = bad.parent / "leftover.tmp.999"
+    orphan.write_text("killed mid-write", encoding="utf-8")
+
+    report = cache.fsck()
+    assert report.checked == 3
+    assert report.ok == 1
+    assert sorted(report.quarantined) == sorted([bad.name, torn.name])
+    assert not report.healthy
+    assert report.orphan_tmp_removed == 1
+    assert not orphan.exists()
+    assert report.to_json()["healthy"] is False
+
+    # A second pass over the cleaned store is healthy.
+    again = cache.fsck()
+    assert again.healthy and again.checked == again.ok == 1
+
+
+def test_put_hook_sees_every_blob_write(tmp_path):
+    cache = ResultCache(tmp_path)
+    written = []
+    cache.put_hook = written.append
+    spec = _seed(cache)
+    assert written == [cache.path_for(spec.content_hash)]
+
+
+def test_injected_cache_corruption_reads_as_a_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    plan = FaultPlan(faults=(Fault(kind="corrupt_cache", at=0),))
+    cache.put_hook = FaultInjector(plan).on_cache_put
+    spec = _spec()
+    result = execute_spec(spec)
+    cache.put(spec, result)  # the hook corrupts this write
+    assert cache.get(spec) is None
+    assert cache.quarantined == 1
+    cache.put_hook = None
+    cache.put(spec, result)
+    assert cache.get(spec) == result

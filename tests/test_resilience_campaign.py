@@ -1,0 +1,170 @@
+"""Campaign-level resilience: shard retries, torn manifests, chaos runs."""
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    CampaignRunner,
+    CampaignSpec,
+    StageSpec,
+    run_campaign,
+    stage_digests,
+)
+from repro.errors import CampaignError
+from repro.resilience import Fault, FaultInjector, FaultPlan, run_chaos
+
+
+def two_stage_campaign():
+    return CampaignSpec(
+        name="tiny",
+        description="resilience test campaign",
+        stages=(
+            StageSpec("area", "fig3"),
+            StageSpec(
+                "sat",
+                "saturation",
+                params={"cycles": 300, "topology_names": ["mesh_x1"]},
+                depends_on=("area",),
+            ),
+        ),
+    )
+
+
+def braided_campaign():
+    """A failing stage, its dependent, and an independent bystander."""
+    return CampaignSpec(
+        name="braided",
+        description="failure-isolation test campaign",
+        stages=(
+            StageSpec(
+                "boom",
+                "saturation",
+                params={"cycles": 300, "topology_names": ["mesh_x1"]},
+            ),
+            StageSpec("after", "fig3", depends_on=("boom",)),
+            StageSpec("solo", "fig3"),
+        ),
+    )
+
+
+def test_shard_retry_recovers_a_transient_adapter_fault(tmp_path):
+    injector = FaultInjector(
+        FaultPlan(name="t", faults=(Fault(kind="adapter_error", at=0),))
+    )
+    result = run_campaign(
+        two_stage_campaign(),
+        campaign_dir=tmp_path / "c",
+        shard_retries=1,
+        faults=injector,
+    )
+    assert result.complete
+    assert result.manifest["stages"]["area"]["retries"] == 1
+    resilience = result.manifest["telemetry"]["resilience"]
+    assert resilience["stage_retries"] == 1
+    assert resilience["faults_fired"] == {"adapter_error": 1}
+
+
+def test_exhausted_fault_fails_stage_and_resume_reruns_only_it(tmp_path):
+    campaign = braided_campaign()
+    injector = FaultInjector(
+        FaultPlan(faults=(Fault(kind="adapter_error", at=0, attempts=3),))
+    )
+    events = []
+    first = run_campaign(
+        campaign,
+        campaign_dir=tmp_path / "c",
+        shard_retries=1,
+        faults=injector,
+        progress=lambda stage, done, total, event: events.append(
+            (stage, event)
+        ),
+    )
+    assert first.failed_stages == ["boom"]
+    assert first.executed_stages == ["solo"]
+    statuses = {
+        name: entry["status"]
+        for name, entry in first.manifest["stages"].items()
+    }
+    assert statuses == {"boom": "failed", "after": "blocked", "solo": "complete"}
+    assert "InjectedFault" in first.manifest["stages"]["boom"]["error"]
+    assert ("boom", "retry") in events and ("boom", "failed") in events
+
+    # Resume with the fault gone: only the failed stage and its blocked
+    # dependent execute; the bystander is served from its artifact.
+    second = run_campaign(
+        campaign, campaign_dir=tmp_path / "c", require_manifest=True
+    )
+    assert second.complete
+    assert second.executed_stages == ["boom", "after"]
+    assert second.reused_stages == ["solo"]
+
+
+def test_torn_manifest_falls_back_to_the_backup(tmp_path):
+    campaign = two_stage_campaign()
+    first = CampaignRunner(campaign, campaign_dir=tmp_path / "c").run()
+    assert first.complete
+    reference = stage_digests(first.manifest)
+
+    manifest_path = tmp_path / "c" / "manifest.json"
+    data = manifest_path.read_bytes()
+    manifest_path.write_bytes(data[: len(data) // 2])  # torn write
+
+    runner = CampaignRunner(campaign, campaign_dir=tmp_path / "c")
+    recovered = runner.load_manifest()
+    assert recovered is not None  # served from manifest.json.bak
+    assert (tmp_path / "c" / "quarantine" / "manifest.json").exists()
+
+    resumed = runner.run(require_manifest=True)
+    assert resumed.complete
+    assert stage_digests(resumed.manifest) == reference
+
+
+def test_both_manifests_torn_means_a_fresh_campaign(tmp_path):
+    campaign = two_stage_campaign()
+    CampaignRunner(campaign, campaign_dir=tmp_path / "c").run()
+    for name in ("manifest.json", "manifest.json.bak"):
+        (tmp_path / "c" / name).write_bytes(b"{")
+    runner = CampaignRunner(campaign, campaign_dir=tmp_path / "c")
+    assert runner.load_manifest() is None
+    with pytest.raises(CampaignError):
+        runner.run(require_manifest=True)
+
+
+def test_wrong_campaign_manifest_still_raises(tmp_path):
+    CampaignRunner(two_stage_campaign(), campaign_dir=tmp_path / "c").run()
+    with pytest.raises(CampaignError):
+        CampaignRunner(
+            braided_campaign(), campaign_dir=tmp_path / "c"
+        ).load_manifest()
+
+
+def test_chaos_run_converges_on_a_tiny_campaign(tmp_path):
+    plan = FaultPlan(
+        name="mini",
+        seed=3,
+        faults=(
+            Fault(kind="worker_kill", at=0),
+            Fault(kind="adapter_error", at=0),
+            Fault(kind="corrupt_cache", at=0),
+            Fault(kind="torn_manifest", at=1),
+        ),
+        interrupt_after_shards=1,
+    )
+    report = run_chaos(
+        two_stage_campaign(),
+        chaos_dir=tmp_path / "chaos",
+        plan=plan,
+        jobs=2,
+        retries=2,
+        timeout=30.0,
+    )
+    assert report.converged, report.summary()
+    assert report.interrupted
+    assert report.fired.get("interrupt") == 1
+    assert report.fired.get("adapter_error", 0) >= 1
+    on_disk = json.loads((tmp_path / "chaos" / "chaos_report.json").read_text())
+    assert on_disk["converged"] is True
+    assert on_disk["plan"]["name"] == "mini"
+    # The chaos manifest recorded the recovery work it had to do.
+    assert report.resilience["stage_retries"] >= 1

@@ -1,0 +1,98 @@
+"""Runtime executor baseline: recording, floors and guard validation."""
+
+import json
+
+from repro.runtime.bench import (
+    RUNTIME_BENCH_FILENAME,
+    RuntimeBenchResult,
+    format_runtime_markdown,
+    record_runtime_bench,
+    validate_runtime_baseline,
+)
+
+
+def _result(serial=1.0, pool=0.8, spawn=1.2, equal=True):
+    return RuntimeBenchResult(
+        jobs=2, batches=8, specs_per_batch=2,
+        serial_seconds=serial, pool_seconds=pool, spawn_seconds=spawn,
+        results_equal=equal,
+    )
+
+
+def test_ratios_derive_from_the_timings():
+    result = _result(serial=1.0, pool=0.5, spawn=1.5)
+    assert result.parallel_vs_serial == 2.0
+    assert result.pool_vs_spawn == 3.0
+    assert _result(pool=0.0).pool_vs_spawn == float("inf")
+
+
+def test_record_then_validate_round_trips_cleanly(tmp_path):
+    path = tmp_path / RUNTIME_BENCH_FILENAME
+    record_runtime_bench(_result(), path)
+    violations, data = validate_runtime_baseline(path)
+    assert violations == []
+    assert data["runtime_pool"]["results_equal"] is True
+    assert data["_floors"]["pool_vs_spawn"] == 1.0
+    assert "cpu_count" in data["_meta"]
+    markdown = format_runtime_markdown(data)
+    assert "runtime_pool" in markdown and "|" in markdown
+
+
+def test_record_merges_into_an_existing_baseline(tmp_path):
+    path = tmp_path / RUNTIME_BENCH_FILENAME
+    legacy = {"fig4_sweep": {"speedup": 1.4, "timings_seconds": {"serial": 2.0}}}
+    path.write_text(json.dumps(legacy), encoding="utf-8")
+    record_runtime_bench(_result(), path)
+    data = json.loads(path.read_text())
+    assert data["fig4_sweep"]["speedup"] == 1.4  # legacy entry preserved
+    assert "runtime_pool" in data
+    assert validate_runtime_baseline(path)[0] == []
+
+
+def test_diverged_results_and_slow_pool_are_violations(tmp_path):
+    path = tmp_path / RUNTIME_BENCH_FILENAME
+    record_runtime_bench(
+        _result(serial=1.0, pool=2.0, spawn=1.0, equal=False), path
+    )
+    violations, _ = validate_runtime_baseline(path)
+    text = "\n".join(violations)
+    assert "results_equal" in text
+    assert "pool_vs_spawn" in text
+    assert "parallel_vs_serial" in text
+
+
+def test_single_core_recorder_gets_the_allowance_clamp(tmp_path):
+    path = tmp_path / RUNTIME_BENCH_FILENAME
+    baseline = {
+        "_floors": {"pool_vs_spawn": 1.0, "parallel_vs_serial": 1.0,
+                    "single_core_allowance": 0.85},
+        "_meta": {"cpu_count": 1},
+        "runtime_pool": {"pool_vs_spawn": 1.2, "parallel_vs_serial": 0.9,
+                         "results_equal": True},
+        "legacy_bench": {"speedup": 0.9},
+    }
+    path.write_text(json.dumps(baseline), encoding="utf-8")
+    assert validate_runtime_baseline(path)[0] == []  # 0.9 >= 0.85 clamp
+
+    # The same numbers on a multi-core recorder fail the 1.0 floor.
+    baseline["_meta"]["cpu_count"] = 8
+    path.write_text(json.dumps(baseline), encoding="utf-8")
+    violations, _ = validate_runtime_baseline(path)
+    assert any("parallel_vs_serial 0.9" in v for v in violations)
+    assert any("legacy_bench" in v for v in violations)
+
+
+def test_missing_runtime_pool_section_is_flagged(tmp_path):
+    path = tmp_path / RUNTIME_BENCH_FILENAME
+    path.write_text("{}", encoding="utf-8")
+    violations, _ = validate_runtime_baseline(path)
+    assert any("runtime_pool" in v for v in violations)
+
+
+def test_committed_runtime_baseline_passes_the_guard():
+    from pathlib import Path
+
+    committed = Path(__file__).resolve().parents[1] / RUNTIME_BENCH_FILENAME
+    violations, data = validate_runtime_baseline(committed)
+    assert violations == []
+    assert data["runtime_pool"]["results_equal"] is True

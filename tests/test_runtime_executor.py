@@ -105,14 +105,14 @@ def test_parallel_jobs_default_and_validation():
 
 
 def _forbid_pool(monkeypatch):
-    """Make any process-pool spawn fail loudly."""
+    """Make any worker-pool spawn fail loudly."""
 
     def boom(*args, **kwargs):  # pragma: no cover - failure reporter
-        raise AssertionError("ProcessPoolExecutor must not be spawned")
+        raise AssertionError("SupervisedWorkerPool must not be spawned")
 
     import repro.runtime.executor as executor_module
 
-    monkeypatch.setattr(executor_module, "ProcessPoolExecutor", boom)
+    monkeypatch.setattr(executor_module, "SupervisedWorkerPool", boom)
 
 
 def test_jobs_1_degrades_to_in_process_serial(monkeypatch):
