@@ -138,6 +138,30 @@ backup.  :func:`run_chaos` proves it end to end under a seeded
 :class:`~repro.resilience.FaultPlan`.  CLI: ``repro chaos run|plan``,
 ``repro doctor``, ``--retries/--timeout/--chaos`` on any parallel
 target.  See ``docs/resilience.md``.
+
+Distributed dispatch (:mod:`repro.dispatch`) — lease-based work
+claiming for multi-host campaigns::
+
+    from repro import Broker, BrokerServer, DispatchExecutor
+
+    with BrokerServer(Broker()) as server:      # or: repro dispatch serve
+        # workers elsewhere: repro dispatch work http://host:port
+        outcome = DispatchExecutor(server.url).run(specs)
+
+    with DispatchExecutor() as executor:        # in-process, deterministic
+        outcome = executor.run(specs)           # byte-identical to serial
+
+A :class:`Broker` leases content-hashed specs to
+:class:`~repro.dispatch.WorkerAgent`\\ s (claim → heartbeat →
+complete); abandoned leases expire and requeue, completions are
+idempotent on the spec hash, and every result is sha256-verified
+before ingestion.  :class:`DispatchExecutor` is a drop-in executor
+over the protocol (``--dispatch URL|DIR|local`` on any batch target)
+that degrades to the supervised local pool when the broker is
+unreachable.  The chaos harness (``repro chaos run --dispatch local``)
+drops, duplicates, delays and partitions broker calls and vanishes
+workers mid-lease, then asserts byte-identical convergence.  See
+``docs/dispatch.md``.
 """
 
 from repro.analysis.fairness import fairness_report, max_min_allocation
@@ -158,12 +182,21 @@ from repro.core.domain import Domain, is_convex, xy_path
 from repro.core.hypervisor import Hypervisor, VirtualMachine
 from repro.core.memctrl import MemoryController
 from repro.core.system import TopologyAwareSystem
+from repro.dispatch import (
+    Broker,
+    BrokerServer,
+    DispatchExecutor,
+    HttpTransport,
+    LocalTransport,
+    WorkerAgent,
+)
 from repro.errors import (
     AllocationError,
     CampaignError,
     CampaignInterrupted,
     ConfigurationError,
     ConvexityError,
+    DispatchError,
     ExecutionFailed,
     IsolationError,
     ModelError,
@@ -172,6 +205,7 @@ from repro.errors import (
     TopologyError,
     TraceOverflowError,
     TrafficError,
+    TransportError,
 )
 from repro.models.area import RouterAreaModel
 from repro.models.energy import RouterEnergyModel
@@ -264,12 +298,20 @@ from repro.traffic.workloads import (
 # torn-manifest recovery, and the deterministic chaos harness.  Blobs
 # written by 1.6.0 carry no payload seal, so the bump regenerates the
 # cache under the sealed format; campaign stage hashes (which embed the
-# version) and the baseline roll forward with it.
-__version__ = "1.7.0"
+# version) and the baseline roll forward with it.  1.8.0: dispatch —
+# lease-based broker/worker protocol for multi-host campaigns
+# (in-process and localhost-HTTP transports), graceful degradation to
+# the supervised pool, counter-keyed network chaos, and campaign
+# artifact fsck.  Execution results are bit-identical across
+# serial/pool/dispatch paths; the bump rolls the stage hashes and the
+# committed baseline forward together, as every version bump must.
+__version__ = "1.8.0"
 
 __all__ = [
     "AllocationError",
     "BatchResult",
+    "Broker",
+    "BrokerServer",
     "CAMPAIGNS",
     "CampaignError",
     "CampaignInterrupted",
@@ -283,6 +325,8 @@ __all__ = [
     "ChaosReport",
     "ConfigurationError",
     "ConvexityError",
+    "DispatchError",
+    "DispatchExecutor",
     "Domain",
     "ExecutionFailed",
     "FailureRecord",
@@ -291,10 +335,12 @@ __all__ = [
     "FaultPlan",
     "FlowSpec",
     "GridResult",
+    "HttpTransport",
     "Hypervisor",
     "InjectionCapture",
     "InjectionProcess",
     "IsolationError",
+    "LocalTransport",
     "MemoryController",
     "ModelError",
     "NoQosPolicy",
@@ -332,8 +378,10 @@ __all__ = [
     "TraceOverflowError",
     "TraceRecorder",
     "TrafficError",
+    "TransportError",
     "VirtualMachine",
     "WindowedMetrics",
+    "WorkerAgent",
     "bursty_workload",
     "closed_loop_workload",
     "execute_spec",

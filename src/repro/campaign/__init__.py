@@ -24,6 +24,7 @@ artifacts.  CLI: ``repro campaign list|run|status|resume|report|diff``.
 """
 
 from repro.campaign.builtin import CAMPAIGNS, get_campaign
+from repro.campaign.doctor import CampaignFsckReport, fsck_campaign
 from repro.campaign.report import (
     BASELINE_FILENAME,
     ReportCard,
@@ -44,6 +45,7 @@ from repro.campaign.stages import STAGE_ADAPTERS, STAGE_KINDS, get_adapter
 __all__ = [
     "BASELINE_FILENAME",
     "CAMPAIGNS",
+    "CampaignFsckReport",
     "CampaignResult",
     "CampaignRunner",
     "CampaignSpec",
@@ -53,6 +55,7 @@ __all__ = [
     "StageReport",
     "StageSpec",
     "compare_rows",
+    "fsck_campaign",
     "get_adapter",
     "get_campaign",
     "load_baseline",

@@ -1,0 +1,137 @@
+"""Campaign artifact integrity checking (``repro doctor --campaign-dir``).
+
+The manifest records a sha256 digest for every merged stage artifact
+and every shard checkpoint; the runner already verifies digests lazily
+(a stage whose artifact fails verification simply re-runs).  This
+module adds the eager, whole-store sweep the cache has had since PR 7:
+walk every *recorded* artifact, verify its bytes against the recorded
+digest, and quarantine mismatches so the evidence survives while the
+campaign recomputes the stage on its next run.
+
+Files under ``artifacts/`` that no manifest entry vouches for (stale
+stage hashes from an older engine version, debris from a crashed
+write) are reported but left alone — they are unreachable, not
+dangerous.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.campaign.spec import sha256_bytes
+from repro.errors import CampaignError
+
+#: Mirrors the runner's layout constants (kept literal to avoid an
+#: import cycle with :mod:`repro.campaign.runner`).
+_MANIFEST = "manifest.json"
+_ARTIFACTS = "artifacts"
+_QUARANTINE = "quarantine"
+
+
+@dataclass(frozen=True)
+class CampaignFsckReport:
+    """Outcome of one campaign artifact sweep."""
+
+    campaign_dir: str
+    campaign: str
+    checked: int
+    ok: int
+    quarantined: list[str] = field(default_factory=list)
+    missing: list[str] = field(default_factory=list)
+    unrecorded: list[str] = field(default_factory=list)
+
+    @property
+    def healthy(self) -> bool:
+        return not self.quarantined and not self.missing
+
+    def to_json(self) -> dict:
+        return {
+            "campaign_dir": self.campaign_dir,
+            "campaign": self.campaign,
+            "checked": self.checked,
+            "ok": self.ok,
+            "quarantined": list(self.quarantined),
+            "missing": list(self.missing),
+            "unrecorded": list(self.unrecorded),
+            "healthy": self.healthy,
+        }
+
+
+def _recorded_digests(manifest: dict) -> dict[str, str]:
+    """``{relative_path: sha256}`` for every artifact the manifest vouches for."""
+    recorded: dict[str, str] = {}
+    for name, entry in (manifest.get("stages") or {}).items():
+        if entry.get("status") == "complete" and entry.get("artifact_sha256"):
+            recorded[entry.get("artifact", f"{_ARTIFACTS}/{name}.json")] = entry[
+                "artifact_sha256"
+            ]
+        for shard in entry.get("shards") or []:
+            if shard and shard.get("status") == "complete" and shard.get("sha256"):
+                recorded[shard["path"]] = shard["sha256"]
+    return recorded
+
+
+def fsck_campaign(
+    campaign_dir: str | os.PathLike, *, quarantine: bool = True
+) -> CampaignFsckReport:
+    """Verify every recorded campaign artifact against its digest.
+
+    Mismatching files are moved into ``<campaign_dir>/quarantine`` when
+    ``quarantine=True`` (the default) — the next ``campaign run``
+    recomputes them from the spec, exactly as it would after a failed
+    lazy verification, but the corrupt bytes are preserved for
+    inspection.  Raises :class:`~repro.errors.CampaignError` when the
+    directory holds no readable manifest.
+    """
+    base = Path(campaign_dir)
+    manifest_path = base / _MANIFEST
+    try:
+        with open(manifest_path, encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except FileNotFoundError:
+        raise CampaignError(f"no campaign manifest at {manifest_path}") from None
+    except (OSError, ValueError) as error:
+        raise CampaignError(f"unreadable campaign manifest: {error}") from None
+
+    recorded = _recorded_digests(manifest)
+    checked = ok = 0
+    quarantined: list[str] = []
+    missing: list[str] = []
+    for relative, digest in sorted(recorded.items()):
+        path = base / relative
+        try:
+            data = path.read_bytes()
+        except OSError:
+            missing.append(relative)
+            continue
+        checked += 1
+        if sha256_bytes(data) == digest:
+            ok += 1
+            continue
+        quarantined.append(relative)
+        if quarantine:
+            target_dir = base / _QUARANTINE
+            target_dir.mkdir(parents=True, exist_ok=True)
+            try:
+                os.replace(path, target_dir / path.name.replace(os.sep, "_"))
+            except OSError:
+                path.unlink(missing_ok=True)
+
+    unrecorded = sorted(
+        str(path.relative_to(base))
+        for path in (base / _ARTIFACTS).rglob("*.json")
+        if str(path.relative_to(base)) not in recorded
+    ) if (base / _ARTIFACTS).is_dir() else []
+
+    return CampaignFsckReport(
+        campaign_dir=str(base),
+        campaign=manifest.get("campaign", "?"),
+        checked=checked,
+        ok=ok,
+        quarantined=quarantined,
+        missing=missing,
+        unrecorded=unrecorded,
+    )

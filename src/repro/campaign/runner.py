@@ -139,6 +139,9 @@ class _RecordingExecutor(Executor):
         self.worker_deaths += getattr(outcome, "worker_deaths", 0)
         self.timeouts += getattr(outcome, "timeouts", 0)
         self.degraded = self.degraded or getattr(outcome, "degraded", False)
+        for key, value in getattr(outcome, "dispatch", {}).items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                self.dispatch[key] = self.dispatch.get(key, 0) + value
 
     def reset(self) -> None:
         self.spec_hashes: list[str] = []
@@ -149,9 +152,10 @@ class _RecordingExecutor(Executor):
         self.timeouts = 0
         self.spec_failures = 0
         self.degraded = False
+        self.dispatch: dict[str, int] = {}
 
     def snapshot(self) -> dict:
-        return {
+        snapshot = {
             "spec_hashes": list(self.spec_hashes),
             "simulated": self.simulated,
             "cache_hits": self.cache_hits,
@@ -161,6 +165,9 @@ class _RecordingExecutor(Executor):
             "spec_failures": self.spec_failures,
             "degraded": self.degraded,
         }
+        if self.dispatch:
+            snapshot["dispatch"] = dict(self.dispatch)
+        return snapshot
 
 
 @dataclass
@@ -413,6 +420,14 @@ class CampaignRunner:
                 except Exception as error:  # adapter failure: record, go on
                     entry["status"] = "failed"
                     entry["error"] = f"{type(error).__name__}: {error}"
+                    if isinstance(error, ExecutionFailed) and error.failures:
+                        # Persist which shard specs failed — `campaign
+                        # status` surfaces them instead of a bare
+                        # "stage failed".  Bounded: a pathological
+                        # batch must not bloat the manifest.
+                        entry["failed_specs"] = [
+                            record.to_json() for record in error.failures[:16]
+                        ]
                     failed_or_blocked.add(stage.name)
                     result.failed_stages.append(stage.name)
                     self._save_manifest(manifest)
@@ -443,6 +458,7 @@ class CampaignRunner:
         simulated = cache_hits = specs = 0
         retries = worker_deaths = timeouts = spec_failures = stage_retries = 0
         degraded = False
+        dispatch: dict[str, int] = {}
         per_stage = {}
         for name, entry in manifest["stages"].items():
             stage_simulated = stage_hits = stage_specs = shard_retries = 0
@@ -457,6 +473,8 @@ class CampaignRunner:
                 timeouts += shard.get("timeouts", 0)
                 spec_failures += shard.get("spec_failures", 0)
                 degraded = degraded or shard.get("degraded", False)
+                for key, value in (shard.get("dispatch") or {}).items():
+                    dispatch[key] = dispatch.get(key, 0) + value
             simulated += stage_simulated
             cache_hits += stage_hits
             specs += stage_specs
@@ -479,6 +497,8 @@ class CampaignRunner:
             "degraded": degraded,
             "quarantined": self.cache.quarantined if self.cache is not None else 0,
         }
+        if dispatch:
+            resilience["dispatch"] = dispatch
         if self.faults is not None:
             resilience["faults_fired"] = self.faults.summary()
         return {
@@ -504,6 +524,7 @@ class CampaignRunner:
         adapter = get_adapter(stage.kind)
         entry["status"] = "running"
         entry.pop("error", None)
+        entry.pop("failed_specs", None)
         recorder = _RecordingExecutor(self.executor, heartbeat=heartbeat)
         recorder.stage = stage.name
         shard_rows: list[list[dict]] = []

@@ -42,8 +42,15 @@ Usage (after installation)::
     repro fig4 --jobs 4 --timeout 60     # per-simulation wall-clock budget
     repro campaign run paper --retries 2 # also retries failing shards
     repro chaos run smoke                # fault-injected campaign, verified
+    repro chaos run smoke --dispatch local   # ... plus network-chaos legs
     repro chaos plan smoke               # print a fault plan as JSON
     repro doctor                         # cache integrity check (fsck)
+    repro doctor --campaign-dir campaigns/smoke   # + campaign artifacts
+    repro dispatch serve --port 8137     # host a broker on localhost HTTP
+    repro dispatch work http://127.0.0.1:8137    # run a worker agent
+    repro dispatch status http://127.0.0.1:8137  # broker queue/counters
+    repro campaign run smoke --dispatch http://127.0.0.1:8137  # distributed
+    repro fig4 --dispatch local          # any sweep through the broker
 
 (or ``python -m repro ...`` without installation).  ``--fast`` shrinks
 simulation windows for a quick smoke pass; ``--seed`` changes the
@@ -98,13 +105,40 @@ def _executor(args) -> Executor:
     watchdog, fault plan); they are inert under ``--jobs 1``, which
     must stay the honest serial baseline.
 
+    ``--dispatch URL|DIR|local`` routes the batch through the
+    lease-based broker/worker layer instead: an HTTP broker at a URL,
+    or an in-process broker (``local``, or a directory that also
+    receives sha256-addressed result artifacts).  The dispatch
+    executor degrades to the supervised pool when the broker is
+    unreachable.
+
     With ``--obs`` the executor is wrapped in a recording
     :class:`~repro.obs.TelemetryExecutor` (one wrapper per target, so
     every ``_executor`` call inside one command shares its counters);
     the collected snapshot is written as JSON when the target finishes.
     """
-    if args.jobs == 1:
-        inner: Executor = SerialExecutor()
+    if getattr(args, "dispatch", None):
+        import os as _os
+
+        from repro.dispatch import DispatchExecutor
+
+        retry = None
+        if getattr(args, "retries", None):
+            from repro.resilience import RetryPolicy
+
+            retry = RetryPolicy(max_attempts=args.retries + 1)
+        injector = _fault_injector(args)
+        if getattr(args, "_dispatch_executor", None) is None:
+            args._dispatch_executor = DispatchExecutor(
+                None if args.dispatch == "local" else args.dispatch,
+                jobs=(args.jobs if args.jobs >= 1 else (_os.cpu_count() or 2)),
+                retry=retry,
+                timeout=getattr(args, "timeout", None),
+                fault_plan=injector.plan if injector is not None else None,
+            )
+        inner: Executor = args._dispatch_executor
+    elif args.jobs == 1:
+        inner = SerialExecutor()
     else:
         retry = None
         if getattr(args, "retries", None):
@@ -417,12 +451,13 @@ def _run_bench_guard(args) -> int:
 
 
 def _run_bench_runtime(args) -> int:
-    """``repro bench runtime`` — serial vs pooled executor comparison.
+    """``repro bench runtime`` — serial vs pooled vs dispatch timings.
 
-    Verifies all three variants (serial, persistent pool, fresh pool
-    per batch) return identical results, prints the timing table, and
-    with ``--record PATH`` merges the comparison (plus the ``_floors``
-    section ``repro bench guard`` enforces) into the runtime baseline.
+    Verifies all four variants (serial, persistent pool, fresh pool
+    per batch, in-process dispatch) return identical results, prints
+    the timing table, and with ``--record PATH`` merges the comparison
+    (plus the ``_floors`` section ``repro bench guard`` enforces) into
+    the runtime baseline.
     """
     from repro.runtime.bench import (
         RUNTIME_BENCH_FILENAME,
@@ -976,6 +1011,17 @@ def _campaign_status(args, name: str) -> int:
         print(f"  {stage.name:22s} {entry.get('status', 'pending'):9s} "
               f"shards {done}/{len(shards)}  rows {entry.get('rows', 0):4d}  "
               f"{entry.get('elapsed_seconds', 0.0):6.1f}s  {digest[:12]}")
+        for record in entry.get("failed_specs") or []:
+            print(f"    failed spec: {record.get('label', '?')} "
+                  f"({record.get('spec_hash', '')[:12]}) "
+                  f"{record.get('kind', '?')} attempt "
+                  f"{record.get('attempt', 0)}: "
+                  f"{record.get('detail', '')[:80]}")
+    dispatch = (manifest.get("telemetry", {}).get("resilience", {})
+                .get("dispatch"))
+    if dispatch:
+        print("  dispatch: "
+              + " ".join(f"{k}={v}" for k, v in sorted(dispatch.items())))
     return 0
 
 
@@ -1083,6 +1129,7 @@ def _chaos_run(args, name: str) -> int:
         jobs=jobs,
         retries=2 if args.retries is None else args.retries,
         timeout=3.0 if args.timeout is None else args.timeout,
+        dispatch=args.dispatch is not None,
         progress=progress,
     )
     print(report.summary())
@@ -1095,8 +1142,10 @@ def _run_doctor(args) -> int:
 
     Corrupt blobs are moved to the quarantine directory (the evidence
     survives for inspection; the results recompute on demand).  With
-    ``--check`` the exit code is 1 whenever anything is, or already
-    was, quarantined.
+    ``--campaign-dir`` the sha256-addressed campaign artifacts are
+    verified against their manifest digests too, quarantining
+    mismatches.  With ``--check`` the exit code is 1 whenever anything
+    is, or already was, quarantined.
     """
     cache = ResultCache(args.cache_dir)
     report = cache.fsck()
@@ -1122,10 +1171,103 @@ def _run_doctor(args) -> int:
               "directory once inspected")
     else:
         print("cache is healthy")
-    if args.check and (report.quarantined or held):
+    campaign_bad = False
+    if args.campaign_dir:
+        from repro.campaign import fsck_campaign
+
+        campaign_report = fsck_campaign(args.campaign_dir)
+        print(f"campaign artifacts: {args.campaign_dir} "
+              f"(campaign {campaign_report.campaign!r})")
+        print(f"checked {campaign_report.checked} artifact(s): "
+              f"{campaign_report.ok} ok, "
+              f"{len(campaign_report.quarantined)} quarantined, "
+              f"{len(campaign_report.missing)} missing")
+        for name in campaign_report.quarantined:
+            print(f"  quarantined: {name}")
+        for name in campaign_report.missing:
+            print(f"  missing: {name}")
+        if campaign_report.unrecorded:
+            print(f"  {len(campaign_report.unrecorded)} file(s) not "
+                  "recorded in the manifest (stale stage hashes or "
+                  "debris; left alone)")
+        if campaign_report.healthy:
+            print("campaign artifacts are healthy")
+        else:
+            print("quarantined/missing stages re-run on the next "
+                  "'campaign run'")
+            campaign_bad = True
+    if args.check and (report.quarantined or held or campaign_bad):
         print("--check: corrupt blobs were found", file=sys.stderr)
         return 1
     return 0
+
+
+def _run_dispatch(args) -> int:
+    """``repro dispatch serve | work <url> | status <url>``.
+
+    ``serve`` hosts a broker on localhost HTTP (foreground; ^C stops
+    it).  ``work`` runs a worker agent against a broker URL, sharing
+    the standard result cache so repeated specs answer from disk.
+    ``status`` prints the broker's counters and queue depths.
+    """
+    import json as _json
+
+    from repro.errors import ReproError
+
+    action = args.targets[1] if len(args.targets) > 1 else None
+    try:
+        if action == "serve":
+            from repro.dispatch import Broker, BrokerServer
+            from repro.resilience import RetryPolicy
+
+            retry = RetryPolicy(max_attempts=(args.retries or 2) + 1)
+            broker = Broker(lease_seconds=args.lease_seconds, retry=retry)
+            server = BrokerServer(broker, port=args.port)
+            print(f"broker listening on {server.url} "
+                  f"(lease {args.lease_seconds:g}s); ^C to stop")
+            try:
+                server.serve_forever()
+            except KeyboardInterrupt:
+                print("\nbroker stopped")
+            return 0
+        if action in ("work", "status"):
+            if len(args.targets) < 3:
+                print(f"usage: repro dispatch {action} <broker-url>",
+                      file=sys.stderr)
+                return 2
+            url = args.targets[2]
+            from repro.dispatch import HttpTransport
+
+            if action == "status":
+                status = HttpTransport(url).call("status", {})
+                print(_json.dumps(status, indent=2, sort_keys=True))
+                return 0
+            import os as _os
+
+            from repro.dispatch import WorkerAgent
+
+            worker_id = args.worker_id or f"worker-{_os.getpid()}"
+            agent = WorkerAgent(
+                HttpTransport(url), worker_id=worker_id, cache=_cache(args)
+            )
+            print(f"{worker_id} serving {url}")
+            try:
+                counters = agent.run(
+                    max_tasks=args.max_tasks,
+                    max_idle=args.max_idle,
+                    poll_seconds=args.poll,
+                )
+            except KeyboardInterrupt:
+                counters = dict(agent.counters)
+            print(f"{worker_id} done: "
+                  + " ".join(f"{k}={v}" for k, v in sorted(counters.items())))
+            return 0
+    except (ReproError, OSError, ValueError) as error:
+        print(f"dispatch {action}: {error}", file=sys.stderr)
+        return 2
+    print(f"unknown dispatch action {action!r}; expected serve, work or "
+          "status", file=sys.stderr)
+    return 2
 
 
 def _run_cache(args) -> int:
@@ -1180,7 +1322,11 @@ CHAOS_COMMAND_HELP = (
     "deterministic fault injection: chaos run <campaign> | plan [name|list]"
 )
 DOCTOR_COMMAND_HELP = (
-    "cache integrity check: verify every blob, quarantine the corrupt"
+    "integrity check: verify cache blobs (and --campaign-dir "
+    "artifacts), quarantine the corrupt"
+)
+DISPATCH_COMMAND_HELP = (
+    "distributed execution: dispatch serve | work <url> | status <url>"
 )
 SCENARIO_COMMAND_HELP = (
     "scenario traffic: scenario list | run <wl> | record <wl> | replay <trace>"
@@ -1324,6 +1470,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="with 'campaign run/resume': print a heartbeat line per "
         "completed simulation",
     )
+    dispatch = parser.add_argument_group("dispatch options")
+    dispatch.add_argument(
+        "--dispatch", default=None, metavar="URL|DIR|local",
+        help="run batches through the lease-based broker/worker layer: "
+        "an HTTP broker URL (workers run 'repro dispatch work <url>'), "
+        "a directory (in-process broker + sha256-addressed result "
+        "artifacts), or 'local' (in-process broker, no artifacts); "
+        "with 'chaos run': add the network-fault dispatch legs",
+    )
+    dispatch.add_argument(
+        "--port", type=int, default=0, metavar="N",
+        help="with 'dispatch serve': port to bind (default: ephemeral)",
+    )
+    dispatch.add_argument(
+        "--lease-seconds", type=float, default=30.0, metavar="S",
+        help="with 'dispatch serve': lease duration before an "
+        "unheartbeated claim is requeued (default 30)",
+    )
+    dispatch.add_argument(
+        "--max-tasks", type=int, default=None, metavar="N",
+        help="with 'dispatch work': exit after completing N tasks",
+    )
+    dispatch.add_argument(
+        "--max-idle", type=int, default=None, metavar="N",
+        help="with 'dispatch work': exit after N consecutive empty "
+        "claims (default: poll forever)",
+    )
+    dispatch.add_argument(
+        "--poll", type=float, default=0.2, metavar="S",
+        help="with 'dispatch work': idle poll interval in seconds",
+    )
+    dispatch.add_argument(
+        "--worker-id", default=None, metavar="NAME",
+        help="with 'dispatch work': worker name shown in broker leases",
+    )
     resilience = parser.add_argument_group("resilience options")
     resilience.add_argument(
         "--retries", type=int, default=None, metavar="N",
@@ -1401,6 +1582,12 @@ def main(argv: list[str] | None = None) -> int:
                   f"{' '.join(targets[1:])}", file=sys.stderr)
             return 2
         return _run_doctor(args)
+    if targets[0] == "dispatch":
+        if len(targets) > 3:
+            print(f"unexpected arguments after dispatch action: "
+                  f"{' '.join(targets[3:])}", file=sys.stderr)
+            return 2
+        return _run_dispatch(args)
     if "list" in targets:
         for name, (_, description) in COMMANDS.items():
             print(f"  {name:10s} {description}")
@@ -1411,6 +1598,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"  {'obs':10s} {OBS_COMMAND_HELP}")
         print(f"  {'chaos':10s} {CHAOS_COMMAND_HELP}")
         print(f"  {'doctor':10s} {DOCTOR_COMMAND_HELP}")
+        print(f"  {'dispatch':10s} {DISPATCH_COMMAND_HELP}")
         return 0
     if "cache" in targets:
         if targets[0] != "cache":
@@ -1438,7 +1626,8 @@ def main(argv: list[str] | None = None) -> int:
     if unknown:
         print(f"unknown target(s): {', '.join(unknown)}", file=sys.stderr)
         print(f"available: {', '.join(COMMANDS)}, cache, bench, scenario, "
-              "campaign, obs, chaos, doctor, all, list", file=sys.stderr)
+              "campaign, obs, chaos, doctor, dispatch, all, list",
+              file=sys.stderr)
         return 2
     for target in targets:
         runner, _ = COMMANDS[target]

@@ -1,0 +1,110 @@
+"""Localhost HTTP face of the broker — stdlib ``http.server`` only.
+
+:class:`BrokerServer` wraps a :class:`~repro.dispatch.broker.Broker`
+in a threading HTTP server.  The protocol is deliberately minimal:
+
+* ``POST /<op>`` with a JSON body → ``broker.handle(op, body)`` as a
+  JSON response (200), a :class:`~repro.errors.DispatchError` as a 400
+  with ``{"error": ...}``, anything else as a 500;
+* ``GET /`` (or ``/status``) → the broker's status document, so a
+  browser or ``curl`` can watch a run.
+
+Thread safety is the broker's problem (its ``handle`` is locked); the
+server just moves JSON.  ``port=0`` binds an ephemeral port — read the
+real one back from :attr:`BrokerServer.url`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.errors import DispatchError
+from repro.dispatch.broker import Broker
+
+
+class BrokerServer:
+    """A broker listening on localhost HTTP; ``with`` or start()/stop()."""
+
+    def __init__(
+        self, broker: Broker, *, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.broker = broker
+        handler = _make_handler(broker)
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    @property
+    def url(self) -> str:
+        host, port = self._httpd.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start(self) -> BrokerServer:
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                kwargs={"poll_interval": 0.05},
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._httpd.server_close()
+
+    def serve_forever(self) -> None:
+        """Foreground serving for ``repro dispatch serve``."""
+        try:
+            self._httpd.serve_forever(poll_interval=0.1)
+        finally:
+            self._httpd.server_close()
+
+    def __enter__(self) -> BrokerServer:
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+
+def _make_handler(broker: Broker) -> type[BaseHTTPRequestHandler]:
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        def log_message(self, fmt, *args):  # noqa: D102 — silence access log
+            pass
+
+        def _reply(self, code: int, document: dict) -> None:
+            body = json.dumps(document).encode("utf-8")
+            self.send_response(code)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def do_GET(self) -> None:
+            try:
+                self._reply(200, broker.handle("status", {}))
+            except Exception as error:
+                self._reply(500, {"error": str(error)})
+
+        def do_POST(self) -> None:
+            op = self.path.strip("/").split("/")[0] or "status"
+            try:
+                length = int(self.headers.get("Content-Length") or 0)
+                raw = self.rfile.read(length) if length else b"{}"
+                payload = json.loads(raw.decode("utf-8")) if raw else {}
+                if not isinstance(payload, dict):
+                    raise DispatchError("payload must be a JSON object")
+                self._reply(200, broker.handle(op, payload))
+            except DispatchError as error:
+                self._reply(400, {"error": str(error)})
+            except Exception as error:
+                self._reply(500, {"error": str(error)})
+
+    return Handler

@@ -49,6 +49,20 @@ class TrafficError(ConfigurationError):
     """A traffic pattern or workload specification is invalid."""
 
 
+class DispatchError(ReproError):
+    """The dispatch layer (broker/worker protocol) reached a bad state."""
+
+
+class TransportError(DispatchError):
+    """A broker call failed after exhausting its transport retry budget.
+
+    Raised by the dispatch transports (in-process or HTTP) once the
+    :class:`~repro.resilience.RetryPolicy` driving the call gives up.
+    :class:`~repro.dispatch.DispatchExecutor` treats it as "broker
+    unreachable" and degrades to the local fallback executor.
+    """
+
+
 class CampaignError(ReproError):
     """A campaign spec, manifest, or baseline is invalid or inconsistent."""
 

@@ -51,13 +51,29 @@ class ChaosReport:
     fired: dict[str, int]
     resilience: dict = field(default_factory=dict)
     wall_seconds: float = 0.0
+    # Dispatch legs (4/5): a distributed run under network faults must
+    # converge to the same reference digests.  Defaults mean "not run".
+    dispatch_ran: bool = False
+    dispatch_identical: bool = True
+    dispatch_complete: bool = True
+    dispatch_interrupted: bool = False
+    dispatch_mismatched: list[str] = field(default_factory=list)
+    dispatch_digests: dict = field(default_factory=dict)
+    dispatch_counters: dict = field(default_factory=dict)
 
     @property
     def converged(self) -> bool:
-        return self.identical and self.complete
+        return (
+            self.identical
+            and self.complete
+            and (
+                not self.dispatch_ran
+                or (self.dispatch_identical and self.dispatch_complete)
+            )
+        )
 
     def to_json(self) -> dict:
-        return {
+        payload = {
             "campaign": self.campaign,
             "plan": self.plan.to_json(),
             "converged": self.converged,
@@ -71,6 +87,16 @@ class ChaosReport:
             "resilience": dict(self.resilience),
             "wall_seconds": round(self.wall_seconds, 3),
         }
+        if self.dispatch_ran:
+            payload["dispatch"] = {
+                "identical": self.dispatch_identical,
+                "complete": self.dispatch_complete,
+                "interrupted": self.dispatch_interrupted,
+                "mismatched": list(self.dispatch_mismatched),
+                "digests": dict(self.dispatch_digests),
+                "counters": dict(self.dispatch_counters),
+            }
+        return payload
 
     def summary(self) -> str:
         verdict = "CONVERGED" if self.converged else "DIVERGED"
@@ -85,6 +111,19 @@ class ChaosReport:
         ]
         if self.mismatched:
             lines.append(f"  MISMATCHED: {', '.join(sorted(self.mismatched))}")
+        if self.dispatch_ran:
+            n = len(self.reference_digests) - len(self.dispatch_mismatched)
+            lines.insert(
+                -1,
+                "  dispatch leg: "
+                f"identical {n}/{len(self.reference_digests)}, "
+                f"counters {json.dumps(self.dispatch_counters, sort_keys=True)}",
+            )
+            if self.dispatch_mismatched:
+                lines.append(
+                    "  DISPATCH MISMATCHED: "
+                    f"{', '.join(sorted(self.dispatch_mismatched))}"
+                )
         return "\n".join(lines)
 
 
@@ -115,9 +154,18 @@ def run_chaos(
     jobs: int = 2,
     retries: int = 2,
     timeout: float | None = 3.0,
+    dispatch: bool = False,
     progress=None,
 ) -> ChaosReport:
-    """Run the reference/chaos/resume legs and compare digests."""
+    """Run the reference/chaos/resume legs and compare digests.
+
+    With ``dispatch=True`` two more legs run the same campaign through
+    a local :class:`~repro.dispatch.DispatchExecutor` under the
+    network-fault plan (drops, duplicates, delays, a partition and a
+    vanished worker, plus the mid-run interrupt), then resume it —
+    asserting the distributed path converges to the same byte-identical
+    stage digests as the serial reference.
+    """
     if isinstance(campaign, str):
         campaign = get_campaign(campaign)
     if plan is None:
@@ -199,6 +247,62 @@ def run_chaos(
         for name in reference_digests
         if reference_digests[name] != chaos_digests.get(name)
     )
+
+    # Legs 4/5 — the distributed story: the same campaign through the
+    # dispatch layer under network chaos, interrupted, then resumed.
+    dispatch_ran = dispatch
+    dispatch_identical = dispatch_complete = True
+    dispatch_interrupted = False
+    dispatch_mismatched: list[str] = []
+    dispatch_digests: dict[str, str | None] = {}
+    dispatch_counters: dict[str, int] = {}
+    if dispatch:
+        from repro.dispatch import DispatchExecutor
+
+        dplan = plan if plan.network_faults() else BUILTIN_PLANS["dispatch"]
+        for leg_plan, resuming in ((dplan, False), (dplan.without_interrupt(), True)):
+            dcache = ResultCache(base / "dispatch_cache")
+            dexecutor = DispatchExecutor(
+                jobs=jobs, retry=retry, timeout=timeout, fault_plan=leg_plan
+            )
+            dinjector = dexecutor.injector
+            dcache.put_hook = dinjector.on_cache_put
+            drunner = CampaignRunner(
+                campaign,
+                campaign_dir=base / "dispatch",
+                executor=dexecutor,
+                cache=dcache,
+                shard_retries=retries,
+                faults=dinjector,
+            )
+            try:
+                dfinal = drunner.run(
+                    progress=progress,
+                    stop_after=None if resuming else dinjector.stop_hook(),
+                )
+            except CampaignInterrupted:
+                dispatch_interrupted = True
+                dfinal = None
+            finally:
+                if dexecutor._broker is not None:
+                    for key, value in dexecutor._broker.counters.items():
+                        dispatch_counters[key] = dispatch_counters.get(key, 0) + value
+                dexecutor.close()
+            for kind, count in dinjector.summary().items():
+                fired[kind] = fired.get(kind, 0) + count
+            if not resuming:
+                # Same at-rest damage the pool legs get between runs.
+                _corrupt_at_rest(base / "dispatch_cache", base / "dispatch")
+        dispatch_complete = dfinal is not None and dfinal.complete
+        if dfinal is not None:
+            dispatch_digests = stage_digests(dfinal.manifest)
+        dispatch_mismatched = sorted(
+            name
+            for name in reference_digests
+            if reference_digests[name] != dispatch_digests.get(name)
+        )
+        dispatch_identical = not dispatch_mismatched
+
     report = ChaosReport(
         campaign=campaign.name,
         plan=plan,
@@ -211,6 +315,13 @@ def run_chaos(
         fired=fired,
         resilience=final.manifest.get("telemetry", {}).get("resilience", {}),
         wall_seconds=time.perf_counter() - started,
+        dispatch_ran=dispatch_ran,
+        dispatch_identical=dispatch_identical,
+        dispatch_complete=dispatch_complete,
+        dispatch_interrupted=dispatch_interrupted,
+        dispatch_mismatched=dispatch_mismatched,
+        dispatch_digests=dispatch_digests,
+        dispatch_counters=dispatch_counters,
     )
     (base / "chaos_report.json").write_text(
         json.dumps(report.to_json(), indent=2, sort_keys=True) + "\n",

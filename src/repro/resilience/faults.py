@@ -36,9 +36,29 @@ FAULT_KINDS = (
     "adapter_error",  # raise InjectedFault in shard execution `at`
     "corrupt_cache",  # overwrite the blob written by cache put `at`
     "torn_manifest",  # truncate the manifest written by save `at`
+    "drop_request",  # drop dispatch transport call `at` (retried, then lost)
+    "duplicate_result",  # deliver dispatch completion `at` twice
+    "delay_response",  # sleep `seconds` before transport call `at` lands
+    "partition_worker",  # drop `attempts` consecutive calls from call `at`
+    "worker_vanish",  # the agent holding dispatch lease `at` disappears
 )
 
 _WORKER_KINDS = frozenset({"worker_kill", "worker_hang", "spec_error"})
+
+#: Faults that fire on the dispatch layer's broker/worker protocol.
+#: ``drop_request``/``delay_response``/``partition_worker`` key on the
+#: transport's global call counter, ``duplicate_result`` on the
+#: completion-call counter, and ``worker_vanish`` on the broker's lease
+#: grant index — all counters, so network chaos replays bit-for-bit.
+_NETWORK_KINDS = frozenset(
+    {
+        "drop_request",
+        "duplicate_result",
+        "delay_response",
+        "partition_worker",
+        "worker_vanish",
+    }
+)
 
 
 class InjectedFault(RuntimeError):
@@ -100,6 +120,9 @@ class FaultPlan:
     def worker_faults(self) -> tuple[Fault, ...]:
         return tuple(f for f in self.faults if f.kind in _WORKER_KINDS)
 
+    def network_faults(self) -> tuple[Fault, ...]:
+        return tuple(f for f in self.faults if f.kind in _NETWORK_KINDS)
+
     def to_json(self) -> dict:
         return {
             "name": self.name,
@@ -138,6 +161,33 @@ BUILTIN_PLANS: dict[str, FaultPlan] = {
             Fault(kind="adapter_error", at=1),
             Fault(kind="corrupt_cache", at=2),
             Fault(kind="torn_manifest", at=2),
+            # Network kinds are inert in the pool legs (no transport
+            # seam); the dispatch legs of `chaos run --dispatch` fire
+            # them.  Same values as the focused "dispatch" plan below.
+            Fault(kind="drop_request", at=2),
+            Fault(kind="duplicate_result", at=1),
+            Fault(kind="delay_response", at=6, seconds=0.01),
+            Fault(kind="partition_worker", at=12, attempts=4),
+            Fault(kind="worker_vanish", at=3),
+        ),
+        interrupt_after_shards=4,
+    ),
+    # Network chaos for the dispatch layer: a claim is dropped (the
+    # transport retries), a completion is delivered twice (idempotent
+    # ingestion absorbs it), a response is delayed, a worker is
+    # partitioned past its transport retry budget (the executed result
+    # is lost; the lease expires and the task lands elsewhere), and the
+    # agent holding lease 3 vanishes outright.  The interrupt exercises
+    # resume-convergence on top.
+    "dispatch": FaultPlan(
+        name="dispatch",
+        seed=11,
+        faults=(
+            Fault(kind="drop_request", at=2),
+            Fault(kind="duplicate_result", at=1),
+            Fault(kind="delay_response", at=6, seconds=0.01),
+            Fault(kind="partition_worker", at=12, attempts=4),
+            Fault(kind="worker_vanish", at=3),
         ),
         interrupt_after_shards=4,
     ),
@@ -177,6 +227,8 @@ class FaultInjector:
     _cache_puts: int = 0
     _manifest_saves: int = 0
     _checkpoints: int = 0
+    _transport_calls: int = 0
+    _complete_calls: int = 0
 
     def _record(self, fault: Fault, where: str, attempt: int | None = None) -> None:
         event = {"kind": fault.kind, "at": fault.at, "where": where}
@@ -254,6 +306,54 @@ class FaultInjector:
                 data = open(path, "rb").read()
                 with open(path, "wb") as handle:
                     handle.write(data[: max(1, len(data) * 3 // 5)])
+
+    # -- dispatch-side (network) faults --------------------------------
+
+    def fire_transport_fault(self, op: str) -> Fault | None:
+        """The network fault (if any) hitting this transport call.
+
+        Consulted by :class:`~repro.dispatch.LocalTransport` before
+        every broker call.  Keys on the global transport-call counter
+        (``partition_worker`` spans ``attempts`` consecutive calls);
+        ``duplicate_result`` keys on the completion-call counter so it
+        targets result ingestion specifically.  Returns the matching
+        :class:`Fault` — the transport decides what dropping, delaying
+        or duplicating actually means.
+        """
+        index = self._transport_calls
+        self._transport_calls += 1
+        complete_index = None
+        if op == "complete":
+            complete_index = self._complete_calls
+            self._complete_calls += 1
+        for fault in self.plan.faults:
+            if fault.kind == "duplicate_result":
+                if complete_index is not None and fault.at == complete_index:
+                    self._record(fault, f"{op}#{index}")
+                    return fault
+            elif fault.kind in ("drop_request", "delay_response"):
+                if fault.at <= index < fault.at + fault.attempts:
+                    self._record(fault, f"{op}#{index}")
+                    return fault
+            elif fault.kind == "partition_worker":
+                if fault.at <= index < fault.at + fault.attempts:
+                    self._record(fault, f"{op}#{index}")
+                    return fault
+        return None
+
+    def should_vanish(self, lease_index: int) -> bool:
+        """Whether the agent granted lease ``lease_index`` disappears.
+
+        Checked by :class:`~repro.dispatch.WorkerAgent` right after a
+        claim: a vanished agent abandons the task without completing or
+        heartbeating, so recovery must come from lease expiry.  Lease
+        indices are never reused, so each fault fires exactly once.
+        """
+        for fault in self.plan.faults:
+            if fault.kind == "worker_vanish" and fault.at == lease_index:
+                self._record(fault, f"lease#{lease_index}")
+                return True
+        return False
 
     # -- interrupt hook ------------------------------------------------
 

@@ -440,8 +440,15 @@ RUNTIME_BENCH_FILENAME = "BENCH_runtime.json"
 
 #: Speedup floors ``repro bench guard`` enforces on the runtime
 #: baseline: the persistent pool must beat spawning a fresh pool per
-#: batch, and parallel execution must not lose to the serial reference.
-DEFAULT_RUNTIME_FLOORS = {"pool_vs_spawn": 1.0, "parallel_vs_serial": 1.0}
+#: batch, parallel execution must not lose to the serial reference,
+#: and the in-process dispatch path (broker + lease bookkeeping, no
+#: network) must stay within 30% of serial — the lease protocol is
+#: allowed to cost coordination, not to dominate the run.
+DEFAULT_RUNTIME_FLOORS = {
+    "pool_vs_spawn": 1.0,
+    "parallel_vs_serial": 1.0,
+    "dispatch_vs_serial": 0.70,
+}
 
 #: On a single-core machine two workers cannot beat one process — the
 #: parallel-vs-serial floor is clamped to this allowance (a bound on
@@ -456,9 +463,12 @@ class RuntimeBenchResult:
     ``pool`` runs every batch through one :class:`ParallelExecutor`
     whose workers persist across batches; ``spawn`` creates and closes
     a fresh executor per batch, paying the pool spawn that used to be
-    per-batch overhead.  ``results_equal`` asserts all three variants
-    produced identical result rows — a benchmark that changed answers
-    would be worse than useless.
+    per-batch overhead; ``dispatch`` routes every batch through an
+    in-process :class:`~repro.dispatch.DispatchExecutor` (broker,
+    leases, content-hash result ingestion — no network), pricing the
+    coordination protocol itself.  ``results_equal`` asserts all
+    variants produced identical result rows — a benchmark that changed
+    answers would be worse than useless.
     """
 
     jobs: int
@@ -468,6 +478,7 @@ class RuntimeBenchResult:
     pool_seconds: float
     spawn_seconds: float
     results_equal: bool
+    dispatch_seconds: float = 0.0
 
     @property
     def pool_vs_spawn(self) -> float:
@@ -482,6 +493,25 @@ class RuntimeBenchResult:
         if self.pool_seconds <= 0:
             return float("inf")
         return self.serial_seconds / self.pool_seconds
+
+    @property
+    def dispatch_vs_serial(self) -> float:
+        """In-process dispatch speedup over the serial reference.
+
+        Both paths execute specs one at a time in a single process, so
+        the ratio isolates lease-protocol overhead and is comparable
+        across machines (a healthy value sits just under 1.0).
+        """
+        if self.dispatch_seconds <= 0:
+            return float("inf")
+        return self.serial_seconds / self.dispatch_seconds
+
+    @property
+    def dispatch_vs_pool(self) -> float:
+        """In-process dispatch speedup over the persistent pool."""
+        if self.dispatch_seconds <= 0:
+            return float("inf")
+        return self.pool_seconds / self.dispatch_seconds
 
 
 def _runtime_batches(*, fast: bool, batches: int, specs_per_batch: int):
@@ -513,7 +543,8 @@ def run_runtime_bench(
     *, fast: bool = False, jobs: int = 2, batches: int = 8,
     specs_per_batch: int = 2, repeats: int = 2,
 ) -> RuntimeBenchResult:
-    """Time the three executor variants over the same batches (best-of)."""
+    """Time the four executor variants over the same batches (best-of)."""
+    from repro.dispatch import DispatchExecutor
     from repro.runtime.executor import ParallelExecutor, SerialExecutor
 
     batch_list = _runtime_batches(
@@ -541,12 +572,19 @@ def run_runtime_bench(
                 executor.close()
         return collected
 
+    def _dispatch():
+        executor = DispatchExecutor(jobs=jobs)
+        try:
+            return [executor.run(batch).results for batch in batch_list]
+        finally:
+            executor.close()
+
     timings = {"serial": float("inf"), "pool": float("inf"),
-               "spawn": float("inf")}
+               "spawn": float("inf"), "dispatch": float("inf")}
     snapshots: dict[str, list] = {}
     for _ in range(max(1, repeats)):
         for name, variant in (("serial", _serial), ("pool", _pool),
-                              ("spawn", _spawn)):
+                              ("spawn", _spawn), ("dispatch", _dispatch)):
             started = time.perf_counter()
             results = variant()
             timings[name] = min(timings[name], time.perf_counter() - started)
@@ -560,8 +598,10 @@ def run_runtime_bench(
         serial_seconds=round(timings["serial"], 4),
         pool_seconds=round(timings["pool"], 4),
         spawn_seconds=round(timings["spawn"], 4),
+        dispatch_seconds=round(timings["dispatch"], 4),
         results_equal=(
-            snapshots["serial"] == snapshots["pool"] == snapshots["spawn"]
+            snapshots["serial"] == snapshots["pool"]
+            == snapshots["spawn"] == snapshots["dispatch"]
         ),
     )
 
@@ -577,7 +617,9 @@ def format_runtime_bench(result: RuntimeBenchResult) -> str:
         f"({result.parallel_vs_serial:.2f}x vs serial)",
         f"  fresh pool per batch:    {result.spawn_seconds:8.3f}s "
         f"(pool is {result.pool_vs_spawn:.2f}x faster)",
-        "  results: " + ("identical across all three variants"
+        f"  in-process dispatch:     {result.dispatch_seconds:8.3f}s "
+        f"({result.dispatch_vs_serial:.2f}x vs serial)",
+        "  results: " + ("identical across all variants"
                          if result.results_equal else "DIVERGED!"),
     ])
 
@@ -593,8 +635,10 @@ def record_runtime_bench(
             data = json.load(handle)
     except (OSError, json.JSONDecodeError):
         data = {}
-    data.setdefault("_floors", dict(DEFAULT_RUNTIME_FLOORS))
-    data["_floors"].setdefault("single_core_allowance", SINGLE_CORE_ALLOWANCE)
+    floors = data.setdefault("_floors", {})
+    for key, value in DEFAULT_RUNTIME_FLOORS.items():
+        floors.setdefault(key, value)
+    floors.setdefault("single_core_allowance", SINGLE_CORE_ALLOWANCE)
     data.setdefault("_meta", {})
     data["_meta"]["cpu_count"] = os.cpu_count()
     data["_meta"]["engine_version"] = repro.__version__
@@ -606,9 +650,12 @@ def record_runtime_bench(
             "serial": result.serial_seconds,
             "pool": result.pool_seconds,
             "spawn_per_batch": result.spawn_seconds,
+            "dispatch": result.dispatch_seconds,
         },
         "pool_vs_spawn": round(result.pool_vs_spawn, 3),
         "parallel_vs_serial": round(result.parallel_vs_serial, 3),
+        "dispatch_vs_serial": round(result.dispatch_vs_serial, 3),
+        "dispatch_vs_pool": round(result.dispatch_vs_pool, 3),
         "results_equal": result.results_equal,
     }
     with open(path, "w", encoding="utf-8") as handle:
@@ -616,13 +663,15 @@ def record_runtime_bench(
         handle.write("\n")
 
 
-def _runtime_floors(data: dict) -> tuple[float, float]:
-    """(pool_vs_spawn floor, parallel_vs_serial floor) for a baseline.
+def _runtime_floors(data: dict) -> tuple[float, float, float]:
+    """(pool_vs_spawn, parallel_vs_serial, dispatch_vs_serial) floors.
 
     The parallel floor is clamped to the single-core allowance when the
     baseline was recorded on one CPU — there, two workers time-slicing
     one core cannot beat the serial reference, and the floor only
-    bounds orchestration overhead.
+    bounds orchestration overhead.  The dispatch floor needs no clamp:
+    the in-process dispatch path is single-process like the serial
+    reference, so the ratio is machine-independent by construction.
     """
     floors = {**DEFAULT_RUNTIME_FLOORS, **(data.get("_floors") or {})}
     allowance = floors.get("single_core_allowance", SINGLE_CORE_ALLOWANCE)
@@ -630,22 +679,28 @@ def _runtime_floors(data: dict) -> tuple[float, float]:
     parallel_floor = floors["parallel_vs_serial"]
     if cpu_count <= 1:
         parallel_floor = min(parallel_floor, allowance)
-    return floors["pool_vs_spawn"], parallel_floor
+    return (
+        floors["pool_vs_spawn"],
+        parallel_floor,
+        floors["dispatch_vs_serial"],
+    )
 
 
 def validate_runtime_baseline(path: str | os.PathLike) -> tuple[list[str], dict]:
     """Regression-check the committed runtime baseline.
 
     The ``runtime_pool`` section must show bit-identical results, the
-    persistent pool beating per-batch pool spawning, and parallel
+    persistent pool beating per-batch pool spawning, parallel
     execution holding its floor against serial (clamped on single-core
-    recorders).  Legacy per-benchmark ``speedup`` entries are held to
-    the same parallel floor.  Returns (violations, parsed baseline).
+    recorders), and the in-process dispatch path staying above its
+    coordination-overhead floor.  Legacy per-benchmark ``speedup``
+    entries are held to the same parallel floor.  Returns
+    (violations, parsed baseline).
     """
     with open(path, encoding="utf-8") as handle:
         data = json.load(handle)
     violations: list[str] = []
-    pool_floor, parallel_floor = _runtime_floors(data)
+    pool_floor, parallel_floor, dispatch_floor = _runtime_floors(data)
     entry = data.get("runtime_pool")
     if not entry:
         violations.append(
@@ -671,6 +726,12 @@ def validate_runtime_baseline(path: str | os.PathLike) -> tuple[list[str], dict]
                 f"runtime_pool: parallel_vs_serial {parallel_vs_serial} < "
                 f"{parallel_floor:g} — pooled execution regressed vs serial"
             )
+        dispatch_vs_serial = entry.get("dispatch_vs_serial")
+        if dispatch_vs_serial is not None and dispatch_vs_serial < dispatch_floor:
+            violations.append(
+                f"runtime_pool: dispatch_vs_serial {dispatch_vs_serial} < "
+                f"{dispatch_floor:g} — lease-protocol overhead regressed"
+            )
     for name, legacy in sorted(data.items()):
         if name.startswith("_") or name == "runtime_pool":
             continue
@@ -684,17 +745,18 @@ def validate_runtime_baseline(path: str | os.PathLike) -> tuple[list[str], dict]
 
 def format_runtime_markdown(data: dict) -> str:
     """Markdown summary of the runtime baseline (for CI job summaries)."""
-    pool_floor, parallel_floor = _runtime_floors(data)
+    pool_floor, parallel_floor, dispatch_floor = _runtime_floors(data)
     meta = data.get("_meta") or {}
     lines = [
         "### Runtime executor baseline",
         "",
         f"Recorded on {meta.get('cpu_count', '?')} CPU(s); floors: "
         f"pool_vs_spawn ≥ {pool_floor:g}, parallel_vs_serial ≥ "
-        f"{parallel_floor:g}",
+        f"{parallel_floor:g}, dispatch_vs_serial ≥ {dispatch_floor:g}",
         "",
-        "| entry | serial (s) | pool (s) | spawn (s) | pool/spawn | par/serial |",
-        "|---|---:|---:|---:|---:|---:|",
+        "| entry | serial (s) | pool (s) | spawn (s) | dispatch (s) "
+        "| pool/spawn | par/serial | disp/serial |",
+        "|---|---:|---:|---:|---:|---:|---:|---:|",
     ]
     entry = data.get("runtime_pool")
     if entry:
@@ -703,8 +765,10 @@ def format_runtime_markdown(data: dict) -> str:
             f"| runtime_pool | {timings.get('serial', float('nan')):.3f} "
             f"| {timings.get('pool', float('nan')):.3f} "
             f"| {timings.get('spawn_per_batch', float('nan')):.3f} "
+            f"| {timings.get('dispatch', float('nan')):.3f} "
             f"| {entry.get('pool_vs_spawn', 0.0):.2f}x "
-            f"| {entry.get('parallel_vs_serial', 0.0):.2f}x |"
+            f"| {entry.get('parallel_vs_serial', 0.0):.2f}x "
+            f"| {entry.get('dispatch_vs_serial', 0.0):.2f}x |"
         )
     for name, legacy in sorted(data.items()):
         if name.startswith("_") or name == "runtime_pool":
@@ -713,7 +777,7 @@ def format_runtime_markdown(data: dict) -> str:
         serial = timings.get("serial")
         lines.append(
             f"| {name} | {serial if serial is not None else float('nan'):.3f} "
-            f"| — | — | — | {legacy.get('speedup', 0.0):.2f}x |"
+            f"| — | — | — | — | {legacy.get('speedup', 0.0):.2f}x | — |"
         )
     return "\n".join(lines)
 

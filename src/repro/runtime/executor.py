@@ -67,6 +67,10 @@ class ExecutionOutcome:
     worker_deaths: int = 0
     timeouts: int = 0
     degraded: bool = False
+    #: Broker/lease counters from :class:`~repro.dispatch.DispatchExecutor`
+    #: (empty for local executors) — numeric values only, so telemetry
+    #: can sum them across batches.
+    dispatch: dict = field(default_factory=dict)
 
 
 class Executor:

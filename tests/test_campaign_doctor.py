@@ -1,0 +1,148 @@
+"""Campaign artifact fsck and failed-spec manifests (``repro doctor``)."""
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    StageSpec,
+    fsck_campaign,
+    run_campaign,
+)
+from repro.cli import main
+from repro.errors import CampaignError, ExecutionFailed
+from repro.resilience.policy import FailureRecord
+from repro.runtime.executor import SerialExecutor
+
+
+def area_campaign():
+    return CampaignSpec(
+        name="tinydoc",
+        description="doctor test campaign",
+        stages=(StageSpec("area", "fig3"),),
+    )
+
+
+def sat_campaign():
+    return CampaignSpec(
+        name="tinysat",
+        description="failed-spec test campaign",
+        stages=(
+            StageSpec(
+                "sat",
+                "saturation",
+                params={"cycles": 250, "topology_names": ["mesh_x1"]},
+            ),
+        ),
+    )
+
+
+class FailingExecutor(SerialExecutor):
+    """Raises the structured batch failure a real executor would."""
+
+    def run(self, specs, *, cache=None, progress=None):
+        records = [
+            FailureRecord(
+                spec_hash=spec.content_hash,
+                label=spec.label(),
+                kind="error",
+                attempt=0,
+                detail="synthetic failure",
+                retried=False,
+            )
+            for spec in specs[:2]
+        ]
+        raise ExecutionFailed(
+            "injected batch failure", failures=records, outcome=None
+        )
+
+
+def test_fsck_passes_a_healthy_campaign(tmp_path):
+    run_campaign(area_campaign(), campaign_dir=tmp_path / "c")
+    report = fsck_campaign(tmp_path / "c")
+    assert report.healthy
+    assert report.checked >= 1 and report.ok == report.checked
+    assert report.to_json()["healthy"] is True
+
+
+def test_fsck_quarantines_corruption_and_resume_recomputes(tmp_path):
+    campaign = area_campaign()
+    run_campaign(campaign, campaign_dir=tmp_path / "c")
+    artifact = tmp_path / "c" / "artifacts" / "area.json"
+    artifact.write_bytes(artifact.read_bytes()[:10])  # torn write
+    report = fsck_campaign(tmp_path / "c")
+    assert report.quarantined == ["artifacts/area.json"]
+    assert not artifact.exists()
+    assert (tmp_path / "c" / "quarantine" / "area.json").exists()
+    # The campaign heals itself: the stage re-runs from its spec.
+    resumed = run_campaign(
+        campaign, campaign_dir=tmp_path / "c", require_manifest=True
+    )
+    assert resumed.complete
+    assert fsck_campaign(tmp_path / "c").healthy
+
+
+def test_fsck_reports_missing_and_unrecorded_files(tmp_path):
+    run_campaign(area_campaign(), campaign_dir=tmp_path / "c")
+    (tmp_path / "c" / "artifacts" / "area.json").unlink()
+    (tmp_path / "c" / "artifacts" / "stray.json").write_text("{}\n")
+    report = fsck_campaign(tmp_path / "c")
+    assert report.missing == ["artifacts/area.json"]
+    assert report.unrecorded == ["artifacts/stray.json"]
+    assert not report.healthy  # missing is unhealthy; unrecorded is not
+
+
+def test_fsck_without_a_manifest_raises(tmp_path):
+    with pytest.raises(CampaignError):
+        fsck_campaign(tmp_path / "nothing")
+
+
+def test_doctor_cli_checks_campaign_dirs(tmp_path, capsys):
+    run_campaign(area_campaign(), campaign_dir=tmp_path / "c")
+    cache_dir = str(tmp_path / "cache")
+    assert main(
+        ["doctor", "--cache-dir", cache_dir,
+         "--campaign-dir", str(tmp_path / "c"), "--check"]
+    ) == 0
+    artifact = tmp_path / "c" / "artifacts" / "area.json"
+    artifact.write_bytes(b"corrupt")
+    assert main(
+        ["doctor", "--cache-dir", cache_dir,
+         "--campaign-dir", str(tmp_path / "c"), "--check"]
+    ) == 1
+    assert "quarantined" in capsys.readouterr().out
+
+
+def test_failed_shard_specs_land_in_the_manifest_and_status(
+    tmp_path, capsys, monkeypatch
+):
+    import repro.campaign.builtin as builtin
+
+    campaign = sat_campaign()
+    monkeypatch.setitem(builtin.CAMPAIGNS, "tinysat", campaign)
+    result = run_campaign(
+        campaign, campaign_dir=tmp_path / "c", executor=FailingExecutor()
+    )
+    assert result.failed_stages == ["sat"]
+    manifest = json.loads((tmp_path / "c" / "manifest.json").read_text())
+    entry = manifest["stages"]["sat"]
+    assert entry["status"] == "failed"
+    failed = entry["failed_specs"]
+    assert failed and all(record["kind"] == "error" for record in failed)
+    assert all("synthetic failure" in record["detail"] for record in failed)
+
+    capsys.readouterr()
+    assert main(
+        ["campaign", "status", "tinysat", "--campaign-dir", str(tmp_path / "c")]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "failed spec:" in out
+
+    # A successful re-run clears the persisted failure evidence.
+    resumed = run_campaign(
+        campaign, campaign_dir=tmp_path / "c", require_manifest=True
+    )
+    assert resumed.complete
+    manifest = json.loads((tmp_path / "c" / "manifest.json").read_text())
+    assert "failed_specs" not in manifest["stages"]["sat"]

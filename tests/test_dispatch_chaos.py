@@ -1,0 +1,73 @@
+"""Chaos dispatch legs: network faults must not perturb the bytes."""
+
+import json
+
+from repro.campaign import CampaignSpec, StageSpec
+from repro.resilience import Fault, FaultPlan, run_chaos
+from repro.resilience.faults import BUILTIN_PLANS
+
+
+def tiny_campaign():
+    return CampaignSpec(
+        name="tiny",
+        description="dispatch chaos test campaign",
+        stages=(
+            StageSpec("area", "fig3"),
+            StageSpec(
+                "sat",
+                "saturation",
+                params={"cycles": 300, "topology_names": ["mesh_x1"]},
+                depends_on=("area",),
+            ),
+        ),
+    )
+
+
+def test_builtin_dispatch_plan_covers_every_network_fault_kind():
+    plan = BUILTIN_PLANS["dispatch"]
+    kinds = {fault.kind for fault in plan.network_faults()}
+    assert kinds == {
+        "drop_request",
+        "duplicate_result",
+        "delay_response",
+        "partition_worker",
+        "worker_vanish",
+    }
+    assert plan.interrupt_after_shards is not None
+    assert plan.without_interrupt().interrupt_after_shards is None
+
+
+def test_chaos_dispatch_legs_converge_under_network_faults(tmp_path):
+    plan = FaultPlan(
+        name="net-mini",
+        seed=5,
+        faults=(
+            Fault(kind="drop_request", at=2),
+            Fault(kind="duplicate_result", at=1),
+            Fault(kind="worker_vanish", at=0),
+        ),
+        interrupt_after_shards=1,
+    )
+    report = run_chaos(
+        tiny_campaign(),
+        chaos_dir=tmp_path / "chaos",
+        plan=plan,
+        jobs=2,
+        retries=2,
+        timeout=30.0,
+        dispatch=True,
+    )
+    assert report.converged, report.summary()
+    assert report.dispatch_ran
+    assert report.dispatch_identical and report.dispatch_complete
+    assert not report.dispatch_mismatched
+    assert report.dispatch_digests == report.reference_digests
+    assert report.dispatch_counters["completions"] >= 1
+    assert report.fired.get("worker_vanish", 0) >= 1
+    assert report.fired.get("duplicate_result", 0) >= 1
+    on_disk = json.loads(
+        (tmp_path / "chaos" / "chaos_report.json").read_text()
+    )
+    assert on_disk["converged"] is True
+    assert on_disk["dispatch"]["identical"] is True
+    assert "dispatch leg" in report.summary()

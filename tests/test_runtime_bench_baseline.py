@@ -11,19 +11,31 @@ from repro.runtime.bench import (
 )
 
 
-def _result(serial=1.0, pool=0.8, spawn=1.2, equal=True):
+def _result(serial=1.0, pool=0.8, spawn=1.2, dispatch=1.1, equal=True):
     return RuntimeBenchResult(
         jobs=2, batches=8, specs_per_batch=2,
         serial_seconds=serial, pool_seconds=pool, spawn_seconds=spawn,
-        results_equal=equal,
+        dispatch_seconds=dispatch, results_equal=equal,
     )
 
 
 def test_ratios_derive_from_the_timings():
-    result = _result(serial=1.0, pool=0.5, spawn=1.5)
+    result = _result(serial=1.0, pool=0.5, spawn=1.5, dispatch=2.0)
     assert result.parallel_vs_serial == 2.0
     assert result.pool_vs_spawn == 3.0
+    assert result.dispatch_vs_serial == 0.5
+    assert result.dispatch_vs_pool == 0.25
     assert _result(pool=0.0).pool_vs_spawn == float("inf")
+    assert _result(dispatch=0.0).dispatch_vs_serial == float("inf")
+
+
+def test_dispatch_floor_violations_are_reported(tmp_path):
+    path = tmp_path / RUNTIME_BENCH_FILENAME
+    record_runtime_bench(_result(dispatch=10.0), path)  # 0.1x vs serial
+    violations, data = validate_runtime_baseline(path)
+    assert any("dispatch_vs_serial" in violation for violation in violations)
+    assert data["_floors"]["dispatch_vs_serial"] == 0.70
+    assert "disp/serial" in format_runtime_markdown(data)
 
 
 def test_record_then_validate_round_trips_cleanly(tmp_path):
