@@ -305,7 +305,16 @@ from repro.traffic.workloads import (
 # artifact fsck.  Execution results are bit-identical across
 # serial/pool/dispatch paths; the bump rolls the stage hashes and the
 # committed baseline forward together, as every version bump must.
-__version__ = "1.8.0"
+# 1.9.0: fleet observability — versioned append-only event journals on
+# every broker/worker/campaign lifecycle seam (zero-overhead-when-off,
+# bit-neutral to results), content-hash-derived trace/span correlation
+# merging per-actor journals into one causally-checked timeline and
+# Perfetto fleet trace, broker /metrics + /journal endpoints with the
+# live `repro fleet status` / `repro campaign watch` dashboards, and
+# guard-checked bench trend history.  Results are unchanged, but the
+# version participates in stage hashes, so the committed campaign
+# baseline rolls forward with the bump.
+__version__ = "1.9.0"
 
 __all__ = [
     "AllocationError",

@@ -53,6 +53,7 @@ from repro.campaign.spec import (
 )
 from repro.campaign.stages import get_adapter
 from repro.errors import CampaignError, CampaignInterrupted, ExecutionFailed
+from repro.obs.fleet.spans import stage_trace_id, trace_id
 from repro.runtime.cache import ResultCache
 from repro.runtime.executor import Executor, SerialExecutor
 
@@ -142,6 +143,10 @@ class _RecordingExecutor(Executor):
         for key, value in getattr(outcome, "dispatch", {}).items():
             if isinstance(value, (int, float)) and not isinstance(value, bool):
                 self.dispatch[key] = self.dispatch.get(key, 0) + value
+            elif isinstance(value, dict):
+                # Gauges (e.g. the ``fleet`` health snapshot) are
+                # point-in-time, not cumulative — last batch wins.
+                self.dispatch[key] = dict(value)
 
     def reset(self) -> None:
         self.spec_hashes: list[str] = []
@@ -203,6 +208,7 @@ class CampaignRunner:
         baseline_path: str | os.PathLike | None = None,
         shard_retries: int = 0,
         faults=None,
+        journal=None,
     ) -> None:
         if shard_retries < 0:
             raise CampaignError("shard_retries must be >= 0")
@@ -215,6 +221,10 @@ class CampaignRunner:
         #: Optional :class:`~repro.resilience.FaultInjector` — the
         #: chaos seam for adapter-error and torn-manifest faults.
         self.faults = faults
+        #: Optional :class:`~repro.obs.fleet.JournalWriter` for
+        #: stage/shard lifecycle events; ``None`` costs one ``is not
+        #: None`` check per event and is bit-neutral to artifacts.
+        self.journal = journal
         self.engine = _engine_version()
         # Validate every stage kind eagerly: an unknown kind should fail
         # `campaign run` before any simulation, not mid-campaign.
@@ -411,6 +421,14 @@ class CampaignRunner:
                             "reused",
                         )
                     continue
+                if self.journal is not None:
+                    self.journal.emit(
+                        "campaign.stage_start",
+                        trace=trace_id(self._hashes[stage.name]),
+                        stage=stage.name,
+                        kind=stage.kind,
+                        shards=stage.shard_count,
+                    )
                 try:
                     self._run_stage(
                         stage, entry, manifest, progress, stop_after, heartbeat
@@ -418,6 +436,13 @@ class CampaignRunner:
                 except CampaignInterrupted:
                     raise
                 except Exception as error:  # adapter failure: record, go on
+                    if self.journal is not None:
+                        self.journal.emit(
+                            "campaign.stage_finish",
+                            trace=trace_id(self._hashes[stage.name]),
+                            stage=stage.name,
+                            status="failed",
+                        )
                     entry["status"] = "failed"
                     entry["error"] = f"{type(error).__name__}: {error}"
                     if isinstance(error, ExecutionFailed) and error.failures:
@@ -434,6 +459,14 @@ class CampaignRunner:
                     if progress is not None:
                         progress(stage.name, 0, stage.shard_count, "failed")
                     continue
+                if self.journal is not None:
+                    self.journal.emit(
+                        "campaign.stage_finish",
+                        trace=trace_id(self._hashes[stage.name]),
+                        stage=stage.name,
+                        status="complete",
+                        elapsed_s=round(entry.get("elapsed_seconds", 0.0), 6),
+                    )
                 done.add(stage.name)
                 result.executed_stages.append(stage.name)
         finally:
@@ -474,7 +507,10 @@ class CampaignRunner:
                 spec_failures += shard.get("spec_failures", 0)
                 degraded = degraded or shard.get("degraded", False)
                 for key, value in (shard.get("dispatch") or {}).items():
-                    dispatch[key] = dispatch.get(key, 0) + value
+                    if isinstance(value, dict):
+                        dispatch[key] = dict(value)  # gauge: last shard wins
+                    else:
+                        dispatch[key] = dispatch.get(key, 0) + value
             simulated += stage_simulated
             cache_hits += stage_hits
             specs += stage_specs
@@ -512,6 +548,22 @@ class CampaignRunner:
             "stages": per_stage,
         }
 
+    def _set_trace_context(self, trace: str) -> None:
+        """Pin the shard trace on the dispatch executor, if one is there.
+
+        Walks the ``inner`` chain (telemetry/recording wrappers) to the
+        first executor exposing ``set_trace_context``; executors without
+        the seam are silently skipped — trace propagation is a dispatch
+        concept, serial/parallel executors have nothing to stamp.
+        """
+        target = self.executor
+        while target is not None:
+            setter = getattr(target, "set_trace_context", None)
+            if setter is not None:
+                setter(trace)
+                return
+            target = getattr(target, "inner", None)
+
     def _run_stage(
         self,
         stage: StageSpec,
@@ -538,6 +590,15 @@ class CampaignRunner:
             ):
                 shard_rows.append(self._read_rows(path))
                 continue
+            trace = stage_trace_id(self._hashes[stage.name], index)
+            self._set_trace_context(trace)
+            if self.journal is not None:
+                self.journal.emit(
+                    "campaign.shard_start",
+                    trace=trace,
+                    stage=stage.name,
+                    shard=index,
+                )
             started = time.perf_counter()
             attempt = 0
             while True:
@@ -559,9 +620,25 @@ class CampaignRunner:
                     # inside the executor, so this only re-covers
                     # adapter faults and permanently failed batches.
                     if attempt >= self.shard_retries:
+                        if self.journal is not None:
+                            self.journal.emit(
+                                "campaign.shard_finish",
+                                trace=trace,
+                                stage=stage.name,
+                                shard=index,
+                                status="failed",
+                            )
                         raise
                     attempt += 1
                     entry["retries"] = entry.get("retries", 0) + 1
+                    if self.journal is not None:
+                        self.journal.emit(
+                            "campaign.shard_retry",
+                            trace=trace,
+                            stage=stage.name,
+                            shard=index,
+                            attempt=attempt,
+                        )
                     if progress is not None:
                         progress(stage.name, index, stage.shard_count, "retry")
             digest = self._write_artifact(
@@ -586,6 +663,18 @@ class CampaignRunner:
             }
             shard_rows.append(rows)
             self._save_manifest(manifest)
+            if self.journal is not None:
+                self.journal.emit(
+                    "campaign.shard_finish",
+                    trace=trace,
+                    stage=stage.name,
+                    shard=index,
+                    status="complete",
+                    rows=len(rows),
+                    simulated=recorder.simulated,
+                    cache_hits=recorder.cache_hits,
+                    elapsed_s=round(time.perf_counter() - started, 6),
+                )
             if progress is not None:
                 progress(stage.name, index + 1, stage.shard_count, "shard")
             if stop_after is not None and stop_after(stage.name, index):
@@ -705,6 +794,7 @@ def run_campaign(
     heartbeat: CampaignHeartbeat | None = None,
     shard_retries: int = 0,
     faults=None,
+    journal=None,
 ) -> CampaignResult:
     """Run (or resume) ``campaign`` inside ``campaign_dir``."""
     runner = CampaignRunner(
@@ -715,6 +805,7 @@ def run_campaign(
         baseline_path=baseline_path,
         shard_retries=shard_retries,
         faults=faults,
+        journal=journal,
     )
     return runner.run(
         progress=progress,

@@ -51,6 +51,13 @@ Usage (after installation)::
     repro dispatch status http://127.0.0.1:8137  # broker queue/counters
     repro campaign run smoke --dispatch http://127.0.0.1:8137  # distributed
     repro fig4 --dispatch local          # any sweep through the broker
+    repro fig4 --dispatch local --journal obs/fleet   # + event journals
+    repro campaign run smoke --dispatch local --journal obs/fleet
+    repro fleet trace obs/fleet --check  # merge journals -> Chrome trace
+    repro fleet status http://127.0.0.1:8137 --watch  # live broker panel
+    repro campaign watch smoke           # live per-stage progress bars
+    repro bench journal                  # journal overhead: off vs on
+    repro bench history --record -       # append guard results to history
 
 (or ``python -m repro ...`` without installation).  ``--fast`` shrinks
 simulation windows for a quick smoke pass; ``--seed`` changes the
@@ -135,6 +142,7 @@ def _executor(args) -> Executor:
                 retry=retry,
                 timeout=getattr(args, "timeout", None),
                 fault_plan=injector.plan if injector is not None else None,
+                journal_dir=getattr(args, "journal", None),
             )
         inner: Executor = args._dispatch_executor
     elif args.jobs == 1:
@@ -171,6 +179,24 @@ def _write_telemetry(args, path: str, **meta) -> None:
     write_runtime_telemetry(path, telemetry.snapshot(), meta=meta)
     print(f"runtime telemetry written to {path}")
     args._telemetry = None
+
+
+def _journal_writer(args, actor: str):
+    """One journal writer per actor under the ``--journal DIR`` directory.
+
+    Every actor (broker, workers, the campaign runner) appends to its
+    own ``<actor>.journal.jsonl`` so ``repro fleet trace DIR`` can merge
+    the set without any coordination between writers.
+    """
+    if not getattr(args, "journal", None):
+        return None
+    from pathlib import Path
+
+    from repro.obs.fleet import JournalWriter
+
+    return JournalWriter(
+        Path(args.journal) / f"{actor}.journal.jsonl", actor=actor
+    )
 
 
 def _cache(args) -> ResultCache | None:
@@ -330,10 +356,13 @@ def _profiled(fn, *fn_args, dump_path=None):
     """Run ``fn`` under cProfile; return (result, top-20 report).
 
     ``dump_path`` additionally saves the raw profile for offline
-    analysis (``python -m pstats <path>``, snakeviz, gprof2dot, ...).
+    analysis (``python -m pstats <path>``, snakeviz, gprof2dot, ...);
+    dumps live under the git-ignored ``profiles/`` directory so they
+    never end up committed next to the reports.
     """
     import cProfile
     import io
+    import os as _os
     import pstats
 
     profiler = cProfile.Profile()
@@ -343,6 +372,9 @@ def _profiled(fn, *fn_args, dump_path=None):
     buffer = io.StringIO()
     stats = pstats.Stats(profiler, stream=buffer)
     if dump_path:
+        directory = _os.path.dirname(_os.fspath(dump_path))
+        if directory:
+            _os.makedirs(directory, exist_ok=True)
         stats.dump_stats(dump_path)
     stats.strip_dirs().sort_stats("cumulative").print_stats(20)
     return result, buffer.getvalue().rstrip()
@@ -356,7 +388,7 @@ def _csv(value: str | None) -> tuple[str, ...] | None:
 
 
 def _run_bench(args) -> int:
-    """``repro bench engine|guard|obs|runtime`` — timings / baseline guards."""
+    """``repro bench engine|guard|obs|runtime|journal|history``."""
     action = args.targets[1] if len(args.targets) > 1 else "engine"
     if action == "guard":
         return _run_bench_guard(args)
@@ -364,9 +396,13 @@ def _run_bench(args) -> int:
         return _run_bench_obs(args)
     if action == "runtime":
         return _run_bench_runtime(args)
+    if action == "journal":
+        return _run_bench_journal(args)
+    if action == "history":
+        return _run_bench_history(args)
     if action != "engine":
         print(f"unknown bench action {action!r}; expected engine, guard, "
-              "obs or runtime", file=sys.stderr)
+              "obs, runtime, journal or history", file=sys.stderr)
         return 2
     from repro.runtime.bench import (
         format_engine_bench,
@@ -380,9 +416,12 @@ def _run_bench(args) -> int:
         fast=args.fast, regimes=regimes, topologies=topologies,
     )
     if args.profile:
-        results, report = _profiled(run, dump_path="profile_bench.pstats")
+        import os as _os
+
+        dump_path = _os.path.join("profiles", "profile_bench.pstats")
+        results, report = _profiled(run, dump_path=dump_path)
         print(report)
-        print("pstats dump written to profile_bench.pstats")
+        print(f"pstats dump written to {dump_path}")
         print()
     else:
         results = run()
@@ -517,6 +556,86 @@ def _run_bench_obs(args) -> int:
         record_obs_baseline(results, args.record)
         print(f"obs baseline section recorded to {args.record}")
     return 0
+
+
+def _run_bench_journal(args) -> int:
+    """``repro bench journal`` — dispatch journaling overhead: off vs on.
+
+    Runs identical batches through the in-process dispatch executor
+    with and without event journaling, verifies the journaled run is
+    bit-identical, and with ``--record PATH`` merges a ``_journal``
+    section (``-`` = the default runtime baseline) for ``repro bench
+    guard`` to re-check.
+    """
+    from repro.runtime.bench import (
+        RUNTIME_BENCH_FILENAME,
+        format_journal_overhead,
+        record_journal_overhead,
+        run_journal_overhead,
+    )
+
+    jobs = args.jobs if args.jobs > 1 else 2
+    result = run_journal_overhead(fast=args.fast, jobs=jobs)
+    print(format_journal_overhead(result))
+    if not result.results_equal:
+        print("ERROR: journaling perturbed results", file=sys.stderr)
+        return 1
+    if args.record:
+        path = args.record if args.record != "-" else RUNTIME_BENCH_FILENAME
+        record_journal_overhead(result, path)
+        print(f"journal overhead section recorded to {path}")
+    return 0
+
+
+def _run_bench_history(args) -> int:
+    """``repro bench history`` — guard-checked speedup trend tracking.
+
+    Builds one record from the committed baselines (running the same
+    checks as ``repro bench guard``), compares every speedup against
+    its trailing-window mean in ``BENCH_history.jsonl``, and with
+    ``--record PATH`` (``-`` = the default history file) appends the
+    record.  Exits 1 on guard violations or trend regressions.
+    """
+    import os as _os
+
+    from repro.runtime.bench import (
+        BENCH_ENGINE_FILENAME,
+        BENCH_HISTORY_FILENAME,
+        HISTORY_WINDOW,
+        RUNTIME_BENCH_FILENAME,
+        append_bench_history,
+        bench_history_entry,
+        flag_history_regressions,
+        format_bench_history,
+        load_bench_history,
+    )
+
+    history_path = (
+        args.record if args.record and args.record != "-"
+        else BENCH_HISTORY_FILENAME
+    )
+    try:
+        entry = bench_history_entry(
+            BENCH_ENGINE_FILENAME,
+            RUNTIME_BENCH_FILENAME
+            if _os.path.exists(RUNTIME_BENCH_FILENAME) else None,
+        )
+        history = load_bench_history(history_path)
+    except (OSError, ValueError) as error:
+        print(f"bench history: {error}", file=sys.stderr)
+        return 2
+    window = args.window or HISTORY_WINDOW
+    flags = flag_history_regressions(history + [entry], window=window)
+    print(format_bench_history(history + [entry], flags))
+    if args.record:
+        append_bench_history(history_path, entry)
+        print(f"history entry appended to {history_path}")
+    if entry["violations"]:
+        print()
+        for violation in entry["violations"]:
+            print(f"ERROR: {violation}", file=sys.stderr)
+        return 1
+    return 1 if flags else 0
 
 
 def _run_burst(args) -> str:
@@ -883,6 +1002,7 @@ def _campaign_runner(args, name: str):
         baseline_path=args.baseline,
         shard_retries=args.retries or 0,
         faults=_fault_injector(args),
+        journal=_journal_writer(args, "campaign"),
     )
 
 
@@ -902,9 +1022,10 @@ def _run_campaign(args) -> int:
     try:
         if action == "list":
             return _campaign_list()
-        if action not in ("run", "status", "resume", "report", "diff"):
+        if action not in ("run", "status", "resume", "report", "diff",
+                          "watch"):
             print(f"unknown campaign action {action!r}; expected list, run, "
-                  "status, resume, report or diff", file=sys.stderr)
+                  "status, resume, report, diff or watch", file=sys.stderr)
             return 2
         if len(args.targets) < 3:
             print(f"usage: repro campaign {action} <name> [flags]",
@@ -915,6 +1036,8 @@ def _run_campaign(args) -> int:
             return _campaign_run(args, name, resume=action == "resume")
         if action == "status":
             return _campaign_status(args, name)
+        if action == "watch":
+            return _campaign_watch(args, name)
         if action == "report":
             return _campaign_report(args, name)
         return _campaign_diff(args, name)
@@ -1022,6 +1145,31 @@ def _campaign_status(args, name: str) -> int:
     if dispatch:
         print("  dispatch: "
               + " ".join(f"{k}={v}" for k, v in sorted(dispatch.items())))
+    return 0
+
+
+def _campaign_watch(args, name: str) -> int:
+    """``repro campaign watch <name>`` — live per-stage progress bars.
+
+    Re-reads the on-disk manifest every ``--interval`` seconds and
+    redraws the dashboard in place; on a non-TTY stream (CI logs,
+    pipes) exactly one frame is printed.  The campaign itself runs in
+    another process — watching never takes locks or mutates state.
+    """
+    from repro.obs.fleet import render_campaign_dashboard, watch
+
+    runner = _campaign_runner(args, name)
+
+    def frame() -> str:
+        manifest = runner.status()
+        if manifest is None:
+            return f"campaign {name}: never run (no manifest in {runner.dir})"
+        return render_campaign_dashboard(manifest, title=name)
+
+    try:
+        watch(frame, interval=args.interval)
+    except KeyboardInterrupt:
+        print()
     return 0
 
 
@@ -1221,10 +1369,15 @@ def _run_dispatch(args) -> int:
             from repro.resilience import RetryPolicy
 
             retry = RetryPolicy(max_attempts=(args.retries or 2) + 1)
-            broker = Broker(lease_seconds=args.lease_seconds, retry=retry)
+            broker = Broker(
+                lease_seconds=args.lease_seconds, retry=retry,
+                journal=_journal_writer(args, "broker"),
+            )
             server = BrokerServer(broker, port=args.port)
             print(f"broker listening on {server.url} "
                   f"(lease {args.lease_seconds:g}s); ^C to stop")
+            if args.journal:
+                print(f"journaling lifecycle events under {args.journal}")
             try:
                 server.serve_forever()
             except KeyboardInterrupt:
@@ -1248,7 +1401,8 @@ def _run_dispatch(args) -> int:
 
             worker_id = args.worker_id or f"worker-{_os.getpid()}"
             agent = WorkerAgent(
-                HttpTransport(url), worker_id=worker_id, cache=_cache(args)
+                HttpTransport(url), worker_id=worker_id, cache=_cache(args),
+                journal=_journal_writer(args, worker_id),
             )
             print(f"{worker_id} serving {url}")
             try:
@@ -1268,6 +1422,93 @@ def _run_dispatch(args) -> int:
     print(f"unknown dispatch action {action!r}; expected serve, work or "
           "status", file=sys.stderr)
     return 2
+
+
+def _run_fleet(args) -> int:
+    """``repro fleet status <url> | trace <journal-dir>``.
+
+    ``status`` polls a broker's ``/metrics`` document and renders the
+    plain-text fleet panel (``--watch`` keeps refreshing it on a TTY;
+    ``--json`` dumps the raw document for scripts).  ``trace`` merges a
+    ``--journal`` directory's per-actor journals into one Perfetto
+    trace and runs the structural checker over the merged timeline.
+    """
+    from repro.errors import ReproError
+
+    action = args.targets[1] if len(args.targets) > 1 else None
+    try:
+        if action == "status":
+            if len(args.targets) < 3:
+                print("usage: repro fleet status <broker-url> "
+                      "[--watch] [--json] [--interval S]", file=sys.stderr)
+                return 2
+            return _fleet_status(args, args.targets[2])
+        if action == "trace":
+            if len(args.targets) < 3:
+                print("usage: repro fleet trace <journal-dir> "
+                      "[--out PATH] [--check]", file=sys.stderr)
+                return 2
+            return _fleet_trace(args, args.targets[2])
+    except (ReproError, OSError, ValueError) as error:
+        print(f"fleet {action}: {error}", file=sys.stderr)
+        return 2
+    print(f"unknown fleet action {action!r}; expected status or trace",
+          file=sys.stderr)
+    return 2
+
+
+def _fleet_status(args, url: str) -> int:
+    """Render (or watch, or dump) one broker's metrics document."""
+    import json as _json
+
+    from repro.dispatch import HttpTransport
+    from repro.obs.fleet import render_fleet_dashboard, watch
+
+    transport = HttpTransport(url)
+    if args.json:
+        print(_json.dumps(transport.call("metrics", {}), indent=2,
+                          sort_keys=True))
+        return 0
+
+    def frame() -> str:
+        doc = transport.call("metrics", {})
+        journaling = " [journaling]" if doc.get("journaling") else ""
+        return render_fleet_dashboard(
+            doc, title=f"fleet @ {url} (engine {doc.get('engine')})"
+        ) + journaling
+
+    if not args.watch:
+        print(frame())
+        return 0
+    try:
+        watch(frame, interval=args.interval)
+    except KeyboardInterrupt:
+        print()
+    return 0
+
+
+def _fleet_trace(args, directory: str) -> int:
+    """Merge a journal directory into a Chrome trace; gate on soundness."""
+    import os as _os
+
+    from repro.obs.fleet import export_fleet_trace, journal_paths
+
+    out = args.out or _os.path.join(directory, "fleet_trace.json")
+    count = len(journal_paths(directory))
+    digest, problems = export_fleet_trace(directory, out)
+    print(f"merged {count} journal(s) from {directory} into {out}")
+    print(f"trace sha256: {digest}")
+    if problems:
+        for problem in problems:
+            print(f"  problem: {problem}", file=sys.stderr)
+        if args.check:
+            print(f"--check: {len(problems)} structural problem(s) in the "
+                  "merged timeline", file=sys.stderr)
+            return 1
+    else:
+        print("timeline structurally sound (every span anchored and closed)")
+    print("open in https://ui.perfetto.dev or chrome://tracing")
+    return 0
 
 
 def _run_cache(args) -> int:
@@ -1312,11 +1553,12 @@ COMMANDS: dict[str, tuple[Callable, str]] = {
 CACHE_COMMAND_HELP = "result cache maintenance: cache info | cache clear"
 CAMPAIGN_COMMAND_HELP = (
     "resumable reproduction campaigns: campaign list | run <name> | "
-    "status <name> | resume <name> | report <name> | diff <name>"
+    "status <name> | resume <name> | report <name> | diff <name> | "
+    "watch <name>"
 )
 BENCH_COMMAND_HELP = (
     "engine benchmark vs golden reference: bench engine | guard | obs "
-    "| runtime"
+    "| runtime | journal | history"
 )
 CHAOS_COMMAND_HELP = (
     "deterministic fault injection: chaos run <campaign> | plan [name|list]"
@@ -1334,6 +1576,10 @@ SCENARIO_COMMAND_HELP = (
 OBS_COMMAND_HELP = (
     "observability artifacts: obs record <wl> | report <path> | "
     "timeline <path>"
+)
+FLEET_COMMAND_HELP = (
+    "fleet monitoring: fleet status <url> [--watch|--json] | "
+    "trace <journal-dir> [--check]"
 )
 
 
@@ -1388,7 +1634,8 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument(
         "--check", action="store_true",
         help="with 'campaign run/report': exit non-zero unless every "
-        "stage's report-card verdict is 'pass'",
+        "stage's report-card verdict is 'pass'; with 'fleet trace': "
+        "exit non-zero when the merged timeline has structural problems",
     )
     campaign.add_argument(
         "--json", action="store_true",
@@ -1445,7 +1692,8 @@ def build_parser() -> argparse.ArgumentParser:
     scenario.add_argument(
         "--out", default=None, metavar="PATH",
         help="with 'scenario record': where to write the JSONL trace; "
-        "with 'obs record': the artifact directory",
+        "with 'obs record': the artifact directory; with 'fleet "
+        "trace': the merged Chrome-trace output path",
     )
     obs = parser.add_argument_group("observability options")
     obs.add_argument(
@@ -1458,7 +1706,8 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument(
         "--window", type=int, default=None, metavar="N",
         help="with --obs/'obs record': metrics window width in cycles "
-        "(default 1000)",
+        "(default 1000); with 'bench history': trailing entries "
+        "compared against (default 5)",
     )
     obs.add_argument(
         "--timeline", action="store_true",
@@ -1504,6 +1753,24 @@ def build_parser() -> argparse.ArgumentParser:
     dispatch.add_argument(
         "--worker-id", default=None, metavar="NAME",
         help="with 'dispatch work': worker name shown in broker leases",
+    )
+    fleet = parser.add_argument_group("fleet observability options")
+    fleet.add_argument(
+        "--journal", default=None, metavar="DIR",
+        help="journal every dispatch/campaign lifecycle event: each "
+        "actor (broker, workers, campaign runner) appends to its own "
+        "<actor>.journal.jsonl under DIR; merge and inspect with "
+        "'repro fleet trace DIR'",
+    )
+    fleet.add_argument(
+        "--watch", action="store_true",
+        help="with 'fleet status': keep redrawing the dashboard on a "
+        "TTY (one frame otherwise)",
+    )
+    fleet.add_argument(
+        "--interval", type=float, default=2.0, metavar="S",
+        help="with --watch/'campaign watch': refresh interval in "
+        "seconds (default 2)",
     )
     resilience = parser.add_argument_group("resilience options")
     resilience.add_argument(
@@ -1588,6 +1855,12 @@ def main(argv: list[str] | None = None) -> int:
                   f"{' '.join(targets[3:])}", file=sys.stderr)
             return 2
         return _run_dispatch(args)
+    if targets[0] == "fleet":
+        if len(targets) > 3:
+            print(f"unexpected arguments after fleet action: "
+                  f"{' '.join(targets[3:])}", file=sys.stderr)
+            return 2
+        return _run_fleet(args)
     if "list" in targets:
         for name, (_, description) in COMMANDS.items():
             print(f"  {name:10s} {description}")
@@ -1599,6 +1872,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"  {'chaos':10s} {CHAOS_COMMAND_HELP}")
         print(f"  {'doctor':10s} {DOCTOR_COMMAND_HELP}")
         print(f"  {'dispatch':10s} {DISPATCH_COMMAND_HELP}")
+        print(f"  {'fleet':10s} {FLEET_COMMAND_HELP}")
         return 0
     if "cache" in targets:
         if targets[0] != "cache":
@@ -1626,14 +1900,16 @@ def main(argv: list[str] | None = None) -> int:
     if unknown:
         print(f"unknown target(s): {', '.join(unknown)}", file=sys.stderr)
         print(f"available: {', '.join(COMMANDS)}, cache, bench, scenario, "
-              "campaign, obs, chaos, doctor, dispatch, all, list",
+              "campaign, obs, chaos, doctor, dispatch, fleet, all, list",
               file=sys.stderr)
         return 2
+    import os as _os
+
     for target in targets:
         runner, _ = COMMANDS[target]
         started = time.time()
         if args.profile:
-            dump_path = f"profile_{target}.pstats"
+            dump_path = _os.path.join("profiles", f"profile_{target}.pstats")
             output, report = _profiled(runner, args, dump_path=dump_path)
             print(output)
             print()
@@ -1643,8 +1919,6 @@ def main(argv: list[str] | None = None) -> int:
         else:
             print(runner(args))
         if args.obs:
-            import os as _os
-
             _write_telemetry(
                 args, _os.path.join(args.obs, f"telemetry_{target}.json"),
                 target=target,

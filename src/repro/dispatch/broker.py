@@ -37,7 +37,17 @@ from repro.resilience.policy import RetryPolicy
 from repro.runtime.cache import payload_sha256
 
 #: Broker protocol operations, in rough lifecycle order.
-BROKER_OPS = ("ping", "submit", "claim", "heartbeat", "complete", "results", "status")
+BROKER_OPS = (
+    "ping",
+    "submit",
+    "claim",
+    "heartbeat",
+    "complete",
+    "results",
+    "status",
+    "metrics",
+    "journal",
+)
 
 #: Default lease duration (seconds) before an unheartbeated claim is
 #: considered abandoned and requeued.
@@ -95,6 +105,7 @@ class _Task:
     result: dict | None = None
     digest: str | None = None
     failure: dict | None = None
+    trace: str | None = None  # trace id stamped at submit, echoed on claim
 
 
 @dataclass
@@ -114,12 +125,17 @@ class Broker:
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     clock: MonotonicClock | ManualClock = field(default_factory=MonotonicClock)
     artifact_dir: str | os.PathLike | None = None
+    #: Optional :class:`~repro.obs.fleet.JournalWriter` — the fleet
+    #: observability seam.  ``None`` (the default) costs one ``is not
+    #: None`` check per lifecycle event and nothing else.
+    journal: object | None = None
 
     def __post_init__(self) -> None:
         self._lock = threading.Lock()
         self._tasks: dict[str, _Task] = {}
         self._queue: list[str] = []  # FIFO of queued spec hashes
         self._lease_serial = 0
+        self._workers: dict[str, float] = {}  # worker id -> last-contact clock
         self.counters: dict[str, int] = {
             "submitted": 0,
             "leases_granted": 0,
@@ -144,6 +160,19 @@ class Broker:
                 raise DispatchError(f"unknown broker op {op!r}")
             return handler(payload or {})
 
+    # -- journaling -----------------------------------------------------
+
+    def _record(self, event: str, task: _Task | None, **data) -> None:
+        """Append one lifecycle record (call sites guard on ``journal``)."""
+        from repro.obs.fleet.spans import span_id
+
+        trace = task.trace if task is not None else None
+        span = None
+        spec_hash = data.get("spec_hash")
+        if trace is not None and spec_hash is not None:
+            span = span_id(trace, spec_hash)
+        self.journal.emit(event, trace=trace, span=span, **data)
+
     # -- lease bookkeeping ---------------------------------------------
 
     def _expire_leases(self) -> None:
@@ -153,6 +182,14 @@ class Broker:
                 continue
             if task.deadline is not None and task.deadline <= now:
                 self.counters["leases_expired"] += 1
+                if self.journal is not None:
+                    self._record(
+                        "broker.expire",
+                        task,
+                        spec_hash=spec_hash,
+                        lease=task.lease_token,
+                        worker=task.worker,
+                    )
                 self._requeue(spec_hash, task)
 
     def _requeue(self, spec_hash: str, task: _Task) -> None:
@@ -163,6 +200,8 @@ class Broker:
         self.counters["requeues"] += 1
         if spec_hash not in self._queue:
             self._queue.append(spec_hash)
+        if self.journal is not None:
+            self._record("broker.requeue", task, spec_hash=spec_hash)
 
     def _counts(self) -> dict:
         counts = {"queued": 0, "leased": 0, "done": 0, "failed": 0}
@@ -186,14 +225,23 @@ class Broker:
             if task is not None:
                 # Idempotent: resubmitting a known spec (resume, second
                 # batch sharing work) never duplicates execution.
+                if task.trace is None:
+                    task.trace = entry.get("trace")
                 known += 1
                 continue
-            self._tasks[spec_hash] = _Task(
-                spec_json=spec_json, label=entry.get("label", spec_hash[:12])
+            task = _Task(
+                spec_json=spec_json,
+                label=entry.get("label", spec_hash[:12]),
+                trace=entry.get("trace"),
             )
+            self._tasks[spec_hash] = task
             self._queue.append(spec_hash)
             accepted += 1
             self.counters["submitted"] += 1
+            if self.journal is not None:
+                self._record(
+                    "broker.submit", task, spec_hash=spec_hash, label=task.label
+                )
         return {"ok": True, "accepted": accepted, "known": known}
 
     def _op_claim(self, payload: dict) -> dict:
@@ -209,7 +257,19 @@ class Broker:
         task.lease_index = index
         task.worker = payload.get("worker", "?")
         task.deadline = self.clock.now() + self.lease_seconds
+        self._workers[task.worker] = self.clock.now()
         self.counters["leases_granted"] += 1
+        if self.journal is not None:
+            self._record(
+                "broker.claim",
+                task,
+                spec_hash=spec_hash,
+                label=task.label,
+                lease=task.lease_token,
+                lease_index=index,
+                worker=task.worker,
+                attempt=task.attempts,
+            )
         return {
             "task": {
                 "spec_hash": spec_hash,
@@ -219,11 +279,13 @@ class Broker:
                 "lease_index": index,
                 "attempt": task.attempts,
                 "lease_seconds": self.lease_seconds,
+                "trace": task.trace,
             }
         }
 
     def _op_heartbeat(self, payload: dict) -> dict:
-        task = self._tasks.get(payload.get("spec_hash", ""))
+        spec_hash = payload.get("spec_hash", "")
+        task = self._tasks.get(spec_hash)
         if (
             task is None
             or task.status != "leased"
@@ -231,8 +293,25 @@ class Broker:
         ):
             # The lease was lost (expired + requeued, or completed by a
             # twin) — the worker should abandon this task.
+            if self.journal is not None:
+                self._record(
+                    "broker.heartbeat",
+                    task,
+                    spec_hash=spec_hash,
+                    lease=payload.get("lease"),
+                    ok=False,
+                )
             return {"ok": False}
         task.deadline = self.clock.now() + self.lease_seconds
+        self._workers[task.worker] = self.clock.now()
+        if self.journal is not None:
+            self._record(
+                "broker.heartbeat",
+                task,
+                spec_hash=spec_hash,
+                lease=task.lease_token,
+                ok=True,
+            )
         return {"ok": True}
 
     def _op_complete(self, payload: dict) -> dict:
@@ -240,10 +319,17 @@ class Broker:
         task = self._tasks.get(spec_hash)
         if task is None:
             raise DispatchError(f"completion for unknown spec {spec_hash[:12]!r}")
+        worker = payload.get("worker")
+        if worker:
+            self._workers[worker] = self.clock.now()
         if task.status in ("done", "failed"):
             # Idempotent ingestion: the first delivery won; this one is
             # a counted no-op whatever its payload says.
             self.counters["duplicate_results"] += 1
+            if self.journal is not None:
+                self._record(
+                    "broker.complete", task, spec_hash=spec_hash, duplicate=True
+                )
             return {"ok": True, "duplicate": True}
         stale = task.status != "leased" or task.lease_token != payload.get("lease")
         if payload.get("status") == "ok":
@@ -254,6 +340,13 @@ class Broker:
                 # flight or a worker completed the wrong task.  Reject
                 # and requeue; never ingest an unverified result.
                 self.counters["rejected_results"] += 1
+                if self.journal is not None:
+                    self._record(
+                        "broker.reject",
+                        task,
+                        spec_hash=spec_hash,
+                        lease=payload.get("lease"),
+                    )
                 if task.status == "leased":
                     self._requeue(spec_hash, task)
                 return {"ok": False, "rejected": True}
@@ -270,6 +363,15 @@ class Broker:
             task.deadline = None
             self.counters["completions"] += 1
             self._persist_artifact(spec_hash, result, digest)
+            if self.journal is not None:
+                self._record(
+                    "broker.complete",
+                    task,
+                    spec_hash=spec_hash,
+                    status="ok",
+                    stale=stale,
+                    worker=worker,
+                )
             return {"ok": True}
         # status == "error": the spec itself failed on the worker.
         task.attempts += 1
@@ -285,6 +387,13 @@ class Broker:
             failure["retried"] = True
             task.failure = failure
             self.counters["task_retries"] += 1
+            if self.journal is not None:
+                self._record(
+                    "broker.retry",
+                    task,
+                    spec_hash=spec_hash,
+                    attempt=task.attempts,
+                )
             self._requeue(spec_hash, task)
             return {"ok": True, "requeued": True}
         task.status = "failed"
@@ -292,6 +401,14 @@ class Broker:
         task.lease_token = None
         task.deadline = None
         self.counters["failed_tasks"] += 1
+        if self.journal is not None:
+            self._record(
+                "broker.fail",
+                task,
+                spec_hash=spec_hash,
+                attempt=task.attempts,
+                kind=failure["kind"],
+            )
         return {"ok": True, "failed": True}
 
     def _op_results(self, payload: dict) -> dict:
@@ -330,6 +447,53 @@ class Broker:
             "counters": dict(self.counters),
             "lease_seconds": self.lease_seconds,
             "queue_depth": len(self._queue),
+            "gauges": self._gauges(),
+            "workers": self._worker_ages(),
+        }
+
+    def _gauges(self) -> dict:
+        """Derived fleet-health gauges (instantaneous, not cumulative)."""
+        now = self.clock.now()
+        inflight = 0
+        oldest = 0.0
+        for task in self._tasks.values():
+            if task.status != "leased":
+                continue
+            inflight += 1
+            if task.deadline is not None:
+                # The lease was granted ``lease_seconds`` before its
+                # deadline (heartbeats push both forward together).
+                age = now - (task.deadline - self.lease_seconds)
+                oldest = max(oldest, age)
+        return {
+            "queue_depth": len(self._queue),
+            "inflight": inflight,
+            "oldest_lease_age_s": round(max(oldest, 0.0), 6),
+        }
+
+    def _worker_ages(self) -> dict:
+        """Seconds since each known worker last talked to the broker."""
+        now = self.clock.now()
+        return {
+            worker: round(max(now - seen, 0.0), 6)
+            for worker, seen in sorted(self._workers.items())
+        }
+
+    def _op_metrics(self, payload: dict) -> dict:
+        from repro import __version__
+
+        document = self._op_status(payload)
+        document["engine"] = __version__
+        document["journaling"] = self.journal is not None
+        return document
+
+    def _op_journal(self, payload: dict) -> dict:
+        limit = int(payload.get("limit") or 100)
+        if self.journal is None:
+            return {"records": [], "path": None}
+        return {
+            "records": self.journal.tail(limit),
+            "path": str(self.journal.path),
         }
 
     # -- artifacts ------------------------------------------------------

@@ -65,6 +65,7 @@ class DispatchExecutor(Executor):
         fallback: Executor | None = None,
         stall_timeout: float = 120.0,
         poll_seconds: float = 0.1,
+        journal_dir: str | None = None,
     ) -> None:
         if jobs is not None and jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -76,7 +77,13 @@ class DispatchExecutor(Executor):
         self.lease_seconds = lease_seconds
         self.stall_timeout = stall_timeout
         self.poll_seconds = poll_seconds
+        #: When set, the local broker and every recruited agent journal
+        #: their lifecycle events under this directory (one
+        #: ``<actor>.journal.jsonl`` per actor).  ``None`` — the
+        #: default — records nothing.
+        self.journal_dir = journal_dir
         self.failure_listener = None
+        self._trace_context: str | None = None
         self.injector = (
             FaultInjector(plan=fault_plan) if fault_plan is not None else None
         )
@@ -95,6 +102,27 @@ class DispatchExecutor(Executor):
         mode = self.target if self.remote else "local"
         return f"dispatch[{mode}, jobs={self.jobs}]"
 
+    # -- trace context --------------------------------------------------
+
+    def set_trace_context(self, trace: str | None) -> None:
+        """Pin the trace id stamped on subsequent submits.
+
+        The campaign runner sets this to the stage/shard-derived trace
+        before each shard, so journal records on every actor share one
+        id per shard.  ``None`` reverts to per-batch trace derivation.
+        """
+        self._trace_context = trace
+
+    def _journal_writer(self, actor: str):
+        if self.journal_dir is None:
+            return None
+        from pathlib import Path
+
+        from repro.obs.fleet.journal import JournalWriter
+
+        path = Path(self.journal_dir) / f"{actor}.journal.jsonl"
+        return JournalWriter(path, actor=actor)
+
     # -- local-mode plumbing -------------------------------------------
 
     @property
@@ -107,6 +135,7 @@ class DispatchExecutor(Executor):
                 retry=self.retry,
                 clock=self._clock,
                 artifact_dir=None if self.target is None else self.target,
+                journal=self._journal_writer("broker"),
             )
             self._transport = LocalTransport(self._broker, faults=self.injector)
         return self._broker
@@ -123,10 +152,12 @@ class DispatchExecutor(Executor):
     def _recruit_agent(self):
         from repro.dispatch.worker import WorkerAgent
 
+        worker_id = f"local-{self._agent_serial}"
         agent = WorkerAgent(
             LocalTransport(self.broker, faults=self.injector),
-            worker_id=f"local-{self._agent_serial}",
+            worker_id=worker_id,
             faults=self.injector,
+            journal=self._journal_writer(worker_id),
         )
         self._agent_serial += 1
         self._agents.append(agent)
@@ -134,6 +165,11 @@ class DispatchExecutor(Executor):
 
     def close(self, *, force: bool = False) -> None:
         """Drop broker state and agents (counters reset with them)."""
+        if self._broker is not None and self._broker.journal is not None:
+            self._broker.journal.close()
+        for agent in self._agents:
+            if getattr(agent, "journal", None) is not None:
+                agent.journal.close()
         self._broker = None
         self._clock = None
         self._transport = None if not self.remote else self._transport
@@ -189,6 +225,10 @@ class DispatchExecutor(Executor):
         permanent = [record for record in failures if not record.retried]
         dispatch = dict(counters)
         dispatch["degraded_specs"] = len(degraded_specs)
+        if pending:
+            fleet = self._fleet_gauges()
+            if fleet:
+                dispatch["fleet"] = fleet
         elapsed = time.perf_counter() - started
         if permanent:
             outcome = ExecutionOutcome(
@@ -223,6 +263,23 @@ class DispatchExecutor(Executor):
         )
 
     # -- counters -------------------------------------------------------
+
+    def _fleet_gauges(self) -> dict:
+        """Instantaneous fleet health for the outcome's telemetry.
+
+        Unlike the counter *deltas*, these are point-in-time gauges —
+        the campaign rollup keeps the last batch's values rather than
+        summing them.
+        """
+        if self._transport is None:
+            return {}
+        try:
+            status = self._transport.call("status", {})
+        except TransportError:
+            return {}
+        gauges = dict(status.get("gauges", {}))
+        gauges["workers"] = len(status.get("workers", {}))
+        return gauges
 
     def _counters_snapshot(self) -> dict[str, int]:
         """Broker counters now — deltas keep per-batch telemetry honest."""
@@ -301,11 +358,19 @@ class DispatchExecutor(Executor):
         return [by_hash[h] for h in outstanding]
 
     def _submit(self, pending: Sequence[RunSpec]) -> None:
+        from repro.obs.fleet.spans import batch_trace_id
+
+        # Trace propagation is always on (it is just a string riding
+        # the protocol); *recording* it is the opt-in part.  A campaign
+        # pins the shard-derived trace via ``set_trace_context``.
+        trace = self._trace_context or batch_trace_id(
+            [spec.content_hash for spec in pending]
+        )
         self._transport.call(
             "submit",
             {
                 "specs": [
-                    {"spec": spec.to_json(), "label": spec.label()}
+                    {"spec": spec.to_json(), "label": spec.label(), "trace": trace}
                     for spec in pending
                 ]
             },

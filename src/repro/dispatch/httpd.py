@@ -7,7 +7,12 @@ in a threading HTTP server.  The protocol is deliberately minimal:
   JSON response (200), a :class:`~repro.errors.DispatchError` as a 400
   with ``{"error": ...}``, anything else as a 500;
 * ``GET /`` (or ``/status``) → the broker's status document, so a
-  browser or ``curl`` can watch a run.
+  browser or ``curl`` can watch a run;
+* ``GET /metrics`` → status plus derived gauges (queue depth,
+  inflight, oldest lease age), per-worker last-heartbeat ages and the
+  engine version — what ``repro fleet status`` polls;
+* ``GET /journal`` → the tail of the broker's event journal (empty
+  when the broker was started without ``--journal``).
 
 Thread safety is the broker's problem (its ``handle`` is locked); the
 server just moves JSON.  ``port=0`` binds an ephemeral port — read the
@@ -88,8 +93,12 @@ def _make_handler(broker: Broker) -> type[BaseHTTPRequestHandler]:
             self.wfile.write(body)
 
         def do_GET(self) -> None:
+            op = self.path.strip("/").split("?")[0].split("/")[0] or "status"
+            if op not in ("status", "metrics", "journal", "ping"):
+                self._reply(404, {"error": f"no such resource {self.path!r}"})
+                return
             try:
-                self._reply(200, broker.handle("status", {}))
+                self._reply(200, broker.handle(op, {}))
             except Exception as error:
                 self._reply(500, {"error": str(error)})
 

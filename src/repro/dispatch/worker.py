@@ -41,11 +41,15 @@ class WorkerAgent:
         worker_id: str = "worker-0",
         cache: ResultCache | None = None,
         faults: FaultInjector | None = None,
+        journal=None,
     ) -> None:
         self.transport = transport
         self.worker_id = worker_id
         self.cache = cache
         self.faults = faults
+        #: Optional :class:`~repro.obs.fleet.JournalWriter`; ``None``
+        #: costs one ``is not None`` check per lifecycle event.
+        self.journal = journal
         self.vanished = False
         self.counters: dict[str, int] = {
             "claims": 0,
@@ -54,6 +58,15 @@ class WorkerAgent:
             "errors": 0,
             "abandoned": 0,
         }
+
+    def _record(self, event: str, trace, spec_hash: str, **data) -> None:
+        """Append one journal record (call sites guard on ``journal``)."""
+        from repro.obs.fleet.spans import span_id
+
+        span = span_id(trace, spec_hash) if trace is not None else None
+        self.journal.emit(
+            event, trace=trace, span=span, spec_hash=spec_hash, **data
+        )
 
     # -- one protocol round --------------------------------------------
 
@@ -81,6 +94,9 @@ class WorkerAgent:
             return "vanished"
         spec_hash = task["spec_hash"]
         lease = task["lease"]
+        trace = task.get("trace")
+        if self.journal is not None:
+            self._record("worker.claim", trace, spec_hash, lease=lease)
         try:
             spec = RunSpec.from_json(task["spec"])
             if spec.content_hash != spec_hash:
@@ -89,23 +105,42 @@ class WorkerAgent:
                     f"payload hashes to {spec.content_hash[:12]}"
                 )
         except Exception as error:
-            self._complete_error(spec_hash, lease, "error", repr(error))
+            self._complete_error(spec_hash, lease, "error", repr(error), trace)
             return "error"
+        if self.journal is not None:
+            self._record("worker.verify", trace, spec_hash, lease=lease)
         result = self.cache.get(spec) if self.cache is not None else None
         if result is not None:
             self.counters["cache_hits"] += 1
+            if self.journal is not None:
+                self._record("worker.cache_hit", trace, spec_hash, lease=lease)
         else:
             beat = self.transport.call(
                 "heartbeat", {"spec_hash": spec_hash, "lease": lease}
             )
             if not beat.get("ok"):
                 self.counters["abandoned"] += 1
+                if self.journal is not None:
+                    self._record(
+                        "worker.abandon", trace, spec_hash, lease=lease
+                    )
                 return "abandoned"
+            started = time.perf_counter()
             try:
                 result = execute_spec(spec)
             except Exception as error:
-                self._complete_error(spec_hash, lease, "error", repr(error))
+                self._complete_error(
+                    spec_hash, lease, "error", repr(error), trace
+                )
                 return "error"
+            if self.journal is not None:
+                self._record(
+                    "worker.execute",
+                    trace,
+                    spec_hash,
+                    lease=lease,
+                    elapsed_s=round(time.perf_counter() - started, 6),
+                )
             if self.cache is not None:
                 self.cache.put(spec, result)
         result_json = result.to_json()
@@ -121,12 +156,28 @@ class WorkerAgent:
             },
         )
         self.counters["completed"] += 1
+        if self.journal is not None:
+            self._record("worker.complete", trace, spec_hash, lease=lease)
         return "done"
 
     def _complete_error(
-        self, spec_hash: str, lease: str, kind: str, detail: str
+        self,
+        spec_hash: str,
+        lease: str,
+        kind: str,
+        detail: str,
+        trace=None,
     ) -> None:
         self.counters["errors"] += 1
+        if self.journal is not None:
+            self._record(
+                "worker.error",
+                trace,
+                spec_hash,
+                lease=lease,
+                kind=kind,
+                detail=detail,
+            )
         try:
             self.transport.call(
                 "complete",

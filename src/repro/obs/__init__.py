@@ -12,15 +12,32 @@ The layer has four parts, all off by default and free when off:
   versioned JSONL metrics format and the Perfetto-loadable Chrome
   trace exporter;
 * :mod:`repro.obs.telemetry` — :class:`TelemetryExecutor` and the
-  campaign ``--progress`` heartbeat.
+  campaign ``--progress`` heartbeat;
+* :mod:`repro.obs.fleet` — dispatch-layer observability: structured
+  event journals, content-hash-derived trace correlation, fleet
+  Chrome traces and the ``repro fleet`` / ``repro campaign watch``
+  dashboards.
 
-See ``docs/observability.md`` for the probe catalogue and schemas.
+See ``docs/observability.md`` for the probe catalogue and schemas,
+and ``docs/fleet.md`` for the journal format and span derivation.
 """
 
 from repro.obs.chrometrace import (
+    build_fleet_trace_events,
     build_trace_events,
     validate_chrome_trace,
     write_chrome_trace,
+)
+from repro.obs.fleet import (
+    FleetTimeline,
+    JournalDoc,
+    JournalWriter,
+    check_timeline,
+    export_fleet_trace,
+    journal_digest,
+    merge_journals,
+    read_journal,
+    strip_wall,
 )
 from repro.obs.collect import (
     DEFAULT_WINDOW,
@@ -53,6 +70,9 @@ __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
     "DEFAULT_WINDOW",
     "ENGINE_EVENTS",
+    "FleetTimeline",
+    "JournalDoc",
+    "JournalWriter",
     "METRICS_FORMAT",
     "METRICS_VERSION",
     "MetricsDoc",
@@ -66,9 +86,16 @@ __all__ = [
     "LifecycleCollector",
     "TelemetryExecutor",
     "WindowedMetrics",
+    "build_fleet_trace_events",
     "build_trace_events",
+    "check_timeline",
     "discover_metrics",
+    "export_fleet_trace",
     "heartbeat_printer",
+    "journal_digest",
+    "merge_journals",
+    "read_journal",
+    "strip_wall",
     "read_metrics",
     "read_run",
     "render_metrics_report",

@@ -29,10 +29,18 @@ from repro.scenarios.tracefmt import file_sha256
 #: Process ids used in the exported trace.
 PACKETS_PID = 1
 ENGINE_PID = 2
+FLEET_PID = 3
 
 #: Engine-process thread ids.
 SKIP_TID = 0
 FRAME_TID = 1
+
+#: Fleet-process thread ids: the broker (queue-wait + ingest) and the
+#: campaign runner get fixed tracks; workers are assigned tids from
+#: ``_WORKER_TID_BASE`` upward in sorted-id order.
+BROKER_TID = 0
+CAMPAIGN_TID = 1
+_WORKER_TID_BASE = 2
 
 
 def _meta(name: str, pid: int, args: dict, tid: int = 0) -> dict:
@@ -195,6 +203,195 @@ def build_trace_events(lifecycle, activity, *, flow_labels) -> list[dict]:
                     "args": {},
                 }
             )
+    return events
+
+
+def build_fleet_trace_events(records) -> list[dict]:
+    """Render merged journal records as a fleet-wide trace process.
+
+    ``records`` is the causally-ordered record list from
+    :func:`repro.obs.fleet.merge_journals`.  The fleet process gets one
+    track per actor: the broker track shows **queue-wait** spans
+    (``X`` from submit to first claim) and **ingest** instants
+    (``broker.complete``); each worker track shows **execute** spans
+    (``X`` from worker claim to worker terminal, cache hits flagged in
+    ``args``); lease lifetimes ride as async ``b``/``e`` spans so
+    overlapping re-leases of one spec stay distinguishable; the
+    campaign track shows shard spans.  Timestamps are microseconds
+    relative to the earliest record's wall clock.
+    """
+    records = list(records)
+    if not records:
+        return []
+    t0 = min(record["wall"] for record in records)
+
+    def ts(record) -> int:
+        return int(round((record["wall"] - t0) * 1e6))
+
+    last_ts = max(ts(record) for record in records)
+    workers = sorted(
+        {
+            record["actor"]
+            for record in records
+            if record["event"].startswith("worker.")
+        }
+    )
+    worker_tid = {
+        worker: _WORKER_TID_BASE + index for index, worker in enumerate(workers)
+    }
+    events: list[dict] = [
+        _meta("process_name", FLEET_PID, {"name": "fleet"}),
+        _meta("process_sort_index", FLEET_PID, {"sort_index": 2}),
+        _meta("thread_name", FLEET_PID, {"name": "broker"}, BROKER_TID),
+        _meta("thread_name", FLEET_PID, {"name": "campaign"}, CAMPAIGN_TID),
+    ]
+    for worker, tid in worker_tid.items():
+        events.append(_meta("thread_name", FLEET_PID, {"name": worker}, tid))
+
+    submits: dict[tuple, dict] = {}
+    first_claim: dict[tuple, dict] = {}
+    open_leases: dict[tuple, dict] = {}
+    worker_claims: dict[tuple, dict] = {}
+    open_shards: dict[tuple, dict] = {}
+
+    def spec_key(record) -> tuple:
+        return (record.get("trace"), record["data"].get("spec_hash"))
+
+    def close_lease(key, record) -> None:
+        begin = open_leases.pop(key, None)
+        if begin is None:
+            return
+        events.append(
+            {
+                "name": f"lease {begin['data'].get('lease')}",
+                "cat": "lease",
+                "ph": "e",
+                "id": f"{key[1]}:{begin['data'].get('lease')}",
+                "pid": FLEET_PID,
+                "tid": BROKER_TID,
+                "ts": ts(record),
+                "args": {"closed_by": record["event"]},
+            }
+        )
+
+    for record in records:
+        event = record["event"]
+        data = record.get("data", {})
+        if event == "broker.submit":
+            submits[spec_key(record)] = record
+        elif event == "broker.claim":
+            key = spec_key(record)
+            if key in open_leases:
+                # A re-lease after a reject/retry requeue: close the
+                # superseded lease span so async b/e stay balanced.
+                close_lease(key, record)
+            open_leases[key] = record
+            events.append(
+                {
+                    "name": f"lease {data.get('lease')}",
+                    "cat": "lease",
+                    "ph": "b",
+                    "id": f"{key[1]}:{data.get('lease')}",
+                    "pid": FLEET_PID,
+                    "tid": BROKER_TID,
+                    "ts": ts(record),
+                    "args": {"worker": data.get("worker")},
+                }
+            )
+            if key not in first_claim:
+                first_claim[key] = record
+                begin = submits.get(key)
+                if begin is not None:
+                    events.append(
+                        {
+                            "name": f"queue {begin['data'].get('label', key[1][:12] if key[1] else '?')}",
+                            "cat": "queue-wait",
+                            "ph": "X",
+                            "pid": FLEET_PID,
+                            "tid": BROKER_TID,
+                            "ts": ts(begin),
+                            "dur": max(ts(record) - ts(begin), 0),
+                            "args": {"spec_hash": key[1]},
+                        }
+                    )
+        elif event == "worker.claim":
+            worker_claims[
+                (spec_key(record) + (record["actor"],))
+            ] = record
+        elif event in ("worker.complete", "worker.error", "worker.abandon",
+                       "worker.cache_hit"):
+            key = spec_key(record) + (record["actor"],)
+            begin = worker_claims.get(key)
+            if begin is not None and event != "worker.cache_hit":
+                events.append(
+                    {
+                        "name": f"execute {key[1][:12] if key[1] else '?'}",
+                        "cat": "execute",
+                        "ph": "X",
+                        "pid": FLEET_PID,
+                        "tid": worker_tid[record["actor"]],
+                        "ts": ts(begin),
+                        "dur": max(ts(record) - ts(begin), 0),
+                        "args": {"outcome": event.split(".", 1)[1]},
+                    }
+                )
+                worker_claims.pop(key, None)
+            elif event == "worker.cache_hit":
+                events.append(
+                    {
+                        "name": f"cache-hit {key[1][:12] if key[1] else '?'}",
+                        "cat": "execute",
+                        "ph": "i",
+                        "s": "t",
+                        "pid": FLEET_PID,
+                        "tid": worker_tid[record["actor"]],
+                        "ts": ts(record),
+                        "args": {"spec_hash": key[1]},
+                    }
+                )
+        elif event in ("broker.complete", "broker.fail", "broker.expire"):
+            key = spec_key(record)
+            close_lease(key, record)
+            if event == "broker.complete" and not data.get("duplicate"):
+                events.append(
+                    {
+                        "name": "ingest",
+                        "cat": "ingest",
+                        "ph": "i",
+                        "s": "t",
+                        "pid": FLEET_PID,
+                        "tid": BROKER_TID,
+                        "ts": ts(record),
+                        "args": {"spec_hash": key[1], "stale": data.get("stale")},
+                    }
+                )
+        elif event == "campaign.shard_start":
+            open_shards[(record.get("trace"),)] = record
+        elif event == "campaign.shard_finish":
+            begin = open_shards.pop((record.get("trace"),), None)
+            if begin is not None:
+                events.append(
+                    {
+                        "name": (
+                            f"{begin['data'].get('stage', '?')}"
+                            f".{begin['data'].get('shard', '?')}"
+                        ),
+                        "cat": "shard",
+                        "ph": "X",
+                        "pid": FLEET_PID,
+                        "tid": CAMPAIGN_TID,
+                        "ts": ts(begin),
+                        "dur": max(ts(record) - ts(begin), 0),
+                        "args": {"status": data.get("status")},
+                    }
+                )
+
+    # Close anything still open at the end of the timeline so the trace
+    # validates (a crashed fleet still renders, flagged in args).
+    for key in list(open_leases):
+        close_lease(
+            key, {"event": "end-of-journal", "wall": t0 + last_ts / 1e6}
+        )
     return events
 
 

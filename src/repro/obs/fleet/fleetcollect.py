@@ -1,0 +1,212 @@
+"""Merge per-actor journals into one causally-ordered fleet timeline.
+
+Each actor (the broker, every worker, the campaign runner) journals
+independently — there is no cross-host clock agreement and no shared
+file.  What ties the records together is content: the trace id stamped
+on submit and echoed through every claim (see
+:mod:`repro.obs.fleet.spans`) plus the spec hash and lease token in
+each record's ``data``.  :func:`merge_journals` joins the files on
+those keys and orders records by wall time with a causal-rank
+tiebreak (submit before claim before execute before complete), and
+:func:`check_timeline` is the structural gate CI runs: every worker
+span must be anchored to a broker claim with the same lease (no
+orphan spans), every submitted spec must reach a terminal broker
+event, and every campaign shard must close.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+from repro.obs.fleet.journal import JournalDoc, read_journal
+
+#: Causal rank of each event inside one spec lifecycle — used only to
+#: tiebreak records with equal wall timestamps, so the merged timeline
+#: reads submit → claim → execute → complete even at clock resolution.
+EVENT_RANK = {
+    "campaign.stage_start": 0,
+    "campaign.shard_start": 1,
+    "broker.submit": 2,
+    "broker.claim": 3,
+    "worker.claim": 4,
+    "worker.verify": 5,
+    "broker.heartbeat": 6,
+    "worker.cache_hit": 7,
+    "worker.execute": 8,
+    "worker.complete": 9,
+    "worker.error": 9,
+    "worker.abandon": 9,
+    "broker.expire": 10,
+    "broker.requeue": 11,
+    "broker.reject": 11,
+    "broker.retry": 11,
+    "broker.complete": 12,
+    "broker.fail": 12,
+    "campaign.shard_retry": 13,
+    "campaign.shard_finish": 14,
+    "campaign.stage_finish": 15,
+}
+
+
+@dataclass(frozen=True)
+class FleetTimeline:
+    """Merged journal records in causal order, plus their sources."""
+
+    records: tuple[dict, ...]
+    actors: tuple[str, ...]
+
+    def for_trace(self, trace: str) -> list[dict]:
+        return [r for r in self.records if r.get("trace") == trace]
+
+    def traces(self) -> list[str]:
+        seen: list[str] = []
+        for record in self.records:
+            trace = record.get("trace")
+            if trace is not None and trace not in seen:
+                seen.append(trace)
+        return seen
+
+
+def journal_paths(directory: str | os.PathLike) -> list[Path]:
+    """All ``*.journal.jsonl`` files under a journal directory."""
+    return sorted(Path(directory).glob("*.journal.jsonl"))
+
+
+def merge_journals(paths) -> FleetTimeline:
+    """Merge journal files into one causally-ordered timeline."""
+    docs: list[JournalDoc] = []
+    for path in paths:
+        docs.append(read_journal(path))
+    if not docs:
+        raise ConfigurationError("no journal files to merge")
+    records = [record for doc in docs for record in doc.records]
+    records.sort(
+        key=lambda r: (
+            r["wall"],
+            EVENT_RANK.get(r["event"], 99),
+            r["actor"],
+            r["seq"],
+        )
+    )
+    return FleetTimeline(
+        records=tuple(records),
+        actors=tuple(sorted({doc.actor for doc in docs})),
+    )
+
+
+def _spec_key(record: dict) -> tuple | None:
+    spec_hash = record.get("data", {}).get("spec_hash")
+    if spec_hash is None:
+        return None
+    return (record.get("trace"), spec_hash)
+
+
+def check_timeline(timeline: FleetTimeline) -> list[str]:
+    """Structural problems in a merged timeline; empty means sound.
+
+    Rules enforced:
+
+    * every worker-side record must be anchored to a broker claim with
+      the same (trace, spec hash, lease) — an unanchored worker span is
+      an **orphan**;
+    * every submitted spec must reach a terminal broker event
+      (``broker.complete`` or ``broker.fail``);
+    * every broker claim must resolve: a worker-side terminal for the
+      same lease, or a broker-side expire/requeue/terminal for the spec;
+    * every ``campaign.shard_start`` must be closed by a
+      ``campaign.shard_finish`` on the same trace, and stages likewise.
+    """
+    problems: list[str] = []
+    submitted: set[tuple] = set()
+    terminal: set[tuple] = set()
+    claims: dict[tuple, set[str]] = {}
+    worker_done: dict[tuple, set[str]] = {}
+    requeued: set[tuple] = set()
+    shard_open: dict[str, int] = {}
+    stage_open: dict[str, int] = {}
+
+    for record in timeline.records:
+        event = record["event"]
+        key = _spec_key(record)
+        lease = record.get("data", {}).get("lease")
+        if event == "broker.submit":
+            submitted.add(key)
+        elif event == "broker.claim":
+            claims.setdefault(key, set()).add(lease)
+        elif event in ("broker.complete", "broker.fail"):
+            terminal.add(key)
+        elif event in ("broker.expire", "broker.requeue", "broker.retry",
+                       "broker.reject"):
+            requeued.add(key)
+        elif event.startswith("worker."):
+            anchors = claims.get(key, set())
+            if lease not in anchors:
+                problems.append(
+                    f"orphan worker span: {event} for spec "
+                    f"{(key or ('?', '?'))[1][:12]} lease {lease!r} has no "
+                    f"broker claim"
+                )
+            if event in ("worker.complete", "worker.error", "worker.abandon"):
+                worker_done.setdefault(key, set()).add(lease)
+        elif event == "campaign.shard_start":
+            shard_open[record.get("trace")] = shard_open.get(
+                record.get("trace"), 0
+            ) + 1
+        elif event == "campaign.shard_finish":
+            shard_open[record.get("trace")] = shard_open.get(
+                record.get("trace"), 0
+            ) - 1
+        elif event == "campaign.stage_start":
+            stage = record["data"].get("stage", "?")
+            stage_open[stage] = stage_open.get(stage, 0) + 1
+        elif event == "campaign.stage_finish":
+            stage = record["data"].get("stage", "?")
+            stage_open[stage] = stage_open.get(stage, 0) - 1
+
+    for key in sorted(submitted - terminal, key=str):
+        problems.append(
+            f"incomplete spec: {key[1][:12]} submitted but never reached a "
+            f"terminal broker event"
+        )
+    for key, leases in sorted(claims.items(), key=str):
+        if key in terminal or key in requeued:
+            continue
+        if not leases & worker_done.get(key, set()):
+            problems.append(
+                f"unresolved claim: spec {key[1][:12]} was leased but no "
+                f"worker terminal or broker requeue followed"
+            )
+    for trace, count in sorted(shard_open.items(), key=str):
+        if count != 0:
+            problems.append(
+                f"unbalanced shard: trace {trace} has {count} unclosed "
+                f"shard span(s)"
+            )
+    for stage, count in sorted(stage_open.items()):
+        if count != 0:
+            problems.append(
+                f"unbalanced stage: {stage} has {count} unclosed span(s)"
+            )
+    return problems
+
+
+def export_fleet_trace(
+    directory: str | os.PathLike, out_path: str | os.PathLike
+) -> tuple[str, list[str]]:
+    """Merge a journal directory into a Chrome trace file.
+
+    Returns ``(sha256, problems)`` — the trace is written even when the
+    structural checker reports problems, so a broken fleet can still be
+    inspected visually; callers gate on ``problems`` themselves.
+    """
+    from repro.obs.chrometrace import build_fleet_trace_events, write_chrome_trace
+
+    paths = journal_paths(directory)
+    timeline = merge_journals(paths)
+    problems = check_timeline(timeline)
+    events = build_fleet_trace_events(timeline.records)
+    digest = write_chrome_trace(out_path, events)
+    return digest, problems

@@ -1,0 +1,296 @@
+"""Versioned append-only JSONL event journal for the dispatch fleet.
+
+Companion to :mod:`repro.obs.metricsfmt` (windowed engine metrics) and
+:mod:`repro.scenarios.tracefmt` (injection traces): one JSON document
+per line, a header first, then one schema-validated record per
+lifecycle event.  Layout::
+
+    {"format": "repro-obs-journal", "version": 1,
+     "actor": "broker", "meta": {...}}                       # header
+    {"seq": 0, "actor": "broker", "event": "broker.submit",
+     "wall": 1712.031, "trace": "9af...", "span": "31c...",
+     "data": {"spec_hash": "...", "label": "fig3/..."}}
+    ...
+
+Records are append-only, written as one ``write()`` of a complete line
+and flushed immediately, so a crash mid-run leaves at worst one torn
+*final* line — which :func:`read_journal` rejects loudly rather than
+silently truncating.  ``seq`` is per-file and contiguous from 0; a gap
+or repeat means the file was hand-edited or interleaved by two writers
+and is refused.
+
+Determinism contract: every field except ``wall`` (and the elapsed
+data keys in :data:`WALL_DATA_KEYS`) is derived from content hashes or
+deterministic protocol state, so two replays of the same ``--dispatch
+local`` campaign produce journals that compare equal after
+:func:`strip_wall` — :func:`journal_digest` is the one-line test for
+that, and the bit-neutrality gate in ``tests/test_fleet_journal.py``
+holds the whole seam to it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+
+JOURNAL_FORMAT = "repro-obs-journal"
+JOURNAL_VERSION = 1
+
+#: The full event catalogue, grouped by actor.  ``emit`` refuses events
+#: outside it (a typo'd event name is a bug, not data) and
+#: ``read_journal`` refuses records carrying unknown events.
+BROKER_EVENTS = frozenset(
+    {
+        "broker.submit",
+        "broker.claim",
+        "broker.heartbeat",
+        "broker.complete",
+        "broker.expire",
+        "broker.requeue",
+        "broker.reject",
+        "broker.retry",
+        "broker.fail",
+    }
+)
+WORKER_EVENTS = frozenset(
+    {
+        "worker.claim",
+        "worker.verify",
+        "worker.execute",
+        "worker.cache_hit",
+        "worker.complete",
+        "worker.error",
+        "worker.abandon",
+    }
+)
+CAMPAIGN_EVENTS = frozenset(
+    {
+        "campaign.stage_start",
+        "campaign.stage_finish",
+        "campaign.shard_start",
+        "campaign.shard_finish",
+        "campaign.shard_retry",
+    }
+)
+JOURNAL_EVENTS = BROKER_EVENTS | WORKER_EVENTS | CAMPAIGN_EVENTS
+
+#: Keys every journal record must carry (validated on read).
+_RECORD_KEYS = frozenset({"seq", "actor", "event", "wall", "data"})
+
+#: Wall-clock-tainted keys inside ``data`` — stripped (together with
+#: the top-level ``wall``) before determinism comparisons.
+WALL_DATA_KEYS = frozenset({"elapsed_s", "oldest_lease_age_s", "age_s"})
+
+
+@dataclass(frozen=True)
+class JournalDoc:
+    """A parsed journal file: header mapping + event records."""
+
+    header: dict
+    records: tuple[dict, ...]
+
+    @property
+    def actor(self) -> str:
+        return self.header["actor"]
+
+    @property
+    def meta(self) -> dict:
+        return dict(self.header.get("meta", {}))
+
+
+class JournalWriter:
+    """Append-only journal for one actor (broker, worker, campaign).
+
+    Opened in append mode: a fresh file gets a header line, an existing
+    journal is continued with ``seq`` picking up where it left off (the
+    resumed-campaign case).  A bounded in-memory tail of recent records
+    backs the broker's ``/journal`` endpoint without re-reading disk.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        *,
+        actor: str,
+        meta: dict | None = None,
+        tail_size: int = 256,
+    ) -> None:
+        self.path = Path(path)
+        self.actor = actor
+        self._lock = threading.Lock()
+        self._tail: deque[dict] = deque(maxlen=tail_size)
+        self._seq = 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if self.path.exists() and self.path.stat().st_size > 0:
+            self._seq = self._resume_seq()
+            self._handle = open(self.path, "a", encoding="utf-8")
+        else:
+            self._handle = open(self.path, "a", encoding="utf-8")
+            header = {
+                "format": JOURNAL_FORMAT,
+                "version": JOURNAL_VERSION,
+                "actor": actor,
+                "meta": dict(meta or {}),
+            }
+            self._handle.write(json.dumps(header, sort_keys=True) + "\n")
+            self._handle.flush()
+
+    def _resume_seq(self) -> int:
+        doc = read_journal(self.path)
+        if doc.actor != self.actor:
+            raise ConfigurationError(
+                f"journal {self.path!s} belongs to actor {doc.actor!r}, "
+                f"cannot append as {self.actor!r}"
+            )
+        return len(doc.records)
+
+    def emit(
+        self,
+        event: str,
+        *,
+        trace: str | None = None,
+        span: str | None = None,
+        wall: float | None = None,
+        **data,
+    ) -> dict:
+        """Append one lifecycle record; returns it (with seq stamped)."""
+        if event not in JOURNAL_EVENTS:
+            raise ValueError(f"unknown journal event {event!r}")
+        record: dict = {
+            "seq": 0,  # stamped under the lock below
+            "actor": self.actor,
+            "event": event,
+            "wall": time.time() if wall is None else wall,
+            "data": data,
+        }
+        if trace is not None:
+            record["trace"] = trace
+        if span is not None:
+            record["span"] = span
+        with self._lock:
+            record["seq"] = self._seq
+            self._seq += 1
+            self._handle.write(
+                json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+            )
+            self._handle.flush()
+            self._tail.append(record)
+        return record
+
+    def tail(self, limit: int = 100) -> list[dict]:
+        """The most recent records (bounded by the tail buffer)."""
+        with self._lock:
+            records = list(self._tail)
+        return records[-limit:]
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.close()
+
+    def __enter__(self) -> JournalWriter:
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def read_journal(path: str | os.PathLike) -> JournalDoc:
+    """Parse and validate a JSONL journal file.
+
+    Mirrors :func:`repro.obs.metricsfmt.read_metrics`: a bad header,
+    a torn/corrupt line, an unknown event, missing record keys or a
+    broken ``seq`` chain each raise :class:`ConfigurationError` with
+    the offending line number.
+    """
+    with open(path, encoding="utf-8") as handle:
+        header_line = handle.readline()
+        if not header_line.strip():
+            raise ConfigurationError(f"journal {path!s} is empty")
+        try:
+            header = json.loads(header_line)
+        except json.JSONDecodeError as error:
+            raise ConfigurationError(f"journal {path!s}: bad header") from error
+        if header.get("format") != JOURNAL_FORMAT:
+            raise ConfigurationError(
+                f"journal {path!s}: not a {JOURNAL_FORMAT} file"
+            )
+        if header.get("version") != JOURNAL_VERSION:
+            raise ConfigurationError(
+                f"journal {path!s}: unsupported version "
+                f"{header.get('version')!r} (this build reads version "
+                f"{JOURNAL_VERSION})"
+            )
+        if "actor" not in header:
+            raise ConfigurationError(
+                f"journal {path!s}: header is missing 'actor'"
+            )
+        records = []
+        for line_no, line in enumerate(handle, start=2):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ConfigurationError(
+                    f"journal {path!s}: bad record on line {line_no}"
+                ) from error
+            if not isinstance(record, dict):
+                raise ConfigurationError(
+                    f"journal {path!s}: line {line_no} is not an object"
+                )
+            missing = _RECORD_KEYS - set(record)
+            if missing:
+                raise ConfigurationError(
+                    f"journal {path!s}: line {line_no} is missing "
+                    f"{', '.join(sorted(missing))}"
+                )
+            if record["event"] not in JOURNAL_EVENTS:
+                raise ConfigurationError(
+                    f"journal {path!s}: line {line_no} has unknown event "
+                    f"{record['event']!r}"
+                )
+            if record["seq"] != len(records):
+                raise ConfigurationError(
+                    f"journal {path!s}: line {line_no} has seq "
+                    f"{record['seq']}, expected {len(records)}"
+                )
+            records.append(record)
+    return JournalDoc(header=header, records=tuple(records))
+
+
+def strip_wall(record: dict) -> dict:
+    """A copy of ``record`` without wall-clock-tainted fields."""
+    stripped = {key: value for key, value in record.items() if key != "wall"}
+    data = record.get("data")
+    if isinstance(data, dict):
+        stripped["data"] = {
+            key: value
+            for key, value in data.items()
+            if key not in WALL_DATA_KEYS
+        }
+    return stripped
+
+
+def journal_digest(path: str | os.PathLike) -> str:
+    """SHA-256 over the wall-stripped records — the determinism probe.
+
+    Two replays of the same local-dispatch campaign must produce the
+    same digest for each actor's journal; the header ``meta`` mapping
+    is excluded because it may legitimately carry run-local paths.
+    """
+    doc = read_journal(path)
+    canonical = {
+        "actor": doc.actor,
+        "records": [strip_wall(record) for record in doc.records],
+    }
+    blob = json.dumps(canonical, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()

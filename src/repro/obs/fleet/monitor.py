@@ -1,0 +1,145 @@
+"""Plain-text live dashboards for fleets and campaigns (stdlib only).
+
+Two renderers and one watch loop:
+
+* :func:`render_fleet_dashboard` — a broker's ``/metrics`` document as
+  a fixed-width status panel: task counts, queue depth, inflight,
+  oldest lease age, per-worker last-heartbeat ages, counters.
+* :func:`render_campaign_dashboard` — a campaign manifest as per-stage
+  progress bars with shard/retry/failure annotations.
+* :func:`watch` — refresh a renderer at an interval.  On a TTY the
+  screen is redrawn in place (ANSI home + clear-to-end); on anything
+  else (CI logs, pipes) it degrades to a single render and returns,
+  so ``repro fleet status`` in a pipeline never emits control codes.
+
+Everything returns/prints plain text; there is no curses dependency.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+BAR_WIDTH = 28
+
+
+def _bar(done: int, total: int, width: int = BAR_WIDTH) -> str:
+    if total <= 0:
+        return "-" * width
+    filled = int(round(width * min(done, total) / total))
+    return "#" * filled + "-" * (width - filled)
+
+
+def render_fleet_dashboard(doc: dict, *, title: str = "fleet") -> str:
+    """Render a broker metrics document as a status panel."""
+    counts = doc.get("counts", {})
+    counters = doc.get("counters", {})
+    gauges = doc.get("gauges", {})
+    workers = doc.get("workers", {})
+    total = sum(counts.values()) or 0
+    done = counts.get("done", 0) + counts.get("failed", 0)
+    lines = [
+        f"=== {title} ===",
+        f"tasks    [{_bar(done, total)}] {done}/{total}"
+        f"  (queued {counts.get('queued', 0)}, leased {counts.get('leased', 0)},"
+        f" done {counts.get('done', 0)}, failed {counts.get('failed', 0)})",
+        f"queue    depth={gauges.get('queue_depth', doc.get('queue_depth', 0))}"
+        f"  inflight={gauges.get('inflight', counts.get('leased', 0))}"
+        f"  oldest_lease_age_s={gauges.get('oldest_lease_age_s', 0.0):.1f}",
+    ]
+    if workers:
+        lines.append("workers:")
+        for worker_id in sorted(workers):
+            age = workers[worker_id]
+            lines.append(f"  {worker_id:<20} last seen {age:6.1f}s ago")
+    if counters:
+        busiest = sorted(counters.items())
+        parts = [f"{key}={value}" for key, value in busiest if value]
+        lines.append("counters " + (", ".join(parts) if parts else "(all zero)"))
+    return "\n".join(lines)
+
+
+def render_campaign_dashboard(manifest: dict, *, title: str | None = None) -> str:
+    """Render a campaign manifest as per-stage progress bars."""
+    name = title or manifest.get("campaign", "campaign")
+    stages = manifest.get("stages", {})
+    statuses = [entry.get("status") for entry in stages.values()]
+    overall = (
+        "complete"
+        if statuses and all(status == "complete" for status in statuses)
+        else ("failed" if "failed" in statuses else "running")
+    )
+    lines = [f"=== campaign {name} [{overall}] ==="]
+    for stage_name in sorted(stages):
+        entry = stages[stage_name]
+        shards = entry.get("shards") or []
+        total = len(shards)
+        done = sum(
+            1
+            for shard in shards
+            if shard and shard.get("status") == "complete"
+        )
+        retries = int(entry.get("retries", 0)) + sum(
+            int(shard.get("retries", 0)) for shard in shards if shard
+        )
+        notes = []
+        if retries:
+            notes.append(f"{retries} retried")
+        if entry.get("status") in ("failed", "blocked"):
+            notes.append(entry["status"].upper())
+        suffix = f"  ({', '.join(notes)})" if notes else ""
+        lines.append(
+            f"{stage_name:<24} [{_bar(done, total)}] {done}/{total} shards"
+            f"{suffix}"
+        )
+    telemetry = manifest.get("telemetry", {})
+    dispatch = telemetry.get("resilience", {}).get("dispatch", {})
+    if dispatch:
+        parts = [
+            f"{key}={value}"
+            for key, value in sorted(dispatch.items())
+            if isinstance(value, (int, float)) and value
+        ]
+        if parts:
+            lines.append("dispatch " + ", ".join(parts))
+    return "\n".join(lines)
+
+
+def watch(
+    render,
+    *,
+    interval: float = 2.0,
+    iterations: int | None = None,
+    stream=None,
+    force_tty: bool | None = None,
+    clock=time,
+) -> int:
+    """Refresh ``render()`` every ``interval`` seconds until it returns None.
+
+    ``render`` is a zero-argument callable returning the panel text for
+    one frame, or ``None`` to stop.  Returns the number of frames
+    drawn.  On a non-TTY stream this draws exactly one frame — live
+    redraw control codes have no business in a piped log.
+    """
+    stream = stream if stream is not None else sys.stdout
+    is_tty = (
+        force_tty
+        if force_tty is not None
+        else bool(getattr(stream, "isatty", lambda: False)())
+    )
+    frames = 0
+    while True:
+        panel = render()
+        if panel is None:
+            break
+        if is_tty and frames:
+            stream.write("\x1b[H\x1b[J")
+        stream.write(panel + "\n")
+        stream.flush()
+        frames += 1
+        if not is_tty:
+            break
+        if iterations is not None and frames >= iterations:
+            break
+        clock.sleep(interval)
+    return frames

@@ -1,0 +1,65 @@
+"""Deterministic span/trace identifiers for fleet journals.
+
+Every identifier is derived from *content* — never from wall clocks,
+PIDs or randomness — so two replays of the same campaign produce the
+same ids and their journals compare equal after stripping wall-clock
+fields.  The derivation chain mirrors the dispatch data model::
+
+    trace  = H("trace"  : campaign stage hash : shard index)   # campaign
+    trace  = H("batch"  : sorted spec hashes...)               # ad-hoc batch
+    span   = H("span"   : trace : spec hash)                   # one spec
+    lease  = H("lease"  : trace : spec hash : lease token)     # one lease
+
+where ``H`` is sha256 over the colon-joined parts, truncated to 32 hex
+characters for traces and 16 for spans (Chrome-trace ids are strings,
+so truncation only has to dodge collisions, not encode structure).
+
+Trace context is *propagated in-band*: the executor stamps each submit
+entry with its trace id, the broker stores it on the task and echoes it
+back in every claim response, so worker-side journal records carry the
+same trace id as the broker-side records they causally follow — that is
+what lets :mod:`repro.obs.fleet.fleetcollect` merge per-actor journals
+into one timeline without any cross-host clock agreement.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = [
+    "batch_trace_id",
+    "lease_span_id",
+    "span_id",
+    "stage_trace_id",
+    "trace_id",
+]
+
+
+def _digest(parts: tuple[str, ...], length: int) -> str:
+    joined = ":".join(str(part) for part in parts)
+    return hashlib.sha256(joined.encode("utf-8")).hexdigest()[:length]
+
+
+def trace_id(*parts: str) -> str:
+    """A 32-hex trace id from arbitrary content parts."""
+    return _digest(("trace",) + parts, 32)
+
+
+def span_id(trace: str, *parts: str) -> str:
+    """A 16-hex span id scoped under ``trace``."""
+    return _digest(("span", trace) + parts, 16)
+
+
+def stage_trace_id(stage_hash: str, shard_index: int) -> str:
+    """Trace id for one campaign shard: stage hash → shard index."""
+    return trace_id(stage_hash, str(shard_index))
+
+
+def batch_trace_id(spec_hashes) -> str:
+    """Trace id for an ad-hoc batch: sorted spec content hashes."""
+    return _digest(("batch",) + tuple(sorted(spec_hashes)), 32)
+
+
+def lease_span_id(trace: str, spec_hash: str, lease_token: str) -> str:
+    """Span id for one lease attempt on one spec."""
+    return _digest(("lease", trace, spec_hash, lease_token), 16)

@@ -125,12 +125,17 @@ def heartbeat_printer(
 
     The first heartbeat and the final spec of a batch always print even
     under rate capping, so the visible log starts immediately and ends
-    on ``N/N``.
+    on ``N/N`` — and the terminal heartbeat additionally flushes a
+    per-stage wall-time summary (sim/cache split + elapsed), so a
+    rate-capped stage never ends without its accounting line.
     """
     last_emit: list[float | None] = [None]
+    stage_stats: dict[str, list] = {}  # stage -> [started, sim, cache]
 
     def heartbeat(stage: str, done: int, total: int, label: str, cached: bool):
         now = time.monotonic()
+        stats = stage_stats.setdefault(stage, [now, 0, 0])
+        stats[2 if cached else 1] += 1
         if (
             done < total
             and min_interval_seconds > 0
@@ -141,5 +146,11 @@ def heartbeat_printer(
         last_emit[0] = now
         source = "cache" if cached else "sim"
         emit(f"      [{stage}] {done}/{total} {source:>5}  {label}")
+        if done >= total:
+            started, sim, hits = stage_stats.pop(stage)
+            emit(
+                f"      [{stage}] done: {sim} sim + {hits} cache "
+                f"in {now - started:.1f}s"
+            )
 
     return heartbeat

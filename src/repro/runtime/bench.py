@@ -740,6 +740,7 @@ def validate_runtime_baseline(path: str | os.PathLike) -> tuple[list[str], dict]
             violations.append(
                 f"{name}: parallel speedup {speedup} < {parallel_floor:g}"
             )
+    violations.extend(_validate_journal_section(data))
     return violations, data
 
 
@@ -779,6 +780,327 @@ def format_runtime_markdown(data: dict) -> str:
             f"| {name} | {serial if serial is not None else float('nan'):.3f} "
             f"| — | — | — | — | {legacy.get('speedup', 0.0):.2f}x | — |"
         )
+    journal = data.get("_journal")
+    if journal:
+        timings = journal.get("timings_seconds", {})
+        lines += [
+            "",
+            "### Dispatch journal overhead "
+            f"(journal-off floor ≥ {journal.get('floor_speedup_off', JOURNAL_OFF_FLOOR):g})",
+            "",
+            "| off (s) | on (s) | overhead | floor | results |",
+            "|---:|---:|---:|---:|---|",
+            f"| {timings.get('off', float('nan')):.3f} "
+            f"| {timings.get('on', float('nan')):.3f} "
+            f"| {journal.get('journal_overhead', 0.0):+.1%} "
+            f"| {journal.get('speedup_off', 0.0):.2f}x "
+            f"| {'identical' if journal.get('results_equal') else 'DIVERGED'} |",
+        ]
+    return "\n".join(lines)
+
+
+# -- dispatch journal overhead ----------------------------------------
+
+#: Floor for the journal-*off* dispatch path.  With no
+#: :class:`~repro.obs.fleet.JournalWriter` attached every hook site is
+#: one ``is not None`` test, so running with journaling off must never
+#: be slower than running with it on — a value under 1.0 means the
+#: disabled path itself started costing time.
+JOURNAL_OFF_FLOOR = 1.0
+
+
+@dataclass(frozen=True)
+class JournalOverheadResult:
+    """Dispatch timings with event journaling off vs on (best of repeats).
+
+    Both variants run the same batches through an in-process
+    :class:`~repro.dispatch.DispatchExecutor`; ``on`` additionally
+    writes broker/worker journals into a scratch directory.
+    ``results_equal`` asserts the journaled run returned bit-identical
+    result rows — journaling is observational and must never perturb
+    results.
+    """
+
+    jobs: int
+    batches: int
+    specs_per_batch: int
+    off_seconds: float
+    on_seconds: float
+    results_equal: bool
+
+    @property
+    def speedup_off(self) -> float:
+        """Journal-on / journal-off: the disabled-journal floor."""
+        if self.off_seconds <= 0:
+            return float("inf")
+        return self.on_seconds / self.off_seconds
+
+    @property
+    def journal_overhead(self) -> float:
+        """Fractional slowdown of journal-on vs journal-off."""
+        if self.off_seconds <= 0:
+            return 0.0
+        return self.on_seconds / self.off_seconds - 1.0
+
+
+def run_journal_overhead(
+    *, fast: bool = False, jobs: int = 2, batches: int = 4,
+    specs_per_batch: int = 2, repeats: int = 2,
+) -> JournalOverheadResult:
+    """Time dispatch with journaling off vs on over identical batches."""
+    import tempfile
+
+    from repro.dispatch import DispatchExecutor
+
+    batch_list = _runtime_batches(
+        fast=fast, batches=batches, specs_per_batch=specs_per_batch
+    )
+
+    def _run(journal_dir: str | None):
+        executor = DispatchExecutor(jobs=jobs, journal_dir=journal_dir)
+        try:
+            return [executor.run(batch).results for batch in batch_list]
+        finally:
+            executor.close()
+
+    best_off = best_on = float("inf")
+    snap_off = snap_on = None
+    with tempfile.TemporaryDirectory(prefix="repro-journal-bench-") as scratch:
+        for repeat in range(max(1, repeats)):
+            started = time.perf_counter()
+            results = _run(None)
+            best_off = min(best_off, time.perf_counter() - started)
+            snap_off = [
+                result.to_json() for batch in results for result in batch
+            ]
+            # A fresh directory per repeat: JournalWriter resumes the
+            # sequence on an existing file, which would grow the journal
+            # (and its flush cost) across repeats.
+            journal_dir = os.path.join(scratch, f"repeat{repeat}")
+            started = time.perf_counter()
+            results = _run(journal_dir)
+            best_on = min(best_on, time.perf_counter() - started)
+            snap_on = [
+                result.to_json() for batch in results for result in batch
+            ]
+    return JournalOverheadResult(
+        jobs=jobs,
+        batches=batches,
+        specs_per_batch=specs_per_batch,
+        off_seconds=round(best_off, 4),
+        on_seconds=round(best_on, 4),
+        results_equal=snap_off == snap_on,
+    )
+
+
+def format_journal_overhead(result: JournalOverheadResult) -> str:
+    """Human-readable journal-overhead table for the CLI."""
+    return "\n".join([
+        "dispatch journal overhead "
+        f"({result.batches} batches x {result.specs_per_batch} specs, "
+        f"jobs={result.jobs})",
+        f"  journaling off:          {result.off_seconds:8.3f}s",
+        f"  journaling on:           {result.on_seconds:8.3f}s "
+        f"({result.journal_overhead:+.1%})",
+        "  results: " + ("identical with and without journaling"
+                         if result.results_equal else "DIVERGED!"),
+    ])
+
+
+def record_journal_overhead(
+    result: JournalOverheadResult, path: str | os.PathLike,
+    *, floor: float = JOURNAL_OFF_FLOOR,
+) -> None:
+    """Merge journal-overhead results into the ``_journal`` section."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        data = {}
+    data["_journal"] = {
+        "floor_speedup_off": floor,
+        "jobs": result.jobs,
+        "batches": result.batches,
+        "specs_per_batch": result.specs_per_batch,
+        "timings_seconds": {
+            "off": result.off_seconds,
+            "on": result.on_seconds,
+        },
+        "speedup_off": round(result.speedup_off, 3),
+        "journal_overhead": round(result.journal_overhead, 4),
+        "results_equal": result.results_equal,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def _validate_journal_section(data: dict) -> list[str]:
+    """Violations in a runtime baseline's ``_journal`` section."""
+    section = data.get("_journal")
+    if not section:
+        return []
+    violations: list[str] = []
+    if not section.get("results_equal", False):
+        violations.append(
+            "journal: results_equal is false — journaling perturbed results"
+        )
+    floor = section.get("floor_speedup_off", JOURNAL_OFF_FLOOR)
+    speedup = section.get("speedup_off", 0.0)
+    if speedup < floor:
+        violations.append(
+            f"journal: journal-off speedup {speedup} < {floor:g} — the "
+            "disabled hook path costs real time"
+        )
+    return violations
+
+
+# -- bench trend history ----------------------------------------------
+
+#: File name of the committed bench trend history at the repo root.
+BENCH_HISTORY_FILENAME = "BENCH_history.jsonl"
+
+#: Trailing-window defaults for ``repro bench history``: the newest
+#: entry is compared against the mean of up to this many preceding
+#: entries and flagged when a metric drops below the tolerance share.
+HISTORY_WINDOW = 5
+HISTORY_TOLERANCE = 0.90
+
+
+def bench_history_entry(
+    engine_path: str | os.PathLike,
+    runtime_path: str | os.PathLike | None = None,
+) -> dict:
+    """One guard-checked trend record built from the committed baselines.
+
+    Flattens every guarded speedup (engine points, ``_obs`` probe
+    floors, runtime-pool ratios, the ``_journal`` floor) into a single
+    ``speedups`` mapping so the trailing-window comparison is a plain
+    per-key ratio check, and carries the guard's violations verbatim —
+    a history entry recorded against a failing baseline says so.
+    """
+    import repro
+
+    violations, engine_data = validate_engine_baseline(engine_path)
+    speedups: dict[str, float] = {}
+    for name, entry in sorted(engine_data.items()):
+        if name.startswith("_"):
+            continue
+        speedups[name] = entry.get("speedup", 0.0)
+    for name, entry in sorted(
+        (engine_data.get("_obs") or {}).get("points", {}).items()
+    ):
+        speedups[f"obs:{name}"] = entry.get("speedup_off", 0.0)
+    if runtime_path is not None:
+        runtime_violations, runtime_data = validate_runtime_baseline(
+            runtime_path
+        )
+        violations.extend(runtime_violations)
+        pool = runtime_data.get("runtime_pool") or {}
+        for key in ("pool_vs_spawn", "parallel_vs_serial",
+                    "dispatch_vs_serial"):
+            if key in pool:
+                speedups[f"runtime:{key}"] = pool[key]
+        journal = runtime_data.get("_journal") or {}
+        if "speedup_off" in journal:
+            speedups["journal:speedup_off"] = journal["speedup_off"]
+    return {
+        "engine_version": repro.__version__,
+        "recorded_utc": time.strftime(
+            "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+        ),
+        "speedups": speedups,
+        "violations": violations,
+    }
+
+
+def load_bench_history(path: str | os.PathLike) -> list[dict]:
+    """Parse a history file; a missing file is an empty history."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    except OSError:
+        return []
+    entries: list[dict] = []
+    for number, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"line {number}: not valid JSON ({error})")
+        if not isinstance(entry, dict) or "speedups" not in entry:
+            raise ValueError(
+                f"line {number}: history entries are objects with a "
+                "'speedups' mapping"
+            )
+        entries.append(entry)
+    return entries
+
+
+def append_bench_history(path: str | os.PathLike, entry: dict) -> None:
+    """Append one history entry as a JSON line."""
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        handle.flush()
+
+
+def flag_history_regressions(
+    entries: list[dict], *, window: int = HISTORY_WINDOW,
+    tolerance: float = HISTORY_TOLERANCE,
+) -> list[str]:
+    """Metrics in the newest entry that fell below the trailing mean.
+
+    Each speedup in the last entry is compared against the mean of the
+    same metric over up to ``window`` preceding entries; a metric is
+    flagged when it drops below ``tolerance`` times that mean.  Fewer
+    than one prior sample means no verdict for that metric.
+    """
+    if len(entries) < 2:
+        return []
+    latest = entries[-1]
+    flags: list[str] = []
+    for metric, value in sorted(latest.get("speedups", {}).items()):
+        trailing = [
+            entry["speedups"][metric]
+            for entry in entries[-(window + 1):-1]
+            if metric in entry.get("speedups", {})
+        ]
+        if not trailing:
+            continue
+        mean = sum(trailing) / len(trailing)
+        if mean > 0 and value < tolerance * mean:
+            flags.append(
+                f"{metric}: {value:.3f} is {value / mean:.0%} of the "
+                f"trailing {len(trailing)}-entry mean {mean:.3f} "
+                f"(tolerance {tolerance:.0%})"
+            )
+    return flags
+
+
+def format_bench_history(entries: list[dict], flags: list[str]) -> str:
+    """Human-readable trend table (newest last) plus any flags."""
+    lines = [
+        f"bench history ({len(entries)} entr"
+        f"{'y' if len(entries) == 1 else 'ies'}, newest last)",
+        f"{'recorded (UTC)':22s} {'engine':8s} {'metrics':>7s} "
+        f"{'min speedup':>12s} violations",
+    ]
+    for entry in entries[-10:]:
+        speedups = entry.get("speedups", {})
+        worst = min(speedups.values()) if speedups else float("nan")
+        lines.append(
+            f"{entry.get('recorded_utc', '?'):22s} "
+            f"{entry.get('engine_version', '?'):8s} "
+            f"{len(speedups):7d} {worst:12.3f} "
+            f"{len(entry.get('violations', []))}"
+        )
+    if flags:
+        lines.append("")
+        lines.append("trend regressions vs the trailing window:")
+        lines.extend(f"  {flag}" for flag in flags)
+    else:
+        lines.append("no trend regressions vs the trailing window")
     return "\n".join(lines)
 
 

@@ -1,0 +1,387 @@
+"""Fleet observability: journals, spans, timeline checks, dashboards."""
+
+import json
+
+import pytest
+
+from repro.dispatch import Broker, BrokerServer, DispatchExecutor, ManualClock
+from repro.errors import ConfigurationError
+from repro.network.config import SimulationConfig
+from repro.obs import validate_chrome_trace
+from repro.obs.fleet import (
+    JournalWriter,
+    batch_trace_id,
+    check_timeline,
+    export_fleet_trace,
+    journal_digest,
+    lease_span_id,
+    merge_journals,
+    read_journal,
+    render_campaign_dashboard,
+    render_fleet_dashboard,
+    span_id,
+    stage_trace_id,
+    strip_wall,
+    trace_id,
+    watch,
+)
+from repro.obs.fleet.fleetcollect import journal_paths
+from repro.runtime.spec import RunSpec
+
+_CFG = SimulationConfig(frame_cycles=2000, seed=4)
+
+
+def _specs(count=1, cycles=200):
+    return [
+        RunSpec(topology="mesh_x1", workload="uniform",
+                rate=0.03 + 0.01 * index, config=_CFG,
+                cycles=cycles, warmup=cycles // 4)
+        for index in range(count)
+    ]
+
+
+def _submit(broker, specs, trace=None):
+    entries = [{"spec": s.to_json(), "label": s.label()} for s in specs]
+    if trace is not None:
+        for entry in entries:
+            entry["trace"] = trace
+    return broker.handle("submit", {"specs": entries})
+
+
+# -- span/trace id derivation -----------------------------------------
+
+
+def test_span_ids_are_deterministic_content_hashes():
+    assert trace_id("stage", "abc", 0) == trace_id("stage", "abc", 0)
+    assert len(trace_id("x")) == 32
+    assert len(span_id(trace_id("x"), "spec")) == 16
+    assert trace_id("x") != trace_id("y")
+    assert stage_trace_id("deadbeef", 0) != stage_trace_id("deadbeef", 1)
+    assert lease_span_id("t" * 32, "s" * 12, "lease-1") != lease_span_id(
+        "t" * 32, "s" * 12, "lease-2"
+    )
+
+
+def test_batch_trace_id_ignores_spec_order():
+    assert batch_trace_id(["bbb", "aaa"]) == batch_trace_id(["aaa", "bbb"])
+
+
+# -- journal writer / reader ------------------------------------------
+
+
+def test_journal_round_trip_and_tail(tmp_path):
+    path = tmp_path / "broker.journal.jsonl"
+    with JournalWriter(path, actor="broker", meta={"run": "t1"}) as journal:
+        journal.emit("broker.submit", trace="t" * 32, spec_hash="a" * 64)
+        journal.emit("broker.claim", spec_hash="a" * 64, lease="L0",
+                     worker="w0")
+        assert [r["event"] for r in journal.tail()] == [
+            "broker.submit", "broker.claim",
+        ]
+    doc = read_journal(path)
+    assert doc.actor == "broker"
+    assert doc.meta == {"run": "t1"}
+    assert [r["seq"] for r in doc.records] == [0, 1]
+    assert doc.records[0]["trace"] == "t" * 32
+    assert doc.records[1]["data"]["lease"] == "L0"
+
+
+def test_journal_rejects_unknown_event(tmp_path):
+    journal = JournalWriter(tmp_path / "j.journal.jsonl", actor="broker")
+    with pytest.raises(ValueError, match="unknown journal event"):
+        journal.emit("broker.levitate", spec_hash="x")
+    journal.close()
+
+
+def test_journal_resume_continues_seq(tmp_path):
+    path = tmp_path / "j.journal.jsonl"
+    with JournalWriter(path, actor="campaign") as journal:
+        journal.emit("campaign.stage_start", stage="fig3")
+    with JournalWriter(path, actor="campaign") as journal:
+        journal.emit("campaign.stage_finish", stage="fig3")
+    assert [r["seq"] for r in read_journal(path).records] == [0, 1]
+
+
+def test_journal_resume_refuses_actor_mismatch(tmp_path):
+    path = tmp_path / "j.journal.jsonl"
+    with JournalWriter(path, actor="broker") as journal:
+        journal.emit("broker.submit", spec_hash="a")
+    with pytest.raises(ConfigurationError, match="belongs to actor"):
+        JournalWriter(path, actor="worker-1")
+
+
+def test_read_journal_rejects_corruption(tmp_path):
+    path = tmp_path / "j.journal.jsonl"
+    with JournalWriter(path, actor="broker") as journal:
+        journal.emit("broker.submit", spec_hash="a")
+        journal.emit("broker.claim", spec_hash="a", lease="L0")
+
+    lines = path.read_text().splitlines()
+
+    torn = tmp_path / "torn.journal.jsonl"
+    torn.write_text("\n".join(lines[:2] + [lines[2][: len(lines[2]) // 2]]))
+    with pytest.raises(ConfigurationError, match="line 3"):
+        read_journal(torn)
+
+    bad_seq = tmp_path / "seq.journal.jsonl"
+    record = json.loads(lines[2])
+    record["seq"] = 7
+    bad_seq.write_text("\n".join([lines[0], lines[1], json.dumps(record)]))
+    with pytest.raises(ConfigurationError, match="seq 7, expected 1"):
+        read_journal(bad_seq)
+
+    bad_event = tmp_path / "event.journal.jsonl"
+    record = json.loads(lines[1])
+    record["event"] = "broker.levitate"
+    bad_event.write_text("\n".join([lines[0], json.dumps(record)]))
+    with pytest.raises(ConfigurationError, match="unknown event"):
+        read_journal(bad_event)
+
+    missing = tmp_path / "missing.journal.jsonl"
+    record = json.loads(lines[1])
+    del record["wall"]
+    missing.write_text("\n".join([lines[0], json.dumps(record)]))
+    with pytest.raises(ConfigurationError, match="missing wall"):
+        read_journal(missing)
+
+    not_journal = tmp_path / "other.journal.jsonl"
+    not_journal.write_text('{"format": "something-else", "version": 1}\n')
+    with pytest.raises(ConfigurationError, match="not a repro-obs-journal"):
+        read_journal(not_journal)
+
+    wrong_version = tmp_path / "v99.journal.jsonl"
+    wrong_version.write_text(
+        '{"format": "repro-obs-journal", "version": 99, "actor": "x"}\n'
+    )
+    with pytest.raises(ConfigurationError, match="unsupported version"):
+        read_journal(wrong_version)
+
+
+def test_strip_wall_removes_tainted_fields():
+    record = {
+        "seq": 0, "actor": "w", "event": "worker.execute", "wall": 123.4,
+        "data": {"spec_hash": "a", "elapsed_s": 0.5},
+    }
+    stripped = strip_wall(record)
+    assert "wall" not in stripped
+    assert stripped["data"] == {"spec_hash": "a"}
+    # The original record is untouched.
+    assert record["data"]["elapsed_s"] == 0.5
+
+
+# -- dispatch seams: determinism, bit-neutrality, gauges ---------------
+
+
+def _run_dispatch_batch(journal_dir=None, jobs=2):
+    executor = DispatchExecutor(
+        jobs=jobs,
+        journal_dir=str(journal_dir) if journal_dir is not None else None,
+    )
+    try:
+        return executor.run(_specs(3))
+    finally:
+        executor.close()
+
+
+def test_journaled_dispatch_is_bit_neutral_and_deterministic(tmp_path):
+    plain = _run_dispatch_batch()
+    first = _run_dispatch_batch(tmp_path / "a")
+    second = _run_dispatch_batch(tmp_path / "b")
+
+    rows = lambda outcome: [r.to_json() for r in outcome.results]  # noqa: E731
+    assert rows(plain) == rows(first) == rows(second)
+
+    paths_a = journal_paths(tmp_path / "a")
+    paths_b = journal_paths(tmp_path / "b")
+    assert [p.name for p in paths_a] == [p.name for p in paths_b]
+    assert len(paths_a) >= 2  # broker + at least one worker
+    for path_a, path_b in zip(paths_a, paths_b):
+        assert journal_digest(path_a) == journal_digest(path_b)
+
+
+def test_journaled_dispatch_timeline_is_sound(tmp_path):
+    _run_dispatch_batch(tmp_path)
+    timeline = merge_journals(journal_paths(tmp_path))
+    assert check_timeline(timeline) == []
+    assert "broker" in timeline.actors
+    # One trace covers the whole batch, stamped on every spec record.
+    traces = timeline.traces()
+    assert len(traces) == 1 and len(traces[0]) == 32
+    events = [r["event"] for r in timeline.for_trace(traces[0])]
+    assert events.count("broker.submit") == 3
+    assert events.count("broker.complete") == 3
+
+
+def test_export_fleet_trace_validates(tmp_path):
+    _run_dispatch_batch(tmp_path / "journals")
+    out = tmp_path / "fleet_trace.json"
+    digest, problems = export_fleet_trace(tmp_path / "journals", out)
+    assert problems == []
+    assert len(digest) == 64
+    document = validate_chrome_trace(out)
+    names = {event.get("name") for event in document["traceEvents"]}
+    assert "queue-wait" in names or any(
+        name and name.startswith("lease") for name in names
+    )
+
+
+def test_fleet_gauges_reported_in_dispatch_telemetry(tmp_path):
+    outcome = _run_dispatch_batch(tmp_path)
+    fleet = outcome.dispatch.get("fleet")
+    assert fleet is not None
+    assert fleet["inflight"] == 0
+    assert fleet["queue_depth"] == 0
+    assert fleet["workers"] >= 1
+
+
+# -- orphan / incompleteness detection --------------------------------
+
+
+def test_check_timeline_flags_orphans_and_incomplete(tmp_path):
+    trace = "t" * 32
+    with JournalWriter(tmp_path / "broker.journal.jsonl",
+                       actor="broker") as journal:
+        journal.emit("broker.submit", trace=trace, spec_hash="a" * 64)
+    with JournalWriter(tmp_path / "w0.journal.jsonl",
+                       actor="w0") as journal:
+        # Executes under a lease the broker never granted.
+        journal.emit("worker.execute", trace=trace, spec_hash="a" * 64,
+                     lease="L-forged")
+    timeline = merge_journals(journal_paths(tmp_path))
+    problems = check_timeline(timeline)
+    assert any("orphan worker span" in p for p in problems)
+    assert any("incomplete spec" in p for p in problems)
+
+
+def test_check_timeline_flags_unclosed_shards(tmp_path):
+    path = tmp_path / "campaign.journal.jsonl"
+    with JournalWriter(path, actor="campaign") as journal:
+        journal.emit("campaign.stage_start", trace="s" * 32, stage="fig4")
+        journal.emit("campaign.shard_start", trace="s" * 32, stage="fig4",
+                     shard=0)
+    problems = check_timeline(merge_journals([path]))
+    assert any("unbalanced shard" in p for p in problems)
+    assert any("unbalanced stage" in p for p in problems)
+
+
+# -- broker gauges, /metrics and /journal ------------------------------
+
+
+def test_broker_gauges_track_queue_and_lease_age():
+    clock = ManualClock()
+    broker = Broker(clock=clock, lease_seconds=10.0)
+    specs = _specs(2)
+    _submit(broker, specs)
+    status = broker.handle("status", {})
+    assert status["gauges"] == {
+        "queue_depth": 2, "inflight": 0, "oldest_lease_age_s": 0.0,
+    }
+    broker.handle("claim", {"worker": "w0"})
+    clock.advance(3.0)
+    status = broker.handle("status", {})
+    assert status["gauges"]["queue_depth"] == 1
+    assert status["gauges"]["inflight"] == 1
+    assert status["gauges"]["oldest_lease_age_s"] == pytest.approx(3.0)
+    assert status["workers"]["w0"] == pytest.approx(3.0)
+
+
+def test_broker_metrics_and_journal_endpoints(tmp_path):
+    import urllib.request
+
+    journal = JournalWriter(tmp_path / "broker.journal.jsonl",
+                            actor="broker")
+    broker = Broker(journal=journal)
+    _submit(broker, _specs(1))
+    with BrokerServer(broker) as server:
+        with urllib.request.urlopen(f"{server.url}/metrics") as response:
+            metrics = json.load(response)
+        assert metrics["journaling"] is True
+        assert metrics["gauges"]["queue_depth"] == 1
+        assert "engine" in metrics
+        with urllib.request.urlopen(f"{server.url}/journal") as response:
+            tail = json.load(response)
+        assert [r["event"] for r in tail["records"]] == ["broker.submit"]
+        assert tail["path"].endswith("broker.journal.jsonl")
+        try:
+            urllib.request.urlopen(f"{server.url}/secrets")
+        except urllib.error.HTTPError as error:
+            assert error.code == 404
+        else:  # pragma: no cover - the request must 404
+            raise AssertionError("unknown GET path did not 404")
+    journal.close()
+
+
+def test_journal_endpoint_empty_without_journaling():
+    broker = Broker()
+    document = broker.handle("journal", {})
+    assert document["records"] == []
+
+
+# -- dashboards and the watch loop ------------------------------------
+
+
+def test_render_fleet_dashboard_shows_counts_and_workers():
+    panel = render_fleet_dashboard(
+        {
+            "counts": {"queued": 1, "leased": 1, "done": 2, "failed": 0},
+            "counters": {"submitted": 4, "requeues": 0},
+            "gauges": {"queue_depth": 1, "inflight": 1,
+                       "oldest_lease_age_s": 2.5},
+            "workers": {"w0": 0.4},
+        },
+        title="test",
+    )
+    assert "=== test ===" in panel
+    assert "2/4" in panel
+    assert "oldest_lease_age_s=2.5" in panel
+    assert "w0" in panel
+    assert "submitted=4" in panel
+
+
+def test_render_campaign_dashboard_reads_manifest_shape():
+    manifest = {
+        "campaign": "smoke",
+        "stages": {
+            "fig4": {
+                "status": "complete",
+                "shards": [{"status": "complete"}, {"status": "complete"}],
+            },
+            "table2": {"status": "failed", "shards": [None], "retries": 1},
+        },
+        "telemetry": {"resilience": {"dispatch": {"completions": 3}}},
+    }
+    panel = render_campaign_dashboard(manifest)
+    assert "campaign smoke [failed]" in panel
+    assert "2/2 shards" in panel
+    assert "FAILED" in panel and "1 retried" in panel
+    assert "completions=3" in panel
+
+
+def test_watch_draws_single_frame_on_non_tty():
+    import io
+
+    stream = io.StringIO()
+    frames = watch(lambda: "panel", interval=0.0, stream=stream)
+    assert frames == 1
+    assert stream.getvalue() == "panel\n"
+    assert "\x1b" not in stream.getvalue()
+
+
+def test_watch_redraws_on_tty_until_render_stops():
+    import io
+
+    class _Clock:
+        def __init__(self):
+            self.slept = []
+
+        def sleep(self, seconds):
+            self.slept.append(seconds)
+
+    panels = ["one", "two", None]
+    stream = io.StringIO()
+    clock = _Clock()
+    frames = watch(lambda: panels.pop(0), interval=1.5, stream=stream,
+                   force_tty=True, clock=clock)
+    assert frames == 2
+    assert clock.slept == [1.5, 1.5]
+    assert stream.getvalue().startswith("one\n\x1b[H\x1b[J")

@@ -64,11 +64,13 @@ def test_obs_usage_errors(tmp_path, capsys):
 
 
 def test_profile_writes_pstats_dump(tmp_path, monkeypatch, capsys):
+    # Dumps land in the git-ignored profiles/ directory, created on
+    # demand, so --profile never litters the repo root.
     monkeypatch.chdir(tmp_path)
     assert main(["fig3", "--profile"]) == 0
     out = capsys.readouterr().out
-    assert "profile_fig3.pstats" in out
-    stats = pstats.Stats(str(tmp_path / "profile_fig3.pstats"))
+    assert "profiles/profile_fig3.pstats" in out.replace("\\", "/")
+    stats = pstats.Stats(str(tmp_path / "profiles" / "profile_fig3.pstats"))
     assert stats.total_calls > 0
 
 

@@ -78,11 +78,14 @@ def test_heartbeat_prints_every_spec_by_default():
     heartbeat("sat", 1, 3, "a", False)
     heartbeat("sat", 2, 3, "b", True)
     heartbeat("sat", 3, 3, "c", False)
-    assert lines == [
+    assert lines[:3] == [
         "      [sat] 1/3   sim  a",
         "      [sat] 2/3 cache  b",
         "      [sat] 3/3   sim  c",
     ]
+    # The terminal heartbeat additionally flushes the stage summary.
+    assert len(lines) == 4
+    assert lines[3].startswith("      [sat] done: 2 sim + 1 cache in ")
 
 
 def test_heartbeat_rate_cap_always_prints_final():
@@ -92,9 +95,22 @@ def test_heartbeat_rate_cap_always_prints_final():
     heartbeat("sat", 1, 3, "a", False)  # first: interval satisfied at t=0
     heartbeat("sat", 2, 3, "b", False)  # capped
     heartbeat("sat", 3, 3, "c", False)  # final always prints
-    assert [line.split("]")[1].strip() for line in lines] == [
+    assert [line.split("]")[1].strip() for line in lines[:2]] == [
         "1/3   sim  a", "3/3   sim  c",
     ]
+    # The summary counts every spec, including the rate-capped one.
+    assert lines[2].startswith("      [sat] done: 3 sim + 0 cache in ")
+
+
+def test_heartbeat_summary_tracks_stages_independently():
+    lines = []
+    heartbeat = heartbeat_printer(emit=lines.append)
+    heartbeat("alpha", 1, 2, "a", False)
+    heartbeat("beta", 1, 1, "b", True)   # beta finishes mid-alpha
+    heartbeat("alpha", 2, 2, "c", True)
+    summaries = [line for line in lines if "done:" in line]
+    assert summaries[0].startswith("      [beta] done: 0 sim + 1 cache")
+    assert summaries[1].startswith("      [alpha] done: 1 sim + 1 cache")
 
 
 def test_campaign_heartbeat_and_manifest_telemetry(tmp_path):
