@@ -91,6 +91,27 @@ obs record|report|timeline``, ``--obs DIR`` on any target, ``repro
 bench obs`` for the probe-overhead guard.  See
 ``docs/observability.md``.
 
+QoS policies (:mod:`repro.qos`) — every policy behind one registry::
+
+    from repro import available_policies, create_policy, get_policy
+
+    available_policies()          # ("pvc", "perflow", "noqos", "gsf")
+    entry = get_policy("gsf")     # factory + declared capabilities
+    entry.capabilities.throttles_injection   # True: source-throttled
+    policy = create_policy("gsf")            # fresh, unbound instance
+
+Policies implement the :class:`QosPolicy` contract and declare a
+:class:`~repro.qos.base.PolicyCapabilities` record stating what they
+ask of the engine (preemption machinery, overflow VCs, compliance
+caching, injection throttling); the engines read capabilities, never
+concrete types.  Everything that names a policy — ``RunSpec``
+validation, the CLI's ``--policy`` choices, experiment policy orders,
+campaign stage params — derives from the registry, so
+:func:`~repro.qos.register_policy` is the *only* step to add one.
+Besides PVC the registry ships GSF (Globally-Synchronized Frames, the
+frame-reservation scheme the paper argues against); ``repro pvcgsf``
+runs the head-to-head.  See ``docs/qos.md``.
+
 Experiments (one per paper table/figure) live in
 :mod:`repro.analysis.experiments`.
 
@@ -222,7 +243,18 @@ from repro.obs import (
     read_metrics,
     render_report,
 )
-from repro.qos.base import NoQosPolicy, QosPolicy
+from repro.qos import (
+    GsfPolicy,
+    NoQosPolicy,
+    PolicyCapabilities,
+    PolicyEntry,
+    QosPolicy,
+    available_policies,
+    create_policy,
+    get_policy,
+    policy_entries,
+    register_policy,
+)
 from repro.resilience import (
     ChaosReport,
     FailureRecord,
@@ -313,8 +345,16 @@ from repro.traffic.workloads import (
 # live `repro fleet status` / `repro campaign watch` dashboards, and
 # guard-checked bench trend history.  Results are unchanged, but the
 # version participates in stage hashes, so the committed campaign
-# baseline rolls forward with the bump.
-__version__ = "1.9.0"
+# baseline rolls forward with the bump.  1.10.0: policy registry + GSF —
+# QoS policies live behind repro.qos.registry (capability-declaring
+# entries; every name-consuming surface derives from it), the engines
+# read PolicyCapabilities instead of concrete policy types, and
+# Globally-Synchronized Frames joins as a fourth policy with
+# source-throttled injection via the new injection_release hook.
+# Existing policies are bit-identical in both engines; the bump rolls
+# the result cache, stage hashes and committed baselines forward with
+# the new pvc_vs_gsf stage and GSF bench regime.
+__version__ = "1.10.0"
 
 __all__ = [
     "AllocationError",
@@ -344,6 +384,7 @@ __all__ = [
     "FaultPlan",
     "FlowSpec",
     "GridResult",
+    "GsfPolicy",
     "HttpTransport",
     "Hypervisor",
     "InjectionCapture",
@@ -361,6 +402,8 @@ __all__ = [
     "PerFlowQueuedPolicy",
     "Phase",
     "PhasedProcess",
+    "PolicyCapabilities",
+    "PolicyEntry",
     "ProbeBus",
     "PvcPolicy",
     "QosPolicy",
@@ -391,12 +434,15 @@ __all__ = [
     "VirtualMachine",
     "WindowedMetrics",
     "WorkerAgent",
+    "available_policies",
     "bursty_workload",
     "closed_loop_workload",
+    "create_policy",
     "execute_spec",
     "fairness_report",
     "full_column_workload",
     "get_campaign",
+    "get_policy",
     "get_topology",
     "hotspot_all_injectors",
     "is_convex",
@@ -405,8 +451,10 @@ __all__ = [
     "max_min_allocation",
     "pareto_workload",
     "phased_workload",
+    "policy_entries",
     "read_metrics",
     "read_trace",
+    "register_policy",
     "render_report",
     "replayed_workload",
     "run_batch",

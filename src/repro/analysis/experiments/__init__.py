@@ -11,6 +11,7 @@ module                 paper result
 ``fig6_slowdown``      Figure 6 — slowdown + deviation from max-min
 ``fig7_energy``        Figure 7 — router energy per flit by hop type
 ``burst_fairness``     extension — QoS under bursty/replayed traffic
+``pvc_vs_gsf``         extension — PVC vs GSF head-to-head
 =====================  =============================================
 """
 
@@ -23,6 +24,7 @@ from repro.analysis.experiments.fig4_latency import format_fig4, run_fig4
 from repro.analysis.experiments.fig5_preemption import format_fig5, run_fig5
 from repro.analysis.experiments.fig6_slowdown import format_fig6, run_fig6
 from repro.analysis.experiments.fig7_energy import format_fig7, run_fig7
+from repro.analysis.experiments.pvc_vs_gsf import format_pvc_vs_gsf, run_pvc_vs_gsf
 from repro.analysis.experiments.saturation import format_saturation, run_saturation
 from repro.analysis.experiments.table2_fairness import format_table2, run_table2
 
@@ -33,6 +35,7 @@ __all__ = [
     "format_fig5",
     "format_fig6",
     "format_fig7",
+    "format_pvc_vs_gsf",
     "format_saturation",
     "format_table2",
     "run_burst_fairness",
@@ -41,6 +44,7 @@ __all__ = [
     "run_fig5",
     "run_fig6",
     "run_fig7",
+    "run_pvc_vs_gsf",
     "run_saturation",
     "run_table2",
 ]

@@ -5,8 +5,9 @@ rates), yet PVC's mechanisms — frame flushes, preemption throttles,
 ACK/NACK retransmission — are stressed hardest by *non-stationary*
 load, and the frame-reservation alternative it argues against (GSF) is
 distinguished precisely by behaviour under bursts.  This study drives
-on/off bursty hotspot traffic through PVC, the per-flow-queued baseline
-and no-QoS, twice:
+on/off bursty hotspot traffic through every registered policy — PVC,
+the per-flow-queued baseline, no-QoS, and GSF itself (whose frame
+budgets turn bursts into queued frames) — twice:
 
 * **bursty** — live :class:`~repro.scenarios.injection.OnOffProcess`
   sources, run through :mod:`repro.runtime` (content-hashed, cached,
@@ -33,6 +34,7 @@ from repro.analysis.fairness import fairness_report
 from repro.network.config import SimulationConfig
 from repro.network.engine import ColumnSimulator
 from repro.network.trace import InjectionCapture
+from repro.qos.registry import available_policies
 from repro.runtime.cache import ResultCache
 from repro.runtime.executor import Executor
 from repro.runtime.runner import run_batch
@@ -51,7 +53,9 @@ from repro.util.tables import format_table
 #: the three policies actually diverge.
 BURST_PEAK_RATE = 0.60
 
-POLICY_ORDER = ("pvc", "perflow", "noqos")
+#: Every registered policy, in registry order — the comparison extends
+#: automatically when a policy registers (GSF added the fourth leg).
+POLICY_ORDER = tuple(available_policies())
 
 #: Campaign stage-adapter defaults (see :func:`stage_rows`).
 STAGE_DEFAULTS = {

@@ -28,7 +28,7 @@ _SMOKE_TOPOLOGIES = ["mesh_x1", "mecs"]
 PAPER_CAMPAIGN = CampaignSpec(
     name="paper",
     description="full conf_isca_GrotKM10 reproduction: fig3-fig7, table2, "
-    "saturation, 7 ablations, burst-fairness extension",
+    "saturation, 7 ablations, burst-fairness + PVC-vs-GSF extensions",
     stages=(
         StageSpec("fig3", "fig3"),
         StageSpec("fig7", "fig7"),
@@ -74,6 +74,12 @@ PAPER_CAMPAIGN = CampaignSpec(
             "burst_fairness",
             "burst_fairness",
             params={"window": 6000, "warmup": 1500},
+            depends_on=("saturation",),
+        ),
+        StageSpec(
+            "pvc_vs_gsf",
+            "pvc_vs_gsf",
+            params={"window": 6000, "warmup": 1000},
             depends_on=("saturation",),
         ),
         StageSpec("ablation_quota", "ablation_quota", depends_on=("fig5",)),
@@ -143,6 +149,12 @@ SMOKE_CAMPAIGN = CampaignSpec(
             "burst_fairness",
             "burst_fairness",
             params={"window": 1200, "warmup": 300},
+            depends_on=("saturation",),
+        ),
+        StageSpec(
+            "pvc_vs_gsf",
+            "pvc_vs_gsf",
+            params={"window": 1500, "warmup": 300, "frame_cycles": 250},
             depends_on=("saturation",),
         ),
         StageSpec(

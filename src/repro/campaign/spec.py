@@ -32,7 +32,7 @@ import json
 from collections.abc import Mapping
 from dataclasses import dataclass, field
 
-from repro.errors import CampaignError
+from repro.errors import CampaignError, UnknownPolicyError
 
 #: Bumped whenever the hashed stage payload or the manifest/artifact
 #: layout changes incompatibly.
@@ -53,6 +53,31 @@ def _as_plain_json(value, label: str):
     if isinstance(value, bool) or value is None or isinstance(value, (str, int, float)):
         return value
     raise CampaignError(f"{label}: {type(value).__name__} is not JSON-serialisable")
+
+
+def _check_policy_params(params: Mapping, stage_name: str) -> None:
+    """Reject unregistered QoS policy names at spec-build time.
+
+    Stage adapters consume policy names under the conventional keys
+    ``policy`` (one name) and ``policies`` (a list); an unknown name
+    would otherwise only surface inside a worker after the executor has
+    spawned.  Raises :class:`~repro.errors.UnknownPolicyError` with the
+    registered names.
+    """
+    from repro.qos.registry import get_policy
+
+    single = params.get("policy")
+    names = [single] if isinstance(single, str) else []
+    listed = params.get("policies")
+    if isinstance(listed, (list, tuple)):
+        names.extend(name for name in listed if isinstance(name, str))
+    for name in names:
+        try:
+            get_policy(name)
+        except UnknownPolicyError as error:
+            raise CampaignError(
+                f"stage {stage_name!r}: {error}"
+            ) from error
 
 
 @dataclass(frozen=True)
@@ -94,6 +119,8 @@ class StageSpec:
                 for i, shard in enumerate(self.shards)
             ),
         )
+        for shard in self.shard_params:
+            _check_policy_params(shard, self.name)
 
     @property
     def shard_params(self) -> tuple[dict, ...]:

@@ -27,6 +27,7 @@ from repro.analysis.experiments import fig4_latency as _fig4
 from repro.analysis.experiments import fig5_preemption as _fig5
 from repro.analysis.experiments import fig6_slowdown as _fig6
 from repro.analysis.experiments import fig7_energy as _fig7
+from repro.analysis.experiments import pvc_vs_gsf as _pvc_vs_gsf
 from repro.analysis.experiments import saturation as _saturation
 from repro.analysis.experiments import table2_fairness as _table2
 from repro.errors import CampaignError
@@ -88,6 +89,11 @@ _ADAPTERS: tuple[StageAdapter, ...] = (
         "burst_fairness",
         _burst.stage_rows,
         "extension: QoS under bursty/replayed traffic",
+    ),
+    StageAdapter(
+        "pvc_vs_gsf",
+        _pvc_vs_gsf.stage_rows,
+        "extension: PVC vs GSF head-to-head (fairness, throttling cost)",
     ),
     StageAdapter(
         "ablation_quota",

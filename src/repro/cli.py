@@ -653,6 +653,19 @@ def _run_burst(args) -> str:
     return _with_cache_footer(format_burst_fairness(cells), cache)
 
 
+def _run_pvc_vs_gsf(args) -> str:
+    from repro.analysis.experiments.pvc_vs_gsf import (
+        format_pvc_vs_gsf,
+        run_pvc_vs_gsf,
+    )
+
+    window = 3000 if args.fast else 6000
+    cells = run_pvc_vs_gsf(
+        warmup=window // 6, window=window, config=_config(args, 1000),
+    )
+    return format_pvc_vs_gsf(cells)
+
+
 def _parse_scenario_params(pairs: list[str] | None) -> dict:
     """Parse repeated ``--param key=value`` flags into JSON scalars."""
     import json as _json
@@ -1543,6 +1556,7 @@ COMMANDS: dict[str, tuple[Callable, str]] = {
     "fig7": (_run_fig7, "Figure 7: router energy per flit (analytical)"),
     "saturation": (_run_saturation, "Section 5.2: saturation replay rates"),
     "burst": (_run_burst, "bursty/replayed traffic fairness study (extension)"),
+    "pvcgsf": (_run_pvc_vs_gsf, "PVC vs GSF head-to-head study (extension)"),
     "ablations": (_run_ablations, "all design-choice ablation studies"),
     "chip": (_run_chip_study, "shared-column count/placement study (extension)"),
     "report": (_run_report, "write every result into REPORT.md"),
@@ -1581,6 +1595,13 @@ FLEET_COMMAND_HELP = (
     "fleet monitoring: fleet status <url> [--watch|--json] | "
     "trace <journal-dir> [--check]"
 )
+
+
+def _policy_choices() -> list[str]:
+    """Registered QoS policy names — the registry is the only source."""
+    from repro.qos.registry import available_policies
+
+    return list(available_policies())
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -1655,7 +1676,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--regimes", default=None, metavar="R1,R2",
         help="with 'bench engine': only run points in these regimes "
-        "(low_rate, mid_rate, saturation, bursty)",
+        "(low_rate, mid_rate, saturation, bursty, gsf_throttled)",
     )
     parser.add_argument(
         "--topologies", default=None, metavar="T1,T2",
@@ -1668,7 +1689,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="with 'scenario run/record': topology to simulate (default mecs)",
     )
     scenario.add_argument(
-        "--policy", default="pvc", choices=["pvc", "perflow", "noqos"],
+        "--policy", default="pvc", choices=_policy_choices(),
         help="with 'scenario run/record': QoS policy (default pvc)",
     )
     scenario.add_argument(

@@ -16,6 +16,30 @@ class ConfigurationError(ReproError):
     """A simulator or topology configuration is invalid or inconsistent."""
 
 
+class UnknownPolicyError(ConfigurationError, KeyError):
+    """A QoS policy name is not in the policy registry.
+
+    Carries the offending ``name`` and the ``available`` registered
+    names so callers (CLI, campaign validation, spec building) can
+    render a precise message.  Also a :class:`KeyError` so mapping-style
+    access to the registry (``POLICIES[name]``) keeps ordinary mapping
+    semantics (``in``, ``.get``) while raising one structured type.
+    """
+
+    def __init__(self, name: str, available: tuple[str, ...]) -> None:
+        message = (
+            f"unknown QoS policy {name!r}; registered policies: "
+            f"{', '.join(available) or '(none)'}"
+        )
+        super().__init__(message)
+        self.name = name
+        self.available = tuple(available)
+
+    def __str__(self) -> str:
+        # KeyError.__str__ would repr() the message; keep it readable.
+        return self.args[0]
+
+
 class SimulationError(ReproError):
     """The simulation engine reached an inconsistent internal state."""
 

@@ -333,7 +333,17 @@ class ColumnSimulator:
             self._prio_table.n_flows if self._prio_table is not None else 0
         )
 
-        if self.policy.allow_overflow_vcs:
+        #: Declared policy capabilities — the only channel through which
+        #: the engine learns what machinery the policy needs (never
+        #: isinstance checks).
+        caps = self.policy.capabilities
+        self._caps = caps
+        #: Injection-release hook, bound once; None when the policy does
+        #: not throttle sources, keeping `_place` a plain store.
+        self._release = (
+            self.policy.injection_release if caps.throttles_injection else None
+        )
+        if caps.overflow_vcs:
             for station in fabric.stations:
                 station.allow_overflow = True
 
@@ -926,6 +936,8 @@ class ColumnSimulator:
         packet.stations, packet.segments = self.fabric.route_builder(request)
 
     def _place(self, vc: VirtualChannel, packet: Packet, ready_at: int) -> None:
+        if self._release is not None:
+            ready_at = self._release(packet, ready_at)
         vc.packet = packet
         vc.ready_at = ready_at
         vc.arriving_until = -1
@@ -1124,7 +1136,7 @@ class ColumnSimulator:
         comp_thresholds = table.comp_thresholds
         comp_sizes = table.comp_sizes
         comp_stamps = table.comp_stamps
-        comp_cached = self.policy.compliance_cached
+        comp_cached = self._caps.compliance_cached
         stamp_carried = self._has_nonqos
         memo = self._ns_memo
         memo.clear()
@@ -1253,7 +1265,7 @@ class ColumnSimulator:
             if st not in cand_stations:
                 cand_stations.append(st)
         time_gate = wait_until
-        if config.preemption_enabled and self.policy.allow_preemption:
+        if config.preemption_enabled and self._caps.preemption:
             patience_cross = best_ready_at + config.preemption_patience_cycles
             if now < patience_cross < time_gate:
                 time_gate = patience_cross
@@ -1553,7 +1565,7 @@ class ColumnSimulator:
         self, station: Station, candidate_priority: float, now: int
     ) -> VirtualChannel | None:
         """Resolve priority inversion: discard the worst resident packet."""
-        if not (self.config.preemption_enabled and self.policy.allow_preemption):
+        if not (self.config.preemption_enabled and self._caps.preemption):
             return None
         victim_vc: VirtualChannel | None = None
         victim_priority = candidate_priority

@@ -152,7 +152,12 @@ class GoldenColumnSimulator:
         n_nodes = 1 + max(station.node for station in fabric.stations)
         self.policy.bind(n_nodes, self.flows, self.config)
 
-        if self.policy.allow_overflow_vcs:
+        caps = self.policy.capabilities
+        self._caps = caps
+        self._release = (
+            self.policy.injection_release if caps.throttles_injection else None
+        )
+        if caps.overflow_vcs:
             for station in fabric.stations:
                 station.allow_overflow = True
 
@@ -397,6 +402,8 @@ class GoldenColumnSimulator:
         packet.stations, packet.segments = self.fabric.route_builder(request)
 
     def _place(self, vc: VirtualChannel, packet: Packet, ready_at: int) -> None:
+        if self._release is not None:
+            ready_at = self._release(packet, ready_at)
         vc.packet = packet
         vc.ready_at = ready_at
         vc.arriving_until = -1
@@ -467,7 +474,7 @@ class GoldenColumnSimulator:
         self, station: Station, candidate_priority: float, now: int
     ) -> VirtualChannel | None:
         """Resolve priority inversion: discard the worst resident packet."""
-        if not (self.config.preemption_enabled and self.policy.allow_preemption):
+        if not (self.config.preemption_enabled and self._caps.preemption):
             return None
         victim_vc: VirtualChannel | None = None
         victim_priority = candidate_priority

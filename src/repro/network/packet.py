@@ -204,6 +204,7 @@ class Packet:
         "protected",
         "tiles_done",
         "carried_priority",
+        "frame_tag",
         "reply_to",
     )
 
@@ -229,6 +230,10 @@ class Packet:
         self.protected = False
         self.tiles_done = 0
         self.carried_priority = 0.0
+        #: Frame-reservation tag (GSF): the frame window this packet's
+        #: injection was charged to, stamped at placement by
+        #: :meth:`~repro.qos.base.QosPolicy.injection_release`.
+        self.frame_tag = 0
         #: Closed-loop linkage: for reply packets, the client flow id to
         #: credit on delivery; -1 for everything else.
         self.reply_to = -1

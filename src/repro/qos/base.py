@@ -11,22 +11,51 @@ The engine delegates every QoS decision to a policy object:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.network.fabric import Station
 from repro.network.packet import FlowSpec, Packet
 
 
-class QosPolicy:
-    """Interface implemented by PVC, the per-flow baseline, and no-QoS."""
+@dataclass(frozen=True)
+class PolicyCapabilities:
+    """What a policy asks of the engine, declared up front.
 
-    #: Whether the engine may resolve priority inversion by preemption.
-    allow_preemption = False
-    #: Whether stations may grow extra VCs on demand (per-flow queuing).
-    allow_overflow_vcs = False
-    #: Whether the flow table's ``comp_thresholds`` cache (see
-    #: :class:`~repro.qos.flow_table.FlowTable`) answers
-    #: :meth:`is_rate_compliant` exactly, letting the engine skip the
-    #: method call when the cached boundary is fresh.
-    compliance_cached = False
+    The engines read these flags — never ``isinstance`` checks — to
+    decide which machinery to arm, and the policy registry carries the
+    same object on each entry so callers can inspect a policy's demands
+    without instantiating it.
+
+    Attributes
+    ----------
+    preemption:
+        The engine may resolve priority inversion by discarding a
+        lower-priority packet (PVC's defining mechanism).
+    overflow_vcs:
+        Stations may grow extra VCs on demand (per-flow queuing).
+    compliance_cached:
+        The flow table's ``comp_thresholds`` cache (see
+        :class:`~repro.qos.flow_table.FlowTable`) answers
+        :meth:`QosPolicy.is_rate_compliant` exactly, letting the engine
+        skip the method call when the cached boundary is fresh.
+    throttles_injection:
+        The policy implements :meth:`QosPolicy.injection_release` to
+        hold packets at the source (GSF's frame windows); the engines
+        only consult the hook when this is declared.
+    """
+
+    preemption: bool = False
+    overflow_vcs: bool = False
+    compliance_cached: bool = False
+    throttles_injection: bool = False
+
+
+class QosPolicy:
+    """Interface implemented by PVC, GSF, the per-flow baseline, no-QoS."""
+
+    #: Declared engine requirements; every concrete policy overrides
+    #: this with its own :class:`PolicyCapabilities`.
+    capabilities = PolicyCapabilities()
 
     def bind(self, n_nodes: int, flows: list[FlowSpec], config) -> None:
         """Size internal state once the engine knows the flow set."""
@@ -81,6 +110,18 @@ class QosPolicy:
         """Charge injection quota; returns True if preemption-protected."""
         return False
 
+    def injection_release(self, packet: Packet, ready_at: int) -> int:
+        """Earliest cycle the packet may contend for its first hop.
+
+        Called exactly once per injection placement, after the packet
+        enters its staging VC with the engine-computed ``ready_at``
+        (injection cycle + VC-allocation wait).  A policy that throttles
+        sources — GSF holding a packet for its frame window — returns a
+        later cycle; everything else returns ``ready_at`` unchanged, and
+        the engines behave exactly as before the hook existed.
+        """
+        return ready_at
+
     def is_rate_compliant(self, station: Station, packet: Packet, now: int) -> bool:
         """Whether the packet's flow qualifies for the reserved VC."""
         return False
@@ -101,7 +142,7 @@ class NoQosPolicy(QosPolicy):
     The test suite checks exactly this geometric decay.
     """
 
-    allow_preemption = False
+    capabilities = PolicyCapabilities()
 
     def priority(self, station: Station, packet: Packet, now: int) -> float:
         # Deterministic avalanche hash of (input port, cycle): a

@@ -20,15 +20,14 @@ from __future__ import annotations
 from repro.errors import ConfigurationError
 from repro.network.fabric import Station
 from repro.network.packet import FlowSpec, Packet
-from repro.qos.base import QosPolicy
+from repro.qos.base import PolicyCapabilities, QosPolicy
 from repro.qos.flow_table import FlowTable
 
 
 class PerFlowQueuedPolicy(QosPolicy):
     """Virtual-clock scheduling over per-flow queues; preemption-free."""
 
-    allow_preemption = False
-    allow_overflow_vcs = True
+    capabilities = PolicyCapabilities(preemption=False, overflow_vcs=True)
 
     def __init__(self) -> None:
         self.table: FlowTable | None = None

@@ -30,7 +30,7 @@ import math
 from repro.errors import ConfigurationError
 from repro.network.fabric import Station
 from repro.network.packet import FlowSpec, Packet
-from repro.qos.base import QosPolicy
+from repro.qos.base import PolicyCapabilities, QosPolicy
 from repro.qos.flow_table import FlowTable
 
 #: Provisioned injector population of the shared column: 8 routers x
@@ -50,12 +50,13 @@ _NEVER_COMPLIANT = 1 << 62
 class PvcPolicy(QosPolicy):
     """Preemptive Virtual Clock policy bound to one simulation."""
 
-    allow_preemption = True
-    allow_overflow_vcs = False
-    #: The flow table's compliance-boundary cache is authoritative for
-    #: this policy: the engine may answer `is_rate_compliant` from a
-    #: fresh `comp_thresholds` entry without calling the method.
-    compliance_cached = True
+    #: Preemption is PVC's defining mechanism; the flow table's
+    #: compliance-boundary cache is authoritative for this policy, so
+    #: the engine may answer `is_rate_compliant` from a fresh
+    #: `comp_thresholds` entry without calling the method.
+    capabilities = PolicyCapabilities(
+        preemption=True, overflow_vcs=False, compliance_cached=True
+    )
 
     def __init__(self) -> None:
         self.table: FlowTable | None = None

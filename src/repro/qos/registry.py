@@ -1,0 +1,153 @@
+"""QoS policy registry: the single source of truth for policy names.
+
+Everything that refers to a policy *by name* — :class:`RunSpec`
+validation, :func:`~repro.runtime.spec.execute_spec` instantiation, the
+CLI's ``--policy`` choices, experiment policy orders, campaign stage
+params — derives from this registry.  Adding a policy means one
+:func:`register_policy` call; no other file changes.
+
+Each entry pairs a factory with the
+:class:`~repro.qos.base.PolicyCapabilities` it declares, so callers can
+inspect what a policy asks of the engine (preemption machinery,
+overflow VCs, compliance caching) without instantiating it.
+Registration cross-checks the declaration against the factory's own
+``capabilities`` attribute: the registry never contradicts the class.
+
+Names are returned in registration order (the built-ins register
+``pvc``, ``perflow``, ``noqos``, ``gsf``), so tables and sweeps keep a
+stable, meaningful column order rather than an alphabetical one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, UnknownPolicyError
+from repro.qos.base import NoQosPolicy, PolicyCapabilities, QosPolicy
+from repro.qos.gsf import GsfPolicy
+from repro.qos.perflow import PerFlowQueuedPolicy
+from repro.qos.pvc import PvcPolicy
+
+
+@dataclass(frozen=True)
+class PolicyEntry:
+    """One registered QoS policy."""
+
+    name: str
+    factory: type[QosPolicy]
+    capabilities: PolicyCapabilities
+    summary: str = ""
+
+
+_REGISTRY: dict[str, PolicyEntry] = {}
+
+
+def register_policy(
+    name: str,
+    factory: type[QosPolicy],
+    *,
+    capabilities: PolicyCapabilities,
+    summary: str = "",
+) -> PolicyEntry:
+    """Register a policy under ``name``; returns the new entry.
+
+    Raises :class:`ConfigurationError` on a duplicate name, a factory
+    that is not a :class:`QosPolicy` subclass, or a capabilities
+    declaration that disagrees with the factory's own ``capabilities``
+    class attribute (one declaration, checked twice, can never drift).
+    """
+    if not name or not name.isidentifier():
+        raise ConfigurationError(
+            f"policy name must be a non-empty identifier, got {name!r}"
+        )
+    if name in _REGISTRY:
+        raise ConfigurationError(
+            f"policy {name!r} is already registered "
+            f"(factory {_REGISTRY[name].factory.__name__})"
+        )
+    if not (isinstance(factory, type) and issubclass(factory, QosPolicy)):
+        raise ConfigurationError(
+            f"policy {name!r} factory must be a QosPolicy subclass, "
+            f"got {factory!r}"
+        )
+    if not isinstance(capabilities, PolicyCapabilities):
+        raise ConfigurationError(
+            f"policy {name!r} must declare a PolicyCapabilities instance"
+        )
+    declared = factory.__dict__.get("capabilities")
+    if declared is None:
+        raise ConfigurationError(
+            f"policy class {factory.__name__} does not declare its own "
+            "`capabilities` class attribute"
+        )
+    if declared != capabilities:
+        raise ConfigurationError(
+            f"policy {name!r}: registered capabilities {capabilities} "
+            f"contradict the class declaration {declared}"
+        )
+    entry = PolicyEntry(name, factory, capabilities, summary)
+    _REGISTRY[name] = entry
+    return entry
+
+
+def get_policy(name: str) -> PolicyEntry:
+    """The registry entry for ``name``.
+
+    Raises :class:`~repro.errors.UnknownPolicyError` (also a
+    ``KeyError``) listing the registered names when absent.
+    """
+    entry = _REGISTRY.get(name)
+    if entry is None:
+        raise UnknownPolicyError(name, available_policies())
+    return entry
+
+
+def create_policy(name: str) -> QosPolicy:
+    """A fresh, unbound policy instance for ``name``."""
+    return get_policy(name).factory()
+
+
+def available_policies() -> tuple[str, ...]:
+    """Registered policy names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def policy_entries() -> tuple[PolicyEntry, ...]:
+    """All registry entries, in registration order."""
+    return tuple(_REGISTRY.values())
+
+
+def policy_name_of(factory: type[QosPolicy]) -> str | None:
+    """The registered name for a policy class, or ``None``."""
+    for entry in _REGISTRY.values():
+        if entry.factory is factory:
+            return entry.name
+    return None
+
+
+# -- built-in policies --------------------------------------------------
+
+register_policy(
+    "pvc",
+    PvcPolicy,
+    capabilities=PvcPolicy.capabilities,
+    summary="Preemptive Virtual Clock (the paper's mechanism)",
+)
+register_policy(
+    "perflow",
+    PerFlowQueuedPolicy,
+    capabilities=PerFlowQueuedPolicy.capabilities,
+    summary="idealised per-flow-queued baseline, preemption-free",
+)
+register_policy(
+    "noqos",
+    NoQosPolicy,
+    capabilities=NoQosPolicy.capabilities,
+    summary="locally fair arbitration, no flow state",
+)
+register_policy(
+    "gsf",
+    GsfPolicy,
+    capabilities=GsfPolicy.capabilities,
+    summary="Globally-Synchronized Frames (Lee et al., ISCA 2008)",
+)

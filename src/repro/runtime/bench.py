@@ -44,8 +44,9 @@ class EnginePoint:
     rate: float
     cycles: int
     warmup: int = 0
-    regime: str = "low_rate"  # or "mid_rate", "saturation", "bursty"
+    regime: str = "low_rate"  # or "mid_rate", "saturation", "bursty", ...
     workload: str = "full_column"  # or "bursty" (scenario on/off sources)
+    policy: str = "pvc"  # any registered QoS policy name
     config: SimulationConfig = field(
         default_factory=lambda: SimulationConfig(frame_cycles=2000, seed=3)
     )
@@ -108,6 +109,14 @@ def default_points(*, fast: bool = False) -> tuple[EnginePoint, ...]:
         # both the hot path and the cycle skipper matter at once.
         EnginePoint("bursty_saturation", "mecs", 0.60, sat_cycles * 2,
                     regime="bursty", workload="bursty"),
+        # Frame-throttled regime (GSF policy): short frames against a
+        # saturating load park most packets on future frame windows, so
+        # the engine alternates between dense drains at each boundary
+        # and budget-exhausted gaps the cycle skipper must leap without
+        # overshooting the next admissible release.
+        EnginePoint("gsf_throttled_mecs_0p30", "mecs", 0.30, sat_cycles,
+                    regime="gsf_throttled", policy="gsf",
+                    config=SimulationConfig(frame_cycles=500, seed=3)),
     )
 
 
@@ -128,10 +137,11 @@ def filter_points(
 
 
 def _time_one(cls, point: EnginePoint) -> tuple[float, dict]:
-    from repro.qos.pvc import PvcPolicy
+    from repro.qos.registry import create_policy
 
     build = get_topology(point.topology).build(point.config)
-    simulator = cls(build, point.flows(), PvcPolicy(), point.config)
+    simulator = cls(build, point.flows(), create_policy(point.policy),
+                    point.config)
     started = time.perf_counter()
     simulator.run(point.cycles, warmup=point.warmup)
     return time.perf_counter() - started, simulator.stats.snapshot()
@@ -236,10 +246,11 @@ class ObsOverheadResult:
 def _time_one_obs(cls, point: EnginePoint) -> tuple[float, dict]:
     """Like :func:`_time_one` but with a full ObsSession attached."""
     from repro.obs import ObsSession
-    from repro.qos.pvc import PvcPolicy
+    from repro.qos.registry import create_policy
 
     build = get_topology(point.topology).build(point.config)
-    simulator = cls(build, point.flows(), PvcPolicy(), point.config)
+    simulator = cls(build, point.flows(), create_policy(point.policy),
+                    point.config)
     session = ObsSession(timeline=True)
     session.attach(simulator)
     started = time.perf_counter()
@@ -1123,6 +1134,7 @@ def record_engine_baseline(
             "regime": result.point.regime,
             "topology": result.point.topology,
             "workload": result.point.workload,
+            "policy": result.point.policy,
             "rate": result.point.rate,
             "offered_load_flits_per_cycle": round(
                 offered_load(result.point.flows()), 4

@@ -21,10 +21,11 @@ from __future__ import annotations
 
 import hashlib
 import json
+from collections.abc import Mapping
 from dataclasses import asdict, dataclass, field, fields
 from functools import cached_property
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, UnknownPolicyError
 from repro.network.config import SimulationConfig
 from repro.topologies.registry import EXTENDED_TOPOLOGY_NAMES, get_topology
 from repro.traffic import patterns as _patterns
@@ -231,26 +232,68 @@ def _read_trace(path: str, sha256: str):
     return read_trace(path, expect_sha256=sha256)
 
 
-def _policy_registry():
-    # Imported lazily: the qos package imports nothing from runtime, but
-    # keeping the registry a function avoids ordering surprises if it
-    # ever does.
-    from repro.qos.base import NoQosPolicy
-    from repro.qos.perflow import PerFlowQueuedPolicy
-    from repro.qos.pvc import PvcPolicy
+class _PolicyFactories(Mapping):
+    """Live name → factory view over :mod:`repro.qos.registry`.
 
-    return {
-        "pvc": PvcPolicy,
-        "perflow": PerFlowQueuedPolicy,
-        "noqos": NoQosPolicy,
-    }
+    Mapping-shaped so every historical ``POLICIES`` call site —
+    ``name in POLICIES``, ``POLICIES[name]()``, ``sorted(POLICIES)`` —
+    keeps working while the policy registry stays the single source of
+    truth.  Lookups of unregistered names raise
+    :class:`~repro.errors.UnknownPolicyError` (also a ``KeyError``, so
+    mapping semantics hold).  Imports lazily: the qos package imports
+    nothing from runtime, and keeping the indirection inside the
+    methods avoids ordering surprises if it ever does.
+    """
+
+    def __getitem__(self, name: str):
+        from repro.qos.registry import get_policy
+
+        return get_policy(name).factory
+
+    def __iter__(self):
+        from repro.qos.registry import available_policies
+
+        return iter(available_policies())
+
+    def __len__(self) -> int:
+        from repro.qos.registry import available_policies
+
+        return len(available_policies())
 
 
-POLICIES = _policy_registry()
+class _PolicyNamesByClass(Mapping):
+    """Live factory-class → name view over the policy registry.
+
+    Serves legacy call sites passing policy classes (e.g.
+    ``policy_factory=PvcPolicy``) so they can be routed through the
+    runtime by name.
+    """
+
+    def __getitem__(self, factory):
+        from repro.qos.registry import policy_name_of
+
+        name = policy_name_of(factory)
+        if name is None:
+            raise KeyError(factory)
+        return name
+
+    def __iter__(self):
+        from repro.qos.registry import policy_entries
+
+        return (entry.factory for entry in policy_entries())
+
+    def __len__(self) -> int:
+        from repro.qos.registry import policy_entries
+
+        return len(policy_entries())
+
+
+#: Registered QoS policies by name (live registry view).
+POLICIES = _PolicyFactories()
 
 #: Reverse map so legacy call sites passing policy classes (e.g.
 #: ``policy_factory=PvcPolicy``) can be routed through the runtime.
-POLICY_NAMES_BY_CLASS = {cls: name for name, cls in POLICIES.items()}
+POLICY_NAMES_BY_CLASS = _PolicyNamesByClass()
 
 _SCALAR_TYPES = (str, int, float, bool, type(None))
 
@@ -398,9 +441,7 @@ class RunSpec:
         if self.workload == "phased":
             _scenario_workloads().parse_phases(params["phases"])
         if self.policy not in POLICIES:
-            raise ConfigurationError(
-                f"unknown policy {self.policy!r}; expected one of {sorted(POLICIES)}"
-            )
+            raise UnknownPolicyError(self.policy, tuple(POLICIES))
         if self.mode not in RUN_MODES:
             raise ConfigurationError(
                 f"unknown mode {self.mode!r}; expected one of {RUN_MODES}"

@@ -19,9 +19,8 @@ from repro.network.config import SimulationConfig
 from repro.network.engine import ColumnSimulator
 from repro.network.golden import GoldenColumnSimulator
 from repro.network.trace import TraceRecorder
-from repro.qos.base import NoQosPolicy
-from repro.qos.perflow import PerFlowQueuedPolicy
-from repro.qos.pvc import PvcPolicy
+from repro.qos.registry import create_policy
+from repro.scenarios import bursty_workload
 from repro.topologies.registry import get_topology
 from repro.traffic.workloads import (
     full_column_workload,
@@ -30,12 +29,6 @@ from repro.traffic.workloads import (
     workload1_finite,
     workload2,
 )
-
-POLICIES = {
-    "pvc": PvcPolicy,
-    "perflow": PerFlowQueuedPolicy,
-    "noqos": NoQosPolicy,
-}
 
 #: Low / high per-injector rates: the left edge of the latency curves
 #: (mostly idle fabric, the cycle-skipping fast path) and a point past
@@ -50,7 +43,7 @@ def _pair(topology, flows_factory, policy_name, config):
     sims = []
     for cls in (ColumnSimulator, GoldenColumnSimulator):
         build = get_topology(topology).build(config)
-        sims.append(cls(build, flows_factory(), POLICIES[policy_name](), config))
+        sims.append(cls(build, flows_factory(), create_policy(policy_name), config))
     return sims
 
 
@@ -116,6 +109,76 @@ def test_preemption_heavy_trace_matches_golden():
     optimised.run(5000)
     golden.run(5000)
     assert optimised.stats.preemption_events > 0  # the scenario bites
+    assert optimised.stats.snapshot() == golden.stats.snapshot()
+    assert list(trace_optimised.events) == list(trace_golden.events)
+
+
+# --- GSF: the frame-throttling policy exercises the injection-release
+# hook, which no other registered policy reaches.  Deferred ready_at
+# values flow through both engines' admission paths (pending heap and
+# port-scan wait horizons in the optimised engine, naive per-cycle
+# checks in golden), so the matrix spans traffic shapes and both the
+# open and drained run modes.
+
+GSF_TOPOLOGIES = ("mesh_x1", "mecs", "fbfly")
+
+
+def _gsf_flows(traffic, *, finite):
+    limit = 40 if finite else None
+    if traffic == "bernoulli":
+        return full_column_workload(0.30, packet_limit=limit)
+    return bursty_workload(0.45, on_cycles=40, off_cycles=120,
+                           packet_limit=limit)
+
+
+@pytest.mark.parametrize("topology", GSF_TOPOLOGIES)
+@pytest.mark.parametrize("traffic", ("bernoulli", "bursty"))
+def test_gsf_open_matches_golden(topology, traffic):
+    # Short frames against a saturating offered load: most packets are
+    # charged to future frames, so the throttling path dominates.
+    config = SimulationConfig(frame_cycles=400, seed=9)
+    optimised, golden = _pair(
+        topology, lambda: _gsf_flows(traffic, finite=False), "gsf", config
+    )
+    optimised.run(3000, warmup=750)
+    golden.run(3000, warmup=750)
+    assert optimised.stats.snapshot() == golden.stats.snapshot()
+    assert optimised.cycle == golden.cycle
+    assert optimised.policy.deferral_count() > 0  # throttling active
+    assert optimised.policy.deferral_count() == golden.policy.deferral_count()
+
+
+@pytest.mark.parametrize("topology", GSF_TOPOLOGIES)
+@pytest.mark.parametrize("traffic", ("bernoulli", "bursty"))
+def test_gsf_drained_matches_golden(topology, traffic):
+    # Finite flows + drain mode: the engines must agree on the cycle the
+    # last frame-deferred packet finally lands, i.e. cycle skipping may
+    # not jump over a future frame boundary holding admissible work.
+    config = SimulationConfig(frame_cycles=400, seed=9)
+    optimised, golden = _pair(
+        topology, lambda: _gsf_flows(traffic, finite=True), "gsf", config
+    )
+    done_optimised = optimised.run_until_drained(max_cycles=80_000)
+    done_golden = golden.run_until_drained(max_cycles=80_000)
+    assert done_optimised == done_golden
+    assert optimised.stats.snapshot() == golden.stats.snapshot()
+
+
+def test_gsf_trace_matches_golden():
+    # Event-level agreement, not just aggregate counters, under heavy
+    # throttling: every injection, hop and delivery lands on the same
+    # cycle in both engines.
+    config = SimulationConfig(frame_cycles=300, seed=13)
+    optimised, golden = _pair(
+        "mecs", lambda: _gsf_flows("bursty", finite=False), "gsf", config
+    )
+    trace_optimised = TraceRecorder(capacity=200_000)
+    trace_golden = TraceRecorder(capacity=200_000)
+    trace_optimised.attach(optimised)
+    trace_golden.attach(golden)
+    optimised.run(4000)
+    golden.run(4000)
+    assert optimised.policy.deferral_count() > 0
     assert optimised.stats.snapshot() == golden.stats.snapshot()
     assert list(trace_optimised.events) == list(trace_golden.events)
 

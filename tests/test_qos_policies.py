@@ -109,13 +109,13 @@ def test_pvc_may_preempt_requires_strict_inversion():
 
 
 def test_pvc_allows_preemption_flag():
-    assert PvcPolicy.allow_preemption is True
-    assert PvcPolicy.allow_overflow_vcs is False
+    assert PvcPolicy.capabilities.preemption is True
+    assert PvcPolicy.capabilities.overflow_vcs is False
 
 
 def test_perflow_never_preempts_and_overflows():
-    assert PerFlowQueuedPolicy.allow_preemption is False
-    assert PerFlowQueuedPolicy.allow_overflow_vcs is True
+    assert PerFlowQueuedPolicy.capabilities.preemption is False
+    assert PerFlowQueuedPolicy.capabilities.overflow_vcs is True
 
 
 def test_perflow_priority_matches_pvc_form():

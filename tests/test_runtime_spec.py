@@ -162,7 +162,7 @@ def test_workload_contract_violations_are_rejected(kwargs):
 
 
 def test_policy_registry_covers_the_public_policies():
-    assert set(POLICIES) == {"pvc", "perflow", "noqos"}
+    assert set(POLICIES) == {"pvc", "perflow", "noqos", "gsf"}
 
 
 def test_run_result_json_round_trip():

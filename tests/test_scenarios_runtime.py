@@ -166,14 +166,15 @@ def test_burst_fairness_experiment_runs(tmp_path):
         warmup=300, window=1200, config=CONFIG,
         cache=ResultCache(tmp_path),
     )
-    assert len(cells) == 6
+    assert len(cells) == 8  # (live + replayed) x every registered policy
     by_key = {(cell.traffic, cell.policy): cell for cell in cells}
     # The replayed leg feeds every policy the same arrivals as the live
     # leg, so matching cells are a standing replay-fidelity check.
-    for policy in ("pvc", "perflow", "noqos"):
+    for policy in ("pvc", "perflow", "noqos", "gsf"):
         live = by_key[("bursty", policy)]
         replayed = by_key[("replayed", policy)]
         assert live.delivered_flits == replayed.delivered_flits
         assert live.mean_latency == replayed.mean_latency
     text = format_burst_fairness(cells)
     assert "bursty" in text and "replayed" in text and "noqos" in text
+    assert "gsf" in text
